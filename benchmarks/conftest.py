@@ -1,0 +1,11 @@
+"""Benchmark-suite helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pedantic(benchmark, fn, rounds: int = 3):
+    """Run ``fn`` under pytest-benchmark with a small, fixed round count
+    (the workloads are tens of milliseconds; calibration is wasteful)."""
+    return benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=1)

@@ -1,0 +1,137 @@
+"""Ablation C — heap compression vs swapping to a nearby device.
+
+The related work (§6) frees memory by compressing victims in place: no
+radio, but "additional CPU load and energy cost", and the compressed pool
+"actually reduces the memory available to applications".  This bench
+swaps the same victim set both ways and compares: net heap bytes freed,
+CPU seconds (the energy proxy), and simulated radio seconds.
+
+Run:  pytest benchmarks/test_compression_baseline.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.compression import CompressedPoolStore
+from repro.bench.workloads import build_list
+from repro.clock import SimulatedClock
+from repro.comm.transport import bluetooth_link
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+
+OBJECTS = 3_000
+CLUSTER_SIZE = 250
+
+
+def _space(clock=None):
+    space = Space("bench", heap_capacity=8 << 20, clock=clock or SimulatedClock())
+    space.ingest(build_list(OBJECTS), cluster_size=CLUSTER_SIZE, root_name="h")
+    return space
+
+
+def _victims(space):
+    return [
+        sid for sid, cluster in space.clusters().items()
+        if cluster.swappable() and cluster.oids
+    ][: OBJECTS // CLUSTER_SIZE // 2]
+
+
+def test_swap_to_device(benchmark):
+    clock = SimulatedClock()
+    space = _space(clock)
+    store = XmlStoreDevice("pc", capacity=16 << 20, link=bluetooth_link(clock))
+    space.manager.add_store(store)
+    victims = _victims(space)
+    used_before = space.heap.used
+
+    def run():
+        for sid in victims:
+            if space.clusters()[sid].is_resident:
+                space.manager.swap_out(sid, store=store)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["heap_freed"] = used_before - space.heap.used
+    benchmark.extra_info["radio_seconds"] = round(clock.now(), 3)
+
+
+def test_compress_in_place(benchmark):
+    space = _space()
+    pool = CompressedPoolStore(space)
+    victims = _victims(space)
+    used_before = space.heap.used
+
+    def run():
+        for sid in victims:
+            if space.clusters()[sid].is_resident:
+                space.manager.swap_out(sid, store=pool)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["heap_freed"] = used_before - space.heap.used
+    benchmark.extra_info["cpu_seconds"] = round(pool.stats.cpu_seconds, 4)
+
+
+def test_tradeoff_comparison(benchmark):
+    def measure():
+        # device path
+        clock = SimulatedClock()
+        device_space = _space(clock)
+        store = XmlStoreDevice("pc", capacity=16 << 20, link=bluetooth_link(clock))
+        device_space.manager.add_store(store)
+        before = device_space.heap.used
+        cpu_start = time.perf_counter()
+        for sid in _victims(device_space):
+            device_space.manager.swap_out(sid, store=store)
+        device = {
+            "freed": before - device_space.heap.used,
+            "cpu": time.perf_counter() - cpu_start,
+            "radio": clock.now(),
+        }
+
+        # compression path
+        pool_space = _space()
+        pool = CompressedPoolStore(pool_space)
+        before = pool_space.heap.used
+        cpu_start = time.perf_counter()
+        for sid in _victims(pool_space):
+            pool_space.manager.swap_out(sid, store=pool)
+        compression = {
+            "freed": before - pool_space.heap.used,
+            "cpu": time.perf_counter() - cpu_start,
+            "radio": 0.0,
+            "pool_bytes": pool.pool_used,
+        }
+        return device, compression
+
+    device, compression = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nswap-to-device:  freed={device['freed']}B "
+          f"cpu={device['cpu']*1000:.1f}ms radio={device['radio']:.2f}s")
+    print(f"compress-local:  freed={compression['freed']}B "
+          f"cpu={compression['cpu']*1000:.1f}ms radio=0s "
+          f"(pool holds {compression['pool_bytes']}B of heap)")
+
+    # energy view (PDA-class power model, repro.sim.energy)
+    from repro.sim.energy import EnergyLedger, PDA_ENERGY
+
+    device_energy = EnergyLedger(model=PDA_ENERGY)
+    device_energy.charge_cpu(device["cpu"])
+    device_energy.charge_radio_tx(device["radio"])
+    compression_energy = EnergyLedger(model=PDA_ENERGY)
+    compression_energy.charge_cpu(compression["cpu"])
+    print(f"energy, swap:     {device_energy.describe()} "
+          f"-> {device_energy.millijoules_per_kb(device['freed']):.1f} mJ/KB freed")
+    print(f"energy, compress: {compression_energy.describe()} "
+          f"-> {compression_energy.millijoules_per_kb(compression['freed']):.1f} mJ/KB freed")
+
+    # swapping frees the full cluster footprint; compression keeps the
+    # compressed copy in the SAME heap, so it frees strictly less
+    assert device["freed"] > compression["freed"]
+    # compression needs no radio at all; swapping pays Bluetooth time
+    assert device["radio"] > 0 and compression["radio"] == 0
+    # the full trade made explicit: every joule compression spends is CPU
+    # (the paper's energy complaint), while most of swapping's energy is
+    # the radio, which also buys the full memory release
+    assert compression_energy.radio_joules == 0
+    assert device_energy.radio_joules > device_energy.cpu_joules

@@ -1,0 +1,65 @@
+"""Figure 5 — performance impact of swapping on graph traversal.
+
+Regenerates the paper's only quantitative figure: tests A1/A2/B1/B2 over
+a 10000-element list of 64-byte objects, at swap-cluster sizes 20/50/100
+and without swapping.  Each cell is one pytest-benchmark case; the shape
+claims (the figure's story) are asserted in ``test_figure5_shape``.
+
+Run:  pytest benchmarks/test_figure5.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figure5 import (
+    Figure5Config,
+    _TEST_FNS,
+    make_fixture,
+    run_figure5,
+)
+from repro.bench.report import PAPER_FIGURE5, check_shape, format_figure5_table
+
+OBJECTS = 10_000
+
+_CASES = [
+    (test, size)
+    for test in ("A1", "A2", "B1", "B2")
+    for size in (20, 50, 100, None)
+]
+
+
+def _case_id(case):
+    test, size = case
+    return f"{test}-{'noswap' if size is None else size}"
+
+
+@pytest.mark.parametrize("case", _CASES, ids=_case_id)
+def test_figure5_cell(benchmark, case):
+    test, cluster_size = case
+    handle, space = make_fixture(OBJECTS, cluster_size)
+    body = _TEST_FNS[test]
+    benchmark.extra_info["paper_ms"] = PAPER_FIGURE5[test][cluster_size]
+    benchmark.extra_info["test"] = test
+    benchmark.extra_info["cluster_size"] = cluster_size or "NO-SWAP"
+    benchmark.pedantic(
+        lambda: body(handle, OBJECTS, space),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_figure5_shape(benchmark):
+    """The figure's qualitative claims must hold on this machine."""
+    config = Figure5Config(objects=OBJECTS, repeats=4)
+    result = benchmark.pedantic(
+        lambda: run_figure5(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure5_table(result))
+    ok, notes = check_shape(result)
+    for passed, note in notes:
+        print(("PASS " if passed else "FAIL ") + note)
+    failures = [note for passed, note in notes if not passed]
+    assert ok, f"Figure 5 shape violated: {failures}"

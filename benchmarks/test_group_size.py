@@ -1,0 +1,81 @@
+"""Ablation E — clusters-per-swap grouping (the paper's second knob).
+
+A swap-cluster is "a number (also adaptable) of chained object clusters"
+(Section 1).  Grouping more replication clusters per swap-cluster
+removes boundaries (faster traversal, because proxy replacement yields
+raw references inside the group) but enlarges the swap unit (more bytes
+per swap cycle).  This bench measures both sides of that trade after
+full replication.
+
+Run:  pytest benchmarks/test_group_size.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_list
+from repro.devices.store import InMemoryStore
+from repro.replication import DirectServerClient, ObjectServer, Replicator
+from tests.helpers import make_space
+
+OBJECTS = 4_000
+CLUSTER_SIZE = 20
+
+GROUPS = (1, 2, 5, 10)
+
+
+def _replicated_fixture(clusters_per_swap):
+    server = ObjectServer(f"server-g{clusters_per_swap}")
+    server.publish("list", build_list(OBJECTS), cluster_size=CLUSTER_SIZE)
+    space = make_space(f"bench-g{clusters_per_swap}", heap_capacity=8 << 20)
+    replicator = Replicator(
+        space, DirectServerClient(server), clusters_per_swap=clusters_per_swap
+    )
+    handle = replicator.replicate("list")
+    replicator.prefetch("list", server.cluster_ids("list"))
+    return space, handle
+
+
+def _walk(handle):
+    count = 0
+    cursor = handle
+    while cursor is not None:
+        cursor = cursor.get_next()
+        count += 1
+    assert count == OBJECTS
+
+
+@pytest.mark.parametrize("group", GROUPS)
+def test_traversal_vs_group_size(benchmark, group):
+    space, handle = _replicated_fixture(group)
+    benchmark.extra_info["clusters_per_swap"] = group
+    benchmark.extra_info["swap_clusters"] = len(space.clusters()) - 1
+    benchmark.pedantic(
+        lambda: _walk(handle), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_group_size_tradeoff(benchmark):
+    def measure():
+        series = {}
+        for group in GROUPS:
+            space, handle = _replicated_fixture(group)
+            # traversal cost: boundary proxies per walk
+            boundaries = len(space.clusters()) - 2  # chained clusters
+            # swap unit: bytes of one swap-cluster's XML
+            victim = space.sid_of(handle)
+            location = space.manager.swap_out(victim)
+            series[group] = (boundaries, location.xml_bytes)
+            space.manager.swap_in(victim)
+            space.verify_integrity()
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nclusters_per_swap  boundaries  swap_unit_bytes")
+    for group, (boundaries, xml_bytes) in series.items():
+        print(f"{group:>17}  {boundaries:>10}  {xml_bytes:>15}")
+
+    # more grouping -> fewer boundaries but bigger swap units
+    assert series[10][0] < series[1][0]
+    assert series[10][1] > series[1][1] * 5

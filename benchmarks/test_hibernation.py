@@ -1,0 +1,86 @@
+"""Ablation G — persistence cost (hibernate / restore a whole space).
+
+How long suspending and resurrecting a space takes, and how big the
+on-disk XML footprint is, as the working set grows.  The restore path is
+the expensive one (object construction + re-mediation of every
+cross-cluster edge); both scale linearly, which is what makes
+hibernation usable as a shutdown/startup path on a device.
+
+Run:  pytest benchmarks/test_hibernation.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_list
+from repro.core.hibernate import hibernate, restore
+from repro.core.space import Space
+from repro.devices.store import InMemoryStore
+
+SIZES = (500, 2_000, 8_000)
+CLUSTER_SIZE = 50
+
+
+def _space(objects):
+    space = Space(f"hib-{objects}", heap_capacity=16 << 20)
+    space.manager.add_store(InMemoryStore("store"))
+    space.ingest(build_list(objects), cluster_size=CLUSTER_SIZE, root_name="h")
+    return space
+
+
+@pytest.mark.parametrize("objects", SIZES)
+def test_hibernate_cost(benchmark, objects, tmp_path):
+    space = _space(objects)
+    counter = [0]
+
+    def snapshot():
+        counter[0] += 1
+        return hibernate(space, tmp_path / f"snap-{counter[0]}")
+
+    manifest = benchmark.pedantic(snapshot, rounds=3, iterations=1, warmup_rounds=1)
+    footprint = sum(
+        path.stat().st_size for path in manifest.parent.iterdir()
+    )
+    benchmark.extra_info["objects"] = objects
+    benchmark.extra_info["disk_bytes"] = footprint
+
+
+@pytest.mark.parametrize("objects", SIZES)
+def test_restore_cost(benchmark, objects, tmp_path):
+    space = _space(objects)
+    hibernate(space, tmp_path / "snap")
+
+    def revive():
+        return restore(tmp_path / "snap")
+
+    revived = benchmark.pedantic(revive, rounds=3, iterations=1, warmup_rounds=1)
+    assert revived.object_count() == objects
+    benchmark.extra_info["objects"] = objects
+
+
+def test_roundtrip_scales_linearly(benchmark, tmp_path):
+    import time
+
+    def measure():
+        series = {}
+        for objects in SIZES:
+            space = _space(objects)
+            started = time.perf_counter()
+            hibernate(space, tmp_path / f"lin-{objects}")
+            suspend = time.perf_counter() - started
+            started = time.perf_counter()
+            revived = restore(tmp_path / f"lin-{objects}")
+            resume = time.perf_counter() - started
+            assert revived.object_count() == objects
+            revived.verify_integrity()
+            series[objects] = (suspend, resume)
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nobjects  hibernate_ms  restore_ms")
+    for objects, (suspend, resume) in series.items():
+        print(f"{objects:>7}  {suspend*1000:>12.1f}  {resume*1000:>10.1f}")
+    # linear-ish: 16x the objects must cost far less than 64x the time
+    assert series[8_000][0] < series[500][0] * 64
+    assert series[8_000][1] < series[500][1] * 64

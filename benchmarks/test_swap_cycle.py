@@ -1,0 +1,80 @@
+"""Ablation A — swap-out/swap-in cost vs swap-cluster size.
+
+Not in the paper (its evaluation fixes the transfer path and measures
+traversal overhead); this ablation completes the picture: what one swap
+cycle costs, in CPU (serialize + detach + patch) and on the simulated
+700 Kbps Bluetooth link, as the swap unit grows.  The trade the paper
+describes — bigger clusters amortize proxies but move more data per
+fault — becomes measurable.
+
+Run:  pytest benchmarks/test_swap_cycle.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import build_list
+from repro.clock import SimulatedClock
+from repro.comm.transport import bluetooth_link
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+
+OBJECTS = 2_000
+
+CLUSTER_SIZES = (20, 50, 100, 500)
+
+
+def _fixture(cluster_size):
+    clock = SimulatedClock()
+    space = Space("bench", heap_capacity=8 << 20, clock=clock)
+    store = XmlStoreDevice(
+        "nearby", capacity=8 << 20, link=bluetooth_link(clock)
+    )
+    space.manager.add_store(store)
+    handle = space.ingest(
+        build_list(OBJECTS), cluster_size=cluster_size, root_name="h"
+    )
+    return space, clock
+
+
+@pytest.mark.parametrize("cluster_size", CLUSTER_SIZES)
+def test_swap_cycle_cpu(benchmark, cluster_size):
+    """Wall-clock CPU cost of one full swap-out + swap-in of sc-2."""
+    space, clock = _fixture(cluster_size)
+
+    def cycle():
+        space.manager.swap_out(2)
+        space.manager.swap_in(2)
+
+    benchmark.extra_info["cluster_size"] = cluster_size
+    benchmark.pedantic(cycle, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_swap_cycle_radio_time(benchmark):
+    """Simulated Bluetooth seconds per swap cycle, per cluster size."""
+
+    def measure():
+        series = {}
+        for cluster_size in CLUSTER_SIZES:
+            space, clock = _fixture(cluster_size)
+            before = clock.now()
+            location = space.manager.swap_out(2)
+            out_time = clock.now() - before
+            before = clock.now()
+            space.manager.swap_in(2)
+            in_time = clock.now() - before
+            series[cluster_size] = (location.xml_bytes, out_time, in_time)
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\ncluster_size  xml_bytes  swap_out_s  swap_in_s  (700 Kbps link)")
+    for cluster_size, (xml_bytes, out_time, in_time) in series.items():
+        print(f"{cluster_size:>12}  {xml_bytes:>9}  {out_time:>10.3f}  {in_time:>9.3f}")
+
+    # radio time grows ~linearly with the swap unit
+    assert series[500][1] > series[20][1] * 5
+    # per-object radio cost is roughly flat (the payload dominates latency)
+    per_object_small = series[20][1] / 20
+    per_object_large = series[500][1] / 500
+    assert per_object_large < per_object_small  # latency amortized

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A reproducible parameter study with CSV output.
+
+Uses the sweep driver (`repro.bench.sweep`) to study the swap-cycle
+cost surface: cluster size × link class, measuring per-cycle radio time,
+XML bytes, and energy (PDA power model).  Results land in
+``results/swap_cycle_sweep.csv`` for plotting with any tool.
+
+Run with:  python examples/evaluation_sweep.py
+"""
+
+from pathlib import Path
+
+from repro.bench.sweep import Sweep
+from repro.bench.workloads import build_list
+from repro.clock import SimulatedClock
+from repro.comm.transport import SimulatedLink
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+from repro.sim.energy import PDA_ENERGY, EnergyLedger
+
+
+def swap_cycle(cluster_size: int, bandwidth_bps: int) -> dict:
+    clock = SimulatedClock()
+    space = Space(
+        f"sweep-{cluster_size}-{bandwidth_bps}",
+        heap_capacity=8 << 20,
+        clock=clock,
+    )
+    link = SimulatedLink(bandwidth_bps, latency_s=0.05, clock=clock)
+    store = XmlStoreDevice("receiver", capacity=8 << 20, link=link)
+    space.manager.add_store(store)
+    space.ingest(build_list(2000), cluster_size=cluster_size, root_name="h")
+
+    before = clock.now()
+    location = space.manager.swap_out(2)
+    swap_out_s = clock.now() - before
+    before = clock.now()
+    space.manager.swap_in(2)
+    swap_in_s = clock.now() - before
+    space.verify_integrity()
+
+    ledger = EnergyLedger(model=PDA_ENERGY)
+    ledger.charge_radio_tx(swap_out_s)
+    ledger.charge_radio_rx(swap_in_s)
+    return {
+        "xml_bytes": location.xml_bytes,
+        "swap_out_s": round(swap_out_s, 4),
+        "swap_in_s": round(swap_in_s, 4),
+        "radio_mj": round(ledger.radio_joules * 1000, 2),
+        "mj_per_kb": round(ledger.millijoules_per_kb(location.xml_bytes), 3),
+    }
+
+
+def main() -> None:
+    sweep = Sweep(
+        name="swap-cycle-surface",
+        grid={
+            "cluster_size": [10, 20, 50, 100, 250],
+            "bandwidth_bps": [115_200, 700_000, 11_000_000],
+        },
+        run=swap_cycle,
+    )
+    print("sweeping swap-cycle cost over cluster size x link class "
+          f"({len(sweep.points())} points)...\n")
+    sweep.execute()
+    print(sweep.format_table())
+
+    destination = Path("results") / "swap_cycle_sweep.csv"
+    sweep.write_csv(destination)
+    print(f"\nwrote {destination} ({len(sweep.records)} rows)")
+
+    summary = sweep.aggregate("mj_per_kb", by=["bandwidth_bps"])
+    print("\nmean energy per KB swapped, by link class:")
+    for row in summary:
+        print(f"  {row['bandwidth_bps']:>10} bps: {row['mj_per_kb']:.3f} mJ/KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Quick Figure 5 demonstration (reduced size).
+
+Runs the paper's four traversal tests (A1, A2, B1, B2) against swap-
+cluster sizes 20/50/100 and the NO-SWAP lower bound, on a reduced list so
+it finishes in seconds.  For the full 10000-object reproduction run::
+
+    python -m repro.bench.figure5
+
+Run with:  python examples/figure5_demo.py
+"""
+
+from repro.bench.figure5 import Figure5Config, run_figure5
+from repro.bench.report import check_shape, format_figure5_table
+
+
+def main() -> None:
+    config = Figure5Config(objects=3000, repeats=2)
+    print(f"Figure 5 (reduced): {config.objects} x 64-byte objects\n")
+    result = run_figure5(config, verbose=True)
+    print()
+    print(format_figure5_table(result))
+    print()
+    ok, notes = check_shape(result)
+    for passed, note in notes:
+        print(("PASS " if passed else "FAIL ") + note)
+    print("\nshape " + ("HOLDS" if ok else "DOES NOT HOLD")
+          + " (reduced size; the full run is the authoritative one)")
+
+
+if __name__ == "__main__":
+    main()

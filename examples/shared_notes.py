@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Two devices, one master: loosely-coupled reintegration.
+
+Two field workers replicate the same note list from a server, edit
+*disconnected* (their replicas live under their own memory pressure and
+swap like anything else), then reintegrate.  The second push races the
+first, loses, pulls, and retries — optimistic concurrency with no locks,
+exactly the loosely-coupled style OBIWAN targets for mobile settings.
+
+Run with:  python examples/shared_notes.py
+"""
+
+from repro import managed, Space
+from repro.devices import InMemoryStore
+from repro.errors import SyncConflictError
+from repro.replication import (
+    DirectServerClient,
+    ObjectServer,
+    ReplicaSync,
+    Replicator,
+)
+
+
+@managed
+class Note:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.next = None
+
+    def get_text(self) -> str:
+        return self.text
+
+    def set_text(self, text: str) -> None:
+        self.text = text
+
+    def get_next(self):
+        return self.next
+
+
+def build_notes(texts):
+    first = previous = None
+    for text in texts:
+        note = Note(text)
+        if previous is None:
+            first = note
+        else:
+            previous.next = note
+        previous = note
+    return first
+
+
+def all_texts(handle):
+    texts = []
+    cursor = handle
+    while cursor is not None:
+        texts.append(cursor.get_text())
+        cursor = cursor.get_next()
+    return texts
+
+
+def field_device(name: str, client) -> tuple:
+    space = Space(name, heap_capacity=64 * 1024)
+    space.manager.add_store(InMemoryStore(f"{name}-store"))
+    replicator = Replicator(space, client)
+    handle = replicator.replicate("notes")
+    all_texts(handle)  # materialize the whole list
+    return space, handle, ReplicaSync(replicator)
+
+
+def main() -> None:
+    server = ObjectServer("field-office")
+    master = build_notes(
+        ["site A: foundations ok", "site B: check drainage", "site C: todo"]
+    )
+    server.publish("notes", master, cluster_size=1)
+    client = DirectServerClient(server)
+    cids = server.cluster_ids("notes")
+
+    alice_space, alice_notes, alice_sync = field_device("alice-pda", client)
+    bob_space, bob_notes, bob_sync = field_device("bob-pda", client)
+    print("both devices replicated:", all_texts(alice_notes))
+
+    # -- disconnected edits to the SAME note -------------------------------
+    alice_notes.set_text("site A: foundations ok, signed off")
+    bob_notes.set_text("site A: cracks found, re-inspect!")
+    first_cid = cids[0]
+    print(f"\nalice dirty clusters: {alice_sync.dirty_clusters()}")
+    print(f"bob   dirty clusters: {bob_sync.dirty_clusters()}")
+
+    # -- alice reintegrates first ------------------------------------------
+    result = alice_sync.push(first_cid)
+    print(f"\nalice push: accepted, master now v{result.version}")
+    print(f"master says: {master.text!r}")
+
+    # -- bob's push is refused: his base version is stale --------------------
+    try:
+        bob_sync.push(first_cid)
+    except SyncConflictError as conflict:
+        print(f"bob push:   REFUSED ({conflict})")
+
+    # -- bob pulls (sees alice's text), re-applies his finding, retries ------
+    bob_sync.pull(first_cid, overwrite=True)
+    print(f"bob after pull: {bob_notes.get_text()!r}")
+    bob_notes.set_text(bob_notes.get_text() + " / cracks found, re-inspect!")
+    result = bob_sync.push(first_cid)
+    print(f"bob push:   accepted, master now v{result.version}")
+    print(f"master says: {master.text!r}")
+
+    # -- alice pulls the merged note ------------------------------------------
+    alice_sync.pull(first_cid, overwrite=True)
+    print(f"\nalice finally sees: {alice_notes.get_text()!r}")
+
+    assert alice_notes.get_text() == bob_notes.get_text() == master.text
+    alice_space.verify_integrity()
+    bob_space.verify_integrity()
+    print("\nreplicas converged; referential integrity verified — done.")
+
+
+if __name__ == "__main__":
+    main()

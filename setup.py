@@ -1,0 +1,16 @@
+"""Legacy setup shim: lets `pip install -e .` work offline on toolchains
+without wheel/PEP-517 support.  All metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Object-Swapping for Resource-Constrained Devices (ICDCS 2007) — "
+        "full reproduction of the OBIWAN object-swapping middleware"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,84 @@
+"""Object-Swapping for Resource-Constrained Devices — full reproduction.
+
+Reproduces L. Veiga & P. Ferreira, *Object-Swapping for Resource-
+Constrained Devices* (ICDCS 2007): the OBIWAN middleware's transparent
+object-swapping mechanism, built entirely in user-level Python.
+
+Quickstart::
+
+    from repro import managed, Space, SwapClusterUtils
+    from repro.devices import XmlStoreDevice
+
+    @managed
+    class Node:
+        def __init__(self, value):
+            self.value = value
+            self.next = None
+        def get_next(self):
+            return self.next
+
+    space = Space("pda", heap_capacity=256 * 1024)
+    space.manager.add_store(XmlStoreDevice("nearby-pc", capacity=1 << 20))
+
+    head = Node(0)
+    node = head
+    for i in range(1, 100):
+        node.next = Node(i)
+        node = node.next
+
+    handle = space.ingest(head, cluster_size=20, root_name="head")
+    space.swap_out(space.sid_of(handle))     # ship a cluster away as XML
+    assert handle.get_next().value == 1      # transparently reloaded
+
+Public surface: :func:`managed` (class decorator), :class:`Space`,
+:class:`SwapClusterUtils` (``assign`` iteration optimisation),
+:mod:`repro.devices` (nearby XML stores), :mod:`repro.policy`
+(declarative swap policies), :mod:`repro.replication` (incremental
+replication), :mod:`repro.bench` (the paper's Figure 5 harness).
+"""
+
+from repro.runtime.obicomp import managed
+from repro.core.space import Space
+from repro.core.utils import SwapClusterUtils
+from repro.core.manager import SwappingManager
+from repro.core.archive import SwapArchive
+from repro.core.hibernate import hibernate, restore
+from repro.core.swap_cluster import SwapCluster, SwapClusterState
+from repro.core.replacement import ReplacementObject, SwapLocation
+from repro.events import EventBus
+from repro.errors import (
+    CodecError,
+    HeapExhaustedError,
+    IntegrityError,
+    NoSwapDeviceError,
+    NotManagedError,
+    ObiError,
+    SwapError,
+    SwapStoreUnavailableError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "managed",
+    "Space",
+    "SwapClusterUtils",
+    "SwappingManager",
+    "SwapArchive",
+    "hibernate",
+    "restore",
+    "SwapCluster",
+    "SwapClusterState",
+    "ReplacementObject",
+    "SwapLocation",
+    "EventBus",
+    "ObiError",
+    "SwapError",
+    "SwapStoreUnavailableError",
+    "NoSwapDeviceError",
+    "NotManagedError",
+    "IntegrityError",
+    "CodecError",
+    "HeapExhaustedError",
+    "__version__",
+]

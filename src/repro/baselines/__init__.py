@@ -1,0 +1,28 @@
+"""Baselines from the paper's Section 5 argument and Section 6 related work.
+
+* :mod:`repro.baselines.naive_proxy` — the "naive" design the paper
+  argues against: one proxy per object, every reference mediated,
+  proxies persisting after swap (≈2× memory at full load);
+* :mod:`repro.baselines.compression` — heap compression for memory-
+  constrained Java environments (Chen et al., OOPSLA'03) and the
+  software-only compressed memory pool (Chihaia & Gross, WMPI'04):
+  victims compress into an in-heap pool, costing CPU instead of a radio;
+* :mod:`repro.baselines.offload` — GC-assisted memory offloading with
+  per-object surrogates and an object table (Messer et al., ICDCS'02 /
+  Chen et al., WMCSA'03), which requires a modified VM and a capable
+  receiver — the requirements matrix the qualitative evaluation reports.
+"""
+
+from repro.baselines.naive_proxy import NaiveRuntime, NaiveProxy
+from repro.baselines.compression import CompressedPoolStore, CompressionStats
+from repro.baselines.offload import OffloadRuntime, Surrogate, REQUIREMENTS_MATRIX
+
+__all__ = [
+    "NaiveRuntime",
+    "NaiveProxy",
+    "CompressedPoolStore",
+    "CompressionStats",
+    "OffloadRuntime",
+    "Surrogate",
+    "REQUIREMENTS_MATRIX",
+]

@@ -1,0 +1,68 @@
+"""Clocks: wall-clock timing for benchmarks, simulated time for transports.
+
+The communication substrate charges transfer delays against a
+:class:`SimulatedClock` so experiments about swap-cycle latency over a
+700 Kbps Bluetooth-class link are deterministic and do not actually sleep.
+Benchmarks that measure real CPU overhead (Figure 5) use
+:class:`WallClock` / ``time.perf_counter`` directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Minimal clock interface used throughout the library."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic within one clock)."""
+        ...
+
+    def advance(self, seconds: float) -> None:
+        """Charge ``seconds`` of elapsed time to the clock."""
+        ...
+
+
+class SimulatedClock:
+    """A logical clock advanced explicitly by the simulation."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+
+
+class WallClock:
+    """Real monotonic time; ``advance`` sleeps (rarely wanted in tests)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def advance(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class Stopwatch:
+    """Tiny helper for measuring elapsed intervals on any clock."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock: Clock = clock if clock is not None else WallClock()
+        self._start = self._clock.now()
+
+    def restart(self) -> None:
+        self._start = self._clock.now()
+
+    def elapsed(self) -> float:
+        return self._clock.now() - self._start
+
+    def elapsed_ms(self) -> float:
+        return self.elapsed() * 1000.0

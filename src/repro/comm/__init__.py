@@ -1,0 +1,40 @@
+"""Communication services.
+
+OBIWAN's communication services "abstract applications ... from the
+limitations of existing virtual machines for mobile constrained devices
+(e.g., absence of remote method invocation and proper object
+serialization)", using "a communication bridge based on web-services, and
+automatic conversion of objects into wrappers, using XML" (Section 2).
+
+This package provides the simulated substrate: links with a
+bandwidth/latency cost model (including the paper's 700 Kbps
+Bluetooth-class link), nearby-device discovery, and a minimal
+XML-envelope web-service bridge.
+"""
+
+from repro.comm.transport import (
+    LoopbackLink,
+    SimulatedLink,
+    bluetooth_link,
+    wifi_link,
+    BLUETOOTH_BPS,
+)
+from repro.comm.discovery import Neighborhood, NeighborEntry
+from repro.comm.webservice import WebServiceEndpoint, WebServiceClient
+from repro.comm.messages import build_request, build_response, parse_request, parse_response
+
+__all__ = [
+    "LoopbackLink",
+    "SimulatedLink",
+    "bluetooth_link",
+    "wifi_link",
+    "BLUETOOTH_BPS",
+    "Neighborhood",
+    "NeighborEntry",
+    "WebServiceEndpoint",
+    "WebServiceClient",
+    "build_request",
+    "build_response",
+    "parse_request",
+    "parse_response",
+]

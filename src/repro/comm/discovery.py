@@ -1,0 +1,135 @@
+"""Nearby-device discovery.
+
+Models the paper's envisioned environment: "a myriad of small
+memory-enabled devices with wireless connectivity, scattered all-over,
+available to any user either to store data or to relay communications".
+Devices join and leave radio range (explicitly, or by moving relative to
+the mobile device); the neighborhood emits context events and acts as the
+SwappingManager's dynamic store provider.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import DeviceNotFoundError
+from repro.events import DeviceJoinedEvent, DeviceLeftEvent, EventBus
+
+
+@dataclass
+class NeighborEntry:
+    """One device known to the radio."""
+
+    store: Any  # SwapStore
+    position: Optional[Tuple[float, float]] = None
+    in_range: bool = True
+
+    @property
+    def device_id(self) -> str:
+        return self.store.device_id
+
+
+class Neighborhood:
+    """The set of storage devices currently reachable over the radio."""
+
+    def __init__(
+        self, bus: Optional[EventBus] = None, radio_range: float = 10.0
+    ) -> None:
+        self.bus = bus
+        self.radio_range = radio_range
+        self._entries: Dict[str, NeighborEntry] = {}
+        self._own_position: Tuple[float, float] = (0.0, 0.0)
+
+    # -- membership -----------------------------------------------------------
+
+    def join(
+        self, store: Any, position: Optional[Tuple[float, float]] = None
+    ) -> NeighborEntry:
+        """A device enters the neighborhood (in range unless placed out)."""
+        entry = NeighborEntry(store=store, position=position)
+        if position is not None:
+            entry.in_range = self._distance(position) <= self.radio_range
+        self._entries[store.device_id] = entry
+        if entry.in_range:
+            self._emit(DeviceJoinedEvent(device_id=store.device_id))
+        return entry
+
+    def leave(self, device_id: str) -> None:
+        entry = self._entries.pop(device_id, None)
+        if entry is None:
+            raise DeviceNotFoundError(f"unknown device {device_id!r}")
+        if entry.in_range:
+            self._emit(DeviceLeftEvent(device_id=device_id))
+
+    def entry(self, device_id: str) -> NeighborEntry:
+        try:
+            return self._entries[device_id]
+        except KeyError:
+            raise DeviceNotFoundError(f"unknown device {device_id!r}") from None
+
+    # -- positions ---------------------------------------------------------------
+
+    def move_self(self, x: float, y: float) -> None:
+        """The mobile device moved; re-evaluate who is in range."""
+        self._own_position = (x, y)
+        self._reevaluate()
+
+    def move_device(self, device_id: str, x: float, y: float) -> None:
+        entry = self.entry(device_id)
+        entry.position = (x, y)
+        self._update_range(entry)
+
+    def set_in_range(self, device_id: str, in_range: bool) -> None:
+        """Explicit range toggle for non-positional scenarios."""
+        entry = self.entry(device_id)
+        if entry.in_range == in_range:
+            return
+        entry.in_range = in_range
+        if in_range:
+            self._emit(DeviceJoinedEvent(device_id=device_id))
+        else:
+            self._emit(DeviceLeftEvent(device_id=device_id))
+
+    # -- discovery ------------------------------------------------------------------
+
+    def discover(self) -> List[Any]:
+        """Stores currently in range (the SwappingManager store provider)."""
+        return [
+            entry.store for entry in self._entries.values() if entry.in_range
+        ]
+
+    def in_range_ids(self) -> List[str]:
+        return [
+            device_id
+            for device_id, entry in self._entries.items()
+            if entry.in_range
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _distance(self, position: Tuple[float, float]) -> float:
+        return math.dist(position, self._own_position)
+
+    def _reevaluate(self) -> None:
+        for entry in self._entries.values():
+            self._update_range(entry)
+
+    def _update_range(self, entry: NeighborEntry) -> None:
+        if entry.position is None:
+            return
+        now_in_range = self._distance(entry.position) <= self.radio_range
+        if now_in_range != entry.in_range:
+            entry.in_range = now_in_range
+            if now_in_range:
+                self._emit(DeviceJoinedEvent(device_id=entry.device_id))
+            else:
+                self._emit(DeviceLeftEvent(device_id=entry.device_id))
+
+    def _emit(self, event: Any) -> None:
+        if self.bus is not None:
+            self.bus.emit(event)

@@ -1,0 +1,91 @@
+"""XML request/response envelopes for the web-service bridge.
+
+Wire shape::
+
+    <envelope op="store">
+      <param name="key"><str>pda/sc-3/e1</str></param>
+      <param name="text"><str>…</str></param>
+    </envelope>
+
+    <response status="ok"><result><none/></result></response>
+    <response status="error" kind="UnknownKeyError">message</response>
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+from xml.etree import ElementTree as ET
+
+from repro.errors import CodecError
+from repro.wire.wrappers import decode_value, encode_value
+
+
+def _no_refs(_value: Any) -> None:
+    return None
+
+
+def _fail_refs(kind: str, _ident: int) -> Any:
+    raise CodecError("envelope payloads cannot carry object references")
+
+
+def build_request(op: str, params: Dict[str, Any]) -> str:
+    root = ET.Element("envelope", {"op": op})
+    for name, value in params.items():
+        param = ET.SubElement(root, "param", {"name": name})
+        param.append(encode_value(value, _no_refs))
+    return ET.tostring(root, encoding="unicode")
+
+
+def parse_request(text: str) -> Tuple[str, Dict[str, Any]]:
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise CodecError(f"malformed request envelope: {exc}") from exc
+    if root.tag != "envelope":
+        raise CodecError(f"expected <envelope>, got <{root.tag}>")
+    op = root.get("op", "")
+    if not op:
+        raise CodecError("envelope without op")
+    params: Dict[str, Any] = {}
+    for param in root:
+        if param.tag != "param" or len(param) != 1:
+            raise CodecError("malformed <param>")
+        name = param.get("name", "")
+        params[name] = decode_value(param[0], _fail_refs)
+    return op, params
+
+
+def build_response(result: Any = None, error: BaseException | None = None) -> str:
+    if error is not None:
+        root = ET.Element(
+            "response", {"status": "error", "kind": type(error).__name__}
+        )
+        root.text = str(error)
+        return ET.tostring(root, encoding="unicode")
+    root = ET.Element("response", {"status": "ok"})
+    holder = ET.SubElement(root, "result")
+    holder.append(encode_value(result, _no_refs))
+    return ET.tostring(root, encoding="unicode")
+
+
+def parse_response(text: str) -> Any:
+    """Return the result value, or raise the transported error."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise CodecError(f"malformed response envelope: {exc}") from exc
+    if root.tag != "response":
+        raise CodecError(f"expected <response>, got <{root.tag}>")
+    if root.get("status") == "error":
+        from repro import errors as errors_module
+
+        kind = root.get("kind", "ObiError")
+        message = root.text or ""
+        error_cls = getattr(errors_module, kind, errors_module.ObiError)
+        if not isinstance(error_cls, type) or not issubclass(error_cls, BaseException):
+            error_cls = errors_module.ObiError
+        raise error_cls(message)
+    holder = root.find("result")
+    if holder is None or len(holder) != 1:
+        raise CodecError("response without result")
+    return decode_value(holder[0], _fail_refs)

@@ -1,0 +1,116 @@
+"""Simulated wireless links with an explicit time-cost model.
+
+The paper's prototype ships swapped clusters over "Bluetooth connectivity
+at 700Kbps" (Section 4).  A :class:`SimulatedLink` charges transfer time
+(latency + payload/bandwidth) to a simulated clock, so swap-cycle
+experiments are deterministic and fast regardless of payload size.
+Links can be taken down to model a storage device leaving the room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.clock import Clock, SimulatedClock
+from repro.errors import TransportError
+
+#: The paper's Bluetooth link speed (bits per second).
+BLUETOOTH_BPS = 700_000
+
+#: A 802.11b-class link for the desktop-PC receiver comparison.
+WIFI_BPS = 11_000_000
+
+
+class Link(Protocol):
+    """Anything that can carry bytes and report/charge the cost."""
+
+    def transfer(self, nbytes: int) -> float:
+        """Carry ``nbytes``; charge and return the elapsed seconds."""
+        ...
+
+    @property
+    def is_up(self) -> bool: ...
+
+
+class LoopbackLink:
+    """Free, always-up link (same-process tests)."""
+
+    def __init__(self) -> None:
+        self.bytes_carried = 0
+
+    def transfer(self, nbytes: int) -> float:
+        self.bytes_carried += nbytes
+        return 0.0
+
+    @property
+    def is_up(self) -> bool:
+        return True
+
+
+@dataclass
+class LinkStats:
+    transfers: int = 0
+    bytes_carried: int = 0
+    seconds_charged: float = 0.0
+
+
+class SimulatedLink:
+    """A point-to-point wireless link with bandwidth + latency cost."""
+
+    def __init__(
+        self,
+        bandwidth_bps: float,
+        latency_s: float = 0.05,
+        clock: Optional[Clock] = None,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.clock: Clock = clock if clock is not None else SimulatedClock()
+        self.name = name
+        self._up = True
+        self.stats = LinkStats()
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Cost model only — no state change."""
+        return self.latency_s + (nbytes * 8) / self.bandwidth_bps
+
+    def transfer(self, nbytes: int) -> float:
+        if not self._up:
+            raise TransportError(f"link {self.name!r} is down")
+        elapsed = self.transfer_time(nbytes)
+        self.clock.advance(elapsed)
+        self.stats.transfers += 1
+        self.stats.bytes_carried += nbytes
+        self.stats.seconds_charged += elapsed
+        return elapsed
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def fail(self) -> None:
+        """The peer left range / the radio dropped."""
+        self._up = False
+
+    def restore(self) -> None:
+        self._up = True
+
+
+def bluetooth_link(
+    clock: Optional[Clock] = None, latency_s: float = 0.05, name: str = "bluetooth"
+) -> SimulatedLink:
+    """The paper's 700 Kbps Bluetooth-class link."""
+    return SimulatedLink(BLUETOOTH_BPS, latency_s=latency_s, clock=clock, name=name)
+
+
+def wifi_link(
+    clock: Optional[Clock] = None, latency_s: float = 0.01, name: str = "wifi"
+) -> SimulatedLink:
+    """An 11 Mbps 802.11b-class link (desktop receivers)."""
+    return SimulatedLink(WIFI_BPS, latency_s=latency_s, clock=clock, name=name)

@@ -1,0 +1,66 @@
+"""The web-service bridge.
+
+The .NET CF prototype transfers swapped objects by invoking web services
+(paper, Section 4).  :class:`WebServiceEndpoint` is the served side (a
+named operation table); :class:`WebServiceClient` invokes it across a
+simulated link, charging the request and response payloads to the link's
+cost model and transporting errors in-band.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.comm.messages import (
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
+from repro.comm.transport import Link
+from repro.errors import CodecError, ObiError
+
+Operation = Callable[..., Any]
+
+
+class WebServiceEndpoint:
+    """A named operation table serving XML envelopes."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._operations: Dict[str, Operation] = {}
+        self.requests_served = 0
+
+    def register(self, op: str, handler: Operation) -> None:
+        self._operations[op] = handler
+
+    def operations(self) -> list[str]:
+        return sorted(self._operations)
+
+    def handle(self, request_text: str) -> str:
+        """Serve one request; all failures travel back in-band."""
+        self.requests_served += 1
+        try:
+            op, params = parse_request(request_text)
+            handler = self._operations.get(op)
+            if handler is None:
+                raise CodecError(f"endpoint {self.name!r} has no operation {op!r}")
+            result = handler(**params)
+            return build_response(result)
+        except Exception as exc:  # noqa: BLE001 - errors are part of the protocol
+            return build_response(error=exc)
+
+
+class WebServiceClient:
+    """Client side of the bridge, bound to one endpoint over one link."""
+
+    def __init__(self, endpoint: WebServiceEndpoint, link: Link) -> None:
+        self._endpoint = endpoint
+        self._link = link
+
+    def call(self, op: str, **params: Any) -> Any:
+        request_text = build_request(op, params)
+        self._link.transfer(len(request_text.encode("utf-8")))
+        response_text = self._endpoint.handle(request_text)
+        self._link.transfer(len(response_text.encode("utf-8")))
+        return parse_response(response_text)

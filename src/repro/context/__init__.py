@@ -1,0 +1,17 @@
+"""Context management.
+
+OBIWAN's context-management module "abstracts resources and manages the
+corresponding properties whose values vary during applications execution.
+In particular, it is responsible for monitoring available memory and
+network connectivity" (Section 2).
+"""
+
+from repro.context.monitor import MemoryMonitor, ConnectivityMonitor
+from repro.context.properties import ContextProperty, ContextTable
+
+__all__ = [
+    "MemoryMonitor",
+    "ConnectivityMonitor",
+    "ContextProperty",
+    "ContextTable",
+]

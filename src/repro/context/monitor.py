@@ -1,0 +1,130 @@
+"""Memory and connectivity monitors.
+
+The monitors bridge raw substrate callbacks (heap watermarks, radio
+join/leave) onto the event bus and the context property table, which is
+where the policy engine sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.context.properties import ContextTable
+from repro.events import (
+    AllocationFailedEvent,
+    DeviceJoinedEvent,
+    DeviceLeftEvent,
+    EventBus,
+    MemoryHighEvent,
+    MemoryLowEvent,
+)
+
+
+class MemoryMonitor:
+    """Publishes heap watermark crossings and exhaustion as bus events.
+
+    "From time to time, the memory occupied by the object graphs of
+    applications reaches a threshold value, possibly near the limit of
+    the memory capacity of the device.  At those moments, the OBIWAN
+    middleware, evaluating the policies loaded, decides to swap-out a set
+    of objects to nearby devices" (Section 3) — this monitor produces
+    those moments.
+    """
+
+    def __init__(
+        self,
+        space: Any,
+        context: Optional[ContextTable] = None,
+    ) -> None:
+        self._space = space
+        self._bus: EventBus = space.bus
+        self._context = context
+        if context is not None and "memory.ratio" not in context:
+            context.define("memory.ratio", space.heap.ratio)
+        space.heap.on_high(self._on_high)
+        space.heap.on_low(self._on_low)
+        space.heap.on_exhausted(self._on_exhausted)
+        self.high_events = 0
+        self.low_events = 0
+        self.exhaustion_events = 0
+
+    def _refresh_property(self) -> None:
+        if self._context is not None:
+            self._context.set("memory.ratio", self._space.heap.ratio)
+
+    def _on_high(self, heap: Any, _need: int) -> None:
+        self.high_events += 1
+        self._refresh_property()
+        self._bus.emit(
+            MemoryHighEvent(
+                space=self._space.name,
+                used=heap.used,
+                capacity=heap.capacity,
+                ratio=heap.ratio,
+                need_bytes=heap.bytes_over_low_watermark(),
+            )
+        )
+
+    def _on_low(self, heap: Any, _need: int) -> None:
+        self.low_events += 1
+        self._refresh_property()
+        self._bus.emit(
+            MemoryLowEvent(
+                space=self._space.name,
+                used=heap.used,
+                capacity=heap.capacity,
+                ratio=heap.ratio,
+            )
+        )
+
+    def _on_exhausted(self, heap: Any, need: int) -> None:
+        self.exhaustion_events += 1
+        self._refresh_property()
+        self._bus.emit(
+            AllocationFailedEvent(
+                space=self._space.name,
+                need_bytes=need,
+                used=heap.used,
+                capacity=heap.capacity,
+            )
+        )
+
+    def check(self) -> float:
+        """Refresh the context property; returns the current ratio."""
+        self._refresh_property()
+        return self._space.heap.ratio
+
+
+class ConnectivityMonitor:
+    """Tracks devices in range via the neighborhood's bus events."""
+
+    def __init__(
+        self,
+        neighborhood: Any,
+        bus: EventBus,
+        context: Optional[ContextTable] = None,
+    ) -> None:
+        self._neighborhood = neighborhood
+        self._context = context
+        if context is not None and "devices.in_range" not in context:
+            context.define("devices.in_range", len(neighborhood.discover()))
+        self.joins = 0
+        self.leaves = 0
+        bus.subscribe(DeviceJoinedEvent, self._on_joined)
+        bus.subscribe(DeviceLeftEvent, self._on_left)
+
+    @property
+    def connected_count(self) -> int:
+        return len(self._neighborhood.discover())
+
+    def _refresh(self) -> None:
+        if self._context is not None:
+            self._context.set("devices.in_range", self.connected_count)
+
+    def _on_joined(self, _event: Any) -> None:
+        self.joins += 1
+        self._refresh()
+
+    def _on_left(self, _event: Any) -> None:
+        self.leaves += 1
+        self._refresh()

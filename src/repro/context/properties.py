@@ -1,0 +1,75 @@
+"""Observable context properties.
+
+A :class:`ContextProperty` is a named value whose changes notify
+observers; a :class:`ContextTable` groups the properties one device
+exposes (memory ratio, devices in range, link state, ...).  The policy
+engine's condition namespaces and applications both read them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, List, TypeVar
+
+T = TypeVar("T")
+
+Observer = Callable[[str, Any, Any], None]  # (name, old, new)
+
+
+class ContextProperty(Generic[T]):
+    """One observable named value."""
+
+    def __init__(self, name: str, initial: T) -> None:
+        self.name = name
+        self._value = initial
+        self._observers: List[Observer] = []
+
+    @property
+    def value(self) -> T:
+        return self._value
+
+    def set(self, new_value: T) -> None:
+        old_value = self._value
+        if old_value == new_value:
+            return
+        self._value = new_value
+        for observer in list(self._observers):
+            observer(self.name, old_value, new_value)
+
+    def observe(self, observer: Observer) -> Callable[[], None]:
+        self._observers.append(observer)
+        return lambda: self._observers.remove(observer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ContextProperty {self.name}={self._value!r}>"
+
+
+class ContextTable:
+    """The property namespace of one device."""
+
+    def __init__(self) -> None:
+        self._properties: Dict[str, ContextProperty[Any]] = {}
+
+    def define(self, name: str, initial: Any) -> ContextProperty[Any]:
+        if name in self._properties:
+            raise KeyError(f"context property {name!r} already defined")
+        prop = ContextProperty(name, initial)
+        self._properties[name] = prop
+        return prop
+
+    def get(self, name: str) -> Any:
+        return self._properties[name].value
+
+    def set(self, name: str, value: Any) -> None:
+        self._properties[name].set(value)
+
+    def property(self, name: str) -> ContextProperty[Any]:
+        return self._properties[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._properties)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {name: prop.value for name, prop in self._properties.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._properties

@@ -1,0 +1,48 @@
+"""The paper's contribution: transparent Object-Swapping.
+
+Central concepts (paper, Sections 1 and 3):
+
+* **swap-cluster** — a macro-object grouping one or more replication
+  clusters; the unit of swapping (:mod:`repro.core.swap_cluster`);
+* **swap-cluster-proxy** — the permanent proxy mediating every reference
+  between objects in different swap-clusters
+  (:mod:`repro.core.swap_proxy`);
+* **replacement-object** — the array of outbound proxies left standing in
+  for a detached cluster (:mod:`repro.core.replacement`);
+* **SwappingManager** — listens to replication events, tracks
+  clusters/objects/proxies, performs swap-out/swap-in, and cooperates
+  with the local collector (:mod:`repro.core.manager`);
+* **Space** — the device-side managed object space gluing heap, roots
+  (swap-cluster-0), clustering, manager and events together
+  (:mod:`repro.core.space`).
+"""
+
+from repro.core.interfaces import SwapStore, ISwapClusterProxy
+from repro.core.replacement import ReplacementObject, SwapLocation
+from repro.core.swap_cluster import SwapCluster, SwapClusterState
+from repro.core.swap_proxy import SwapClusterProxyBase
+from repro.core.space import Space
+from repro.core.manager import SwappingManager
+from repro.core.utils import SwapClusterUtils
+from repro.core.restructure import merge_swap_clusters, split_swap_cluster
+from repro.core.archive import SwapArchive, ArchivedEpoch
+from repro.core.hibernate import hibernate, restore
+
+__all__ = [
+    "SwapStore",
+    "ISwapClusterProxy",
+    "ReplacementObject",
+    "SwapLocation",
+    "SwapCluster",
+    "SwapClusterState",
+    "SwapClusterProxyBase",
+    "Space",
+    "SwappingManager",
+    "SwapClusterUtils",
+    "merge_swap_clusters",
+    "split_swap_cluster",
+    "SwapArchive",
+    "ArchivedEpoch",
+    "hibernate",
+    "restore",
+]

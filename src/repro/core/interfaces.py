@@ -1,0 +1,70 @@
+"""Core protocols: the swap store contract and ``ISwapClusterProxy``.
+
+The swap store protocol is deliberately minimal — the paper's receiving
+devices "need only be able to store and return a textual representation of
+the serialized objects" and are "instructed just to store, return, or drop
+XML-data".  Anything satisfying :class:`SwapStore` can host swapped
+clusters: the simulated nearby devices in :mod:`repro.devices`, a plain
+dict, or a directory of files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SwapStore(Protocol):
+    """The complete contract a swapping device must satisfy."""
+
+    @property
+    def device_id(self) -> str:
+        """Stable identifier used in swap location records."""
+        ...
+
+    def store(self, key: str, xml_text: str) -> None:
+        """Store ``xml_text`` under ``key``.
+
+        Raises :class:`repro.errors.StoreFullError` when out of capacity
+        and :class:`repro.errors.TransportError` when unreachable.
+        """
+        ...
+
+    def fetch(self, key: str) -> str:
+        """Return the text stored under ``key``.
+
+        Raises :class:`repro.errors.UnknownKeyError` /
+        :class:`repro.errors.TransportError`.
+        """
+        ...
+
+    def drop(self, key: str) -> None:
+        """Discard the text stored under ``key`` (idempotent)."""
+        ...
+
+    def has_room(self, nbytes: int) -> bool:
+        """Best-effort admission check used by device selection."""
+        ...
+
+
+@runtime_checkable
+class ISwapClusterProxy(Protocol):
+    """The interface every generated swap-cluster-proxy class implements.
+
+    Mirrors the paper's ``ISwapClusterProxy`` (``patch``, ``detach``)
+    plus the identity helper.  Concrete behaviour lives in
+    :class:`repro.core.swap_proxy.SwapClusterProxyBase`; generated
+    subclasses add the application class's public methods.
+    """
+
+    def _obi_patch(self, new_target: Any) -> None:
+        """Point this proxy at ``new_target`` (replica or replacement)."""
+        ...
+
+    def _obi_detach(self, replacement: Any) -> None:
+        """Detach from the live object, pointing at its replacement."""
+        ...
+
+    def _obi_same_object(self, other: Any) -> bool:
+        """True when ``other`` denotes the same logical object."""
+        ...

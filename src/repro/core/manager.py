@@ -1,0 +1,497 @@
+"""The ``SwappingManager``: swap-out, swap-in, GC cooperation.
+
+Paper, Section 4: "The SwappingManager class, by policy definition, is
+registered as a listener of all events regarding replication of clusters
+of objects ... It manages swapping by maintaining information regarding
+all swap-clusters (loaded or swapped), and all objects belonging to each
+one, stored in hash-tables.  It also contains entries for all
+swap-cluster-proxies w.r.t. references to/from each swap-cluster (using
+weak-references)."
+
+Membership/object tables live on the :class:`~repro.core.space.Space`
+(they are also used by translation); this class owns the *swapping
+protocol*:
+
+* **swap-out** (Section 3): serialize the cluster to XML, ship it to a
+  nearby store, build the replacement-object from the cluster's outbound
+  proxies, patch every inbound proxy to the replacement, release the
+  members' heap bytes;
+* **swap-in**: fetch + verify the XML, rebuild replicas under their old
+  oids, patch inbound proxies back to the replicas, reclaim the
+  replacement;
+* **ensure_room**: the victim loop driven by memory pressure;
+* **drop_swapped**: the GC-cooperation half — when the local collector
+  finds a replacement-object unreachable, the store is instructed to
+  drop the XML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.core.interfaces import SwapStore
+from repro.core.replacement import ReplacementObject, SwapLocation
+from repro.core.swap_cluster import SwapCluster, SwapClusterState
+from repro.errors import (
+    ClusterNotSwappedError,
+    CodecError,
+    HeapExhaustedError,
+    NoSwapDeviceError,
+    ObiError,
+    StoreFullError,
+    SwapError,
+    SwapStoreUnavailableError,
+    TransportError,
+    UnknownKeyError,
+)
+from repro.events import (
+    ClusterReplicatedEvent,
+    SwapDroppedEvent,
+    SwapInEvent,
+    SwapOutEvent,
+)
+from repro.ids import Sid, format_swap_key
+from repro.wire.canonical import payload_digest
+from repro.wire.xmlcodec import decode_cluster, encode_cluster
+
+#: Picks a swap victim; returns a sid or None when nothing is swappable.
+VictimSelector = Callable[["Any"], Optional[Sid]]
+
+
+def lru_victim(space: Any) -> Optional[Sid]:
+    """Default victim policy: least-recently-crossed swappable cluster."""
+    best_sid: Optional[Sid] = None
+    best_tick = None
+    for sid, cluster in space._clusters.items():
+        if not cluster.swappable() or not cluster.oids:
+            continue
+        if best_tick is None or cluster.last_crossing_tick < best_tick:
+            best_tick = cluster.last_crossing_tick
+            best_sid = sid
+    return best_sid
+
+
+@dataclass
+class ManagerStats:
+    swap_outs: int = 0
+    swap_ins: int = 0
+    drops: int = 0
+    bytes_shipped: int = 0
+    bytes_restored: int = 0
+    replicated_clusters: int = 0
+    mirror_writes: int = 0
+    mirror_failovers: int = 0
+
+
+class SwappingManager:
+    """Per-space swapping engine."""
+
+    def __init__(self, space: Any) -> None:
+        self._space = space
+        self._stores: List[SwapStore] = []
+        self._store_provider: Optional[Callable[[], Iterable[SwapStore]]] = None
+        #: Stores holding each swapped cluster's XML (primary first,
+        #: then mirrors when ``replication_factor`` > 1).
+        self._bindings: Dict[Sid, List[SwapStore]] = {}
+        self._loading: set[Sid] = set()
+        #: Keep the stored XML after a successful swap-in (versioning /
+        #: reconciliation use, paper Section 3 "set-aside").
+        self.keep_swapped_copies = False
+        #: How many nearby devices should hold each swapped cluster.
+        #: The paper envisions "a myriad of small memory-enabled devices
+        #: ... scattered all-over"; mirrors make a departing device a
+        #: non-event.  Best-effort: fewer devices in range means fewer
+        #: copies, never a failed swap.
+        self.replication_factor = 1
+        #: Victim policy used by :meth:`ensure_room`.
+        self.victim_selector: VictimSelector = lru_victim
+        #: When True, heap exhaustion automatically runs the victim loop.
+        self.auto_swap = True
+        #: When True, reloaded documents are structurally validated
+        #: (repro.wire.schema) after the digest check, for precise
+        #: diagnostics on archives or hand-provisioned stores.
+        self.validate_documents = False
+        self.stats = ManagerStats()
+        space.bus.subscribe(ClusterReplicatedEvent, self._on_cluster_replicated)
+
+    # -- store management -------------------------------------------------------
+
+    def add_store(self, store: SwapStore) -> None:
+        if store not in self._stores:
+            self._stores.append(store)
+
+    def remove_store(self, store: SwapStore) -> None:
+        if store in self._stores:
+            self._stores.remove(store)
+
+    def set_store_provider(
+        self, provider: Optional[Callable[[], Iterable[SwapStore]]]
+    ) -> None:
+        """Install a dynamic source of nearby stores (e.g. discovery)."""
+        self._store_provider = provider
+
+    def available_stores(self) -> List[SwapStore]:
+        stores = list(self._stores)
+        if self._store_provider is not None:
+            for store in self._store_provider():
+                if store not in stores:
+                    stores.append(store)
+        return stores
+
+    def select_store(self, nbytes: int) -> SwapStore:
+        """First nearby store that admits ``nbytes`` of XML."""
+        return self.select_stores(nbytes, 1)[0]
+
+    def select_stores(self, nbytes: int, count: int) -> List[SwapStore]:
+        """Up to ``count`` distinct stores that admit ``nbytes`` each.
+
+        At least one is required; extras are best-effort mirrors.
+        """
+        stores = self.available_stores()
+        chosen: List[SwapStore] = []
+        for store in stores:
+            try:
+                if store.has_room(nbytes):
+                    chosen.append(store)
+            except TransportError:
+                continue
+            if len(chosen) >= count:
+                break
+        if chosen:
+            return chosen
+        if not stores:
+            raise NoSwapDeviceError("no nearby device available to receive swap")
+        raise NoSwapDeviceError(
+            f"no nearby device has room for {nbytes} bytes "
+            f"({len(stores)} device(s) in range)"
+        )
+
+    # -- swap-out -----------------------------------------------------------------
+
+    def swap_out(self, sid: Sid, store: SwapStore | None = None) -> SwapLocation:
+        """Detach swap-cluster ``sid`` and ship it to a nearby store."""
+        space = self._space
+        cluster: SwapCluster = space._cluster(sid)
+        cluster.ensure_swappable()
+        if sid in self._loading:
+            raise SwapError(f"swap-cluster {sid} is being loaded; cannot swap out")
+
+        members = {oid: space._objects[oid] for oid in cluster.oids}
+
+        # Collect the cluster's outbound swap-cluster-proxies in the order
+        # serialization encounters them; they become the replacement array.
+        outbound: List[Any] = []
+        index_by_proxy: Dict[int, int] = {}
+
+        def outbound_index_of(proxy: Any) -> int:
+            marker = id(proxy)
+            index = index_by_proxy.get(marker)
+            if index is None:
+                index = len(outbound)
+                index_by_proxy[marker] = index
+                outbound.append(proxy)
+            return index
+
+        xml_text = encode_cluster(
+            sid=sid,
+            space=space.name,
+            epoch=cluster.epoch + 1,
+            objects=members,
+            oid_of=lambda obj: obj._obi_oid,
+            outbound_index_of=outbound_index_of,
+        )
+        xml_bytes = len(xml_text.encode("utf-8"))
+
+        if store is None:
+            holders = self.select_stores(xml_bytes, max(1, self.replication_factor))
+        else:
+            holders = [store]
+            if self.replication_factor > 1:
+                for candidate in self.available_stores():
+                    if len(holders) >= self.replication_factor:
+                        break
+                    if candidate in holders:
+                        continue
+                    try:
+                        if candidate.has_room(xml_bytes):
+                            holders.append(candidate)
+                    except TransportError:
+                        continue
+        key = format_swap_key(space.name, sid, cluster.epoch + 1)
+        stored_on: List[SwapStore] = []
+        first_failure: Optional[BaseException] = None
+        for holder in holders:
+            try:
+                holder.store(key, xml_text)
+                stored_on.append(holder)
+            except StoreFullError:
+                # a caller-chosen store that refuses is the caller's
+                # problem; auto-selected mirrors are best-effort
+                if store is not None and holder is store:
+                    raise
+            except TransportError as exc:
+                if first_failure is None:
+                    first_failure = exc
+        if not stored_on:
+            raise SwapStoreUnavailableError(
+                "no selected device accepted the swapped cluster"
+            ) from first_failure
+        store = stored_on[0]
+        self.stats.mirror_writes += max(0, len(stored_on) - 1)
+
+        location = SwapLocation(
+            device_id=store.device_id,
+            key=key,
+            digest=payload_digest(xml_text),
+            xml_bytes=xml_bytes,
+            epoch=cluster.epoch + 1,
+        )
+
+        # Detach: patch every inbound proxy to the replacement-object.
+        replacement_oid = space._ids.oids.next()
+        replacement = ReplacementObject(
+            sid=sid, oid=replacement_oid, outbound=outbound, location=location
+        )
+        patch_set = space._proxies_by_target_sid.get(sid)
+        if patch_set is not None:
+            for proxy in list(patch_set.values()):
+                proxy._obi_detach(replacement)
+
+        # Release the members; they become eligible for local collection.
+        bytes_freed = 0
+        for oid in cluster.oids:
+            bytes_freed += space.heap.free_oid(oid)
+            del space._objects[oid]
+        space.heap.allocate(
+            replacement_oid, space.size_model.replacement_size(len(outbound))
+        )
+
+        cluster.state = SwapClusterState.SWAPPED
+        cluster.epoch += 1
+        cluster.location = location
+        cluster.replacement = replacement
+        cluster.swap_out_count += 1
+        self._bindings[sid] = stored_on
+        self.stats.swap_outs += 1
+        self.stats.bytes_shipped += xml_bytes
+
+        space.bus.emit(
+            SwapOutEvent(
+                space=space.name,
+                sid=sid,
+                device_id=store.device_id,
+                key=key,
+                object_count=len(members),
+                bytes_freed=bytes_freed,
+                xml_bytes=xml_bytes,
+            )
+        )
+        return location
+
+    # -- swap-in ---------------------------------------------------------------------
+
+    def swap_in(self, sid: Sid) -> int:
+        """Reload swap-cluster ``sid`` as a whole; returns bytes restored."""
+        space = self._space
+        cluster: SwapCluster = space._cluster(sid)
+        if cluster.state is not SwapClusterState.SWAPPED:
+            raise ClusterNotSwappedError(f"swap-cluster {sid} is resident")
+        if sid in self._loading:
+            raise SwapError(
+                f"recursive swap-in of swap-cluster {sid} (reentrant access "
+                f"during its own reload)"
+            )
+        location = cluster.location
+        replacement = cluster.replacement
+        assert location is not None and replacement is not None
+
+        holders = self._bindings.get(sid, [])
+        if not holders:
+            raise SwapStoreUnavailableError(
+                f"no binding for device {location.device_id}"
+            )
+
+        self._loading.add(sid)
+        cluster.pins += 1
+        try:
+            xml_text: Optional[str] = None
+            fetch_errors: List[str] = []
+            corrupt: Optional[CodecError] = None
+            for attempt_index, holder in enumerate(holders):
+                try:
+                    candidate = holder.fetch(location.key)
+                except (TransportError, UnknownKeyError) as exc:
+                    fetch_errors.append(f"{holder.device_id}: {exc}")
+                    continue
+                if payload_digest(candidate) != location.digest:
+                    corrupt = CodecError(
+                        f"device {holder.device_id} returned corrupted XML "
+                        f"for {location.key} (digest mismatch)"
+                    )
+                    fetch_errors.append(f"{holder.device_id}: digest mismatch")
+                    continue
+                xml_text = candidate
+                if attempt_index > 0:
+                    self.stats.mirror_failovers += 1
+                break
+            if xml_text is None:
+                if corrupt is not None and all(
+                    "digest" in message for message in fetch_errors
+                ):
+                    # every copy was retrieved but corrupted: a codec
+                    # problem, not an availability one
+                    raise corrupt
+                raise SwapStoreUnavailableError(
+                    f"cannot fetch {location.key} from any of "
+                    f"{len(holders)} device(s): {'; '.join(fetch_errors)}"
+                )
+            if self.validate_documents:
+                from repro.wire.schema import ensure_valid_cluster
+
+                ensure_valid_cluster(xml_text)
+            resolve_extern = None
+            if space.extern_resolver is not None:
+                resolve_extern = lambda attrs: space.extern_resolver(attrs, sid)  # noqa: E731
+            document = decode_cluster(
+                xml_text,
+                registry=space._registry,
+                resolve_out=replacement.outbound_at,
+                resolve_extern=resolve_extern,
+            )
+            if set(document.objects) != cluster.oids:
+                raise CodecError(
+                    f"swap-cluster {sid}: stored membership does not match "
+                    f"the manager's tables"
+                )
+
+            # Make room before adopting (the replacement's bytes come back
+            # once the reload succeeds).
+            sizes = {
+                oid: space.size_model.size_of(obj)
+                for oid, obj in document.objects.items()
+            }
+            total = sum(sizes.values())
+            if not space.heap.would_fit(total):
+                self.ensure_room(total)
+            if not space.heap.would_fit(total):
+                raise HeapExhaustedError(
+                    f"cannot reload swap-cluster {sid}: needs {total} bytes, "
+                    f"{space.heap.free} free"
+                )
+
+            for oid in sorted(document.objects):
+                replica = document.objects[oid]
+                space._install_replica(replica, oid, sid)
+                space.heap.allocate(oid, sizes[oid])
+
+            # Patch all inbound proxies back to the replicas.
+            patch_set = space._proxies_by_target_sid.get(sid)
+            if patch_set is not None:
+                for proxy in list(patch_set.values()):
+                    proxy._obi_patch(document.objects[proxy._obi_target_oid])
+
+            space.heap.free_oid(replacement.oid)
+            cluster.state = SwapClusterState.RESIDENT
+            cluster.replacement = None
+            cluster.location = None
+            cluster.swap_in_count += 1
+            self.stats.swap_ins += 1
+            self.stats.bytes_restored += total
+
+            if not self.keep_swapped_copies:
+                for holder in holders:
+                    try:
+                        holder.drop(location.key)
+                    except (TransportError, UnknownKeyError):
+                        pass  # stale copies are harmless; epochs prevent reuse
+            space.bus.emit(
+                SwapInEvent(
+                    space=space.name,
+                    sid=sid,
+                    device_id=location.device_id,
+                    key=location.key,
+                    object_count=len(document.objects),
+                    bytes_restored=total,
+                )
+            )
+            return total
+        finally:
+            cluster.pins -= 1
+            self._loading.discard(sid)
+
+    # -- memory pressure ----------------------------------------------------------------
+
+    def ensure_room(self, need_bytes: int) -> int:
+        """Swap out victims until ``need_bytes`` fit (or nothing is left).
+
+        Returns the number of bytes actually freed.  Swallows
+        device-availability errors: memory pressure with no nearby device
+        simply cannot be relieved, and the caller's allocation will fail
+        with :class:`HeapExhaustedError`.
+        """
+        space = self._space
+        freed = 0
+        while not space.heap.would_fit(need_bytes):
+            victim = self.victim_selector(space)
+            if victim is None:
+                break
+            before = space.heap.used
+            try:
+                self.swap_out(victim)
+            except (NoSwapDeviceError, SwapStoreUnavailableError):
+                break
+            freed += before - space.heap.used
+        return freed
+
+    def on_heap_exhausted(self, heap: Any, need_bytes: int) -> None:
+        """Callback wired to ``heap.on_exhausted`` by the space."""
+        if self.auto_swap:
+            self.ensure_room(need_bytes)
+
+    # -- GC cooperation -------------------------------------------------------------------
+
+    def drop_swapped(self, cluster: SwapCluster) -> None:
+        """A swapped cluster became unreachable: tell the store to drop it.
+
+        Paper, Section 3: "when a replacement-object, standing in for a
+        swap-cluster that has been swapped-out, becomes unreachable ...
+        the swapping device may be instructed to discard the XML text".
+        """
+        space = self._space
+        location = cluster.location
+        holders = self._bindings.pop(cluster.sid, [])
+        if location is not None:
+            for holder in holders:
+                try:
+                    holder.drop(location.key)
+                except (TransportError, UnknownKeyError):
+                    pass  # unreachable device: the copy is orphaned, by design
+        if cluster.replacement is not None:
+            space.heap.free_oid(cluster.replacement.oid)
+            cluster.replacement = None
+        self.stats.drops += 1
+        if location is not None:
+            space.bus.emit(
+                SwapDroppedEvent(
+                    space=space.name,
+                    sid=cluster.sid,
+                    device_id=location.device_id,
+                    key=location.key,
+                )
+            )
+
+    # -- events ------------------------------------------------------------------------------
+
+    def _on_cluster_replicated(self, event: Any) -> None:
+        if event.space == self._space.name:
+            self.stats.replicated_clusters += 1
+
+    def binding_for(self, sid: Sid) -> Optional[SwapStore]:
+        """The primary store holding a swapped cluster (None if resident)."""
+        holders = self._bindings.get(sid)
+        return holders[0] if holders else None
+
+    def bindings_for(self, sid: Sid) -> List[SwapStore]:
+        """All stores holding copies of a swapped cluster."""
+        return list(self._bindings.get(sid, []))

@@ -1,0 +1,84 @@
+"""Replacement-objects: what stands in for a swapped-out cluster.
+
+Paper, Section 3: "A replacement-object for a swap-cluster (i.e.,
+ReplacementObject-2, which is simply an array of references) is created
+and filled with references to every swap-cluster-proxy referenced by
+swap-cluster-2.  Then, every swap-cluster referencing objects contained in
+swap-cluster-2 will be made to reference ReplacementObject-2 instead."
+
+Two roles follow from that design:
+
+* it keeps the detached cluster's **outbound** swap-cluster-proxies alive
+  (the serialized XML refers to them by array index, so they must survive
+  until reload);
+* it is the reachability anchor for the swapped cluster: while any
+  inbound proxy (and hence the replacement) is reachable, the stored XML
+  must be preserved; once the replacement dies, the store may be told to
+  drop the XML (Section 3, "Integration with GC Mechanisms").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+
+@dataclass(frozen=True)
+class SwapLocation:
+    """Where one swap epoch of a cluster lives, and how to verify it."""
+
+    device_id: str
+    key: str
+    digest: str
+    xml_bytes: int
+    epoch: int
+
+    def describe(self) -> str:
+        return (
+            f"device={self.device_id} key={self.key} "
+            f"({self.xml_bytes} bytes, epoch {self.epoch})"
+        )
+
+
+class ReplacementObject:
+    """An array of the detached cluster's outbound swap-cluster-proxies.
+
+    Inbound proxies of a swapped cluster are patched to point here; the
+    swap-in path resolves outbound wire references (``<outref index=…/>``)
+    through :meth:`outbound_at`.
+    """
+
+    __slots__ = ("sid", "oid", "_outbound", "location")
+
+    #: Marker used for cheap structural type tests across the library
+    #: (mirrors ``_obi_managed`` / ``_obi_is_proxy``).
+    _obi_is_replacement = True
+
+    def __init__(
+        self,
+        sid: int,
+        oid: int,
+        outbound: Sequence[Any],
+        location: SwapLocation,
+    ) -> None:
+        self.sid = sid
+        #: The replacement's own oid (it occupies a little heap itself).
+        self.oid = oid
+        self._outbound: List[Any] = list(outbound)
+        self.location = location
+
+    def outbound_at(self, index: int) -> Any:
+        return self._outbound[index]
+
+    @property
+    def outbound(self) -> List[Any]:
+        return list(self._outbound)
+
+    def outbound_count(self) -> int:
+        return len(self._outbound)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReplacementObject sid={self.sid} outbound={len(self._outbound)} "
+            f"at {self.location.describe()}>"
+        )

@@ -1,0 +1,819 @@
+"""The device-side managed object space.
+
+A :class:`Space` is one OBIWAN process on a mobile device: it owns the
+byte-accounted heap, the object/cluster tables, swap-cluster-0 (the
+process globals — "global variables, i.e. static fields, and variables
+defined in static methods, are regarded as belonging to a special
+swap-cluster, swap-cluster-0", Section 3), the swap-cluster-proxy tables,
+and the :class:`~repro.core.manager.SwappingManager`.
+
+Reference translation — the machinery behind the paper's three generated
+code rules — is implemented here so proxies stay small:
+
+* rule (i): a raw reference crossing a boundary is wrapped in a
+  swap-cluster-proxy for the receiving cluster;
+* rule (ii): a proxy handed across a boundary is reused/re-wrapped for
+  the receiving cluster (one proxy per (source, target) pair suffices);
+* rule (iii): a proxy referring back into the receiving cluster is
+  dismantled to the raw replica.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.clock import Clock, SimulatedClock
+from repro.core.clustering import group_clusters, resolve_strategy
+from repro.core.manager import SwappingManager
+from repro.core.swap_cluster import SwapCluster
+from repro.errors import (
+    AlreadyManagedError,
+    ClusterNotResidentError,
+    IntegrityError,
+    NotManagedError,
+)
+from repro.events import (
+    ClusterCollectedEvent,
+    ClusterReplicatedEvent,
+    EventBus,
+    GcCompletedEvent,
+)
+from repro.ids import IdSpace, Oid, ROOT_SID, Sid
+from repro.memory.heap import Heap
+from repro.memory.sizemodel import DEFAULT_SIZE_MODEL, SizeModel
+from repro.runtime.classext import instance_fields
+from repro.runtime.registry import TypeRegistry, global_registry
+
+_object_setattr = object.__setattr__
+
+#: Types that can never be (or contain) managed references.
+_ATOMIC = frozenset(
+    {int, float, str, bool, bytes, bytearray, type(None), complex}
+)
+
+_DEFAULT_HEAP_CAPACITY = 16 * 1024 * 1024  # a mid-2000s PDA-class heap
+
+
+class _CollectedTombstone:
+    """Target installed on proxies whose cluster was garbage-collected."""
+
+    __slots__ = ("sid",)
+
+    def __init__(self, sid: Sid) -> None:
+        self.sid = sid
+
+    def __getattr__(self, name: str) -> Any:
+        raise IntegrityError(
+            f"swap-cluster {self.sid} was collected as garbage; a stale "
+            f"proxy to it was invoked"
+        )
+
+
+class Space:
+    """A managed object space with transparent object-swapping."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        heap_capacity: int = _DEFAULT_HEAP_CAPACITY,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.60,
+        registry: TypeRegistry | None = None,
+        bus: EventBus | None = None,
+        clock: Clock | None = None,
+        size_model: SizeModel | None = None,
+    ) -> None:
+        self.name = name
+        self._registry = registry if registry is not None else global_registry()
+        self.bus = bus if bus is not None else EventBus()
+        self.clock: Clock = clock if clock is not None else SimulatedClock()
+        self.size_model = size_model if size_model is not None else DEFAULT_SIZE_MODEL
+        self.heap = Heap(
+            heap_capacity,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+        )
+        self._ids = IdSpace()
+        self._objects: Dict[Oid, Any] = {}
+        self._sid_by_oid: Dict[Oid, Sid] = {}
+        self._clusters: Dict[Sid, SwapCluster] = {ROOT_SID: SwapCluster(ROOT_SID)}
+        #: Reuse cache: one proxy per (source_sid, target_oid) pair.
+        self._proxy_cache: "weakref.WeakValueDictionary[Tuple[Sid, Oid], Any]" = (
+            weakref.WeakValueDictionary()
+        )
+        #: All live proxies per *target* swap-cluster — the patch set for
+        #: swap-out/swap-in.  Keyed by ``id(proxy)`` because proxies
+        #: overload ``__eq__``/``__hash__`` for object identity, which
+        #: would make a set silently coalesce distinct proxies denoting
+        #: the same target.  Weak values play the role of the paper's
+        #: proxy finalizers: dead proxies drop out automatically.
+        self._proxies_by_target_sid: Dict[
+            Sid, "weakref.WeakValueDictionary[int, Any]"
+        ] = {}
+        self._roots: Dict[str, Any] = {}
+        #: class-name -> generated proxy class (bypasses the registry
+        #: lock on the invocation fast path)
+        self._proxy_class_cache: Dict[str, type] = {}
+        self._tick = 0
+        #: Installed by a Replicator: resolves <extref> wire references
+        #: (unreplicated frontier) when a swapped cluster reloads.
+        #: Signature: (attrs: dict[str, str], sid: int) -> handle.
+        self.extern_resolver: Optional[Any] = None
+        self._manager = SwappingManager(self)
+        self.heap.on_exhausted(self._manager.on_heap_exhausted)
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def manager(self) -> SwappingManager:
+        return self._manager
+
+    @property
+    def registry(self) -> TypeRegistry:
+        return self._registry
+
+    def _cluster(self, sid: Sid) -> SwapCluster:
+        try:
+            return self._clusters[sid]
+        except KeyError:
+            raise NotManagedError(f"no swap-cluster {sid} in space {self.name!r}") from None
+
+    def clusters(self) -> Dict[Sid, SwapCluster]:
+        return dict(self._clusters)
+
+    def new_swap_cluster(self) -> SwapCluster:
+        sid = self._ids.sids.next()
+        cluster = SwapCluster(sid, created_tick=self._tick)
+        self._clusters[sid] = cluster
+        return cluster
+
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def _record_crossing(self, target_sid: Sid, source_sid: Sid) -> None:
+        self._tick += 1
+        cluster = self._clusters.get(target_sid)
+        if cluster is not None:
+            cluster.crossings += 1
+            cluster.last_crossing_tick = self._tick
+
+    # ------------------------------------------------------------------ adoption
+
+    def adopt(self, obj: Any, sid: Sid = ROOT_SID) -> Oid:
+        """Register a managed instance as a member of swap-cluster ``sid``."""
+        cls = type(obj)
+        schema = getattr(cls, "_obi_schema", None)
+        if schema is None or not getattr(cls, "_obi_managed", False):
+            raise NotManagedError(
+                f"{cls.__name__} is not @managed; decorate it with "
+                f"repro.runtime.managed"
+            )
+        owner = getattr(obj, "_obi_space", None)
+        if owner is not None:
+            if owner is self and getattr(obj, "_obi_oid", None) in self._objects:
+                raise AlreadyManagedError(
+                    f"object oid={obj._obi_oid} already adopted into {self.name!r}"
+                )
+            if owner is not self:
+                raise AlreadyManagedError(
+                    f"object already belongs to space {owner.name!r}"
+                )
+        cluster = self._cluster(sid)
+        if not cluster.is_resident:
+            raise ClusterNotResidentError(
+                f"cannot adopt into swapped-out swap-cluster {sid}"
+            )
+        oid = self._ids.oids.next()
+        # allocate FIRST: a failed allocation must leave no trace of the
+        # object in any table
+        self.heap.allocate(oid, self.size_model.size_of(obj))
+        _object_setattr(obj, "_obi_oid", oid)
+        _object_setattr(obj, "_obi_sid", sid)
+        _object_setattr(obj, "_obi_space", self)
+        cluster.add_member(oid, schema.name)
+        self._sid_by_oid[oid] = sid
+        self._objects[oid] = obj
+        return oid
+
+    def _install_replica(self, obj: Any, oid: Oid, sid: Sid) -> None:
+        """Re-register a swapped-in replica under its original oid."""
+        _object_setattr(obj, "_obi_oid", oid)
+        _object_setattr(obj, "_obi_sid", sid)
+        _object_setattr(obj, "_obi_space", self)
+        self._objects[oid] = obj
+        self._sid_by_oid[oid] = sid
+        self._ids.oids.reserve_above(oid)
+
+    def _evict_object(self, oid: Oid) -> int:
+        """Remove a collected object entirely (LGC sweep path)."""
+        obj = self._objects.pop(oid, None)
+        sid = self._sid_by_oid.pop(oid, None)
+        if sid is not None:
+            self._clusters[sid].remove_member(oid)
+        if obj is not None:
+            _object_setattr(obj, "_obi_space", None)
+        return self.heap.free_oid(oid) if self.heap.holds(oid) else 0
+
+    # ------------------------------------------------------------------ ingest
+
+    def ingest(
+        self,
+        root: Any,
+        *,
+        cluster_size: int,
+        clusters_per_swap: int = 1,
+        strategy: str = "bfs",
+        root_name: str | None = None,
+    ) -> Any:
+        """Partition a raw managed object graph into swap-clusters.
+
+        Walks the graph from ``root``, chunks it into object clusters of
+        ``cluster_size`` (BFS order keeps chunks chained via references),
+        groups every ``clusters_per_swap`` consecutive clusters into one
+        swap-cluster, adopts all objects, and rewrites every
+        cross-swap-cluster edge into a swap-cluster-proxy.
+
+        Returns the application handle for the root: a proxy with source
+        swap-cluster-0.  With ``root_name`` the handle is also installed
+        as a root.
+        """
+        partition = resolve_strategy(strategy)
+        object_clusters = partition(root, cluster_size)
+        bundles = group_clusters(object_clusters, clusters_per_swap)
+        created: List[Sid] = []
+        adopted: List[Any] = []
+        try:
+            for bundle in bundles:
+                swap_cluster = self.new_swap_cluster()
+                created.append(swap_cluster.sid)
+                for members in bundle:
+                    cid = self._ids.cids.next()
+                    swap_cluster.cids.append(cid)
+                    for obj in members:
+                        self.adopt(obj, swap_cluster.sid)
+                        adopted.append(obj)
+                    self.bus.emit(
+                        ClusterReplicatedEvent(
+                            space=self.name,
+                            cid=cid,
+                            sid=swap_cluster.sid,
+                            object_count=len(members),
+                        )
+                    )
+        except Exception:
+            # transactional ingest: a mid-way failure (typically heap
+            # exhaustion with no swap device) must leave neither partial
+            # clusters nor half-registered objects behind
+            for obj in adopted:
+                self._evict_object(obj._obi_oid)
+                _object_setattr(obj, "_obi_oid", None)
+                _object_setattr(obj, "_obi_sid", None)
+            for sid in created:
+                self._clusters.pop(sid, None)
+            raise
+        for sid in created:
+            for oid in list(self._clusters[sid].oids):
+                self._rewrite_boundaries(self._objects[oid])
+        handle = self._proxy_for(ROOT_SID, root._obi_oid)
+        if root_name is not None:
+            self._roots[root_name] = handle
+        return handle
+
+    def _rewrite_boundaries(self, obj: Any) -> None:
+        owner_sid = obj._obi_sid
+        for name, value in instance_fields(obj).items():
+            new_value = self._rewrite_value(value, owner_sid)
+            if new_value is not value:
+                _object_setattr(obj, name, new_value)
+
+    def _rewrite_value(self, value: Any, owner_sid: Sid) -> Any:
+        cls = type(value)
+        if cls in _ATOMIC:
+            return value
+        if getattr(cls, "_obi_managed", False):
+            value_sid = getattr(value, "_obi_sid", None)
+            if value_sid is None or getattr(value, "_obi_space", None) is not self:
+                self._absorb(value, owner_sid)
+                return value
+            if value_sid == owner_sid:
+                return value
+            return self._proxy_for(owner_sid, value._obi_oid)
+        if getattr(cls, "_obi_is_proxy", False):
+            # target check first: a proxy pointing back into the owner's
+            # cluster is dismantled even if its source tag already
+            # matches (restructuring can produce that combination)
+            if value._obi_target_sid == owner_sid:
+                return self._resident_object(value._obi_target_oid)
+            if value._obi_source_sid == owner_sid:
+                return value
+            return self._proxy_for(owner_sid, value._obi_target_oid)
+        if cls is list:
+            changed = False
+            rebuilt = []
+            for item in value:
+                new_item = self._rewrite_value(item, owner_sid)
+                changed = changed or new_item is not item
+                rebuilt.append(new_item)
+            if changed:
+                value[:] = rebuilt
+            return value
+        if cls is tuple:
+            rebuilt_tuple = tuple(self._rewrite_value(item, owner_sid) for item in value)
+            return rebuilt_tuple if any(
+                new is not old for new, old in zip(rebuilt_tuple, value)
+            ) else value
+        if cls is dict:
+            changed = False
+            rebuilt_dict = {}
+            for key, item in value.items():
+                new_key = self._rewrite_value(key, owner_sid)
+                new_item = self._rewrite_value(item, owner_sid)
+                changed = changed or new_key is not key or new_item is not item
+                rebuilt_dict[new_key] = new_item
+            if changed:
+                value.clear()
+                value.update(rebuilt_dict)
+            return value
+        if cls in (set, frozenset):
+            rebuilt_items = {self._rewrite_value(item, owner_sid) for item in value}
+            if cls is set:
+                value.clear()
+                value.update(rebuilt_items)
+                return value
+            return frozenset(rebuilt_items)
+        return value
+
+    def _absorb(self, obj: Any, sid: Sid) -> None:
+        """Adopt a freshly created managed graph into cluster ``sid``.
+
+        Objects created by application code inside a cluster's methods
+        belong to that cluster; absorb the whole unadopted subgraph, then
+        mediate any edges it has into other clusters.
+        """
+        from repro.core.clustering import managed_neighbors
+
+        pending = [obj]
+        absorbed = []
+        seen = {id(obj)}
+        while pending:
+            current = pending.pop()
+            if getattr(current, "_obi_space", None) is self and getattr(
+                current, "_obi_oid", None
+            ) in self._objects:
+                continue
+            self.adopt(current, sid)
+            absorbed.append(current)
+            for neighbor in managed_neighbors(current):
+                if id(neighbor) in seen:
+                    continue
+                seen.add(id(neighbor))
+                if getattr(neighbor, "_obi_space", None) is self:
+                    continue
+                pending.append(neighbor)
+        for current in absorbed:
+            self._rewrite_boundaries(current)
+
+    # ------------------------------------------------------------------ roots
+
+    def set_root(self, name: str, value: Any) -> Any:
+        """Install a global variable (swap-cluster-0 reference).
+
+        Raw managed values from other swap-clusters are wrapped in a
+        source-0 proxy; unadopted managed values are adopted into
+        swap-cluster-0 itself.  Returns the stored handle.
+        """
+        handle = self._translate(value, ROOT_SID)
+        if (
+            getattr(type(handle), "_obi_managed", False)
+            and getattr(handle, "_obi_space", None) is not self
+        ):
+            self._absorb(handle, ROOT_SID)
+        self._roots[name] = handle
+        return handle
+
+    def get_root(self, name: str) -> Any:
+        return self._roots[name]
+
+    def del_root(self, name: str) -> None:
+        del self._roots[name]
+
+    def root_names(self) -> List[str]:
+        return list(self._roots)
+
+    def roots(self) -> Dict[str, Any]:
+        return dict(self._roots)
+
+    # ------------------------------------------------------------------ translation
+
+    def _resident_object(self, oid: Oid) -> Any:
+        obj = self._objects.get(oid)
+        if obj is None:
+            sid = self._sid_by_oid.get(oid)
+            raise ClusterNotResidentError(
+                f"object oid={oid} (swap-cluster {sid}) is not resident"
+            )
+        return obj
+
+    def _translate(self, value: Any, to_sid: Sid) -> Any:
+        """Mediate ``value`` for code running in swap-cluster ``to_sid``."""
+        cls = type(value)
+        if cls in _ATOMIC:
+            return value
+        if getattr(cls, "_obi_managed", False):
+            value_sid = getattr(value, "_obi_sid", None)
+            if value_sid is None or getattr(value, "_obi_space", None) is not self:
+                self._absorb(value, to_sid)
+                return value
+            if value_sid == to_sid:
+                return value
+            return self._proxy_for(to_sid, value._obi_oid)
+        if getattr(cls, "_obi_is_proxy", False):
+            if value._obi_space is not self:
+                raise NotManagedError(
+                    f"proxy belongs to space {value._obi_space.name!r}, "
+                    f"not {self.name!r}; handles cannot cross spaces"
+                )
+            if value._obi_target_sid == to_sid:
+                return self._resident_object(value._obi_target_oid)
+            if value._obi_source_sid == to_sid:
+                return value
+            return self._proxy_for(to_sid, value._obi_target_oid)
+        if cls is list:
+            rebuilt = [self._translate(item, to_sid) for item in value]
+            return rebuilt if any(
+                new is not old for new, old in zip(rebuilt, value)
+            ) else value
+        if cls is tuple:
+            rebuilt_tuple = tuple(self._translate(item, to_sid) for item in value)
+            return rebuilt_tuple if any(
+                new is not old for new, old in zip(rebuilt_tuple, value)
+            ) else value
+        if cls is dict:
+            rebuilt_dict = {
+                self._translate(key, to_sid): self._translate(item, to_sid)
+                for key, item in value.items()
+            }
+            return rebuilt_dict
+        if cls in (set, frozenset):
+            return cls(self._translate(item, to_sid) for item in value)
+        return value
+
+    def _translate_return(self, value: Any, proxy: Any) -> Any:
+        """Mediate a value returned through ``proxy`` to its source cluster.
+
+        Implements the assign-mode optimisation: instead of minting a new
+        proxy, the marked proxy patches itself to the returned reference
+        and returns itself (paper, Section 4, "Optimizing Code for
+        Iterations").
+        """
+        cls = type(value)
+        if cls in _ATOMIC:
+            return value
+        to_sid = proxy._obi_source_sid
+        if getattr(cls, "_obi_managed", False):
+            value_sid = getattr(value, "_obi_sid", None)
+            if value_sid is None or getattr(value, "_obi_space", None) is not self:
+                self._absorb(value, proxy._obi_target_sid)
+                value_sid = value._obi_sid
+            if value_sid == to_sid:
+                return value
+            if proxy._obi_assign_mode:
+                # inlined self-patch fast path (paper's iteration
+                # optimisation): two slot writes per step, bucket move
+                # only on an actual swap-cluster boundary crossing
+                old_target_sid = proxy._obi_target_sid
+                _object_setattr(proxy, "_obi_target_oid", value._obi_oid)
+                _object_setattr(proxy, "_obi_target", value)
+                if value_sid != old_target_sid:
+                    self._move_patch_bucket(proxy, old_target_sid, value_sid)
+                return proxy
+            return self._proxy_for(to_sid, value._obi_oid)
+        if getattr(cls, "_obi_is_proxy", False):
+            target_sid = value._obi_target_sid
+            if target_sid == to_sid:
+                return self._resident_object(value._obi_target_oid)
+            if value._obi_source_sid == to_sid:
+                return value
+            if proxy._obi_assign_mode:
+                self._retarget_proxy(
+                    proxy, value._obi_target_oid, target_sid, value._obi_target
+                )
+                return proxy
+            return self._proxy_for(to_sid, value._obi_target_oid)
+        return self._translate(value, to_sid)
+
+    # ------------------------------------------------------------------ proxies
+
+    def _proxy_for(self, source_sid: Sid, target_oid: Oid) -> Any:
+        """Create or reuse the swap-cluster-proxy for one reference pair."""
+        key = (source_sid, target_oid)
+        proxy = self._proxy_cache.get(key)
+        if proxy is not None:
+            return proxy
+        target_sid = self._sid_by_oid[target_oid]
+        cluster = self._clusters[target_sid]
+        class_name = cluster.class_name_by_oid[target_oid]
+        proxy_class = self._proxy_class_cache.get(class_name)
+        if proxy_class is None:
+            proxy_class = self._registry.proxy_class_for(
+                self._registry.resolve(class_name)
+            )
+            self._proxy_class_cache[class_name] = proxy_class
+        proxy = proxy_class.__new__(proxy_class)
+        target = self._objects.get(target_oid)
+        if target is None:
+            target = cluster.replacement
+            if target is None:
+                raise IntegrityError(
+                    f"object oid={target_oid} neither resident nor swapped"
+                )
+        proxy._obi_init(self, source_sid, target_sid, target_oid, target, cluster)
+        self._proxy_cache[key] = proxy
+        patch_set = self._proxies_by_target_sid.get(target_sid)
+        if patch_set is None:
+            patch_set = weakref.WeakValueDictionary()
+            self._proxies_by_target_sid[target_sid] = patch_set
+        patch_set[id(proxy)] = proxy
+        return proxy
+
+    def _retarget_proxy(
+        self, proxy: Any, new_oid: Oid, new_target_sid: Sid, new_target: Any
+    ) -> None:
+        """Assign-mode self-patching: point ``proxy`` at a new target.
+
+        This is the paper's iteration optimisation, so it must stay
+        cheap: two slot writes per step, with patch-table movement only
+        when the cursor actually crosses into a different swap-cluster.
+        An assign-mode proxy is never (re)inserted into the reuse cache
+        — it is the variable's own proxy, not the canonical pair proxy
+        (``SwapClusterUtils.assign`` evicted any cached entry once).
+        """
+        old_target_sid = proxy._obi_target_sid
+        _object_setattr(proxy, "_obi_target_oid", new_oid)
+        _object_setattr(proxy, "_obi_target", new_target)
+        if new_target_sid != old_target_sid:
+            self._move_patch_bucket(proxy, old_target_sid, new_target_sid)
+
+    def _move_patch_bucket(
+        self, proxy: Any, old_target_sid: Sid, new_target_sid: Sid
+    ) -> None:
+        """An assign-mode cursor crossed a boundary: move its patch entry."""
+        _object_setattr(proxy, "_obi_target_sid", new_target_sid)
+        _object_setattr(proxy, "_obi_cluster", self._clusters[new_target_sid])
+        old_set = self._proxies_by_target_sid.get(old_target_sid)
+        if old_set is not None:
+            old_set.pop(id(proxy), None)
+        patch_set = self._proxies_by_target_sid.get(new_target_sid)
+        if patch_set is None:
+            patch_set = weakref.WeakValueDictionary()
+            self._proxies_by_target_sid[new_target_sid] = patch_set
+        patch_set[id(proxy)] = proxy
+
+    def make_cursor(self, handle: Any) -> Any:
+        """A fresh swap-cluster-0 proxy for iteration variables.
+
+        Unlike :meth:`wrap_for_root`, this never returns the cached
+        canonical proxy for the pair: assign-mode iteration (paper §4)
+        retargets the variable's own proxy step by step, which must not
+        disturb proxies other references share.  The cursor is still
+        registered for patching, so swap events keep it correct.
+        """
+        from repro.core.utils import SwapClusterUtils
+
+        target_oid = SwapClusterUtils.oid_of(handle)
+        target_sid = self._sid_by_oid[target_oid]
+        cluster = self._clusters[target_sid]
+        target_class = self._registry.resolve(cluster.class_name_by_oid[target_oid])
+        proxy_class = self._registry.proxy_class_for(target_class)
+        proxy = proxy_class.__new__(proxy_class)
+        target = self._objects.get(target_oid)
+        if target is None:
+            target = cluster.replacement
+            if target is None:
+                raise IntegrityError(
+                    f"object oid={target_oid} neither resident nor swapped"
+                )
+        proxy._obi_init(self, ROOT_SID, target_sid, target_oid, target, cluster)
+        patch_set = self._proxies_by_target_sid.get(target_sid)
+        if patch_set is None:
+            patch_set = weakref.WeakValueDictionary()
+            self._proxies_by_target_sid[target_sid] = patch_set
+        patch_set[id(proxy)] = proxy
+        return proxy
+
+    def live_proxy_count(self) -> int:
+        return sum(len(s) for s in self._proxies_by_target_sid.values())
+
+    def wrap_for_root(self, value: Any) -> Any:
+        """A swap-cluster-0 handle for any managed value."""
+        return self._translate(value, ROOT_SID)
+
+    def resolve(self, handle: Any) -> Any:
+        """Raw object behind a handle (swapping in if necessary)."""
+        from repro.core.utils import SwapClusterUtils
+
+        return SwapClusterUtils.resolve(handle)
+
+    def attach(self, owner: Any, field: str, value: Any) -> None:
+        """Integrity-safe cross-cluster field assignment on a raw object."""
+        if getattr(type(owner), "_obi_is_proxy", False):
+            setattr(owner, field, value)  # proxies already mediate
+            return
+        if not getattr(type(owner), "_obi_managed", False):
+            raise NotManagedError("attach() owner must be managed")
+        _object_setattr(owner, field, self._translate(value, owner._obi_sid))
+        self.heap.resize(owner._obi_oid, self.size_model.size_of(owner))
+
+    # ------------------------------------------------------------------ swapping facade
+
+    def swap_out(self, sid: Sid | None = None, store: Any = None) -> Any:
+        if sid is None:
+            sid = self._manager.victim_selector(self)
+            if sid is None:
+                raise ClusterNotResidentError("no swappable swap-cluster available")
+        return self._manager.swap_out(sid, store=store)
+
+    def swap_in(self, sid: Sid) -> int:
+        return self._manager.swap_in(sid)
+
+    def sid_of(self, handle: Any) -> Sid:
+        from repro.core.utils import SwapClusterUtils
+
+        return self._sid_by_oid[SwapClusterUtils.oid_of(handle)]
+
+    @contextmanager
+    def pin(self, target: Any) -> Iterator[SwapCluster]:
+        """Keep a swap-cluster resident for the duration of a block.
+
+        ``target`` may be a sid, a managed object, or a proxy.  The
+        cluster is swapped in if needed and protected from swap-out until
+        the block exits.
+        """
+        sid = target if isinstance(target, int) else self.sid_of(target)
+        cluster = self._cluster(sid)
+        if cluster.is_swapped:
+            self._manager.swap_in(sid)
+        cluster.pins += 1
+        try:
+            yield cluster
+        finally:
+            cluster.pins -= 1
+
+    def merge_swap_clusters(self, absorber_sid: Sid, absorbed_sid: Sid) -> Sid:
+        """Fold one resident swap-cluster into another (see
+        :mod:`repro.core.restructure`)."""
+        from repro.core.restructure import merge_swap_clusters
+
+        return merge_swap_clusters(self, absorber_sid, absorbed_sid)
+
+    def split_swap_cluster(self, sid: Sid, members: Any) -> Sid:
+        """Move members into a fresh swap-cluster (see
+        :mod:`repro.core.restructure`)."""
+        from repro.core.restructure import split_swap_cluster
+
+        return split_swap_cluster(self, sid, members)
+
+    # ------------------------------------------------------------------ GC facade
+
+    def gc(self, extra_roots: Tuple[Any, ...] = ()) -> Any:
+        """Run the local collector (see :mod:`repro.memory.lgc`)."""
+        from repro.memory.lgc import LocalCollector
+
+        result = LocalCollector(self).collect(extra_roots=extra_roots)
+        self.bus.emit(
+            GcCompletedEvent(
+                space=self.name,
+                collected_objects=result.objects_collected,
+                collected_clusters=result.clusters_collected,
+                bytes_freed=result.bytes_freed,
+            )
+        )
+        return result
+
+    def _drop_cluster_record(self, sid: Sid) -> None:
+        """Remove a collected cluster and tombstone any stale proxies."""
+        cluster = self._clusters.pop(sid, None)
+        if cluster is None:
+            return
+        tombstone = _CollectedTombstone(sid)
+        stale = self._proxies_by_target_sid.pop(sid, None)
+        for proxy in (list(stale.values()) if stale is not None else []):
+            proxy._obi_detach(tombstone)
+        for oid in list(cluster.oids):
+            self._sid_by_oid.pop(oid, None)
+        self.bus.emit(
+            ClusterCollectedEvent(
+                space=self.name, sid=sid, cids=tuple(cluster.cids)
+            )
+        )
+
+    # ------------------------------------------------------------------ integrity
+
+    def verify_integrity(self) -> None:
+        """Check the boundary-mediation and table invariants; raise on any
+        violation.  Used heavily by tests (including property-based ones).
+        """
+        problems: List[str] = []
+        for oid, obj in self._objects.items():
+            owner_sid = getattr(obj, "_obi_sid", None)
+            if owner_sid is None or self._sid_by_oid.get(oid) != owner_sid:
+                problems.append(f"object oid={oid}: sid bookkeeping mismatch")
+                continue
+            for name, value in instance_fields(obj).items():
+                self._check_value(value, owner_sid, f"oid={oid}.{name}", problems)
+            if not self.heap.holds(oid):
+                problems.append(f"object oid={oid}: resident but not on heap")
+        for name, value in self._roots.items():
+            self._check_value(value, ROOT_SID, f"root {name!r}", problems)
+        for sid, cluster in self._clusters.items():
+            if cluster.is_resident:
+                missing = [oid for oid in cluster.oids if oid not in self._objects]
+                if missing:
+                    problems.append(
+                        f"swap-cluster {sid}: resident but objects missing: {missing}"
+                    )
+            else:
+                present = [oid for oid in cluster.oids if oid in self._objects]
+                if present:
+                    problems.append(
+                        f"swap-cluster {sid}: swapped but objects resident: {present}"
+                    )
+                if cluster.replacement is None or cluster.location is None:
+                    problems.append(
+                        f"swap-cluster {sid}: swapped without replacement/location"
+                    )
+        if problems:
+            raise IntegrityError("; ".join(problems))
+
+    def _check_value(
+        self, value: Any, owner_sid: Sid, where: str, problems: List[str]
+    ) -> None:
+        cls = type(value)
+        if cls in _ATOMIC:
+            return
+        if getattr(cls, "_obi_managed", False):
+            value_sid = getattr(value, "_obi_sid", None)
+            if getattr(value, "_obi_space", None) is not self:
+                problems.append(f"{where}: raw reference to foreign/unadopted object")
+            elif value_sid != owner_sid:
+                problems.append(
+                    f"{where}: raw cross-cluster reference "
+                    f"({owner_sid} -> {value_sid}); must be a proxy"
+                )
+            return
+        if getattr(cls, "_obi_is_proxy", False):
+            if value._obi_space is not self:
+                problems.append(f"{where}: proxy belongs to another space")
+                return
+            if value._obi_source_sid != owner_sid:
+                problems.append(
+                    f"{where}: proxy source {value._obi_source_sid} does not "
+                    f"match holder cluster {owner_sid}"
+                )
+            if value._obi_target_sid == owner_sid:
+                problems.append(
+                    f"{where}: proxy points back into its own cluster "
+                    f"(should have been dismantled)"
+                )
+            target_sid = self._sid_by_oid.get(value._obi_target_oid)
+            if target_sid != value._obi_target_sid:
+                problems.append(
+                    f"{where}: proxy target oid={value._obi_target_oid} not in "
+                    f"cluster {value._obi_target_sid}"
+                )
+            return
+        if cls in (list, tuple, set, frozenset):
+            for item in value:
+                self._check_value(item, owner_sid, where + "[]", problems)
+            return
+        if cls is dict:
+            for key, item in value.items():
+                self._check_value(key, owner_sid, where + ".key", problems)
+                self._check_value(item, owner_sid, where + "[]", problems)
+
+    # ------------------------------------------------------------------ misc
+
+    def describe(self) -> str:
+        lines = [
+            f"Space {self.name!r}: {len(self._objects)} resident objects, "
+            f"{len(self._clusters)} swap-clusters, heap "
+            f"{self.heap.used}/{self.heap.capacity} bytes "
+            f"({self.heap.ratio:.0%})"
+        ]
+        for sid in sorted(self._clusters):
+            cluster = self._clusters[sid]
+            lines.append(
+                f"  sc-{sid}: {cluster.state.value}, {len(cluster.oids)} objects, "
+                f"{cluster.crossings} crossings, epoch {cluster.epoch}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Space {self.name!r} objects={len(self._objects)}>"

@@ -1,0 +1,123 @@
+"""Swap-cluster bookkeeping.
+
+A swap-cluster is the unit of swapping: "a number (also adaptable) of
+chained (via references) object clusters as a single macro-object"
+(paper, Section 1).  This module holds the per-cluster record the
+SwappingManager maintains: membership, residency state, the usage
+statistics fed by boundary crossings ("basic data w.r.t. recency and
+frequency, as these boundaries are transversed"), and the swap location
+while detached.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set
+
+from repro.core.replacement import ReplacementObject, SwapLocation
+from repro.errors import ClusterNotResidentError, ClusterPinnedError
+from repro.ids import Cid, Oid, ROOT_SID, Sid
+
+
+class SwapClusterState(enum.Enum):
+    RESIDENT = "resident"
+    SWAPPED = "swapped"
+
+
+class SwapCluster:
+    """Record for one swap-cluster within a space."""
+
+    __slots__ = (
+        "sid",
+        "cids",
+        "oids",
+        "class_name_by_oid",
+        "state",
+        "epoch",
+        "location",
+        "replacement",
+        "pins",
+        "crossings",
+        "last_crossing_tick",
+        "swap_out_count",
+        "swap_in_count",
+        "created_tick",
+    )
+
+    def __init__(self, sid: Sid, created_tick: int = 0) -> None:
+        self.sid = sid
+        #: Replication clusters folded into this swap-cluster.
+        self.cids: List[Cid] = []
+        #: Oids of member objects (stable across swap cycles).
+        self.oids: Set[Oid] = set()
+        #: Class names per member, kept while swapped so new inbound
+        #: proxies can still be typed correctly.
+        self.class_name_by_oid: Dict[Oid, str] = {}
+        self.state = SwapClusterState.RESIDENT
+        #: Incremented on every swap-out; part of the store key, so a
+        #: re-swapped cluster never collides with a stale copy.
+        self.epoch = 0
+        self.location: Optional[SwapLocation] = None
+        self.replacement: Optional[ReplacementObject] = None
+        self.pins = 0
+        self.crossings = 0
+        self.last_crossing_tick = created_tick
+        self.swap_out_count = 0
+        self.swap_in_count = 0
+        self.created_tick = created_tick
+
+    # -- state predicates ----------------------------------------------------
+
+    @property
+    def is_resident(self) -> bool:
+        return self.state is SwapClusterState.RESIDENT
+
+    @property
+    def is_swapped(self) -> bool:
+        return self.state is SwapClusterState.SWAPPED
+
+    @property
+    def is_root_cluster(self) -> bool:
+        return self.sid == ROOT_SID
+
+    def swappable(self) -> bool:
+        return self.is_resident and not self.is_root_cluster and self.pins == 0
+
+    def ensure_swappable(self) -> None:
+        if self.is_root_cluster:
+            raise ClusterNotResidentError("swap-cluster-0 (roots) cannot be swapped")
+        if not self.is_resident:
+            raise ClusterNotResidentError(f"swap-cluster {self.sid} is already swapped")
+        if self.pins > 0:
+            raise ClusterPinnedError(
+                f"swap-cluster {self.sid} is pinned ({self.pins} holders)"
+            )
+
+    # -- membership ------------------------------------------------------------
+
+    def add_member(self, oid: Oid, class_name: str) -> None:
+        self.oids.add(oid)
+        self.class_name_by_oid[oid] = class_name
+
+    def remove_member(self, oid: Oid) -> None:
+        self.oids.discard(oid)
+        self.class_name_by_oid.pop(oid, None)
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    # -- usage statistics -------------------------------------------------------
+
+    def record_crossing(self, tick: int) -> None:
+        self.crossings += 1
+        self.last_crossing_tick = tick
+
+    def idle_ticks(self, now_tick: int) -> int:
+        return now_tick - self.last_crossing_tick
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SwapCluster sid={self.sid} {self.state.value} "
+            f"objects={len(self.oids)} crossings={self.crossings} "
+            f"epoch={self.epoch}>"
+        )

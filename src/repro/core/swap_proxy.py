@@ -1,0 +1,222 @@
+"""Swap-cluster-proxy behaviour (the paper's generated proxy classes).
+
+A swap-cluster-proxy mediates **every** reference between objects in
+different swap-clusters.  Unlike replication proxies (discarded once the
+target is replicated), "a special proxy always remains in the way"
+(Section 1).  Generated subclasses (see
+:func:`repro.runtime.obicomp.compile_proxy_class`) add one forwarding
+method per public method of the application class; this base class
+implements the shared machinery the paper puts in ``SwapClusterUtils``
+and the generated "code excerpt that verifies references being passed as
+parameters and return values" (Section 4):
+
+* resolve the target, transparently swapping the cluster back in when the
+  proxy finds a replacement-object in the way;
+* translate arguments *into* the target cluster and results *out* to the
+  source cluster, applying the paper's three rules — (i) wrap raw
+  cross-cluster references in new proxies, (ii) hand off/reuse existing
+  proxies, (iii) dismantle proxies that point back into the receiving
+  cluster;
+* record boundary-crossing statistics (recency/frequency) on the target
+  swap-cluster;
+* enforce object identity by overloading equality (the C# ``operator==``
+  overload of Section 4 maps onto ``__eq__``/``__hash__``);
+* support the iteration optimisation (*assign mode*): a marked proxy
+  patches itself to the next returned reference instead of minting a new
+  proxy per step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.replacement import ReplacementObject
+
+_object_setattr = object.__setattr__
+
+#: Result types that never need translation (fast path for quasi-empty
+#: methods returning counters, flags or text).
+_ATOMIC_RESULTS = frozenset(
+    {int, float, str, bool, bytes, type(None)}
+)
+
+
+class SwapClusterProxyBase:
+    """Shared behaviour of every generated swap-cluster-proxy class."""
+
+    __slots__ = (
+        "_obi_space",
+        "_obi_source_sid",
+        "_obi_target_sid",
+        "_obi_target_oid",
+        "_obi_target",
+        "_obi_cluster",
+        "_obi_assign_mode",
+        "__weakref__",
+    )
+
+    #: Structural marker checked throughout the library.
+    _obi_is_proxy = True
+    #: Overridden by generated subclasses with the application class.
+    _obi_target_class: type | None = None
+
+    def __init__(self) -> None:
+        raise TypeError(
+            "swap-cluster-proxies are created by the middleware "
+            "(Space._proxy_for), never directly"
+        )
+
+    # -- middleware construction (bypasses __init__) -------------------------
+
+    def _obi_init(
+        self,
+        space: Any,
+        source_sid: int,
+        target_sid: int,
+        target_oid: int,
+        target: Any,
+        cluster: Any = None,
+    ) -> None:
+        _object_setattr(self, "_obi_space", space)
+        _object_setattr(self, "_obi_source_sid", source_sid)
+        _object_setattr(self, "_obi_target_sid", target_sid)
+        _object_setattr(self, "_obi_target_oid", target_oid)
+        _object_setattr(self, "_obi_target", target)
+        if cluster is None:
+            cluster = space._clusters[target_sid]
+        _object_setattr(self, "_obi_cluster", cluster)
+        _object_setattr(self, "_obi_assign_mode", False)
+
+    # -- ISwapClusterProxy ----------------------------------------------------
+
+    def _obi_patch(self, new_target: Any) -> None:
+        """Point at a new target instance (same oid: swap-in repatching)."""
+        _object_setattr(self, "_obi_target", new_target)
+
+    def _obi_detach(self, replacement: Any) -> None:
+        """Detach from the live object; the replacement stands in."""
+        _object_setattr(self, "_obi_target", replacement)
+
+    def _obi_same_object(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        return result is True
+
+    # -- invocation (the generated methods funnel here) -----------------------
+
+    def _obi_invoke(self, name: str, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+        space = self._obi_space
+        target = self._obi_target
+        if target.__class__ is ReplacementObject:
+            space._manager.swap_in(self._obi_target_sid)
+            target = self._obi_target
+        target_sid = self._obi_target_sid
+        # inlined boundary-crossing bookkeeping (recency/frequency stats)
+        tick = space._tick + 1
+        space._tick = tick
+        cluster = self._obi_cluster
+        cluster.crossings += 1
+        cluster.last_crossing_tick = tick
+        if args:
+            args = tuple(space._translate(value, target_sid) for value in args)
+        if kwargs:
+            result = getattr(target, name)(
+                *args,
+                **{
+                    key: space._translate(value, target_sid)
+                    for key, value in kwargs.items()
+                },
+            )
+        else:
+            # exact-arity generated wrappers pass kwargs=None
+            result = getattr(target, name)(*args)
+        result_class = result.__class__
+        if result_class in _ATOMIC_RESULTS:
+            return result
+        if self._obi_assign_mode and getattr(result_class, "_obi_managed", False):
+            # inlined assign-mode fast path (paper §4, "Optimizing Code
+            # for Iterations"): patch this proxy to the returned
+            # reference and hand back a reference to ourselves
+            value_sid = getattr(result, "_obi_sid", None)
+            if value_sid is not None and result._obi_space is space:
+                if value_sid == self._obi_source_sid:
+                    return result
+                _object_setattr(self, "_obi_target_oid", result._obi_oid)
+                _object_setattr(self, "_obi_target", result)
+                if value_sid != target_sid:
+                    space._move_patch_bucket(self, target_sid, value_sid)
+                return self
+        return space._translate_return(result, self)
+
+    # -- transparent field access ----------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached when normal lookup fails: application fields and
+        # non-generated (underscore) methods.  Special/dunder probes from
+        # the runtime (pickle, copy, ...) must fail fast.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        if name.startswith("_obi_"):
+            raise AttributeError(name)
+        space = self._obi_space
+        target = self._obi_target
+        if getattr(target.__class__, "_obi_is_replacement", False):
+            space._manager.swap_in(self._obi_target_sid)
+            target = self._obi_target
+        space._record_crossing(self._obi_target_sid, self._obi_source_sid)
+        value = getattr(target, name)
+        if callable(value) and getattr(value, "__self__", None) is target:
+            # a non-public bound method: forward through the interception
+            # machinery so its arguments/results are still translated
+            def forwarder(*args: Any, **kwargs: Any) -> Any:
+                return self._obi_invoke(name, args, kwargs)
+
+            forwarder.__name__ = name
+            return forwarder
+        return space._translate_return(value, self)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name.startswith("_obi_"):
+            _object_setattr(self, name, value)
+            return
+        space = self._obi_space
+        target = self._obi_target
+        if getattr(target.__class__, "_obi_is_replacement", False):
+            space._manager.swap_in(self._obi_target_sid)
+            target = self._obi_target
+        space._record_crossing(self._obi_target_sid, self._obi_source_sid)
+        setattr(target, name, space._translate(value, self._obi_target_sid))
+
+    # -- identity (paper §4, "Enforcing Object Identity") ------------------------
+
+    def __eq__(self, other: Any) -> Any:
+        if other is self:
+            return True
+        other_cls = type(other)
+        if getattr(other_cls, "_obi_is_proxy", False):
+            return self._obi_target_oid == other._obi_target_oid
+        if getattr(other_cls, "_obi_managed", False):
+            other_oid = getattr(other, "_obi_oid", None)
+            return other_oid is not None and other_oid == self._obi_target_oid
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> Any:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self._obi_target_oid)
+
+    def __repr__(self) -> str:
+        target_class = self._obi_target_class
+        class_name = target_class.__name__ if target_class else "?"
+        state = (
+            "swapped"
+            if getattr(self._obi_target.__class__, "_obi_is_replacement", False)
+            else "resident"
+        )
+        return (
+            f"<swap-proxy {class_name} oid={self._obi_target_oid} "
+            f"{self._obi_source_sid}->{self._obi_target_sid} {state}>"
+        )

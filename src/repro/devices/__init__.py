@@ -1,0 +1,28 @@
+"""Nearby devices: dumb XML stores and the full OBIWAN mobile device.
+
+The receiving side of a swap needs *no* VM or middleware — only the
+ability to store, return and drop XML text keyed by an id (paper,
+Sections 3 and 5).  :class:`XmlStoreDevice` is exactly that contract,
+optionally behind a simulated wireless link; :class:`MobileDevice` is
+the swapping side: a managed space wired to a radio neighborhood,
+context monitors and a policy engine.
+"""
+
+from repro.devices.store import InMemoryStore, XmlStoreDevice, FileStore
+from repro.devices.profiles import DeviceProfile, IPAQ_3360, DESKTOP_PC, WRIST_DEVICE
+from repro.devices.pda import MobileDevice
+from repro.devices.remote import RemoteStoreClient
+from repro.devices.peer import PeerStore
+
+__all__ = [
+    "InMemoryStore",
+    "XmlStoreDevice",
+    "FileStore",
+    "DeviceProfile",
+    "IPAQ_3360",
+    "DESKTOP_PC",
+    "WRIST_DEVICE",
+    "MobileDevice",
+    "RemoteStoreClient",
+    "PeerStore",
+]

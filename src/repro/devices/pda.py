@@ -1,0 +1,102 @@
+"""The full OBIWAN mobile device.
+
+Bundles everything a Figure 2 scenario needs on the swapping side: a
+managed space sized from a hardware profile, a radio neighborhood whose
+discoveries feed the SwappingManager, memory/connectivity monitors wired
+to the bus, a context property table, and a policy engine pre-loaded with
+the default machine policy (swap LRU victims when memory runs high).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.clock import Clock, SimulatedClock
+from repro.comm.discovery import Neighborhood
+from repro.context.monitor import ConnectivityMonitor, MemoryMonitor
+from repro.context.properties import ContextTable
+from repro.core.space import Space
+from repro.devices.profiles import DeviceProfile, IPAQ_3360
+from repro.events import EventBus
+from repro.policy.engine import PolicyEngine
+from repro.runtime.registry import TypeRegistry
+
+#: Machine-category policy shipped on every device: relieve memory
+#: pressure by swapping least-recently-used clusters to nearby stores.
+DEFAULT_MACHINE_POLICY = """
+<policies>
+  <policy name="swap-on-pressure" category="machine">
+    <rule on="memory.high">
+      <do action="swap_out" victims="lru" until_ratio="{low:.2f}"/>
+    </rule>
+  </policy>
+</policies>
+"""
+
+
+class MobileDevice:
+    """A PDA running applications on top of the OBIWAN middleware."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: DeviceProfile = IPAQ_3360,
+        *,
+        clock: Optional[Clock] = None,
+        registry: Optional[TypeRegistry] = None,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.60,
+        radio_range: float = 10.0,
+        load_default_policies: bool = True,
+    ) -> None:
+        self.name = name
+        self.profile = profile
+        self.clock: Clock = clock if clock is not None else SimulatedClock()
+        self.bus = EventBus()
+        self.space = Space(
+            name,
+            heap_capacity=profile.heap_bytes,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+            registry=registry,
+            bus=self.bus,
+            clock=self.clock,
+        )
+        self.neighborhood = Neighborhood(bus=self.bus, radio_range=radio_range)
+        self.space.manager.set_store_provider(self.neighborhood.discover)
+        self.context = ContextTable()
+        self.memory_monitor = MemoryMonitor(self.space, context=self.context)
+        self.connectivity_monitor = ConnectivityMonitor(
+            self.neighborhood, self.bus, context=self.context
+        )
+        self.policy_engine = PolicyEngine(
+            self.space, bus=self.bus, neighborhood=self.neighborhood
+        )
+        if load_default_policies:
+            self.policy_engine.load_xml(
+                DEFAULT_MACHINE_POLICY.format(low=low_watermark)
+            )
+
+    # -- conveniences -------------------------------------------------------------
+
+    def discover_store(
+        self, store: Any, position: Optional[Tuple[float, float]] = None
+    ) -> None:
+        """A nearby device with storage came into range."""
+        self.neighborhood.join(store, position=position)
+
+    def lose_store(self, device_id: str) -> None:
+        self.neighborhood.leave(device_id)
+
+    @property
+    def manager(self) -> Any:
+        return self.space.manager
+
+    def describe(self) -> str:
+        lines = [
+            f"MobileDevice {self.name!r} [{self.profile.name}]",
+            f"  stores in range: {self.neighborhood.in_range_ids()}",
+            f"  context: {self.context.snapshot()}",
+        ]
+        lines.append("  " + self.space.describe().replace("\n", "\n  "))
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Hardware profiles for simulated devices.
+
+The paper's prototype runs on "a IPAQ 3360 Pocket PC with Bluetooth
+connectivity at 700Kbps" (Section 4); nearby receivers range from other
+PDAs to desktop PCs, and the related work discusses wrist-class devices
+(.NET Micro Framework).  Profiles bundle the knobs experiments vary:
+application heap budget, link class, and a relative CPU scale used by
+analytical cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Clock
+from repro.comm.transport import SimulatedLink, BLUETOOTH_BPS, WIFI_BPS
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of a device class."""
+
+    name: str
+    heap_bytes: int
+    link_bps: int
+    link_latency_s: float
+    cpu_scale: float  # relative to the mobile device (1.0)
+    store_bytes: int  # how much it can hold for others
+
+    def make_link(self, clock: Clock | None = None) -> SimulatedLink:
+        return SimulatedLink(
+            self.link_bps,
+            latency_s=self.link_latency_s,
+            clock=clock,
+            name=f"{self.name}-link",
+        )
+
+
+#: The paper's mobile device: iPAQ-class Pocket PC, 700 Kbps Bluetooth.
+#: The heap budget models the slice of RAM a .NET CF application heap
+#: realistically gets on that hardware.
+IPAQ_3360 = DeviceProfile(
+    name="ipaq-3360",
+    heap_bytes=4 * 1024 * 1024,
+    link_bps=BLUETOOTH_BPS,
+    link_latency_s=0.05,
+    cpu_scale=1.0,
+    store_bytes=2 * 1024 * 1024,
+)
+
+#: A desktop PC in the room: large store, fast link, fast CPU.
+DESKTOP_PC = DeviceProfile(
+    name="desktop-pc",
+    heap_bytes=512 * 1024 * 1024,
+    link_bps=WIFI_BPS,
+    link_latency_s=0.01,
+    cpu_scale=8.0,
+    store_bytes=256 * 1024 * 1024,
+)
+
+#: A peer PDA with little room to spare.
+PEER_PDA = DeviceProfile(
+    name="peer-pda",
+    heap_bytes=4 * 1024 * 1024,
+    link_bps=BLUETOOTH_BPS,
+    link_latency_s=0.05,
+    cpu_scale=1.0,
+    store_bytes=512 * 1024,
+)
+
+#: A wrist-class embedded device (.NET Micro scale, related work §6).
+WRIST_DEVICE = DeviceProfile(
+    name="wrist-device",
+    heap_bytes=256 * 1024,
+    link_bps=115_200,
+    link_latency_s=0.1,
+    cpu_scale=0.1,
+    store_bytes=64 * 1024,
+)
+
+ALL_PROFILES = (IPAQ_3360, DESKTOP_PC, PEER_PDA, WRIST_DEVICE)

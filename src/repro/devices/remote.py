@@ -1,0 +1,51 @@
+"""Remote swap stores over the web-service bridge.
+
+The paper's prototype moves swapped objects with web services ("Transfer
+of swapped-out objects is achieved resorting to the Communication
+Services module which leverages the ability of .NET CF to invoke
+web-services", Section 4).  :class:`RemoteStoreClient` is the client
+half: it satisfies the :class:`~repro.core.interfaces.SwapStore`
+protocol by invoking a store's endpoint operations through
+:class:`~repro.comm.webservice.WebServiceClient`, so the SwappingManager
+can use a fully remote store exactly like a local one — envelope
+round-trips charge the link's cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.comm.transport import Link
+from repro.comm.webservice import WebServiceClient, WebServiceEndpoint
+
+
+class RemoteStoreClient:
+    """SwapStore adapter over one web-service endpoint."""
+
+    def __init__(
+        self,
+        endpoint: WebServiceEndpoint,
+        link: Link,
+        device_id: str | None = None,
+    ) -> None:
+        self._client = WebServiceClient(endpoint, link)
+        self._device_id = device_id if device_id is not None else endpoint.name
+
+    @property
+    def device_id(self) -> str:
+        return self._device_id
+
+    def store(self, key: str, xml_text: str) -> None:
+        self._client.call("store", key=key, text=xml_text)
+
+    def fetch(self, key: str) -> str:
+        return self._client.call("fetch", key=key)
+
+    def drop(self, key: str) -> None:
+        self._client.call("drop", key=key)
+
+    def has_room(self, nbytes: int) -> bool:
+        return bool(self._client.call("has_room", nbytes=nbytes))
+
+    def keys(self) -> List[str]:
+        return self._client.call("keys")

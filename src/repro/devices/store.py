@@ -1,0 +1,212 @@
+"""XML store devices — the dumb receivers of swapped clusters.
+
+Receiving devices "need not have neither OBIWAN nor even a virtual
+machine installed.  They need only be able to store and return a textual
+representation of the serialized objects being swapped-out" (Section 3).
+All variants implement the :class:`repro.core.interfaces.SwapStore`
+protocol: ``store`` / ``fetch`` / ``drop`` / ``has_room``.
+
+* :class:`XmlStoreDevice` — a capacity-limited nearby device, optionally
+  behind a simulated wireless link (payloads charge transfer time) and
+  exposable as a web-service endpoint;
+* :class:`InMemoryStore` — the simplest possible conforming store;
+* :class:`FileStore` — text files in a directory (the flash-card
+  analogue of the .NET Micro discussion in the related work).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.comm.transport import Link
+from repro.comm.webservice import WebServiceEndpoint
+from repro.errors import StoreFullError, TransportError, UnknownKeyError
+
+
+class InMemoryStore:
+    """Minimal conforming store: a dict of key -> XML text."""
+
+    def __init__(self, device_id: str = "memory-store") -> None:
+        self._device_id = device_id
+        self._data: Dict[str, str] = {}
+
+    @property
+    def device_id(self) -> str:
+        return self._device_id
+
+    def store(self, key: str, xml_text: str) -> None:
+        self._data[key] = xml_text
+
+    def fetch(self, key: str) -> str:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+
+    def drop(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def has_room(self, nbytes: int) -> bool:
+        return True
+
+    def keys(self) -> List[str]:
+        return list(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class XmlStoreDevice:
+    """A nearby device with bounded storage behind an optional link."""
+
+    def __init__(
+        self,
+        device_id: str,
+        capacity: int = 1 << 20,
+        link: Optional[Link] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("store capacity must be positive")
+        self._device_id = device_id
+        self.capacity = capacity
+        self._link = link
+        self._data: Dict[str, str] = {}
+        self._used = 0
+
+    # -- SwapStore protocol ----------------------------------------------------
+
+    @property
+    def device_id(self) -> str:
+        return self._device_id
+
+    def store(self, key: str, xml_text: str) -> None:
+        nbytes = len(xml_text.encode("utf-8"))
+        self._carry(nbytes)
+        previous = self._data.get(key)
+        delta = nbytes - (len(previous.encode("utf-8")) if previous else 0)
+        if self._used + delta > self.capacity:
+            raise StoreFullError(
+                f"{self._device_id}: {nbytes} bytes exceed free space "
+                f"({self.capacity - self._used} of {self.capacity})"
+            )
+        self._data[key] = xml_text
+        self._used += delta
+
+    def fetch(self, key: str) -> str:
+        try:
+            text = self._data[key]
+        except KeyError:
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+        self._carry(len(text.encode("utf-8")))
+        return text
+
+    def drop(self, key: str) -> None:
+        self._carry(64)  # a control message, not a payload
+        text = self._data.pop(key, None)
+        if text is not None:
+            self._used -= len(text.encode("utf-8"))
+
+    def has_room(self, nbytes: int) -> bool:
+        if self._link is not None and not self._link.is_up:
+            raise TransportError(f"{self._device_id}: link down")
+        return self._used + nbytes <= self.capacity
+
+    # -- extras ----------------------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def keys(self) -> List[str]:
+        return list(self._data)
+
+    def as_endpoint(self) -> WebServiceEndpoint:
+        """Expose the store contract as web-service operations."""
+        endpoint = WebServiceEndpoint(self._device_id)
+        endpoint.register("store", lambda key, text: self._store_direct(key, text))
+        endpoint.register("fetch", lambda key: self._fetch_direct(key))
+        endpoint.register("drop", lambda key: self._drop_direct(key))
+        endpoint.register("keys", lambda: self.keys())
+        endpoint.register(
+            "has_room", lambda nbytes: self._used + nbytes <= self.capacity
+        )
+        return endpoint
+
+    # endpoint variants skip the link (the web-service client charges it)
+    def _store_direct(self, key: str, text: str) -> None:
+        nbytes = len(text.encode("utf-8"))
+        previous = self._data.get(key)
+        delta = nbytes - (len(previous.encode("utf-8")) if previous else 0)
+        if self._used + delta > self.capacity:
+            raise StoreFullError(f"{self._device_id}: store full")
+        self._data[key] = text
+        self._used += delta
+
+    def _fetch_direct(self, key: str) -> str:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+
+    def _drop_direct(self, key: str) -> None:
+        text = self._data.pop(key, None)
+        if text is not None:
+            self._used -= len(text.encode("utf-8"))
+
+    def _carry(self, nbytes: int) -> None:
+        if self._link is not None:
+            self._link.transfer(nbytes)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def _safe_filename(key: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", key) + ".xml"
+
+
+class FileStore:
+    """Swapped clusters as text files under a directory.
+
+    The local-persistent-memory analogue (cf. the extended weak
+    references of the .NET Micro Framework in the paper's related work):
+    swapping to a flash card instead of a nearby device.
+    """
+
+    def __init__(self, directory: str | Path, device_id: str = "flash-card") -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._device_id = device_id
+        self._paths: Dict[str, Path] = {}
+
+    @property
+    def device_id(self) -> str:
+        return self._device_id
+
+    def store(self, key: str, xml_text: str) -> None:
+        path = self._directory / _safe_filename(key)
+        path.write_text(xml_text, encoding="utf-8")
+        self._paths[key] = path
+
+    def fetch(self, key: str) -> str:
+        path = self._paths.get(key, self._directory / _safe_filename(key))
+        if not path.exists():
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}")
+        return path.read_text(encoding="utf-8")
+
+    def drop(self, key: str) -> None:
+        path = self._paths.pop(key, self._directory / _safe_filename(key))
+        if path.exists():
+            path.unlink()
+
+    def has_room(self, nbytes: int) -> bool:
+        return True
+
+    def keys(self) -> List[str]:
+        return sorted(self._paths)

@@ -1,0 +1,337 @@
+"""Synchronous event bus wiring the OBIWAN modules together.
+
+The paper's architecture is event-driven: the context-management module
+raises memory/connectivity events, the replication module announces cluster
+materialization, and the :class:`~repro.core.manager.SwappingManager` "by
+policy definition, is registered as a listener of all events regarding
+replication of clusters of objects" (Section 4).  The policy engine
+mediates between events and actions.
+
+Events are frozen dataclasses.  Each event class declares a dotted
+``topic`` used by declarative policies (e.g. ``memory.high``); code can
+subscribe either by event class (subclass-aware) or by topic string.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Deque, Dict, List, Tuple, Type
+
+Handler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all bus events."""
+
+    topic = "event"
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
+        return f"{type(self).__name__}({pairs})"
+
+
+# ---------------------------------------------------------------------------
+# Memory / context events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemoryHighEvent(Event):
+    """Heap usage crossed the high watermark (upwards)."""
+
+    topic = "memory.high"
+    space: str
+    used: int
+    capacity: int
+    ratio: float
+    need_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class MemoryLowEvent(Event):
+    """Heap usage fell back below the low watermark."""
+
+    topic = "memory.low"
+    space: str
+    used: int
+    capacity: int
+    ratio: float
+
+
+@dataclass(frozen=True)
+class AllocationFailedEvent(Event):
+    """An allocation could not be satisfied; policy gets one chance to free."""
+
+    topic = "memory.exhausted"
+    space: str
+    need_bytes: int
+    used: int
+    capacity: int
+
+
+@dataclass(frozen=True)
+class DeviceJoinedEvent(Event):
+    """A nearby device entered radio range."""
+
+    topic = "context.device_joined"
+    device_id: str
+
+
+@dataclass(frozen=True)
+class DeviceLeftEvent(Event):
+    """A nearby device left radio range."""
+
+    topic = "context.device_left"
+    device_id: str
+
+
+# ---------------------------------------------------------------------------
+# Replication events (the SwappingManager listens to these)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterReplicatedEvent(Event):
+    """An object cluster finished materializing on the device."""
+
+    topic = "replication.cluster"
+    space: str
+    cid: int
+    sid: int
+    object_count: int
+
+
+@dataclass(frozen=True)
+class ObjectFaultEvent(Event):
+    """A replication proxy was invoked and triggered a cluster fetch."""
+
+    topic = "replication.fault"
+    space: str
+    cid: int
+
+
+# ---------------------------------------------------------------------------
+# Swapping events (emitted by the SwappingManager; §4: "It also triggers
+# specific events regarding object-swapping")
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SwapOutEvent(Event):
+    topic = "swap.out"
+    space: str
+    sid: int
+    device_id: str
+    key: str
+    object_count: int
+    bytes_freed: int
+    xml_bytes: int
+
+
+@dataclass(frozen=True)
+class SwapInEvent(Event):
+    topic = "swap.in"
+    space: str
+    sid: int
+    device_id: str
+    key: str
+    object_count: int
+    bytes_restored: int
+
+
+@dataclass(frozen=True)
+class SwapDroppedEvent(Event):
+    """GC found a swapped cluster unreachable; the store was told to drop."""
+
+    topic = "swap.dropped"
+    space: str
+    sid: int
+    device_id: str
+    key: str
+
+
+@dataclass(frozen=True)
+class SwapClusterMergedEvent(Event):
+    """Two swap-clusters were merged; the boundary between them is gone."""
+
+    topic = "swap.merged"
+    space: str
+    absorber_sid: int
+    absorbed_sid: int
+    object_count: int
+
+
+@dataclass(frozen=True)
+class SwapClusterSplitEvent(Event):
+    """A swap-cluster was split; a new boundary was mediated."""
+
+    topic = "swap.split"
+    space: str
+    source_sid: int
+    new_sid: int
+    object_count: int
+
+
+@dataclass(frozen=True)
+class BoundaryCrossedEvent(Event):
+    """A swap-cluster boundary was crossed (sampled; stats live on clusters)."""
+
+    topic = "swap.boundary"
+    space: str
+    source_sid: int
+    target_sid: int
+
+
+# ---------------------------------------------------------------------------
+# GC events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GcCompletedEvent(Event):
+    topic = "gc.completed"
+    space: str
+    collected_objects: int
+    collected_clusters: int
+    bytes_freed: int
+
+
+@dataclass(frozen=True)
+class ClusterCollectedEvent(Event):
+    """A whole swap-cluster was reclaimed by the local collector.
+
+    Carries the replication cluster ids it contained so the replication
+    layer can release its server-side registrations (DGC-lite).
+    """
+
+    topic = "gc.cluster_collected"
+    space: str
+    sid: int
+    cids: tuple
+
+
+# ---------------------------------------------------------------------------
+# The bus
+# ---------------------------------------------------------------------------
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub.
+
+    Handlers run inline in ``emit`` in subscription order.  A handler
+    raising does not prevent other handlers from running; errors are
+    collected and re-raised wrapped after dispatch completes, so tests see
+    failures but the system state stays consistent.
+    """
+
+    def __init__(self, history: int = 256) -> None:
+        self._by_type: Dict[Type[Event], List[Handler]] = {}
+        self._by_topic: Dict[str, List[Handler]] = {}
+        self._any: List[Handler] = []
+        self._history: Deque[Event] = deque(maxlen=history)
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(self, event_type: Type[Event], handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for ``event_type`` and its subclasses.
+
+        Returns an unsubscribe callable.
+        """
+        self._by_type.setdefault(event_type, []).append(handler)
+        return lambda: self._by_type.get(event_type, []).remove(handler)
+
+    def subscribe_topic(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for events whose ``topic`` matches.
+
+        A trailing ``*`` matches a topic prefix: ``"swap.*"`` receives
+        ``swap.out``, ``swap.in`` and ``swap.dropped``.
+        """
+        self._by_topic.setdefault(topic, []).append(handler)
+        return lambda: self._by_topic.get(topic, []).remove(handler)
+
+    def subscribe_all(self, handler: Handler) -> Callable[[], None]:
+        self._any.append(handler)
+        return lambda: self._any.remove(handler)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        self._history.append(event)
+        errors: List[Tuple[Handler, BaseException]] = []
+        for handler in self._handlers_for(event):
+            try:
+                handler(event)
+            except Exception as exc:  # noqa: BLE001 - isolate handlers
+                errors.append((handler, exc))
+        if errors:
+            handler, exc = errors[0]
+            raise RuntimeError(
+                f"{len(errors)} event handler(s) failed for {event.describe()}; "
+                f"first: {handler!r}"
+            ) from exc
+
+    def _handlers_for(self, event: Event) -> List[Handler]:
+        handlers: List[Handler] = []
+        for event_type, registered in self._by_type.items():
+            if isinstance(event, event_type):
+                handlers.extend(registered)
+        topic = type(event).topic
+        for pattern, registered in self._by_topic.items():
+            if _topic_matches(pattern, topic):
+                handlers.extend(registered)
+        handlers.extend(self._any)
+        return handlers
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def history(self) -> List[Event]:
+        return list(self._history)
+
+    def last(self, event_type: Type[Event]) -> Event | None:
+        for event in reversed(self._history):
+            if isinstance(event, event_type):
+                return event
+        return None
+
+    def count(self, event_type: Type[Event]) -> int:
+        return sum(1 for event in self._history if isinstance(event, event_type))
+
+
+def _topic_matches(pattern: str, topic: str) -> bool:
+    if pattern.endswith("*"):
+        return topic.startswith(pattern[:-1])
+    return pattern == topic
+
+
+def topic_of(event: Event | Type[Event]) -> str:
+    """Return the dotted topic of an event instance or class."""
+    cls = event if isinstance(event, type) else type(event)
+    return cls.topic
+
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Handler",
+    "topic_of",
+    "MemoryHighEvent",
+    "MemoryLowEvent",
+    "AllocationFailedEvent",
+    "DeviceJoinedEvent",
+    "DeviceLeftEvent",
+    "ClusterReplicatedEvent",
+    "ObjectFaultEvent",
+    "SwapOutEvent",
+    "SwapInEvent",
+    "SwapDroppedEvent",
+    "SwapClusterMergedEvent",
+    "SwapClusterSplitEvent",
+    "BoundaryCrossedEvent",
+    "GcCompletedEvent",
+    "ClusterCollectedEvent",
+]

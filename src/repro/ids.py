@@ -1,0 +1,63 @@
+"""Identifier allocation for objects, clusters and swap-clusters.
+
+OBIWAN keys everything on small ids: every managed object gets an *oid*,
+every replication cluster a *cluster id* (cid) and every swap-cluster a
+*swap-cluster id* (sid).  Sid ``0`` is reserved for the special
+swap-cluster-0 that holds global variables / roots (paper, Section 3).
+
+Ids are plain ``int`` so they serialize trivially into the XML wire format
+and hash fast in the manager's tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+Oid = int
+Cid = int
+Sid = int
+
+#: The reserved swap-cluster id for process globals / root variables.
+ROOT_SID: Sid = 0
+
+
+class IdAllocator:
+    """Thread-safe monotonic allocator for one id namespace."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            return next(self._counter)
+
+    def reserve_above(self, value: int) -> None:
+        """Make sure future ids are strictly greater than ``value``.
+
+        Used when re-adopting swapped-in objects that keep their old oids.
+        """
+        with self._lock:
+            current = next(self._counter)
+            self._counter = itertools.count(max(current, value + 1))
+
+
+class IdSpace:
+    """The three id namespaces one managed space needs."""
+
+    def __init__(self) -> None:
+        self.oids = IdAllocator(start=1)
+        self.cids = IdAllocator(start=1)
+        # sid 0 is reserved for ROOT_SID
+        self.sids = IdAllocator(start=1)
+
+
+def format_swap_key(space_name: str, sid: Sid, epoch: int) -> str:
+    """Build the unique key a swap-cluster is stored under on a device.
+
+    The paper requires "a unique ID (e.g., a number, a file name)" per
+    stored set; we include the owning space and a swap epoch so the same
+    cluster swapped twice never collides with a stale copy.
+    """
+    return f"{space_name}/sc-{sid}/e{epoch}"

@@ -1,0 +1,20 @@
+"""Memory-management module: heap accounting, size model, local GC.
+
+Mirrors OBIWAN's *Memory Management* module (paper, Section 2): it owns the
+byte-accounted heap model, the local collector that cooperates with
+object-swapping, and the reachability walk that implements the paper's
+conservative whole-swap-cluster rule.
+"""
+
+from repro.memory.heap import Heap, HeapStats
+from repro.memory.sizemodel import SizeModel, DEFAULT_SIZE_MODEL
+from repro.memory.lgc import LocalCollector, CollectionResult
+
+__all__ = [
+    "Heap",
+    "HeapStats",
+    "SizeModel",
+    "DEFAULT_SIZE_MODEL",
+    "LocalCollector",
+    "CollectionResult",
+]

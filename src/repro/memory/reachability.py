@@ -1,0 +1,101 @@
+"""Reachability analysis over a managed space.
+
+Implements the marking walk shared by the local collector and tests.
+The traversal rules encode the paper's GC integration (Section 3):
+
+* raw managed objects are marked by oid and traversed field-by-field
+  (descending into containers);
+* a swap-cluster-proxy marks nothing itself but forwards the walk to its
+  target: the live replica when resident, the **replacement-object** when
+  swapped;
+* a reachable replacement-object marks its swap-cluster as
+  conservatively reachable *as a whole* and keeps the detached cluster's
+  outbound proxies alive (so the walk continues through them — the
+  swapped cluster still "references" those targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Set
+
+from repro.runtime.classext import instance_fields
+
+
+@dataclass
+class ReachableSet:
+    """Result of a marking walk."""
+
+    oids: Set[int] = field(default_factory=set)
+    #: sids whose replacement-object was reached (swapped clusters alive).
+    replacement_sids: Set[int] = field(default_factory=set)
+
+    def is_object_reachable(self, oid: int) -> bool:
+        return oid in self.oids
+
+    def is_swapped_cluster_reachable(self, sid: int) -> bool:
+        return sid in self.replacement_sids
+
+
+def mark_from(
+    roots: Iterable[Any],
+    expand_object: Any = None,
+) -> ReachableSet:
+    """Mark everything reachable from ``roots``.
+
+    ``expand_object(oid)``, when given, returns co-members that become
+    reachable alongside ``oid`` — the hook the collector uses for the
+    paper's conservative rule: a swap-cluster is reachable *as a whole*,
+    so members kept only by conservatism still anchor their own outgoing
+    references (their targets must not be collected under them).
+    """
+    result = ReachableSet()
+    seen_containers: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        item = stack.pop()
+        cls = type(item)
+        if getattr(cls, "_obi_managed", False):
+            oid = getattr(item, "_obi_oid", None)
+            if oid is None or oid in result.oids:
+                continue
+            result.oids.add(oid)
+            stack.extend(instance_fields(item).values())
+            if expand_object is not None:
+                stack.extend(expand_object(oid))
+        elif getattr(cls, "_obi_is_proxy", False):
+            target = item._obi_target
+            if getattr(type(target), "_obi_is_replacement", False):
+                if target.sid not in result.replacement_sids:
+                    result.replacement_sids.add(target.sid)
+                    stack.extend(target.outbound)
+            else:
+                stack.append(target)
+        elif getattr(cls, "_obi_is_replacement", False):
+            if item.sid not in result.replacement_sids:
+                result.replacement_sids.add(item.sid)
+                stack.extend(item.outbound)
+        elif cls in (list, tuple, set, frozenset):
+            marker = id(item)
+            if marker not in seen_containers:
+                seen_containers.add(marker)
+                stack.extend(item)
+        elif cls is dict:
+            marker = id(item)
+            if marker not in seen_containers:
+                seen_containers.add(marker)
+                stack.extend(item.keys())
+                stack.extend(item.values())
+    return result
+
+
+def space_roots(space: Any, extra_roots: Iterable[Any] = ()) -> list:
+    """The root set of a space: named roots, pinned clusters, extras."""
+    roots: list = list(space._roots.values())
+    for cluster in space._clusters.values():
+        if cluster.pins > 0 and cluster.is_resident:
+            roots.extend(
+                space._objects[oid] for oid in cluster.oids if oid in space._objects
+            )
+    roots.extend(extra_roots)
+    return roots

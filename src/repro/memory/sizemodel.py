@@ -1,0 +1,123 @@
+"""Deterministic per-object size model.
+
+CPython cannot report the live footprint of an object graph the way the
+.NET CF heap does, so the reproduction accounts memory explicitly: every
+managed object is charged a deterministic size when adopted into a space
+and credited back when swapped out or collected.  The model is documented
+here so EXPERIMENTS.md numbers are interpretable.
+
+The paper's Figure 5 benchmark uses "10000 64-byte objects"; benchmark
+classes declare ``@managed(size=64)`` to pin that footprint exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+#: Fixed per-instance header charge (type pointer + gc header analogue).
+OBJECT_HEADER_BYTES = 16
+
+#: Charge per reference-sized slot (field, list element, dict entry side).
+SLOT_BYTES = 8
+
+#: Container header charge.
+CONTAINER_HEADER_BYTES = 16
+
+
+class SizeModel:
+    """Compute the accounted size of a managed object.
+
+    Precedence:
+
+    1. An explicit ``size`` hint given to ``@managed(size=N)`` wins.
+    2. Otherwise the size is ``OBJECT_HEADER_BYTES`` plus the cost of each
+       field in the instance ``__dict__`` (internals prefixed ``_obi_``
+       excluded).
+
+    Field costs: a reference to another managed object or proxy costs one
+    slot (the pointee is accounted separately); primitives cost their
+    payload; containers cost header + per-element costs.
+    """
+
+    def __init__(
+        self,
+        header_bytes: int = OBJECT_HEADER_BYTES,
+        slot_bytes: int = SLOT_BYTES,
+        container_header_bytes: int = CONTAINER_HEADER_BYTES,
+    ) -> None:
+        self.header_bytes = header_bytes
+        self.slot_bytes = slot_bytes
+        self.container_header_bytes = container_header_bytes
+
+    # -- public ------------------------------------------------------------
+
+    def size_of(self, obj: Any) -> int:
+        hint = getattr(type(obj), "_obi_size_hint", None)
+        if hint is not None:
+            return int(hint)
+        size = self.header_bytes
+        for name, value in vars(obj).items():
+            if name.startswith("_obi_"):
+                continue
+            size += self.slot_bytes  # the field slot itself
+            size += self._value_size(value)
+        return size
+
+    def proxy_size(self) -> int:
+        """Accounted size of one swap-cluster-proxy (4 internal slots)."""
+        return self.header_bytes + 4 * self.slot_bytes
+
+    def replacement_size(self, outbound_count: int) -> int:
+        """Accounted size of a replacement-object: an array of references."""
+        return self.container_header_bytes + outbound_count * self.slot_bytes
+
+    # -- internals -----------------------------------------------------------
+
+    def _value_size(self, value: Any) -> int:
+        if value is None or isinstance(value, bool):
+            return 0
+        if isinstance(value, int):
+            return 8
+        if isinstance(value, float):
+            return 8
+        if isinstance(value, str):
+            return len(value.encode("utf-8"))
+        if isinstance(value, (bytes, bytearray)):
+            return len(value)
+        if isinstance(value, (list, tuple, set, frozenset)):
+            size = self.container_header_bytes
+            for item in value:
+                size += self.slot_bytes + self._payload_or_slot(item)
+            return size
+        if isinstance(value, dict):
+            size = self.container_header_bytes
+            for key, item in value.items():
+                size += 2 * self.slot_bytes
+                size += self._payload_or_slot(key)
+                size += self._payload_or_slot(item)
+            return size
+        # references to managed objects / proxies: the slot was already
+        # charged; the pointee is accounted on its own.
+        return 0
+
+    def _payload_or_slot(self, value: Any) -> int:
+        if _is_reference(value):
+            return 0
+        return self._value_size(value)
+
+
+def _is_reference(value: Any) -> bool:
+    return getattr(type(value), "_obi_managed", False) or getattr(
+        type(value), "_obi_is_proxy", False
+    )
+
+
+#: Shared default instance; spaces take a model so tests can substitute.
+DEFAULT_SIZE_MODEL = SizeModel()
+
+
+def graph_footprint(objects: Dict[int, Any], model: SizeModel | None = None) -> Tuple[int, int]:
+    """Return (object_count, total_accounted_bytes) for an oid->obj map."""
+    model = model or DEFAULT_SIZE_MODEL
+    total = sum(model.size_of(obj) for obj in objects.values())
+    return len(objects), total

@@ -1,0 +1,150 @@
+"""Built-in policy actions.
+
+Actions run with an :class:`ActionContext` (space, triggering event,
+engine) and string arguments from the policy document.  The built-in
+vocabulary covers the paper's behaviours: swap victims out under
+pressure, reload, run the collector, log.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import NoSwapDeviceError, PolicyError, SwapStoreUnavailableError
+from repro.events import Event
+from repro.policy.victims import select_victims
+
+logger = logging.getLogger("repro.policy")
+
+
+@dataclass
+class ActionContext:
+    space: Any
+    event: Optional[Event] = None
+    engine: Any = None
+    #: Actions append human-readable notes here; tests assert on them.
+    journal: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.journal.append(message)
+
+
+ActionFn = Callable[[ActionContext, Dict[str, str]], None]
+
+
+class ActionRegistry:
+    """Named actions a policy document may invoke."""
+
+    def __init__(self) -> None:
+        self._actions: Dict[str, ActionFn] = {}
+
+    def register(self, name: str, fn: ActionFn) -> None:
+        self._actions[name] = fn
+
+    def run(self, name: str, context: ActionContext, args: Dict[str, str]) -> None:
+        action = self._actions.get(name)
+        if action is None:
+            raise PolicyError(
+                f"unknown action {name!r}; available: {sorted(self._actions)}"
+            )
+        action(context, args)
+
+    def names(self) -> List[str]:
+        return sorted(self._actions)
+
+
+# -- built-ins -----------------------------------------------------------------
+
+
+def _int_arg(args: Dict[str, str], name: str, default: int | None = None) -> int | None:
+    raw = args.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise PolicyError(f"action argument {name}={raw!r} is not an integer") from None
+
+
+def _float_arg(
+    args: Dict[str, str], name: str, default: float | None = None
+) -> float | None:
+    raw = args.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise PolicyError(f"action argument {name}={raw!r} is not a number") from None
+
+
+def action_swap_out(context: ActionContext, args: Dict[str, str]) -> None:
+    """Swap victims out: ``victims=`` strategy, ``count=`` or
+    ``until_ratio=`` termination (default: one victim)."""
+    space = context.space
+    strategy = args.get("victims", "lru")
+    until_ratio = _float_arg(args, "until_ratio")
+    count = _int_arg(args, "count", default=None if until_ratio else 1)
+
+    swapped = 0
+    while True:
+        if until_ratio is not None and space.heap.ratio <= until_ratio:
+            break
+        if count is not None and swapped >= count:
+            break
+        victims = select_victims(space, strategy, count=1)
+        if not victims:
+            context.note("swap_out: no swappable victim")
+            break
+        try:
+            location = space.manager.swap_out(victims[0])
+        except (NoSwapDeviceError, SwapStoreUnavailableError) as exc:
+            context.note(f"swap_out: {exc}")
+            break
+        swapped += 1
+        context.note(
+            f"swap_out: sc-{victims[0]} -> {location.device_id} "
+            f"({location.xml_bytes} bytes)"
+        )
+        if until_ratio is None and count is None:
+            break
+
+
+def action_swap_in(context: ActionContext, args: Dict[str, str]) -> None:
+    sid = _int_arg(args, "sid")
+    if sid is None:
+        raise PolicyError("swap_in requires sid=")
+    context.space.manager.swap_in(sid)
+    context.note(f"swap_in: sc-{sid}")
+
+
+def action_gc(context: ActionContext, args: Dict[str, str]) -> None:
+    result = context.space.gc()
+    context.note(f"gc: {result.describe()}")
+
+
+def action_log(context: ActionContext, args: Dict[str, str]) -> None:
+    message = args.get("message", "")
+    event_text = context.event.describe() if context.event else "<no event>"
+    logger.info("policy: %s (%s)", message, event_text)
+    context.note(f"log: {message}")
+
+
+def action_set_victim_strategy(context: ActionContext, args: Dict[str, str]) -> None:
+    from repro.policy.victims import make_selector
+
+    strategy = args.get("strategy", "lru")
+    context.space.manager.victim_selector = make_selector(strategy)
+    context.note(f"victim strategy -> {strategy}")
+
+
+def default_action_registry() -> ActionRegistry:
+    registry = ActionRegistry()
+    registry.register("swap_out", action_swap_out)
+    registry.register("swap_in", action_swap_in)
+    registry.register("gc", action_gc)
+    registry.register("log", action_log)
+    registry.register("set_victim_strategy", action_set_victim_strategy)
+    return registry

@@ -1,0 +1,139 @@
+"""The policy engine: event-driven rule evaluation.
+
+Subscribes to the space's bus; every event is matched against the loaded
+rules' topics, the rule condition is evaluated over a namespace built
+from the event and the live system (heap, space, devices), and matching
+rules run their actions through the action registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from dataclasses import fields as dataclass_fields
+from typing import Any, Dict, List, Optional
+
+from repro.events import Event, EventBus, topic_of
+from repro.policy.actions import ActionContext, ActionRegistry, default_action_registry
+from repro.policy.model import Policy, Rule
+
+
+@dataclass
+class _EventView:
+    """Attribute-access view of an event for condition namespaces."""
+
+    topic: str
+    fields: Dict[str, Any]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+@dataclass
+class FiredRule:
+    policy: str
+    rule: str
+    topic: str
+    notes: List[str]
+
+
+class PolicyEngine:
+    """Loads policies and mediates events to actions for one space."""
+
+    def __init__(
+        self,
+        space: Any,
+        bus: Optional[EventBus] = None,
+        actions: Optional[ActionRegistry] = None,
+        neighborhood: Any = None,
+    ) -> None:
+        self._space = space
+        self._bus = bus if bus is not None else space.bus
+        self._actions = actions if actions is not None else default_action_registry()
+        self._neighborhood = neighborhood
+        self._policies: List[Policy] = []
+        self.fired: List[FiredRule] = []
+        self._reentry = False
+        self._unsubscribe = self._bus.subscribe_all(self._on_event)
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self, policy: Policy) -> None:
+        self._policies.append(policy)
+
+    def load_all(self, policies: List[Policy]) -> None:
+        for policy in policies:
+            self.load(policy)
+
+    def load_xml(self, xml_text: str) -> List[Policy]:
+        from repro.policy.xmlpolicy import parse_policies
+
+        policies = parse_policies(xml_text)
+        self.load_all(policies)
+        return policies
+
+    def policies(self) -> List[Policy]:
+        return list(self._policies)
+
+    def unload(self, name: str) -> None:
+        self._policies = [p for p in self._policies if p.name != name]
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    @property
+    def actions(self) -> ActionRegistry:
+        return self._actions
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if self._reentry:
+            # actions emit events themselves (swap.out etc.); evaluating
+            # policies against those would recurse unboundedly
+            return
+        topic = topic_of(event)
+        namespace = self._namespace(event, topic)
+        self._reentry = True
+        try:
+            for policy in self._policies:
+                if not policy.enabled:
+                    continue
+                for rule in policy.rules:
+                    if not rule.matches_topic(topic):
+                        continue
+                    if not rule.condition_holds(namespace):
+                        continue
+                    context = ActionContext(
+                        space=self._space, event=event, engine=self
+                    )
+                    for action in rule.actions:
+                        self._actions.run(action.name, context, action.args)
+                    self.fired.append(
+                        FiredRule(
+                            policy=policy.name,
+                            rule=rule.describe(),
+                            topic=topic,
+                            notes=list(context.journal),
+                        )
+                    )
+        finally:
+            self._reentry = False
+
+    def _namespace(self, event: Event, topic: str) -> Dict[str, Any]:
+        event_fields = {
+            f.name: getattr(event, f.name) for f in dataclass_fields(event)
+        }
+        namespace: Dict[str, Any] = {
+            "event": _EventView(topic=topic, fields=event_fields),
+            "topic": topic,
+            "heap": self._space.heap,
+            "space": self._space,
+            "resident_objects": self._space.object_count(),
+        }
+        namespace.update(event_fields)
+        if self._neighborhood is not None:
+            namespace["devices_in_range"] = len(self._neighborhood.discover())
+        return namespace

@@ -1,0 +1,182 @@
+"""Safe expression evaluation for policy conditions.
+
+Policy documents embed conditions like ``heap.ratio >= 0.85 and
+devices.in_range > 0``.  They are evaluated over a namespace supplied by
+the engine using a strict AST whitelist — no calls, no comprehensions,
+no dunder access — so a policy file can never execute arbitrary code.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Any, Callable, Dict, Mapping
+
+from repro.errors import ExpressionError
+
+_BIN_OPS: Dict[type, Callable[[Any, Any], Any]] = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+}
+
+_CMP_OPS: Dict[type, Callable[[Any, Any], bool]] = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+    ast.Is: operator.is_,
+    ast.IsNot: operator.is_not,
+}
+
+
+class CompiledExpression:
+    """A parsed, validated condition ready to evaluate repeatedly."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        try:
+            tree = ast.parse(source, mode="eval")
+        except SyntaxError as exc:
+            raise ExpressionError(f"invalid condition {source!r}: {exc}") from exc
+        _validate(tree.body, source)
+        self._body = tree.body
+
+    def evaluate(self, namespace: Mapping[str, Any]) -> Any:
+        return _eval_node(self._body, namespace, self.source)
+
+    def __call__(self, namespace: Mapping[str, Any]) -> Any:
+        return self.evaluate(namespace)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CompiledExpression {self.source!r}>"
+
+
+def compile_expression(source: str) -> CompiledExpression:
+    return CompiledExpression(source)
+
+
+def evaluate_expression(source: str, namespace: Mapping[str, Any]) -> Any:
+    return CompiledExpression(source).evaluate(namespace)
+
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BoolOp,
+    ast.And,
+    ast.Or,
+    ast.UnaryOp,
+    ast.Not,
+    ast.USub,
+    ast.BinOp,
+    ast.Compare,
+    ast.Name,
+    ast.Load,
+    ast.Attribute,
+    ast.Subscript,
+    ast.Constant,
+    ast.IfExp,
+    ast.Tuple,
+    ast.List,
+)
+
+
+def _validate(node: ast.AST, source: str) -> None:
+    for child in ast.walk(node):
+        if not isinstance(child, _ALLOWED_NODES) and not isinstance(
+            child, tuple(_BIN_OPS) + tuple(_CMP_OPS)
+        ):
+            raise ExpressionError(
+                f"condition {source!r}: construct {type(child).__name__} is "
+                f"not allowed (no calls, lambdas or comprehensions)"
+            )
+        if isinstance(child, ast.Attribute) and child.attr.startswith("_"):
+            raise ExpressionError(
+                f"condition {source!r}: underscore attribute "
+                f"{child.attr!r} is not allowed"
+            )
+
+
+def _eval_node(node: ast.AST, namespace: Mapping[str, Any], source: str) -> Any:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        try:
+            return namespace[node.id]
+        except KeyError:
+            raise ExpressionError(
+                f"condition {source!r}: unknown name {node.id!r}"
+            ) from None
+    if isinstance(node, ast.Attribute):
+        value = _eval_node(node.value, namespace, source)
+        try:
+            return getattr(value, node.attr)
+        except AttributeError:
+            raise ExpressionError(
+                f"condition {source!r}: {type(value).__name__} has no "
+                f"attribute {node.attr!r}"
+            ) from None
+    if isinstance(node, ast.Subscript):
+        value = _eval_node(node.value, namespace, source)
+        index = _eval_node(node.slice, namespace, source)
+        try:
+            return value[index]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise ExpressionError(f"condition {source!r}: {exc}") from exc
+    if isinstance(node, ast.BoolOp):
+        if isinstance(node.op, ast.And):
+            result: Any = True
+            for clause in node.values:
+                result = _eval_node(clause, namespace, source)
+                if not result:
+                    return result
+            return result
+        result = False
+        for clause in node.values:
+            result = _eval_node(clause, namespace, source)
+            if result:
+                return result
+        return result
+    if isinstance(node, ast.UnaryOp):
+        operand = _eval_node(node.operand, namespace, source)
+        if isinstance(node.op, ast.Not):
+            return not operand
+        if isinstance(node.op, ast.USub):
+            return -operand
+        raise ExpressionError(f"condition {source!r}: unsupported unary op")
+    if isinstance(node, ast.BinOp):
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            raise ExpressionError(f"condition {source!r}: unsupported operator")
+        return op(
+            _eval_node(node.left, namespace, source),
+            _eval_node(node.right, namespace, source),
+        )
+    if isinstance(node, ast.Compare):
+        left = _eval_node(node.left, namespace, source)
+        for op_node, comparator in zip(node.ops, node.comparators):
+            op = _CMP_OPS.get(type(op_node))
+            if op is None:
+                raise ExpressionError(f"condition {source!r}: unsupported comparison")
+            right = _eval_node(comparator, namespace, source)
+            if not op(left, right):
+                return False
+            left = right
+        return True
+    if isinstance(node, ast.IfExp):
+        if _eval_node(node.test, namespace, source):
+            return _eval_node(node.body, namespace, source)
+        return _eval_node(node.orelse, namespace, source)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        items = [_eval_node(item, namespace, source) for item in node.elts]
+        return tuple(items) if isinstance(node, ast.Tuple) else items
+    raise ExpressionError(
+        f"condition {source!r}: unsupported node {type(node).__name__}"
+    )

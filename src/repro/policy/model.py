@@ -1,0 +1,79 @@
+"""Policy object model: policies, rules, action specifications.
+
+A policy is a named, categorized bundle of rules ("policies are stored
+and categorized by nature", Section 2).  Each rule binds an event topic
+(with ``*`` prefix wildcards) to an optional condition and a list of
+actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.policy.expr import CompiledExpression, compile_expression
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """One action invocation: a registered name plus string arguments."""
+
+    name: str
+    args: Dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        rendered = " ".join(f"{key}={value}" for key, value in self.args.items())
+        return f"{self.name}({rendered})" if rendered else f"{self.name}()"
+
+
+class Rule:
+    """on <topic> [when <condition>] do <actions>."""
+
+    def __init__(
+        self,
+        on: str,
+        actions: List[ActionSpec],
+        when: Optional[str] = None,
+    ) -> None:
+        self.on = on
+        self.actions = list(actions)
+        self.when_source = when
+        self._condition: Optional[CompiledExpression] = (
+            compile_expression(when) if when else None
+        )
+
+    def matches_topic(self, topic: str) -> bool:
+        if self.on.endswith("*"):
+            return topic.startswith(self.on[:-1])
+        return self.on == topic
+
+    def condition_holds(self, namespace: Mapping[str, Any]) -> bool:
+        if self._condition is None:
+            return True
+        return bool(self._condition.evaluate(namespace))
+
+    def describe(self) -> str:
+        parts = [f"on {self.on}"]
+        if self.when_source:
+            parts.append(f"when {self.when_source}")
+        parts.append("do " + "; ".join(a.describe() for a in self.actions))
+        return " ".join(parts)
+
+
+@dataclass
+class Policy:
+    """A named bundle of rules."""
+
+    name: str
+    rules: List[Rule]
+    category: str = "application"
+    enabled: bool = True
+
+    def describe(self) -> str:
+        lines = [f"policy {self.name!r} [{self.category}]"]
+        lines.extend(f"  {rule.describe()}" for rule in self.rules)
+        return "\n".join(lines)
+
+
+#: The policy categories of Figure 1 (user / machine / application / domain).
+POLICY_CATEGORIES = ("user", "machine", "application", "domain")

@@ -1,0 +1,208 @@
+"""Adaptive swap-cluster tuning.
+
+The paper leaves both granularities "adaptable" but picks them at
+replication time.  With runtime merge/split
+(:mod:`repro.core.restructure`) the grouping can instead *track the
+application*: boundaries that are crossed constantly are overhead with no
+benefit (the two sides always travel together), while big clusters that
+are never crossed cost reload latency for nothing when they swap.
+
+The tuner works from signals the middleware already maintains:
+
+* per-cluster crossing counts and recency (recorded by every proxy
+  invocation, paper §3);
+* static reference affinity, recovered by scanning member fields for
+  outbound proxies (a tuning-time scan — nothing is added to the
+  invocation fast path).
+
+``AdaptiveTuner.step()`` applies at most one restructuring per call, with
+hysteresis bounds, so it can run from a policy rule (action
+``adapt_clusters``) on memory/GC events without thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.restructure import merge_swap_clusters, split_swap_cluster
+from repro.ids import ROOT_SID, Sid
+from repro.runtime.classext import instance_fields
+
+
+@dataclass(frozen=True)
+class TuningDecision:
+    """What one tuner step did (or why it did nothing)."""
+
+    action: str  # "merge" | "split" | "none"
+    detail: str
+    sids: Tuple[Sid, ...] = ()
+
+
+def reference_affinity(space: Any, sid: Sid) -> Dict[Sid, int]:
+    """How many outbound references cluster ``sid`` holds, per target.
+
+    Counts swap-cluster-proxies found in the members' fields (including
+    containers) — the static edge structure the dynamic crossings flow
+    over.
+    """
+    cluster = space._clusters.get(sid)
+    if cluster is None or not cluster.is_resident:
+        return {}
+    counts: Dict[Sid, int] = {}
+
+    def scan(value: Any) -> None:
+        cls = type(value)
+        if getattr(cls, "_obi_is_proxy", False):
+            target_sid = value._obi_target_sid
+            counts[target_sid] = counts.get(target_sid, 0) + 1
+            return
+        if cls is list or cls is tuple or cls is set or cls is frozenset:
+            for item in value:
+                scan(item)
+        elif cls is dict:
+            for key, item in value.items():
+                scan(key)
+                scan(item)
+
+    for oid in cluster.oids:
+        member = space._objects.get(oid)
+        if member is None:
+            continue
+        for value in instance_fields(member).values():
+            scan(value)
+    return counts
+
+
+class AdaptiveTuner:
+    """One-step-at-a-time swap-cluster restructuring."""
+
+    def __init__(
+        self,
+        space: Any,
+        *,
+        hot_crossings: int = 200,
+        cold_crossings: int = 5,
+        max_cluster_objects: int = 400,
+        min_cluster_objects: int = 4,
+        cooldown_ticks: int = 100,
+    ) -> None:
+        self._space = space
+        #: A cluster crossed at least this often since the last step is
+        #: "hot": merging it with its strongest neighbour removes the
+        #: most-paid-for boundary.
+        self.hot_crossings = hot_crossings
+        #: A cluster crossed at most this often is "cold": if it is also
+        #: large, splitting halves the future reload unit.
+        self.cold_crossings = cold_crossings
+        self.max_cluster_objects = max_cluster_objects
+        self.min_cluster_objects = min_cluster_objects
+        self.cooldown_ticks = cooldown_ticks
+        self._baseline_crossings: Dict[Sid, int] = {}
+        self._last_step_tick = 0
+        self.decisions: List[TuningDecision] = []
+
+    # -- signals -------------------------------------------------------------
+
+    def crossings_since_last_step(self, sid: Sid) -> int:
+        cluster = self._space._clusters.get(sid)
+        if cluster is None:
+            return 0
+        return cluster.crossings - self._baseline_crossings.get(sid, 0)
+
+    def _eligible(self) -> List[Any]:
+        return [
+            cluster
+            for sid, cluster in self._space._clusters.items()
+            if sid != ROOT_SID and cluster.swappable() and len(cluster) > 0
+        ]
+
+    # -- the step ----------------------------------------------------------------
+
+    def step(self) -> TuningDecision:
+        """Apply at most one merge or split; returns the decision."""
+        space = self._space
+        if space._tick - self._last_step_tick < self.cooldown_ticks:
+            decision = TuningDecision("none", "cooldown")
+            self.decisions.append(decision)
+            return decision
+
+        decision = self._try_merge()
+        if decision.action == "none":
+            decision = self._try_split()
+
+        self._last_step_tick = space._tick
+        for sid, cluster in space._clusters.items():
+            self._baseline_crossings[sid] = cluster.crossings
+        self.decisions.append(decision)
+        return decision
+
+    def _try_merge(self) -> TuningDecision:
+        hot = [
+            (self.crossings_since_last_step(cluster.sid), cluster)
+            for cluster in self._eligible()
+        ]
+        hot = [
+            (delta, cluster)
+            for delta, cluster in hot
+            if delta >= self.hot_crossings
+        ]
+        if not hot:
+            return TuningDecision("none", "no hot cluster")
+        hot.sort(key=lambda pair: pair[0], reverse=True)
+
+        # hottest first; a cluster already at the size cap falls through
+        # to the next-hottest instead of stalling the tuner
+        for delta, cluster in hot:
+            affinity = reference_affinity(self._space, cluster.sid)
+            affinity.pop(ROOT_SID, None)
+            candidates = [
+                (count, target_sid)
+                for target_sid, count in affinity.items()
+                if (target := self._space._clusters.get(target_sid)) is not None
+                and target.swappable()
+                and len(target) > 0
+                and len(target) + len(cluster) <= self.max_cluster_objects
+            ]
+            if not candidates:
+                continue
+            _, neighbour_sid = max(candidates)
+            merge_swap_clusters(self._space, cluster.sid, neighbour_sid)
+            return TuningDecision(
+                "merge",
+                f"hot sc-{cluster.sid} ({delta} crossings) absorbed "
+                f"sc-{neighbour_sid}",
+                (cluster.sid, neighbour_sid),
+            )
+        return TuningDecision("none", "hot clusters have no mergeable neighbour")
+
+    def _try_split(self) -> TuningDecision:
+        coldest: Optional[Any] = None
+        for cluster in self._eligible():
+            if len(cluster) < 2 * self.min_cluster_objects:
+                continue
+            if len(cluster) <= self.max_cluster_objects // 2:
+                continue
+            if self.crossings_since_last_step(cluster.sid) > self.cold_crossings:
+                continue
+            if coldest is None or len(cluster) > len(coldest):
+                coldest = cluster
+        if coldest is None:
+            return TuningDecision("none", "no cold oversized cluster")
+        half = len(coldest) // 2
+        new_sid = split_swap_cluster(self._space, coldest.sid, half)
+        return TuningDecision(
+            "split",
+            f"cold sc-{coldest.sid} split: {half} objects -> sc-{new_sid}",
+            (coldest.sid, new_sid),
+        )
+
+
+def install_tuning_action(engine: Any, tuner: AdaptiveTuner) -> None:
+    """Register the ``adapt_clusters`` policy action on an engine."""
+
+    def adapt_clusters(context: Any, args: Dict[str, str]) -> None:
+        decision = tuner.step()
+        context.note(f"adapt_clusters: {decision.action} ({decision.detail})")
+
+    engine.actions.register("adapt_clusters", adapt_clusters)

@@ -1,0 +1,124 @@
+"""Swap-victim selection strategies.
+
+Swap-cluster-proxies record "basic data w.r.t. recency and frequency, as
+these boundaries are transversed by the application" (Section 3); those
+statistics drive the choice of which cluster to detach under pressure.
+
+Strategies (each maps a space to a ranked list of swappable sids):
+
+* ``lru``     — least-recently-crossed first (the default);
+* ``lfu``     — least-frequently-crossed first;
+* ``largest`` — biggest heap footprint first (frees most per swap);
+* ``smallest``— smallest first (cheapest to reload);
+* ``hybrid``  — footprint / (1 + recent use) score, preferring big idle
+  clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import PolicyError
+
+RankFn = Callable[[Any], List[int]]
+
+
+def _swappable(space: Any) -> List[Any]:
+    return [
+        cluster
+        for cluster in space._clusters.values()
+        if cluster.swappable() and cluster.oids
+    ]
+
+
+def _footprint(space: Any, cluster: Any) -> int:
+    heap = space.heap
+    return sum(heap.size_of(oid) for oid in cluster.oids if heap.holds(oid))
+
+
+def rank_lru(space: Any) -> List[int]:
+    clusters = sorted(_swappable(space), key=lambda c: c.last_crossing_tick)
+    return [cluster.sid for cluster in clusters]
+
+
+def rank_lfu(space: Any) -> List[int]:
+    clusters = sorted(
+        _swappable(space), key=lambda c: (c.crossings, c.last_crossing_tick)
+    )
+    return [cluster.sid for cluster in clusters]
+
+
+def rank_largest(space: Any) -> List[int]:
+    clusters = sorted(
+        _swappable(space), key=lambda c: _footprint(space, c), reverse=True
+    )
+    return [cluster.sid for cluster in clusters]
+
+
+def rank_smallest(space: Any) -> List[int]:
+    clusters = sorted(_swappable(space), key=lambda c: _footprint(space, c))
+    return [cluster.sid for cluster in clusters]
+
+
+def rank_hybrid(space: Any) -> List[int]:
+    now = space._tick
+
+    def score(cluster: Any) -> float:
+        idle = max(1, now - cluster.last_crossing_tick)
+        return _footprint(space, cluster) * idle / (1 + cluster.crossings)
+
+    clusters = sorted(_swappable(space), key=score, reverse=True)
+    return [cluster.sid for cluster in clusters]
+
+
+VICTIM_STRATEGIES: Dict[str, RankFn] = {
+    "lru": rank_lru,
+    "lfu": rank_lfu,
+    "largest": rank_largest,
+    "smallest": rank_smallest,
+    "hybrid": rank_hybrid,
+}
+
+
+def select_victims(
+    space: Any,
+    strategy: str = "lru",
+    count: int | None = None,
+    need_bytes: int | None = None,
+) -> List[int]:
+    """Ranked victim sids, cut by ``count`` or cumulative ``need_bytes``."""
+    try:
+        rank = VICTIM_STRATEGIES[strategy]
+    except KeyError:
+        raise PolicyError(
+            f"unknown victim strategy {strategy!r}; "
+            f"available: {sorted(VICTIM_STRATEGIES)}"
+        ) from None
+    ranked = rank(space)
+    if count is not None:
+        return ranked[:count]
+    if need_bytes is not None:
+        chosen: List[int] = []
+        freed = 0
+        for sid in ranked:
+            if freed >= need_bytes:
+                break
+            chosen.append(sid)
+            freed += _footprint(space, space._clusters[sid])
+        return chosen
+    return ranked
+
+
+def make_selector(strategy: str = "lru") -> Callable[[Any], Optional[int]]:
+    """A one-victim-at-a-time selector for the SwappingManager."""
+    if strategy not in VICTIM_STRATEGIES:
+        raise PolicyError(
+            f"unknown victim strategy {strategy!r}; "
+            f"available: {sorted(VICTIM_STRATEGIES)}"
+        )
+
+    def selector(space: Any) -> Optional[int]:
+        ranked = VICTIM_STRATEGIES[strategy](space)
+        return ranked[0] if ranked else None
+
+    return selector

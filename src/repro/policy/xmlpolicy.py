@@ -1,0 +1,119 @@
+"""XML policy documents.
+
+"Policies that deploy the various modules are coded in XML" (Section 4).
+Format::
+
+    <policies>
+      <policy name="swap-on-pressure" category="machine">
+        <rule on="memory.high">
+          <when>heap.ratio &gt;= 0.85</when>
+          <do action="swap_out" victims="lru" until_ratio="0.6"/>
+        </rule>
+        <rule on="context.device_joined">
+          <do action="log" message="a store appeared"/>
+        </rule>
+      </policy>
+    </policies>
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from xml.etree import ElementTree as ET
+
+from repro.errors import PolicyError
+from repro.policy.model import ActionSpec, Policy, Rule, POLICY_CATEGORIES
+
+
+def parse_policies(xml_text: str) -> List[Policy]:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise PolicyError(f"malformed policy XML: {exc}") from exc
+    if root.tag == "policy":
+        return [_parse_policy(root)]
+    if root.tag != "policies":
+        raise PolicyError(f"expected <policies> or <policy>, got <{root.tag}>")
+    return [_parse_policy(element) for element in root if element.tag == "policy"]
+
+
+def parse_policy_file(path: str | Path) -> List[Policy]:
+    return parse_policies(Path(path).read_text(encoding="utf-8"))
+
+
+def _parse_policy(element: ET.Element) -> Policy:
+    name = element.get("name", "")
+    if not name:
+        raise PolicyError("<policy> requires a name attribute")
+    category = element.get("category", "application")
+    if category not in POLICY_CATEGORIES:
+        raise PolicyError(
+            f"policy {name!r}: unknown category {category!r}; "
+            f"expected one of {POLICY_CATEGORIES}"
+        )
+    enabled = element.get("enabled", "true").lower() != "false"
+    rules = [_parse_rule(child, name) for child in element if child.tag == "rule"]
+    if not rules:
+        raise PolicyError(f"policy {name!r} has no rules")
+    return Policy(name=name, rules=rules, category=category, enabled=enabled)
+
+
+def _parse_rule(element: ET.Element, policy_name: str) -> Rule:
+    on = element.get("on", "")
+    if not on:
+        raise PolicyError(f"policy {policy_name!r}: <rule> requires on=")
+    when: str | None = None
+    actions: List[ActionSpec] = []
+    for child in element:
+        if child.tag == "when":
+            if when is not None:
+                raise PolicyError(
+                    f"policy {policy_name!r}: rule has multiple <when>"
+                )
+            when = (child.text or "").strip()
+            if not when:
+                raise PolicyError(f"policy {policy_name!r}: empty <when>")
+        elif child.tag == "do":
+            name = child.get("action", "")
+            if not name:
+                raise PolicyError(
+                    f"policy {policy_name!r}: <do> requires action="
+                )
+            args = {
+                key: value for key, value in child.attrib.items() if key != "action"
+            }
+            actions.append(ActionSpec(name=name, args=args))
+        else:
+            raise PolicyError(
+                f"policy {policy_name!r}: unexpected element <{child.tag}>"
+            )
+    if not actions:
+        raise PolicyError(f"policy {policy_name!r}: rule on={on!r} has no <do>")
+    return Rule(on=on, actions=actions, when=when)
+
+
+def render_policies(policies: List[Policy]) -> str:
+    """Serialize policies back to the XML document format."""
+    root = ET.Element("policies")
+    for policy in policies:
+        policy_el = ET.SubElement(
+            root,
+            "policy",
+            {
+                "name": policy.name,
+                "category": policy.category,
+                "enabled": "true" if policy.enabled else "false",
+            },
+        )
+        for rule in policy.rules:
+            rule_el = ET.SubElement(policy_el, "rule", {"on": rule.on})
+            if rule.when_source:
+                when_el = ET.SubElement(rule_el, "when")
+                when_el.text = rule.when_source
+            for action in rule.actions:
+                attrs = {"action": action.name}
+                attrs.update(action.args)
+                ET.SubElement(rule_el, "do", attrs)
+    return ET.tostring(root, encoding="unicode")

@@ -1,0 +1,51 @@
+"""Incremental object replication (the OBIWAN substrate under swapping).
+
+"In OBIWAN, objects are incrementally replicated to devices in groups
+(clusters) of adaptable size.  Objects not yet replicated are replaced,
+on the device, by proxies transparent to application code.  When these
+proxies are invoked, object replication is triggered and, after
+replicating another cluster of objects, the proxies are removed from the
+object graph" (Section 1).
+
+Pieces:
+
+* :mod:`repro.replication.server` — the master object server: publishes
+  graphs partitioned into clusters, serves them as XML replica documents
+  (directly or as a web-service endpoint);
+* :mod:`repro.replication.proxies` — replication proxies: the
+  object-fault handlers that stand in for not-yet-replicated objects;
+* :mod:`repro.replication.replicator` — the device-side engine that
+  materializes clusters on demand, folds consecutive clusters into
+  swap-clusters, and performs proxy replacement (raw references within a
+  swap-cluster, swap-cluster-proxies across).
+* :mod:`repro.replication.cluster` — cluster partitioning (re-exported
+  from the core clustering module).
+"""
+
+from repro.replication.cluster import (
+    ObjectCluster,
+    partition_bfs,
+    partition_sequential,
+    walk_graph,
+)
+from repro.replication.server import ObjectServer, DirectServerClient, RootDescriptor
+from repro.replication.proxies import ReplicationProxy
+from repro.replication.replicator import Replicator
+from repro.replication.sync import ReplicaSync, SyncStatus
+from repro.replication.server import PushResult, WsServerClient
+
+__all__ = [
+    "ObjectCluster",
+    "partition_bfs",
+    "partition_sequential",
+    "walk_graph",
+    "ObjectServer",
+    "DirectServerClient",
+    "RootDescriptor",
+    "ReplicationProxy",
+    "Replicator",
+    "ReplicaSync",
+    "SyncStatus",
+    "PushResult",
+    "WsServerClient",
+]

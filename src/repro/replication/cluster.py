@@ -1,0 +1,45 @@
+"""Object clusters and partitioning (replication view).
+
+The partitioning algorithms live in :mod:`repro.core.clustering` (they
+are shared with :meth:`Space.ingest`); this module re-exports them and
+adds the :class:`ObjectCluster` record the server keeps per published
+cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.core.clustering import (
+    group_clusters,
+    managed_neighbors,
+    partition_bfs,
+    partition_sequential,
+    resolve_strategy,
+    walk_graph,
+)
+
+__all__ = [
+    "ObjectCluster",
+    "group_clusters",
+    "managed_neighbors",
+    "partition_bfs",
+    "partition_sequential",
+    "resolve_strategy",
+    "walk_graph",
+]
+
+
+@dataclass
+class ObjectCluster:
+    """One replication cluster on the server: an ordered member list."""
+
+    cid: int
+    members: List[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def member_oids(self, oid_of) -> List[int]:
+        return [oid_of(obj) for obj in self.members]

@@ -1,0 +1,89 @@
+"""Replication proxies: object-fault handlers.
+
+"Objects not yet replicated are replaced, on the device, by proxies
+transparent to application code.  When these proxies are invoked, object
+replication is triggered and, after replicating another cluster of
+objects, the proxies are removed from the object graph (i.e., replaced
+by the actual object replicas)" (Section 1).
+
+Unlike swap-cluster-proxies, a replication proxy is **transient**: once
+its target cluster materializes, every field that held it is rewritten
+to the final reference — the raw replica when target and holder ended up
+in the same swap-cluster, a swap-cluster-proxy otherwise — and the proxy
+dies.  If a handle leaks into application variables it keeps working
+(every access faults through to the final reference), it just stays
+mediated.
+
+A replication proxy can also survive a swap cycle: the cluster codec
+serializes it as ``<extref cid=… soid=…/>`` via
+:meth:`_obi_extern_attrs`, and the replicator's extern resolver rebuilds
+the right handle on reload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class ReplicationProxy:
+    """Stand-in for an object whose cluster has not been fetched yet."""
+
+    __slots__ = ("_obi_repl", "_obi_cid", "_obi_soid", "_obi_sites", "__weakref__")
+
+    #: Marker for structural type tests.
+    _obi_is_repl_proxy = True
+
+    def __init__(self, replicator: Any, cid: int, soid: int) -> None:
+        object.__setattr__(self, "_obi_repl", replicator)
+        object.__setattr__(self, "_obi_cid", cid)
+        object.__setattr__(self, "_obi_soid", soid)
+        object.__setattr__(self, "_obi_sites", [])
+
+    # -- site tracking (holders whose fields must be rewritten) ---------------
+
+    def _obi_register_site(self, holder: Any) -> None:
+        sites: List[Any] = self._obi_sites
+        if not any(existing is holder for existing in sites):
+            sites.append(holder)
+
+    # -- wire support -----------------------------------------------------------
+
+    def _obi_extern_attrs(self) -> Dict[str, int]:
+        return {"cid": self._obi_cid, "soid": self._obi_soid}
+
+    # -- fault handling ------------------------------------------------------------
+
+    def _obi_fault(self) -> Any:
+        """Materialize the target cluster; returns the final handle."""
+        return self._obi_repl.fault(self)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        if name.startswith("_obi_"):
+            raise AttributeError(name)
+        return getattr(self._obi_fault(), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name.startswith("_obi_"):
+            object.__setattr__(self, name, value)
+            return
+        setattr(self._obi_fault(), name, value)
+
+    def __eq__(self, other: Any) -> Any:
+        if other is self:
+            return True
+        return self._obi_fault() == other
+
+    def __ne__(self, other: Any) -> Any:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self._obi_fault())
+
+    def __repr__(self) -> str:
+        return (
+            f"<replication-proxy cid={self._obi_cid} soid={self._obi_soid} "
+            f"sites={len(self._obi_sites)}>"
+        )

@@ -1,0 +1,25 @@
+"""Code-extension runtime: the ``obicomp`` compiler analogue.
+
+In the paper, the OBIWAN compiler (``obicomp``) generates, for each
+application class, a swap-cluster-proxy class implementing the class's
+public interface plus the ``ISwapClusterProxy`` operations, and augments
+application classes with middleware hooks.  Here the same artifacts are
+produced by reflection at class-decoration time: the :func:`managed`
+decorator extracts a :class:`ClassSchema`, registers the class, and the
+proxy class is compiled lazily on first use.
+"""
+
+from repro.runtime.classext import ClassSchema, extract_schema, is_managed, is_proxy
+from repro.runtime.registry import TypeRegistry, global_registry
+from repro.runtime.obicomp import managed, compile_proxy_class
+
+__all__ = [
+    "ClassSchema",
+    "extract_schema",
+    "is_managed",
+    "is_proxy",
+    "TypeRegistry",
+    "global_registry",
+    "managed",
+    "compile_proxy_class",
+]

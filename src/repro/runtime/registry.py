@@ -1,0 +1,88 @@
+"""Type registry: managed classes and their generated proxy classes.
+
+Serialized objects carry their class name on the wire; the receiving end
+resolves names back to classes through a registry.  One process normally
+uses the module-level :func:`global_registry`, but tests can build
+isolated registries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Type
+
+from repro.errors import NotManagedError
+from repro.runtime.classext import ClassSchema
+
+
+class TypeRegistry:
+    """Maps class name -> (class, schema, lazily-compiled proxy class)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[Type[Any], ClassSchema]] = {}
+        self._proxy_classes: Dict[str, Type[Any]] = {}
+        self._lock = threading.Lock()
+        # injected by repro.runtime.obicomp to avoid an import cycle with core
+        self._proxy_compiler: Optional[Callable[[Type[Any]], Type[Any]]] = None
+
+    def register(self, cls: Type[Any], schema: ClassSchema) -> None:
+        with self._lock:
+            self._entries[schema.name] = (cls, schema)
+            # a re-registered class (test re-imports) invalidates its proxy
+            self._proxy_classes.pop(schema.name, None)
+
+    def resolve(self, name: str) -> Type[Any]:
+        try:
+            return self._entries[name][0]
+        except KeyError:
+            raise NotManagedError(f"no managed class registered as {name!r}") from None
+
+    def schema(self, name: str) -> ClassSchema:
+        try:
+            return self._entries[name][1]
+        except KeyError:
+            raise NotManagedError(f"no managed class registered as {name!r}") from None
+
+    def schema_for(self, cls: Type[Any]) -> ClassSchema:
+        schema = getattr(cls, "_obi_schema", None)
+        if schema is None:
+            raise NotManagedError(f"{cls!r} is not a @managed class")
+        return schema
+
+    def proxy_class_for(self, cls: Type[Any]) -> Type[Any]:
+        """The generated swap-cluster-proxy class for application class ``cls``.
+
+        Compiled on first request (obicomp generates "a specific class of
+        swap-cluster-proxy for each type class defined by the application").
+        """
+        schema = self.schema_for(cls)
+        with self._lock:
+            proxy_cls = self._proxy_classes.get(schema.name)
+            if proxy_cls is None:
+                if self._proxy_compiler is None:
+                    raise NotManagedError(
+                        "proxy compiler not installed; import repro.runtime.obicomp"
+                    )
+                proxy_cls = self._proxy_compiler(cls)
+                self._proxy_classes[schema.name] = proxy_cls
+        return proxy_cls
+
+    def set_proxy_compiler(self, compiler: Callable[[Type[Any]], Type[Any]]) -> None:
+        self._proxy_compiler = compiler
+
+    def names(self) -> Iterator[str]:
+        return iter(list(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_GLOBAL = TypeRegistry()
+
+
+def global_registry() -> TypeRegistry:
+    """The process-wide default registry used by ``@managed``."""
+    return _GLOBAL

@@ -1,0 +1,32 @@
+"""Scenario simulation: the paper's Figure 2 world.
+
+"A PDA is running applications, on behalf of the user, on top of OBIWAN
+middleware.  From time to time, the memory occupied by the object graphs
+of applications reaches a threshold value ... the middleware decides to
+swap-out a set of objects to nearby devices, if there are any" — with
+nearby devices (PCs, peer PDAs, future wireless stores) joining and
+leaving radio range, and failure injection for devices that disappear
+while holding swapped state.
+"""
+
+from repro.sim.world import ScenarioWorld, StoreSpec
+from repro.sim.scenario import run_pressure_scenario, ScenarioReport
+from repro.sim.energy import (
+    EnergyLedger,
+    EnergyModel,
+    PDA_ENERGY,
+    WRIST_ENERGY,
+    swap_cycle_energy,
+)
+
+__all__ = [
+    "ScenarioWorld",
+    "StoreSpec",
+    "run_pressure_scenario",
+    "ScenarioReport",
+    "EnergyLedger",
+    "EnergyModel",
+    "PDA_ENERGY",
+    "WRIST_ENERGY",
+    "swap_cycle_energy",
+]

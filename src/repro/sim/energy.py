@@ -1,0 +1,121 @@
+"""Energy accounting for constrained devices.
+
+The paper's recurring argument against compression-style approaches is
+energy: "compression is a computational-intensive process" imposing
+"additional CPU load and energy cost, paramount in mobile devices"
+(Sections 1 and 6).  Swapping spends a different currency — radio time.
+This model converts both to joules so experiments can compare them on
+one axis.
+
+Power figures are PDA-class constants (orders of magnitude, not vendor
+measurements): an iPAQ-era XScale draws a few hundred mW busy, and a
+Bluetooth radio tens of mW while transferring.  What matters for the
+comparisons is the *ratio* between CPU and radio draw, which is robust
+across that hardware class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Average power draw per activity, in watts."""
+
+    name: str
+    cpu_active_w: float
+    radio_tx_w: float
+    radio_rx_w: float
+    idle_w: float
+
+    def cpu_joules(self, seconds: float) -> float:
+        return self.cpu_active_w * seconds
+
+    def radio_joules(self, tx_seconds: float, rx_seconds: float = 0.0) -> float:
+        return self.radio_tx_w * tx_seconds + self.radio_rx_w * rx_seconds
+
+    def idle_joules(self, seconds: float) -> float:
+        return self.idle_w * seconds
+
+
+#: iPAQ-class Pocket PC: ~400 mW busy CPU, Bluetooth ~100/85 mW tx/rx.
+PDA_ENERGY = EnergyModel(
+    name="pda",
+    cpu_active_w=0.40,
+    radio_tx_w=0.100,
+    radio_rx_w=0.085,
+    idle_w=0.050,
+)
+
+#: Wrist-class device: everything an order of magnitude smaller & slower.
+WRIST_ENERGY = EnergyModel(
+    name="wrist",
+    cpu_active_w=0.040,
+    radio_tx_w=0.030,
+    radio_rx_w=0.025,
+    idle_w=0.004,
+)
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates a device's spend across an experiment."""
+
+    model: EnergyModel
+    cpu_seconds: float = 0.0
+    radio_tx_seconds: float = 0.0
+    radio_rx_seconds: float = 0.0
+
+    def charge_cpu(self, seconds: float) -> None:
+        self.cpu_seconds += seconds
+
+    def charge_radio_tx(self, seconds: float) -> None:
+        self.radio_tx_seconds += seconds
+
+    def charge_radio_rx(self, seconds: float) -> None:
+        self.radio_rx_seconds += seconds
+
+    @property
+    def cpu_joules(self) -> float:
+        return self.model.cpu_joules(self.cpu_seconds)
+
+    @property
+    def radio_joules(self) -> float:
+        return self.model.radio_joules(
+            self.radio_tx_seconds, self.radio_rx_seconds
+        )
+
+    @property
+    def total_joules(self) -> float:
+        return self.cpu_joules + self.radio_joules
+
+    def millijoules_per_kb(self, bytes_moved: int) -> float:
+        if bytes_moved <= 0:
+            return 0.0
+        return (self.total_joules * 1000.0) / (bytes_moved / 1024.0)
+
+    def describe(self) -> str:
+        return (
+            f"cpu {self.cpu_joules * 1000:.1f} mJ "
+            f"({self.cpu_seconds * 1000:.1f} ms busy) + radio "
+            f"{self.radio_joules * 1000:.1f} mJ "
+            f"({(self.radio_tx_seconds + self.radio_rx_seconds):.2f} s) "
+            f"= {self.total_joules * 1000:.1f} mJ"
+        )
+
+
+def swap_cycle_energy(
+    xml_bytes: int,
+    bandwidth_bps: float,
+    latency_s: float,
+    cpu_seconds: float,
+    model: EnergyModel = PDA_ENERGY,
+) -> EnergyLedger:
+    """Energy of one swap-out + swap-in of ``xml_bytes`` over a link."""
+    ledger = EnergyLedger(model=model)
+    transfer = latency_s + (xml_bytes * 8) / bandwidth_bps
+    ledger.charge_radio_tx(transfer)  # swap-out
+    ledger.charge_radio_rx(transfer)  # swap-in
+    ledger.charge_cpu(cpu_seconds)
+    return ledger

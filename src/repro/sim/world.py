@@ -1,0 +1,122 @@
+"""The simulated world: one mobile device among nearby stores.
+
+A :class:`ScenarioWorld` wires a :class:`~repro.devices.pda.MobileDevice`
+to a set of :class:`~repro.devices.store.XmlStoreDevice` receivers behind
+simulated links sharing one clock, and provides the failure-injection
+controls experiments need: devices leaving range (cleanly or while
+holding swapped clusters), links dropping, devices returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import SimulatedLink, BLUETOOTH_BPS
+from repro.devices.pda import MobileDevice
+from repro.devices.profiles import DeviceProfile, IPAQ_3360
+from repro.devices.store import XmlStoreDevice
+from repro.runtime.registry import TypeRegistry
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Description of one nearby storage device."""
+
+    name: str
+    capacity: int = 1 << 20
+    bandwidth_bps: int = BLUETOOTH_BPS
+    latency_s: float = 0.05
+    position: Optional[Tuple[float, float]] = None
+
+
+class ScenarioWorld:
+    """One mobile device plus its (changing) neighborhood."""
+
+    def __init__(
+        self,
+        device_name: str = "pda",
+        profile: DeviceProfile = IPAQ_3360,
+        *,
+        heap_capacity: Optional[int] = None,
+        registry: Optional[TypeRegistry] = None,
+        load_default_policies: bool = True,
+    ) -> None:
+        self.clock = SimulatedClock()
+        if heap_capacity is not None:
+            profile = DeviceProfile(
+                name=profile.name,
+                heap_bytes=heap_capacity,
+                link_bps=profile.link_bps,
+                link_latency_s=profile.link_latency_s,
+                cpu_scale=profile.cpu_scale,
+                store_bytes=profile.store_bytes,
+            )
+        self.device = MobileDevice(
+            device_name,
+            profile,
+            clock=self.clock,
+            registry=registry,
+            load_default_policies=load_default_policies,
+        )
+        self._stores: Dict[str, XmlStoreDevice] = {}
+        self._links: Dict[str, SimulatedLink] = {}
+
+    @property
+    def space(self):
+        return self.device.space
+
+    # -- store lifecycle ---------------------------------------------------------
+
+    def add_store(self, spec: StoreSpec) -> XmlStoreDevice:
+        link = SimulatedLink(
+            spec.bandwidth_bps,
+            latency_s=spec.latency_s,
+            clock=self.clock,
+            name=f"{spec.name}-link",
+        )
+        store = XmlStoreDevice(spec.name, capacity=spec.capacity, link=link)
+        self._stores[spec.name] = store
+        self._links[spec.name] = link
+        self.device.discover_store(store, position=spec.position)
+        return store
+
+    def store(self, name: str) -> XmlStoreDevice:
+        return self._stores[name]
+
+    def link(self, name: str) -> SimulatedLink:
+        return self._links[name]
+
+    def stores_in_range(self) -> List[str]:
+        return self.device.neighborhood.in_range_ids()
+
+    # -- failure injection -----------------------------------------------------------
+
+    def depart_cleanly(self, name: str) -> None:
+        """The device leaves range; future contact fails."""
+        self._links[name].fail()
+        self.device.neighborhood.set_in_range(name, False)
+
+    def vanish_with_data(self, name: str) -> None:
+        """The device disappears *and* its stored XML is lost."""
+        store = self._stores[name]
+        for key in store.keys():
+            store._drop_direct(key)
+        self.depart_cleanly(name)
+
+    def come_back(self, name: str) -> None:
+        self._links[name].restore()
+        self.device.neighborhood.set_in_range(name, True)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [self.device.describe(), f"  sim time: {self.clock.now():.3f}s"]
+        for name, store in self._stores.items():
+            lines.append(
+                f"  store {name}: {len(store)} payload(s), "
+                f"{store.used}/{store.capacity} bytes, "
+                f"link {'up' if self._links[name].is_up else 'down'}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Telemetry: one-call snapshots of a space's middleware state.
+
+Collects what operators and experiments keep reaching for — heap usage,
+per-swap-cluster residency/size/recency, proxy population, manager
+counters — into a plain dataclass, with a formatted report for humans.
+Everything is read-only and cheap; nothing here touches the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.ids import ROOT_SID
+
+
+@dataclass(frozen=True)
+class ClusterTelemetry:
+    sid: int
+    state: str
+    objects: int
+    footprint_bytes: int
+    crossings: int
+    last_crossing_tick: int
+    epoch: int
+    pins: int
+    swap_outs: int
+    swap_ins: int
+    device_ids: tuple
+
+
+@dataclass(frozen=True)
+class SpaceTelemetry:
+    space: str
+    heap_used: int
+    heap_capacity: int
+    heap_ratio: float
+    heap_peak: int
+    resident_objects: int
+    swapped_objects: int
+    live_proxies: int
+    roots: int
+    tick: int
+    swap_outs: int
+    swap_ins: int
+    drops: int
+    bytes_shipped: int
+    bytes_restored: int
+    mirror_writes: int
+    mirror_failovers: int
+    clusters: tuple  # of ClusterTelemetry
+
+    def resident_clusters(self) -> List[ClusterTelemetry]:
+        return [record for record in self.clusters if record.state == "resident"]
+
+    def swapped_clusters(self) -> List[ClusterTelemetry]:
+        return [record for record in self.clusters if record.state == "swapped"]
+
+
+def snapshot(space: Any) -> SpaceTelemetry:
+    """Collect a consistent telemetry snapshot of ``space``."""
+    manager = space.manager
+    heap = space.heap
+    cluster_records: List[ClusterTelemetry] = []
+    swapped_objects = 0
+    for sid in sorted(space._clusters):
+        cluster = space._clusters[sid]
+        footprint = sum(
+            heap.size_of(oid) for oid in cluster.oids if heap.holds(oid)
+        )
+        if cluster.is_swapped:
+            swapped_objects += len(cluster.oids)
+        cluster_records.append(
+            ClusterTelemetry(
+                sid=sid,
+                state=cluster.state.value,
+                objects=len(cluster.oids),
+                footprint_bytes=footprint,
+                crossings=cluster.crossings,
+                last_crossing_tick=cluster.last_crossing_tick,
+                epoch=cluster.epoch,
+                pins=cluster.pins,
+                swap_outs=cluster.swap_out_count,
+                swap_ins=cluster.swap_in_count,
+                device_ids=tuple(
+                    holder.device_id for holder in manager.bindings_for(sid)
+                ),
+            )
+        )
+    stats = manager.stats
+    return SpaceTelemetry(
+        space=space.name,
+        heap_used=heap.used,
+        heap_capacity=heap.capacity,
+        heap_ratio=heap.ratio,
+        heap_peak=heap.stats().peak_used,
+        resident_objects=space.object_count(),
+        swapped_objects=swapped_objects,
+        live_proxies=space.live_proxy_count(),
+        roots=len(space.root_names()),
+        tick=space._tick,
+        swap_outs=stats.swap_outs,
+        swap_ins=stats.swap_ins,
+        drops=stats.drops,
+        bytes_shipped=stats.bytes_shipped,
+        bytes_restored=stats.bytes_restored,
+        mirror_writes=stats.mirror_writes,
+        mirror_failovers=stats.mirror_failovers,
+        clusters=tuple(cluster_records),
+    )
+
+
+def format_report(telemetry: SpaceTelemetry) -> str:
+    """A human-readable multi-line report."""
+    lines = [
+        f"space {telemetry.space!r}: heap {telemetry.heap_used}/"
+        f"{telemetry.heap_capacity} ({telemetry.heap_ratio:.0%}, "
+        f"peak {telemetry.heap_peak})",
+        f"  objects: {telemetry.resident_objects} resident, "
+        f"{telemetry.swapped_objects} swapped; proxies: "
+        f"{telemetry.live_proxies}; roots: {telemetry.roots}",
+        f"  swaps: {telemetry.swap_outs} out / {telemetry.swap_ins} in / "
+        f"{telemetry.drops} dropped; shipped {telemetry.bytes_shipped} B, "
+        f"restored {telemetry.bytes_restored} B"
+        + (
+            f"; mirrors: {telemetry.mirror_writes} writes, "
+            f"{telemetry.mirror_failovers} failovers"
+            if telemetry.mirror_writes or telemetry.mirror_failovers
+            else ""
+        ),
+    ]
+    for record in telemetry.clusters:
+        label = "sc-0 (roots)" if record.sid == ROOT_SID else f"sc-{record.sid}"
+        holders = f" @ {','.join(record.device_ids)}" if record.device_ids else ""
+        lines.append(
+            f"  {label:<14} {record.state:<8} {record.objects:>5} obj "
+            f"{record.footprint_bytes:>8} B  {record.crossings:>6} crossings"
+            f"  epoch {record.epoch}{holders}"
+        )
+    return "\n".join(lines)

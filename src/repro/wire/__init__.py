@@ -1,0 +1,44 @@
+"""XML wire format for swapped object state.
+
+The defining portability property of the paper is that swapped state is
+plain XML text: "the receiving device needs no other infrastructure ...
+other than being able to receive XML data and store it".  This package
+implements the object-graph ⇄ XML codec:
+
+* :mod:`repro.wire.wrappers` — scalar/container value encoding;
+* :mod:`repro.wire.xmlcodec` — whole swap-cluster encoding, with
+  intra-cluster references by oid and outbound references as indexes into
+  the cluster's replacement-object array;
+* :mod:`repro.wire.canonical` — canonical text + digests for
+  store-and-return integrity checks.
+"""
+
+from repro.wire.xmlcodec import (
+    ClusterDocument,
+    OutRef,
+    LocalRef,
+    encode_cluster,
+    decode_cluster,
+)
+from repro.wire.wrappers import encode_value, decode_value
+from repro.wire.canonical import canonical_text, payload_digest
+from repro.wire.schema import (
+    ensure_valid_cluster,
+    validate_cluster_text,
+    VALUE_TAGS,
+)
+
+__all__ = [
+    "ClusterDocument",
+    "OutRef",
+    "LocalRef",
+    "encode_cluster",
+    "decode_cluster",
+    "encode_value",
+    "decode_value",
+    "canonical_text",
+    "payload_digest",
+    "ensure_valid_cluster",
+    "validate_cluster_text",
+    "VALUE_TAGS",
+]

@@ -1,0 +1,63 @@
+"""Canonical XML text and payload digests.
+
+Swapping devices are *dumb stores*: the protocol is store/return/drop of
+opaque text.  To detect a store returning corrupted or stale text, the
+swap location record kept on the mobile device includes a digest of the
+canonical payload; swap-in verifies it before deserializing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from xml.etree import ElementTree as ET
+
+from repro.errors import CodecError
+
+
+def canonical_text(xml_text: str) -> str:
+    """Normalize an XML document to a canonical single-line form.
+
+    Strips inter-element whitespace and re-serializes with deterministic
+    attribute order (sorted), so semantically equal documents compare
+    equal as strings.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise CodecError(f"cannot canonicalize malformed XML: {exc}") from exc
+    _strip_whitespace(root)
+    return _serialize(root)
+
+
+def payload_digest(xml_text: str) -> str:
+    """Stable hex digest of the canonical form of ``xml_text``."""
+    return hashlib.sha256(canonical_text(xml_text).encode("utf-8")).hexdigest()
+
+
+def _strip_whitespace(element: ET.Element) -> None:
+    if element.text is not None and not element.text.strip() and len(element):
+        element.text = None
+    if element.tail is not None and not element.tail.strip():
+        element.tail = None
+    for child in element:
+        _strip_whitespace(child)
+
+
+def _serialize(element: ET.Element) -> str:
+    attributes = "".join(
+        f' {name}="{_escape_attr(value)}"'
+        for name, value in sorted(element.attrib.items())
+    )
+    children = "".join(_serialize(child) for child in element)
+    text = _escape_text(element.text) if element.text else ""
+    if not children and not text:
+        return f"<{element.tag}{attributes}/>"
+    return f"<{element.tag}{attributes}>{text}{children}</{element.tag}>"
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")

@@ -1,0 +1,199 @@
+"""Swap-cluster XML codec.
+
+A detached swap-cluster travels as one XML document::
+
+    <swap-cluster sid="3" space="pda" count="120" epoch="2">
+      <object oid="17" class="ListNode">
+        <field name="payload"><bytes>…</bytes></field>
+        <field name="next"><ref oid="18"/></field>
+        <field name="peer"><outref index="0"/></field>
+      </object>
+      …
+    </swap-cluster>
+
+Intra-cluster references use oids (objects keep their oids across a swap
+cycle, so proxies can be re-patched on reload).  Outbound references — the
+values that are swap-cluster-proxies at detach time — are serialized as
+indexes into the cluster's replacement-object array, exactly the paper's
+"array of references" design: the replacement-object keeps those proxies
+alive while the cluster is away, and reload reconnects by index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+from xml.etree import ElementTree as ET
+
+from repro.errors import CodecError, IntegrityError
+from repro.runtime.classext import instance_fields, is_managed, is_proxy
+from repro.runtime.registry import TypeRegistry
+from repro.wire.wrappers import decode_value, encode_value
+
+
+@dataclass
+class ClusterDocument:
+    """Decoded form of a swapped cluster document."""
+
+    sid: int
+    space: str
+    epoch: int
+    objects: Dict[int, Any]  # oid -> rebuilt instance
+
+
+@dataclass(frozen=True)
+class LocalRef:
+    oid: int
+
+
+@dataclass(frozen=True)
+class OutRef:
+    index: int
+
+
+def encode_cluster(
+    *,
+    sid: int,
+    space: str,
+    epoch: int,
+    objects: Dict[int, Any],
+    oid_of: Callable[[Any], int],
+    outbound_index_of: Callable[[Any], int],
+    foreign_index_of: Callable[[Any], int] | None = None,
+) -> str:
+    """Serialize a swap-cluster to XML text.
+
+    ``objects`` maps oid -> managed instance (all must belong to the
+    cluster).  ``oid_of`` returns the oid of a raw managed object;
+    ``outbound_index_of`` maps a swap-cluster-proxy to its slot in the
+    replacement-object array (registering it if first seen).
+
+    ``foreign_index_of`` (server-side replication use only) maps a *raw*
+    managed object outside the cluster to an outbound slot — the master
+    graph has no proxies, so its frontier edges are raw.  Without it, a
+    raw foreign reference raises :class:`IntegrityError`: on a device
+    such an edge should have been a swap-cluster-proxy.
+    """
+    member_ids = set(objects)
+
+    def classify(value: Any) -> tuple | None:
+        if is_proxy(value):
+            return ("out", outbound_index_of(value))
+        extern_attrs = getattr(value, "_obi_extern_attrs", None)
+        if extern_attrs is not None:
+            # an unreplicated-frontier handle (replication proxy): it
+            # survives the swap cycle as an <extref>
+            return ("ext", extern_attrs())
+        if is_managed(value):
+            oid = oid_of(value)
+            if oid not in member_ids:
+                if foreign_index_of is not None:
+                    return ("out", foreign_index_of(value))
+                raise IntegrityError(
+                    f"raw reference from swap-cluster {sid} to foreign managed "
+                    f"object oid={oid} ({type(value).__name__}); cross-cluster "
+                    f"edges must be swap-cluster-proxies"
+                )
+            return ("local", oid)
+        return None
+
+    root = ET.Element(
+        "swap-cluster",
+        {
+            "sid": str(sid),
+            "space": space,
+            "epoch": str(epoch),
+            "count": str(len(objects)),
+        },
+    )
+    for oid in sorted(objects):
+        obj = objects[oid]
+        schema = getattr(type(obj), "_obi_schema", None)
+        if schema is None:
+            raise CodecError(
+                f"object oid={oid} of type {type(obj).__name__} is not @managed"
+            )
+        obj_el = ET.SubElement(
+            root, "object", {"oid": str(oid), "class": schema.name}
+        )
+        for name, value in instance_fields(obj).items():
+            field_el = ET.SubElement(obj_el, "field", {"name": name})
+            field_el.append(encode_value(value, classify))
+    return ET.tostring(root, encoding="unicode")
+
+
+def decode_cluster(
+    xml_text: str,
+    *,
+    registry: TypeRegistry,
+    resolve_out: Callable[[int], Any],
+    resolve_extern: Callable[[Dict[str, str]], Any] | None = None,
+) -> ClusterDocument:
+    """Rebuild a swap-cluster from XML text.
+
+    Two passes: first allocate every instance uninitialized (so circular
+    intra-cluster references resolve), then fill fields.  ``resolve_out``
+    maps a replacement-array index back to the live swap-cluster-proxy;
+    ``resolve_extern`` maps ``<extref>`` attributes back to an
+    unreplicated-frontier handle (installed by the replicator).
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise CodecError(f"malformed swap-cluster XML: {exc}") from exc
+    if root.tag != "swap-cluster":
+        raise CodecError(f"expected <swap-cluster>, got <{root.tag}>")
+
+    sid = int(root.get("sid", "-1"))
+    space = root.get("space", "")
+    epoch = int(root.get("epoch", "0"))
+
+    # pass 1: allocate
+    instances: Dict[int, Any] = {}
+    field_elements: List[Tuple[int, ET.Element]] = []
+    for obj_el in root:
+        if obj_el.tag != "object":
+            raise CodecError(f"unexpected element <{obj_el.tag}> in swap-cluster")
+        oid = int(obj_el.get("oid"))
+        class_name = obj_el.get("class", "")
+        cls = registry.resolve(class_name)
+        instances[oid] = object.__new__(cls)
+        field_elements.append((oid, obj_el))
+
+    declared = root.get("count")
+    if declared is not None and int(declared) != len(instances):
+        raise CodecError(
+            f"swap-cluster {sid}: count attribute says {declared} objects, "
+            f"document holds {len(instances)}"
+        )
+
+    def resolve(kind: str, ident: Any) -> Any:
+        if kind == "local":
+            try:
+                return instances[ident]
+            except KeyError:
+                raise CodecError(
+                    f"dangling intra-cluster reference oid={ident}"
+                ) from None
+        if kind == "ext":
+            if resolve_extern is None:
+                raise CodecError(
+                    "document contains <extref> but no extern resolver is "
+                    "installed (is a replicator attached to this space?)"
+                )
+            return resolve_extern(ident)
+        return resolve_out(ident)
+
+    # pass 2: fill fields
+    for oid, obj_el in field_elements:
+        instance = instances[oid]
+        for field_el in obj_el:
+            if field_el.tag != "field" or len(field_el) != 1:
+                raise CodecError(f"malformed <field> in object oid={oid}")
+            name = field_el.get("name")
+            if not name:
+                raise CodecError(f"<field> without name in object oid={oid}")
+            value = decode_value(field_el[0], resolve)
+            object.__setattr__(instance, name, value)
+
+    return ClusterDocument(sid=sid, space=space, epoch=epoch, objects=instances)

@@ -1,0 +1,96 @@
+"""The heap-compression baseline."""
+
+import pytest
+
+from repro.baselines.compression import CompressedPoolStore
+from repro.errors import StoreFullError, UnknownKeyError
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _space_with_pool(heap_capacity=64 * 1024, pool_fraction=0.5):
+    space = make_space(with_store=False, heap_capacity=heap_capacity)
+    pool = CompressedPoolStore(space, pool_fraction=pool_fraction)
+    space.manager.add_store(pool)
+    return space, pool
+
+
+def test_compress_cycle_preserves_data():
+    space, pool = _space_with_pool()
+    handle = space.ingest(build_chain(40), cluster_size=10, root_name="h")
+    space.swap_out(2, store=pool)
+    assert chain_values(handle) == list(range(40))
+    space.verify_integrity()
+
+
+def test_pool_lives_in_the_same_heap():
+    space, pool = _space_with_pool()
+    space.ingest(build_chain(40), cluster_size=20, root_name="h")
+    used_before = space.heap.used
+    space.swap_out(2, store=pool)
+    # the cluster's bytes left, but the compressed copy came back in
+    assert pool.pool_used > 0
+    assert space.heap.used == used_before - _cluster_bytes() + pool.pool_used + _replacement_bytes(space)
+
+
+def _cluster_bytes():
+    # 20 Node objects at (16 header + 16 int field + 8 ref field)
+    return 20 * 40
+
+
+def _replacement_bytes(space):
+    cluster = space.clusters()[2]
+    return space.size_model.replacement_size(cluster.replacement.outbound_count())
+
+
+def test_compression_actually_shrinks():
+    space, pool = _space_with_pool()
+    space.ingest(build_chain(100), cluster_size=100, root_name="h")
+    space.swap_out(1, store=pool)
+    assert pool.stats.compression_ratio < 0.5  # XML compresses well
+    assert pool.stats.compressions == 1
+
+
+def test_cpu_cost_metered():
+    space, pool = _space_with_pool()
+    handle = space.ingest(build_chain(200), cluster_size=200, root_name="h")
+    space.swap_out(1, store=pool)
+    chain_values(handle)
+    assert pool.stats.cpu_seconds > 0
+    assert pool.stats.decompressions == 1
+
+
+def test_pool_reservation_cap():
+    space, pool = _space_with_pool(heap_capacity=1 << 20, pool_fraction=0.0001)
+    space.ingest(build_chain(500), cluster_size=500, root_name="h")
+    with pytest.raises(StoreFullError):
+        space.swap_out(1, store=pool)
+
+
+def test_drop_releases_pool_bytes():
+    space, pool = _space_with_pool()
+    handle = space.ingest(build_chain(40), cluster_size=10, root_name="h")
+    space.swap_out(2, store=pool)
+    assert pool.pool_used > 0
+    chain_values(handle)  # reload drops the compressed copy
+    assert pool.pool_used == 0
+
+
+def test_unknown_key():
+    space, pool = _space_with_pool()
+    with pytest.raises(UnknownKeyError):
+        pool.fetch("ghost")
+
+
+def test_invalid_pool_fraction():
+    space = make_space(with_store=False)
+    with pytest.raises(ValueError):
+        CompressedPoolStore(space, pool_fraction=0)
+
+
+def test_gc_drop_releases_pool():
+    space, pool = _space_with_pool()
+    space.ingest(build_chain(40), cluster_size=10, root_name="h")
+    space.swap_out(2, store=pool)
+    space.del_root("h")
+    space.gc()
+    assert pool.pool_used == 0

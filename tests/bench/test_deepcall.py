@@ -1,0 +1,32 @@
+"""The big-stack recursion runner."""
+
+import pytest
+
+from repro.bench.deepcall import run_deep
+
+
+def test_returns_value():
+    assert run_deep(lambda: 42) == 42
+
+
+def test_deep_recursion_succeeds():
+    def recurse(n):
+        return 0 if n == 0 else 1 + recurse(n - 1)
+
+    assert run_deep(lambda: recurse(50_000)) == 50_000
+
+
+def test_exception_propagates():
+    def boom():
+        raise ValueError("inner failure")
+
+    with pytest.raises(ValueError, match="inner failure"):
+        run_deep(boom)
+
+
+def test_recursion_limit_restored():
+    import sys
+
+    before = sys.getrecursionlimit()
+    run_deep(lambda: 1)
+    assert sys.getrecursionlimit() == before

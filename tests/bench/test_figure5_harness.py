@@ -1,0 +1,60 @@
+"""Figure 5 harness correctness (small sizes; timing shape is the
+benchmark suite's job)."""
+
+import pytest
+
+from repro.bench.figure5 import (
+    CLUSTER_SIZES,
+    Figure5Config,
+    make_fixture,
+    run_figure5,
+    run_single,
+    test_a1 as body_a1,
+    test_a2 as body_a2,
+    test_b1 as body_b1,
+    test_b2 as body_b2,
+)
+from repro.bench.report import PAPER_FIGURE5, check_shape, format_figure5_table
+
+
+N = 400  # small but multi-cluster
+
+
+@pytest.mark.parametrize("cluster_size", [20, 50, 100, None])
+@pytest.mark.parametrize("body", [body_a1, body_a2, body_b1, body_b2])
+def test_bodies_traverse_fully(body, cluster_size):
+    handle, space = make_fixture(N, cluster_size)
+    body(handle, N, space)  # the assertions inside verify full traversal
+    if space is not None:
+        space.verify_integrity()
+
+
+def test_run_single_returns_positive_ms():
+    assert run_single("A1", 20, objects=N, repeats=1) > 0
+
+
+def test_fixture_no_swap_is_raw():
+    handle, space = make_fixture(50, None)
+    assert space is None
+    assert type(handle).__name__ == "BenchNode"
+
+
+def test_fixture_sized_clusters():
+    handle, space = make_fixture(100, 20)
+    non_root = [sid for sid in space.clusters() if sid != 0]
+    assert len(non_root) == 5
+
+
+def test_paper_reference_table_complete():
+    for test in ("A1", "A2", "B1", "B2"):
+        for size in CLUSTER_SIZES:
+            assert size in PAPER_FIGURE5[test]
+
+
+def test_report_formatting():
+    config = Figure5Config(objects=200, repeats=1)
+    result = run_figure5(config)
+    table = format_figure5_table(result)
+    assert "NO-SWAP" in table and "A2" in table and "(paper)" in table
+    ok, notes = check_shape(result)
+    assert len(notes) >= 8  # all checks evaluated (pass or fail at this size)

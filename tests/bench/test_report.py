@@ -1,0 +1,79 @@
+"""The Figure 5 reporting module (tables + shape checks) in isolation."""
+
+import pytest
+
+from repro.bench.figure5 import Figure5Config, Figure5Result
+from repro.bench.report import PAPER_FIGURE5, check_shape, format_figure5_table
+
+
+def _result(millis):
+    config = Figure5Config(objects=10_000, repeats=1)
+    result = Figure5Result(config=config)
+    result.millis = millis
+    return result
+
+
+def _good_shape():
+    return _result(
+        {
+            "A1": {20: 3.0, 50: 2.4, 100: 2.1, None: 1.6},
+            "A2": {20: 60.0, 50: 32.0, 100: 24.0, None: 13.0},
+            "B1": {20: 55.0, 50: 53.0, 100: 52.0, None: 0.4},
+            "B2": {20: 10.0, 50: 9.0, 100: 8.5, None: 0.4},
+        }
+    )
+
+
+def test_good_shape_passes_every_check():
+    ok, notes = check_shape(_good_shape())
+    assert ok, [note for flag, note in notes if not flag]
+    assert len(notes) == 10
+
+
+def test_overhead_and_speedup_helpers():
+    result = _good_shape()
+    assert result.overhead_pct("A1", 20) == pytest.approx(87.5)
+    assert result.speedup_b2_over_b1(20) == pytest.approx(5.5)
+
+
+def test_noswap_lower_bound_violation_detected():
+    result = _good_shape()
+    result.millis["A1"][None] = 10.0  # slower than every swapped config
+    ok, notes = check_shape(result)
+    assert not ok
+    assert any("lower bound" in note and not flag for flag, note in notes)
+
+
+def test_non_monotone_overhead_detected():
+    result = _good_shape()
+    result.millis["A2"][100] = 90.0  # bigger clusters suddenly slower
+    ok, notes = check_shape(result)
+    assert not ok
+
+
+def test_weak_assign_speedup_detected():
+    result = _good_shape()
+    result.millis["B2"] = {20: 30.0, 50: 28.0, 100: 27.0, None: 0.4}
+    ok, notes = check_shape(result)
+    assert not ok
+    assert any("five-fold" in note and not flag for flag, note in notes)
+
+
+def test_table_renders_paper_and_measured():
+    table = format_figure5_table(_good_shape())
+    lines = table.splitlines()
+    assert any("(paper)" in line for line in lines)
+    assert any("NO-SWAP" in line for line in lines)
+    assert "overhead vs NO-SWAP" in table
+    # the paper's values appear verbatim
+    assert "467.0" in table
+
+
+def test_paper_reference_matches_figure5_text():
+    # spot-check the transcription against the paper's quoted ranges
+    assert PAPER_FIGURE5["A1"][20] == 43.0 and PAPER_FIGURE5["A1"][None] == 35.0
+    assert PAPER_FIGURE5["A2"][20] == 467.0 and PAPER_FIGURE5["A2"][None] == 305.0
+    assert PAPER_FIGURE5["B2"][None] == 36.0
+    # "more than five-fold in all cases"
+    for size in (20, 50, 100):
+        assert PAPER_FIGURE5["B1"][size] / PAPER_FIGURE5["B2"][size] > 5.0

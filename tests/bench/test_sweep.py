@@ -1,0 +1,117 @@
+"""The parameter-sweep driver."""
+
+import csv
+
+import pytest
+
+from repro.bench.sweep import Sweep
+
+
+def _double(x, factor):
+    return {"result": x * factor}
+
+
+def test_points_cartesian_deterministic():
+    sweep = Sweep("s", {"x": [1, 2], "factor": [10]}, _double)
+    assert sweep.points() == [
+        {"factor": 10, "x": 1},
+        {"factor": 10, "x": 2},
+    ]
+
+
+def test_execute_records_measurements():
+    sweep = Sweep("s", {"x": [1, 2, 3], "factor": [10]}, _double)
+    records = sweep.execute()
+    assert [record["result"] for record in records] == [10, 20, 30]
+    assert all(record["error"] == "" for record in records)
+
+
+def test_repeats_recorded():
+    sweep = Sweep("s", {"x": [5], "factor": [1]}, _double, repeats=3)
+    records = sweep.execute()
+    assert [record["rep"] for record in records] == [0, 1, 2]
+
+
+def test_rep_passed_when_accepted():
+    def run(x, rep):
+        return {"value": x + rep}
+
+    sweep = Sweep("s", {"x": [100]}, run, repeats=2)
+    records = sweep.execute()
+    assert [record["value"] for record in records] == [100, 101]
+
+
+def test_failures_recorded_not_raised():
+    def flaky(x):
+        if x == 2:
+            raise RuntimeError("corner case")
+        return {"ok": True}
+
+    sweep = Sweep("s", {"x": [1, 2, 3]}, flaky)
+    records = sweep.execute()
+    assert records[1]["error"] == "RuntimeError: corner case"
+    assert records[0]["error"] == "" and records[2]["error"] == ""
+
+
+def test_write_csv(tmp_path):
+    sweep = Sweep("s", {"x": [1, 2], "factor": [3]}, _double)
+    sweep.execute()
+    destination = sweep.write_csv(tmp_path / "out" / "results.csv")
+    with destination.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert rows[0]["result"] == "3"
+    assert rows[1]["x"] == "2"
+
+
+def test_write_csv_requires_execution(tmp_path):
+    sweep = Sweep("s", {"x": [1]}, _double)
+    with pytest.raises(ValueError):
+        sweep.write_csv(tmp_path / "no.csv")
+
+
+def test_format_table():
+    sweep = Sweep("s", {"x": [1], "factor": [2.0]}, _double)
+    sweep.execute()
+    table = sweep.format_table()
+    assert "result" in table.splitlines()[0]
+    assert "2" in table
+
+
+def test_aggregate_means():
+    def noisy(x, rep):
+        return {"t": x * 10 + rep}
+
+    sweep = Sweep("s", {"x": [1, 2]}, noisy, repeats=2)
+    sweep.execute()
+    aggregated = sweep.aggregate("t", by=["x"])
+    assert aggregated == [
+        {"x": 1, "t": 10.5, "n": 2},
+        {"x": 2, "t": 20.5, "n": 2},
+    ]
+
+
+def test_sweep_drives_a_real_experiment(tmp_path):
+    """End to end: sweep swap-cycle radio time over cluster sizes."""
+    from repro.bench.workloads import build_list
+    from repro.clock import SimulatedClock
+    from repro.comm.transport import bluetooth_link
+    from repro.core.space import Space
+    from repro.devices.store import XmlStoreDevice
+
+    def swap_cycle(cluster_size):
+        clock = SimulatedClock()
+        space = Space(f"sweep-{cluster_size}", heap_capacity=4 << 20, clock=clock)
+        store = XmlStoreDevice("pc", capacity=4 << 20, link=bluetooth_link(clock))
+        space.manager.add_store(store)
+        space.ingest(build_list(400), cluster_size=cluster_size, root_name="h")
+        location = space.manager.swap_out(2)
+        return {"radio_s": clock.now(), "xml_bytes": location.xml_bytes}
+
+    sweep = Sweep("swap-cycle", {"cluster_size": [10, 50, 100]}, swap_cycle)
+    records = sweep.execute()
+    assert all(not record["error"] for record in records)
+    radio = {record["cluster_size"]: record["radio_s"] for record in records}
+    assert radio[100] > radio[10]
+    sweep.write_csv(tmp_path / "cycle.csv")
+    assert (tmp_path / "cycle.csv").exists()

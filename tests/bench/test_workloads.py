@@ -1,0 +1,67 @@
+"""Benchmark workload builders."""
+
+from repro.bench.workloads import (
+    BenchNode,
+    build_list,
+    build_managed_list,
+    build_record_clusters,
+    zipf_indexes,
+)
+from repro.memory.sizemodel import DEFAULT_SIZE_MODEL
+from tests.helpers import make_space
+
+
+def test_bench_node_is_64_bytes():
+    assert DEFAULT_SIZE_MODEL.size_of(BenchNode(0)) == 64
+
+
+def test_build_list_shape():
+    head = build_list(100)
+    count = 0
+    cursor = head
+    while cursor is not None:
+        assert cursor.index == count
+        cursor = cursor.next
+        count += 1
+    assert count == 100
+
+
+def test_depth_method():
+    assert build_list(50).depth(1) == 50
+
+
+def test_peek_method():
+    head = build_list(30)
+    assert head.peek(10).index == 10
+    assert head.peek(0) is head
+    tail_probe = build_list(5).peek(10)  # clamps at the end
+    assert tail_probe.index == 4
+
+
+def test_probe_method():
+    assert build_list(25).probe(1) == 25
+
+
+def test_build_managed_list():
+    space = make_space()
+    handle = build_managed_list(space, 60, cluster_size=20)
+    assert space.object_count() == 60
+    assert len([s for s in space.clusters() if s != 0]) == 3
+    assert handle.get_index() == 0
+    space.verify_integrity()
+
+
+def test_record_clusters():
+    space = make_space(heap_capacity=4 << 20)
+    handles = build_record_clusters(space, cluster_count=5, records_per_cluster=8)
+    assert len(handles) == 5
+    assert handles[0].get_key() == 0
+    assert handles[3].get_key() == 24
+
+
+def test_zipf_trace_skewed():
+    trace = zipf_indexes(10, 5000)
+    assert len(trace) == 5000
+    counts = [trace.count(index) for index in range(10)]
+    assert counts[0] > counts[-1] * 2  # head much hotter than tail
+    assert zipf_indexes(10, 100) == zipf_indexes(10, 100)  # deterministic

@@ -1,0 +1,89 @@
+"""Nearby-device discovery."""
+
+import pytest
+
+from repro.comm.discovery import Neighborhood
+from repro.devices import InMemoryStore
+from repro.errors import DeviceNotFoundError
+from repro.events import DeviceJoinedEvent, DeviceLeftEvent, EventBus
+
+
+def test_join_and_discover():
+    neighborhood = Neighborhood()
+    store = InMemoryStore("pc")
+    neighborhood.join(store)
+    assert neighborhood.discover() == [store]
+
+
+def test_join_emits_event():
+    bus = EventBus()
+    neighborhood = Neighborhood(bus=bus)
+    neighborhood.join(InMemoryStore("pc"))
+    assert bus.count(DeviceJoinedEvent) == 1
+
+
+def test_leave():
+    bus = EventBus()
+    neighborhood = Neighborhood(bus=bus)
+    neighborhood.join(InMemoryStore("pc"))
+    neighborhood.leave("pc")
+    assert neighborhood.discover() == []
+    assert bus.count(DeviceLeftEvent) == 1
+
+
+def test_leave_unknown_raises():
+    with pytest.raises(DeviceNotFoundError):
+        Neighborhood().leave("ghost")
+
+
+def test_set_in_range_toggle():
+    bus = EventBus()
+    neighborhood = Neighborhood(bus=bus)
+    neighborhood.join(InMemoryStore("pc"))
+    neighborhood.set_in_range("pc", False)
+    assert neighborhood.discover() == []
+    neighborhood.set_in_range("pc", True)
+    assert len(neighborhood.discover()) == 1
+    assert bus.count(DeviceLeftEvent) == 1
+    assert bus.count(DeviceJoinedEvent) == 2
+
+
+def test_set_in_range_idempotent():
+    bus = EventBus()
+    neighborhood = Neighborhood(bus=bus)
+    neighborhood.join(InMemoryStore("pc"))
+    neighborhood.set_in_range("pc", True)  # already in range: no event
+    assert bus.count(DeviceJoinedEvent) == 1
+
+
+def test_positional_join_out_of_range():
+    neighborhood = Neighborhood(radio_range=5.0)
+    neighborhood.join(InMemoryStore("far"), position=(10.0, 0.0))
+    assert neighborhood.discover() == []
+
+
+def test_device_movement():
+    bus = EventBus()
+    neighborhood = Neighborhood(bus=bus, radio_range=5.0)
+    neighborhood.join(InMemoryStore("pc"), position=(1.0, 0.0))
+    neighborhood.move_device("pc", 20.0, 0.0)
+    assert neighborhood.discover() == []
+    neighborhood.move_device("pc", 2.0, 2.0)
+    assert len(neighborhood.discover()) == 1
+
+
+def test_own_movement_reevaluates():
+    neighborhood = Neighborhood(radio_range=5.0)
+    neighborhood.join(InMemoryStore("pc"), position=(10.0, 0.0))
+    assert neighborhood.discover() == []
+    neighborhood.move_self(8.0, 0.0)
+    assert len(neighborhood.discover()) == 1
+
+
+def test_in_range_ids_and_len():
+    neighborhood = Neighborhood()
+    neighborhood.join(InMemoryStore("a"))
+    neighborhood.join(InMemoryStore("b"))
+    neighborhood.set_in_range("b", False)
+    assert neighborhood.in_range_ids() == ["a"]
+    assert len(neighborhood) == 2

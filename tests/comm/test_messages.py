@@ -1,0 +1,66 @@
+"""XML envelopes."""
+
+import pytest
+
+from repro.comm.messages import (
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
+from repro.errors import CodecError, UnknownKeyError
+
+
+def test_request_roundtrip():
+    text = build_request("store", {"key": "k1", "text": "<xml/>", "n": 3})
+    op, params = parse_request(text)
+    assert op == "store"
+    assert params == {"key": "k1", "text": "<xml/>", "n": 3}
+
+
+def test_request_with_containers():
+    text = build_request("op", {"items": [1, 2, {"k": "v"}]})
+    _, params = parse_request(text)
+    assert params["items"] == [1, 2, {"k": "v"}]
+
+
+def test_response_ok_roundtrip():
+    assert parse_response(build_response({"used": 12})) == {"used": 12}
+    assert parse_response(build_response(None)) is None
+
+
+def test_response_error_reraises_typed():
+    text = build_response(error=UnknownKeyError("no key 'x'"))
+    with pytest.raises(UnknownKeyError, match="no key"):
+        parse_response(text)
+
+
+def test_response_unknown_error_kind_falls_back():
+    from repro.errors import ObiError
+
+    text = build_response(error=ValueError("odd"))
+    with pytest.raises(ObiError):  # ValueError isn't an ObiError: mapped
+        parse_response(text.replace("ValueError", "NotARealError"))
+
+
+def test_malformed_request():
+    with pytest.raises(CodecError):
+        parse_request("<envelope op='x'")
+    with pytest.raises(CodecError):
+        parse_request("<wrong/>")
+    with pytest.raises(CodecError):
+        parse_request("<envelope></envelope>")
+
+
+def test_malformed_response():
+    with pytest.raises(CodecError):
+        parse_response("<response status='ok'></response>")
+    with pytest.raises(CodecError):
+        parse_response("<nope/>")
+
+
+def test_payload_cannot_carry_references():
+    text = build_request("op", {"v": 1})
+    hacked = text.replace("<int>1</int>", '<ref oid="5"/>')
+    with pytest.raises(CodecError):
+        parse_request(hacked)

@@ -1,0 +1,61 @@
+"""The web-service bridge."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import LoopbackLink, SimulatedLink
+from repro.comm.webservice import WebServiceClient, WebServiceEndpoint
+from repro.errors import CodecError, TransportError, UnknownKeyError
+
+
+def _endpoint():
+    endpoint = WebServiceEndpoint("svc")
+    endpoint.register("add", lambda a, b: a + b)
+    endpoint.register("fail", lambda: (_ for _ in ()).throw(UnknownKeyError("nope")))
+    return endpoint
+
+
+def test_call_roundtrip():
+    client = WebServiceClient(_endpoint(), LoopbackLink())
+    assert client.call("add", a=2, b=3) == 5
+
+
+def test_error_travels_in_band():
+    client = WebServiceClient(_endpoint(), LoopbackLink())
+    with pytest.raises(UnknownKeyError):
+        client.call("fail")
+
+
+def test_unknown_operation():
+    client = WebServiceClient(_endpoint(), LoopbackLink())
+    with pytest.raises(CodecError):
+        client.call("nope")
+
+
+def test_link_charged_both_ways():
+    clock = SimulatedClock()
+    link = SimulatedLink(8_000, latency_s=0.5, clock=clock)
+    client = WebServiceClient(_endpoint(), link)
+    client.call("add", a=1, b=1)
+    assert link.stats.transfers == 2  # request + response
+    assert clock.now() > 1.0  # two latencies at least
+
+
+def test_down_link_blocks_call():
+    link = SimulatedLink(1000)
+    link.fail()
+    client = WebServiceClient(_endpoint(), link)
+    with pytest.raises(TransportError):
+        client.call("add", a=1, b=2)
+
+
+def test_requests_served_counter():
+    endpoint = _endpoint()
+    client = WebServiceClient(endpoint, LoopbackLink())
+    client.call("add", a=1, b=1)
+    client.call("add", a=2, b=2)
+    assert endpoint.requests_served == 2
+
+
+def test_operations_listing():
+    assert _endpoint().operations() == ["add", "fail"]

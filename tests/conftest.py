@@ -1,0 +1,19 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_space
+
+
+@pytest.fixture
+def space():
+    """A fresh space with one in-memory store attached."""
+    return make_space()
+
+
+@pytest.fixture
+def bare_space():
+    """A fresh space with no store (device-less scenarios)."""
+    return make_space(with_store=False)

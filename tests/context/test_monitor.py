@@ -1,0 +1,66 @@
+"""Memory and connectivity monitors."""
+
+from repro.comm.discovery import Neighborhood
+from repro.context.monitor import ConnectivityMonitor, MemoryMonitor
+from repro.context.properties import ContextTable
+from repro.devices import InMemoryStore
+from repro.events import (
+    AllocationFailedEvent,
+    DeviceJoinedEvent,
+    MemoryHighEvent,
+    MemoryLowEvent,
+)
+from tests.helpers import build_chain, make_space
+
+
+def test_memory_monitor_emits_high_and_low():
+    space = make_space(heap_capacity=1000, high_watermark=0.8, low_watermark=0.4)
+    monitor = MemoryMonitor(space)
+    space.heap.allocate(-1, 850)
+    assert space.bus.count(MemoryHighEvent) == 1
+    assert monitor.high_events == 1
+    space.heap.free_oid(-1)
+    assert space.bus.count(MemoryLowEvent) == 1
+
+
+def test_memory_event_carries_need_bytes():
+    space = make_space(heap_capacity=1000, high_watermark=0.8, low_watermark=0.5)
+    MemoryMonitor(space)
+    space.heap.allocate(-1, 900)
+    event = space.bus.last(MemoryHighEvent)
+    assert event.need_bytes == 400  # down to the 50% mark
+
+
+def test_exhaustion_event():
+    space = make_space(with_store=False, heap_capacity=100)
+    monitor = MemoryMonitor(space)
+    space.manager.auto_swap = False
+    try:
+        space.heap.allocate(-1, 500)
+    except Exception:
+        pass
+    assert space.bus.count(AllocationFailedEvent) == 1
+    assert monitor.exhaustion_events == 1
+
+
+def test_memory_context_property_refreshed():
+    table = ContextTable()
+    space = make_space(heap_capacity=1000, high_watermark=0.5, low_watermark=0.2)
+    monitor = MemoryMonitor(space, context=table)
+    space.heap.allocate(-1, 600)
+    assert table.get("memory.ratio") == 0.6
+    assert monitor.check() == 0.6
+
+
+def test_connectivity_monitor_counts():
+    bus_space = make_space()
+    neighborhood = Neighborhood(bus=bus_space.bus)
+    table = ContextTable()
+    monitor = ConnectivityMonitor(neighborhood, bus_space.bus, context=table)
+    neighborhood.join(InMemoryStore("a"))
+    neighborhood.join(InMemoryStore("b"))
+    assert monitor.connected_count == 2
+    assert table.get("devices.in_range") == 2
+    neighborhood.leave("a")
+    assert table.get("devices.in_range") == 1
+    assert monitor.joins == 2 and monitor.leaves == 1

@@ -1,0 +1,60 @@
+"""Observable context properties."""
+
+import pytest
+
+from repro.context.properties import ContextProperty, ContextTable
+
+
+def test_property_set_and_observe():
+    prop = ContextProperty("p", 1)
+    seen = []
+    prop.observe(lambda name, old, new: seen.append((name, old, new)))
+    prop.set(2)
+    assert prop.value == 2
+    assert seen == [("p", 1, 2)]
+
+
+def test_no_notification_on_same_value():
+    prop = ContextProperty("p", 1)
+    seen = []
+    prop.observe(lambda *args: seen.append(args))
+    prop.set(1)
+    assert seen == []
+
+
+def test_unobserve():
+    prop = ContextProperty("p", 1)
+    seen = []
+    unobserve = prop.observe(lambda *args: seen.append(args))
+    unobserve()
+    prop.set(2)
+    assert seen == []
+
+
+def test_table_define_get_set():
+    table = ContextTable()
+    table.define("memory.ratio", 0.0)
+    table.set("memory.ratio", 0.5)
+    assert table.get("memory.ratio") == 0.5
+    assert "memory.ratio" in table
+    assert table.names() == ["memory.ratio"]
+
+
+def test_table_duplicate_definition():
+    table = ContextTable()
+    table.define("x", 1)
+    with pytest.raises(KeyError):
+        table.define("x", 2)
+
+
+def test_table_snapshot():
+    table = ContextTable()
+    table.define("a", 1)
+    table.define("b", 2)
+    assert table.snapshot() == {"a": 1, "b": 2}
+
+
+def test_table_property_access():
+    table = ContextTable()
+    prop = table.define("a", 1)
+    assert table.property("a") is prop

@@ -1,0 +1,97 @@
+"""Graph walking and partitioning."""
+
+import pytest
+
+from repro.core.clustering import (
+    group_clusters,
+    managed_neighbors,
+    partition_bfs,
+    partition_sequential,
+    resolve_strategy,
+    walk_graph,
+)
+from repro.errors import NotManagedError
+from tests.helpers import Holder, Node, Pair, build_chain
+
+
+def test_walk_linear_chain_in_order():
+    head = build_chain(5)
+    order = walk_graph(head)
+    assert [node.value for node in order] == [0, 1, 2, 3, 4]
+
+
+def test_walk_bfs_order_on_tree():
+    root = Pair(Pair(Node(1), Node(2)), Node(3))
+    order = walk_graph(root)
+    # BFS: root, its two children, then the grandchildren
+    assert order[0] is root
+    assert set(id(x) for x in order[1:3]) == {id(root.left), id(root.right)}
+
+
+def test_walk_handles_cycles():
+    first, second = Pair(), Pair()
+    first.left = second
+    second.left = first
+    assert len(walk_graph(first)) == 2
+
+
+def test_walk_through_containers():
+    holder = Holder()
+    holder.items.extend([Node(1), Node(2)])
+    holder.index["k"] = Node(3)
+    holder.fixed = (Node(4),)
+    assert len(walk_graph(holder)) == 5
+
+
+def test_walk_stops_at_proxies(space):
+    handle = space.ingest(build_chain(10), cluster_size=5)
+    raw = space.resolve(handle)
+    order = walk_graph(raw)
+    assert len(order) == 5  # the proxy at the boundary is not traversed
+
+
+def test_walk_rejects_unmanaged_root():
+    with pytest.raises(NotManagedError):
+        walk_graph(object())
+
+
+def test_walk_max_objects():
+    with pytest.raises(ValueError):
+        walk_graph(build_chain(10), max_objects=5)
+
+
+def test_managed_neighbors_deduplication_not_required():
+    node = Node(1)
+    pair = Pair(node, node)
+    neighbors = list(managed_neighbors(pair))
+    assert len(neighbors) == 2  # walk dedups, neighbors does not
+
+
+def test_partition_sequential_sizes():
+    parts = partition_sequential(list(range(10)), 3)
+    assert [len(part) for part in parts] == [3, 3, 3, 1]
+
+
+def test_partition_sequential_invalid_size():
+    with pytest.raises(ValueError):
+        partition_sequential([1], 0)
+
+
+def test_partition_bfs_chained():
+    parts = partition_bfs(build_chain(10), 4)
+    assert [len(part) for part in parts] == [4, 4, 2]
+    # chained: the last element of part i references the first of part i+1
+    assert parts[0][-1].next is parts[1][0]
+
+
+def test_group_clusters():
+    groups = group_clusters([[1], [2], [3], [4], [5]], 2)
+    assert [len(group) for group in groups] == [2, 2, 1]
+
+
+def test_resolve_strategy():
+    assert resolve_strategy("bfs") is partition_bfs
+    custom = lambda root, size: []  # noqa: E731
+    assert resolve_strategy(custom) is custom
+    with pytest.raises(ValueError):
+        resolve_strategy("dfs-nope")

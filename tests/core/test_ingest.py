@@ -1,0 +1,104 @@
+"""Graph ingestion: partitioning, boundary rewriting, grouping."""
+
+import pytest
+
+from repro.core.utils import SwapClusterUtils
+from repro.errors import AlreadyManagedError, NotManagedError
+from repro.ids import ROOT_SID
+from tests.helpers import Holder, Node, Pair, build_chain, chain_values, make_space
+
+
+def test_ingest_partitions_by_cluster_size(space):
+    space.ingest(build_chain(12), cluster_size=5)
+    clusters = space.clusters()
+    sizes = sorted(len(clusters[sid]) for sid in clusters if sid != ROOT_SID)
+    assert sizes == [2, 5, 5]
+
+
+def test_ingest_clusters_per_swap_groups(space):
+    space.ingest(build_chain(20), cluster_size=5, clusters_per_swap=2)
+    clusters = space.clusters()
+    non_root = [clusters[sid] for sid in clusters if sid != ROOT_SID]
+    assert len(non_root) == 2
+    assert all(len(cluster.cids) == 2 for cluster in non_root)
+
+
+def test_ingest_returns_root_proxy(space):
+    handle = space.ingest(build_chain(5), cluster_size=5)
+    assert SwapClusterUtils.is_swap_proxy(handle)
+    assert SwapClusterUtils.source_sid(handle) == ROOT_SID
+
+
+def test_ingest_installs_root_name(space):
+    handle = space.ingest(build_chain(5), cluster_size=5, root_name="mine")
+    assert space.get_root("mine") is handle
+
+
+def test_ingest_rewrites_boundaries(space):
+    space.ingest(build_chain(10), cluster_size=5)
+    space.verify_integrity()  # raw cross-cluster edges would fail this
+
+
+def test_ingest_rewrites_container_edges(space):
+    holder = Holder()
+    chain = build_chain(8)
+    holder.items.append(chain)
+    cursor = chain
+    while cursor.next is not None:
+        cursor = cursor.next
+    holder.index["tail"] = cursor
+    space.ingest(holder, cluster_size=3, root_name="holder")
+    space.verify_integrity()
+
+
+def test_ingest_charges_heap(space):
+    before = space.heap.used
+    space.ingest(build_chain(10), cluster_size=5)
+    assert space.heap.used > before
+
+
+def test_ingest_twice_rejected(space):
+    chain = build_chain(5)
+    space.ingest(chain, cluster_size=5)
+    with pytest.raises(AlreadyManagedError):
+        space.ingest(chain, cluster_size=5)
+
+
+def test_ingest_unmanaged_rejected(space):
+    with pytest.raises(NotManagedError):
+        space.ingest(object(), cluster_size=5)
+
+
+def test_ingest_preserves_semantics(space):
+    handle = space.ingest(build_chain(23), cluster_size=4, root_name="h")
+    assert chain_values(handle) == list(range(23))
+
+
+def test_ingest_shared_object_single_adoption(space):
+    shared = Node(9)
+    root = Pair(Pair(shared, None), shared)
+    space.ingest(root, cluster_size=2, root_name="r")
+    space.verify_integrity()
+    handle = space.get_root("r")
+    left_shared = handle.get_left().get_left()
+    right_shared = handle.get_right()
+    assert left_shared == right_shared
+
+
+def test_ingest_emits_replication_events(space):
+    from repro.events import ClusterReplicatedEvent
+
+    space.ingest(build_chain(10), cluster_size=5)
+    assert space.bus.count(ClusterReplicatedEvent) == 2
+
+
+def test_custom_strategy(space):
+    def reversed_chunks(root, size):
+        from repro.core.clustering import partition_sequential, walk_graph
+
+        order = list(reversed(walk_graph(root)))
+        return partition_sequential(order, size)
+
+    handle = space.ingest(build_chain(6), cluster_size=3, strategy=reversed_chunks)
+    assert chain_values(handle) == list(range(6))
+    space.verify_integrity()

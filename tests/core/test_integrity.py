@@ -1,0 +1,78 @@
+"""verify_integrity: the boundary-mediation invariant checker."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from tests.helpers import Node, build_chain, make_space
+
+
+def test_clean_space_passes(space):
+    space.ingest(build_chain(10), cluster_size=3, root_name="h")
+    space.verify_integrity()
+
+
+def test_raw_cross_cluster_edge_detected(space):
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    raw_head = space.resolve(handle)
+    far_oid = sorted(space.clusters()[2].oids)[0]
+    object.__setattr__(raw_head, "next", space._objects[far_oid])  # corrupt
+    with pytest.raises(IntegrityError, match="raw cross-cluster"):
+        space.verify_integrity()
+
+
+def test_foreign_object_reference_detected(space):
+    handle = space.ingest(build_chain(5), cluster_size=5, root_name="h")
+    raw_head = space.resolve(handle)
+    object.__setattr__(raw_head, "next", Node(999))  # unadopted object
+    with pytest.raises(IntegrityError, match="foreign/unadopted"):
+        space.verify_integrity()
+
+
+def test_wrong_source_proxy_detected(space):
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    raw_head = space.resolve(handle)
+    far_oid = sorted(space.clusters()[2].oids)[0]
+    wrong_source = space._proxy_for(0, far_oid)  # source 0, stored in sc-1
+    object.__setattr__(raw_head, "next", wrong_source)
+    with pytest.raises(IntegrityError, match="source"):
+        space.verify_integrity()
+
+
+def test_self_cluster_proxy_detected(space):
+    handle = space.ingest(build_chain(5), cluster_size=5, root_name="h")
+    raw_head = space.resolve(handle)
+    self_proxy = space.make_cursor(handle)  # (0 -> 1)
+    # force its source to 1 so it points into its own cluster
+    object.__setattr__(self_proxy, "_obi_source_sid", 1)
+    object.__setattr__(raw_head, "next", self_proxy)
+    with pytest.raises(IntegrityError, match="own cluster"):
+        space.verify_integrity()
+
+
+def test_swapped_cluster_bookkeeping_checked(space):
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    cluster = space.clusters()[2]
+    cluster.replacement = None  # corrupt the record
+    with pytest.raises(IntegrityError, match="replacement"):
+        space.verify_integrity()
+
+
+def test_root_raw_reference_to_cluster_detected(space):
+    handle = space.ingest(build_chain(5), cluster_size=5, root_name="h")
+    raw_head = space.resolve(handle)
+    space._roots["bad"] = raw_head  # bypassing set_root's mediation
+    with pytest.raises(IntegrityError):
+        space.verify_integrity()
+
+
+def test_container_contents_checked(space):
+    from tests.helpers import Holder
+
+    handle = space.ingest(build_chain(6), cluster_size=3, root_name="h")
+    holder = Holder()
+    space.set_root("holder", holder)
+    raw_far = space._objects[sorted(space.clusters()[2].oids)[0]]
+    holder.items.append(raw_far)  # raw cross-cluster ref inside a list
+    with pytest.raises(IntegrityError):
+        space.verify_integrity()

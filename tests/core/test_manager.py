@@ -1,0 +1,119 @@
+"""SwappingManager: store selection, pressure relief, stats."""
+
+import pytest
+
+from repro.devices import InMemoryStore, XmlStoreDevice
+from repro.errors import HeapExhaustedError, NoSwapDeviceError
+from tests.helpers import Node, build_chain, chain_values, make_space
+
+
+def test_select_store_first_fit():
+    space = make_space(with_store=False)
+    small = XmlStoreDevice("small", capacity=10)
+    big = XmlStoreDevice("big", capacity=1 << 20)
+    space.manager.add_store(small)
+    space.manager.add_store(big)
+    assert space.manager.select_store(100) is big
+
+
+def test_select_store_none_available():
+    space = make_space(with_store=False)
+    with pytest.raises(NoSwapDeviceError):
+        space.manager.select_store(10)
+
+
+def test_select_store_all_full():
+    space = make_space(with_store=False)
+    space.manager.add_store(XmlStoreDevice("tiny", capacity=8))
+    with pytest.raises(NoSwapDeviceError):
+        space.manager.select_store(100)
+
+
+def test_store_provider_merged():
+    space = make_space(with_store=False)
+    dynamic = InMemoryStore("discovered")
+    space.manager.set_store_provider(lambda: [dynamic])
+    assert dynamic in space.manager.available_stores()
+    space.ingest(build_chain(5), cluster_size=5, root_name="h")
+    location = space.swap_out(1)
+    assert location.device_id == "discovered"
+
+
+def test_ensure_room_swaps_until_fit():
+    space = make_space(heap_capacity=4096)
+    for index in range(4):
+        space.ingest(build_chain(10), cluster_size=10, root_name=f"c{index}")
+    used_before = space.heap.used
+    freed = space.manager.ensure_room(space.heap.free + 500)
+    assert freed > 0
+    assert space.heap.used < used_before
+
+
+def test_ensure_room_gives_up_without_stores():
+    space = make_space(with_store=False, heap_capacity=4096)
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    freed = space.manager.ensure_room(1 << 20)
+    assert freed == 0
+
+
+def test_auto_swap_on_exhaustion():
+    space = make_space(heap_capacity=1600)
+    # fill close to capacity, then keep allocating: the manager must
+    # relieve pressure by swapping LRU clusters automatically
+    for index in range(6):
+        space.ingest(build_chain(10), cluster_size=10, root_name=f"c{index}")
+    swapped = [c for c in space.clusters().values() if c.is_swapped]
+    assert swapped, "expected automatic swap-outs under pressure"
+    # everything still reachable
+    for index in range(6):
+        assert chain_values(space.get_root(f"c{index}")) == list(range(10))
+
+
+def test_auto_swap_disabled_raises():
+    space = make_space(heap_capacity=2000)
+    space.manager.auto_swap = False
+    with pytest.raises(HeapExhaustedError):
+        for index in range(8):
+            space.ingest(build_chain(10), cluster_size=10, root_name=f"c{index}")
+
+
+def test_custom_victim_selector():
+    space = make_space(heap_capacity=1 << 20)
+    space.ingest(build_chain(10), cluster_size=10, root_name="a")
+    space.ingest(build_chain(10), cluster_size=10, root_name="b")
+    chosen = []
+
+    def always_two(sp):
+        chosen.append(2)
+        return 2 if sp._clusters[2].is_resident else None
+
+    space.manager.victim_selector = always_two
+    space.swap_out()  # facade consults the selector
+    assert chosen and space.clusters()[2].is_swapped
+
+
+def test_stats_track_bytes():
+    space = make_space()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    chain_values(handle)
+    stats = space.manager.stats
+    assert stats.swap_outs == 1
+    assert stats.swap_ins == 1
+    assert stats.bytes_shipped > 0
+    assert stats.bytes_restored > 0
+
+
+def test_replicated_cluster_counter():
+    space = make_space()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    assert space.manager.stats.replicated_clusters == 2
+
+
+def test_binding_tracked_per_cluster():
+    space = make_space()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    store = space.manager.available_stores()[0]
+    space.swap_out(2)
+    assert space.manager.binding_for(2) is store
+    assert space.manager.binding_for(1) is None

@@ -1,0 +1,153 @@
+"""Swap-cluster-proxy behaviour: methods, fields, identity."""
+
+import pytest
+
+from repro.core.utils import SwapClusterUtils
+from tests.helpers import Node, Pair, build_chain, make_space
+
+
+@pytest.fixture
+def two_clusters():
+    """A 10-node chain split into two clusters; returns (space, handle)."""
+    space = make_space()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    return space, handle
+
+
+def test_method_call_through_proxy(two_clusters):
+    _, handle = two_clusters
+    assert handle.get_value() == 0
+
+
+def test_field_read_through_proxy(two_clusters):
+    _, handle = two_clusters
+    assert handle.value == 0
+
+
+def test_field_read_returns_proxy_at_boundary(two_clusters):
+    space, handle = two_clusters
+    node4 = handle
+    for _ in range(4):
+        node4 = node4.get_next()
+    boundary = node4.next  # field access crossing into cluster 2
+    assert SwapClusterUtils.is_swap_proxy(boundary)
+    assert boundary.get_value() == 5
+
+
+def test_field_write_through_proxy(two_clusters):
+    _, handle = two_clusters
+    handle.value = 42
+    assert handle.get_value() == 42
+
+
+def test_field_write_of_reference_translates(two_clusters):
+    space, handle = two_clusters
+    far = handle
+    for _ in range(7):
+        far = far.get_next()
+    handle.next = far  # writes a cross-cluster reference through the proxy
+    space.verify_integrity()
+    assert handle.get_next().get_value() == 7
+
+
+def test_missing_attribute_raises(two_clusters):
+    _, handle = two_clusters
+    with pytest.raises(AttributeError):
+        handle.nonexistent
+
+
+def test_dunder_probe_fails_fast(two_clusters):
+    # runtime protocol probes (copy, pickle, ...) must not fault/forward
+    _, handle = two_clusters
+    with pytest.raises(AttributeError):
+        handle.__deepcopy__
+
+
+def test_private_method_forwarded(two_clusters):
+    space, handle = two_clusters
+
+    raw = space.resolve(handle)
+    raw._secret = lambda: "nope"  # not a bound method: returned as value
+
+    # a real private method defined on the class:
+    def _peek(self):
+        return self.value
+
+    Node._peek = _peek
+    try:
+        assert handle._peek() == 0
+    finally:
+        del Node._peek
+
+
+def test_equality_proxy_vs_proxy(two_clusters):
+    space, handle = two_clusters
+    first = handle.get_next()
+    second = handle.get_next()
+    assert first == second
+    assert not (first != second)
+
+
+def test_equality_proxy_vs_raw(two_clusters):
+    space, handle = two_clusters
+    raw = space.resolve(handle)
+    assert handle == raw
+    assert raw == handle  # reflected
+
+
+def test_equality_distinct_targets(two_clusters):
+    _, handle = two_clusters
+    assert handle != handle.get_next()
+
+
+def test_equality_against_plain_value(two_clusters):
+    _, handle = two_clusters
+    assert (handle == 42) is False
+    assert (handle != 42) is True
+
+
+def test_hash_consistent_with_equality(two_clusters):
+    space, handle = two_clusters
+    first = handle.get_next()
+    second = handle.get_next()
+    assert hash(first) == hash(second)
+
+
+def test_two_proxies_for_same_object_across_pairs(two_clusters):
+    """An object referenced from two different swap-clusters is
+    represented by two different swap-cluster-proxies (paper §4), and
+    the == overload still reports them as the same object."""
+    space, handle = two_clusters
+    raw_head = space.resolve(handle)
+    node7 = raw_head
+    for _ in range(7):
+        node7 = node7.get_next() if hasattr(node7, "get_next") else node7.next
+        node7 = space.resolve(node7)
+    proxy_from_root = space._proxy_for(0, node7._obi_oid)
+    proxy_from_cluster1 = space._proxy_for(1, node7._obi_oid)
+    assert proxy_from_root is not proxy_from_cluster1
+    assert proxy_from_root == proxy_from_cluster1
+
+
+def test_proxy_reuse_per_pair(two_clusters):
+    space, handle = two_clusters
+    oid = SwapClusterUtils.oid_of(handle)
+    assert space._proxy_for(0, oid) is space._proxy_for(0, oid)
+
+
+def test_repr_shows_route(two_clusters):
+    _, handle = two_clusters
+    text = repr(handle)
+    assert "Node" in text and "0->1" in text
+
+
+def test_same_object_helper(two_clusters):
+    space, handle = two_clusters
+    raw = space.resolve(handle)
+    assert handle._obi_same_object(raw)
+    assert not handle._obi_same_object(handle.get_next())
+
+
+def test_bool_defaults_to_true(two_clusters):
+    _, handle = two_clusters
+    assert bool(handle) is True

@@ -1,0 +1,111 @@
+"""Swap redundancy: mirrored copies across the device myriad.
+
+Extension of the paper's envisioned scenario ("a myriad of small
+memory-enabled devices ... scattered all-over"): with
+``manager.replication_factor > 1`` each swapped cluster is stored on
+several nearby devices, so one device leaving the room no longer loses
+the cluster.
+"""
+
+import pytest
+
+from repro.devices import InMemoryStore, XmlStoreDevice
+from repro.errors import SwapStoreUnavailableError
+from repro.sim import ScenarioWorld, StoreSpec
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _space_with_stores(count=3, factor=2):
+    space = make_space(with_store=False)
+    stores = [InMemoryStore(f"store-{index}") for index in range(count)]
+    for store in stores:
+        space.manager.add_store(store)
+    space.manager.replication_factor = factor
+    return space, stores
+
+
+def test_mirror_written_to_k_stores():
+    space, stores = _space_with_stores(count=3, factor=2)
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    location = space.swap_out(2)
+    holding = [store for store in stores if store.keys()]
+    assert len(holding) == 2
+    assert all(store.fetch(location.key) for store in holding)
+    assert space.manager.stats.mirror_writes == 1
+    assert len(space.manager.bindings_for(2)) == 2
+
+
+def test_factor_capped_by_available_stores():
+    space, stores = _space_with_stores(count=2, factor=5)
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert len(space.manager.bindings_for(2)) == 2  # best-effort
+
+
+def test_failover_to_mirror():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("primary"))
+    world.add_store(StoreSpec("mirror"))
+    space = world.space
+    space.manager.replication_factor = 2
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    world.vanish_with_data("primary")
+    # the mirror saves the day
+    assert chain_values(handle) == list(range(10))
+    assert space.manager.stats.mirror_failovers == 1
+    space.verify_integrity()
+
+
+def test_all_copies_lost_still_fails():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("a"))
+    world.add_store(StoreSpec("b"))
+    space = world.space
+    space.manager.replication_factor = 2
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    world.vanish_with_data("a")
+    world.vanish_with_data("b")
+    with pytest.raises(SwapStoreUnavailableError):
+        chain_values(handle)
+
+
+def test_reload_drops_all_copies():
+    space, stores = _space_with_stores(count=3, factor=3)
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert sum(len(store.keys()) for store in stores) == 3
+    chain_values(handle)  # reload
+    assert sum(len(store.keys()) for store in stores) == 0
+
+
+def test_gc_drop_cleans_all_copies():
+    space, stores = _space_with_stores(count=2, factor=2)
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    space.del_root("h")
+    space.gc()
+    assert sum(len(store.keys()) for store in stores) == 0
+
+
+def test_mirror_skips_full_stores():
+    space = make_space(with_store=False)
+    big = InMemoryStore("big")
+    tiny = XmlStoreDevice("tiny", capacity=8)
+    space.manager.add_store(big)
+    space.manager.add_store(tiny)
+    space.manager.replication_factor = 2
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)  # tiny can't hold it: one copy, no error
+    assert len(space.manager.bindings_for(2)) == 1
+    assert space.manager.stats.mirror_writes == 0
+
+
+def test_explicit_store_gains_mirrors():
+    space, stores = _space_with_stores(count=3, factor=2)
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2, store=stores[2])
+    bindings = space.manager.bindings_for(2)
+    assert bindings[0] is stores[2]
+    assert len(bindings) == 2

@@ -1,0 +1,234 @@
+"""Runtime swap-cluster merge/split."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.utils import SwapClusterUtils
+from repro.errors import ClusterNotResidentError, ClusterPinnedError, NotManagedError
+from repro.events import SwapClusterMergedEvent, SwapClusterSplitEvent
+from tests.helpers import Node, build_chain, chain_values, make_space
+
+
+@pytest.fixture
+def chain(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    return space, handle
+
+
+# -- merge ---------------------------------------------------------------
+
+
+def test_merge_semantics_preserved(chain):
+    space, handle = chain
+    space.merge_swap_clusters(1, 2)
+    space.verify_integrity()
+    assert chain_values(handle) == list(range(20))
+
+
+def test_merge_dismantles_internal_proxies(chain):
+    space, handle = chain
+    space.merge_swap_clusters(1, 2)
+    # the former 1->2 boundary is now a raw edge: full-speed navigation
+    raw = space.resolve(handle)
+    cursor = raw
+    for _ in range(9):
+        cursor = cursor.next
+        assert not SwapClusterUtils.is_swap_proxy(cursor)
+    assert cursor.value == 9
+
+
+def test_merge_retargets_external_proxies(chain):
+    space, handle = chain
+    # a root-held proxy into cluster 2 must keep working after the merge
+    node5_proxy = space._proxy_for(0, sorted(space.clusters()[2].oids)[0])
+    space.merge_swap_clusters(1, 2)
+    assert node5_proxy.get_value() == 5
+    assert node5_proxy._obi_target_sid == 1
+
+
+def test_merge_removes_absorbed_cluster(chain):
+    space, handle = chain
+    space.merge_swap_clusters(1, 2)
+    assert 2 not in space.clusters()
+    assert len(space.clusters()[1]) == 10
+
+
+def test_merged_cluster_swaps_as_one(chain):
+    space, handle = chain
+    space.merge_swap_clusters(1, 2)
+    location = space.swap_out(1)
+    store = space.manager.available_stores()[0]
+    assert store.fetch(location.key).count("<object ") == 10
+    assert chain_values(handle) == list(range(20))
+    space.verify_integrity()
+
+
+def test_merge_emits_event(chain):
+    space, _ = chain
+    space.merge_swap_clusters(3, 4)
+    event = space.bus.last(SwapClusterMergedEvent)
+    assert event.absorber_sid == 3 and event.object_count == 5
+
+
+def test_merge_requires_resident(chain):
+    space, _ = chain
+    space.swap_out(2)
+    with pytest.raises(ClusterNotResidentError):
+        space.merge_swap_clusters(1, 2)
+
+
+def test_merge_rejects_self_and_root(chain):
+    space, _ = chain
+    with pytest.raises(NotManagedError):
+        space.merge_swap_clusters(1, 1)
+    with pytest.raises(ClusterNotResidentError):
+        space.merge_swap_clusters(1, 0)
+
+
+def test_merge_pinned_rejected(chain):
+    space, handle = chain
+    with space.pin(2):
+        with pytest.raises(ClusterPinnedError):
+            space.merge_swap_clusters(1, 2)
+
+
+def test_merge_stats_folded(chain):
+    space, handle = chain
+    handle.get_value()  # crossings on cluster 1
+    crossings_before = (
+        space.clusters()[1].crossings + space.clusters()[2].crossings
+    )
+    space.merge_swap_clusters(1, 2)
+    assert space.clusters()[1].crossings == crossings_before
+
+
+# -- split ---------------------------------------------------------------
+
+
+def test_split_tail_count(chain):
+    space, handle = chain
+    new_sid = space.split_swap_cluster(1, 2)
+    space.verify_integrity()
+    assert len(space.clusters()[1]) == 3
+    assert len(space.clusters()[new_sid]) == 2
+    assert chain_values(handle) == list(range(20))
+
+
+def test_split_inserts_boundary_proxies(chain):
+    space, handle = chain
+    new_sid = space.split_swap_cluster(1, 2)
+    raw = space.resolve(handle)
+    cursor = raw.next.next  # node 2, last of the shrunk cluster
+    assert SwapClusterUtils.is_swap_proxy(cursor.next)
+    assert cursor.next._obi_target_sid == new_sid
+
+
+def test_split_by_predicate(chain):
+    space, handle = chain
+    new_sid = space.split_swap_cluster(1, lambda obj: obj.value % 2 == 1)
+    assert len(space.clusters()[new_sid]) == 2  # values 1, 3
+    space.verify_integrity()
+    assert chain_values(handle) == list(range(20))
+
+
+def test_split_by_handles(chain):
+    space, handle = chain
+    raw = space.resolve(handle)
+    victim = raw.next
+    new_sid = space.split_swap_cluster(1, [victim])
+    assert space.sid_of(victim) == new_sid
+    space.verify_integrity()
+
+
+def test_split_part_swaps_independently(chain):
+    space, handle = chain
+    new_sid = space.split_swap_cluster(1, 2)
+    space.swap_out(new_sid)
+    assert space.clusters()[1].is_resident
+    assert chain_values(handle) == list(range(20))
+    space.verify_integrity()
+
+
+def test_split_retargets_live_proxies(chain):
+    space, handle = chain
+    raw = space.resolve(handle)
+    node4_proxy = space._proxy_for(0, raw.next.next.next.next._obi_oid)
+    new_sid = space.split_swap_cluster(1, 2)  # moves nodes 3, 4
+    assert node4_proxy._obi_target_sid == new_sid
+    assert node4_proxy.get_value() == 4
+
+
+def test_split_emits_event(chain):
+    space, _ = chain
+    new_sid = space.split_swap_cluster(1, 1)
+    event = space.bus.last(SwapClusterSplitEvent)
+    assert event.new_sid == new_sid and event.object_count == 1
+
+
+def test_split_rejects_empty_and_total(chain):
+    space, _ = chain
+    with pytest.raises(NotManagedError):
+        space.split_swap_cluster(1, 0)
+    with pytest.raises(NotManagedError):
+        space.split_swap_cluster(1, 5)  # would empty the cluster
+
+
+def test_split_rejects_foreign_members(chain):
+    space, handle = chain
+    foreign_oid = sorted(space.clusters()[2].oids)[0]
+    with pytest.raises(NotManagedError):
+        space.split_swap_cluster(1, [foreign_oid])
+
+
+def test_split_requires_resident(chain):
+    space, _ = chain
+    space.swap_out(2)
+    with pytest.raises(ClusterNotResidentError):
+        space.split_swap_cluster(2, 1)
+
+
+# -- composition -----------------------------------------------------------
+
+
+def test_merge_then_split_round_trip(chain):
+    space, handle = chain
+    space.merge_swap_clusters(1, 2)
+    space.split_swap_cluster(1, 5)
+    space.verify_integrity()
+    assert chain_values(handle) == list(range(20))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["merge", "split", "swap", "walk"]),
+                  st.integers(min_value=0, max_value=1000)),
+        max_size=10,
+    )
+)
+def test_random_restructuring_preserves_semantics(operations):
+    space = make_space(heap_capacity=4 << 20)
+    handle = space.ingest(build_chain(30), cluster_size=6, root_name="h")
+    for op, argument in operations:
+        resident = [
+            sid for sid, cluster in space.clusters().items()
+            if cluster.swappable() and len(cluster) > 0
+        ]
+        if op == "merge" and len(resident) >= 2:
+            absorber = resident[argument % len(resident)]
+            absorbed = resident[(argument + 1) % len(resident)]
+            if absorber != absorbed:
+                space.merge_swap_clusters(absorber, absorbed)
+        elif op == "split" and resident:
+            sid = resident[argument % len(resident)]
+            size = len(space.clusters()[sid])
+            if size >= 2:
+                space.split_swap_cluster(sid, 1 + argument % (size - 1))
+        elif op == "swap" and resident:
+            space.swap_out(resident[argument % len(resident)])
+        elif op == "walk":
+            assert chain_values(space.get_root("h")) == list(range(30))
+        space.verify_integrity()
+    assert chain_values(space.get_root("h")) == list(range(30))

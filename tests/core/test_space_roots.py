@@ -1,0 +1,98 @@
+"""Roots (swap-cluster-0) and space basics."""
+
+import pytest
+
+from repro.core.utils import SwapClusterUtils
+from repro.errors import AlreadyManagedError, NotManagedError
+from repro.ids import ROOT_SID
+from tests.helpers import Node, build_chain, make_space
+
+
+def test_set_root_adopts_fresh_object(space):
+    node = Node(1)
+    stored = space.set_root("n", node)
+    assert stored is node  # cluster-0 objects stay raw
+    assert node._obi_sid == ROOT_SID
+
+
+def test_set_root_wraps_other_cluster(space):
+    handle = space.ingest(build_chain(5), cluster_size=5)
+    raw = space.resolve(handle)
+    stored = space.set_root("head", raw)
+    assert SwapClusterUtils.is_swap_proxy(stored)
+
+
+def test_set_root_reuses_existing_root_proxy(space):
+    handle = space.ingest(build_chain(5), cluster_size=5, root_name="a")
+    stored = space.set_root("b", handle)
+    assert stored is handle  # same (0, oid) pair
+
+
+def test_get_missing_root_raises(space):
+    with pytest.raises(KeyError):
+        space.get_root("missing")
+
+
+def test_del_root(space):
+    space.set_root("x", Node(1))
+    space.del_root("x")
+    assert "x" not in space.root_names()
+
+
+def test_roots_snapshot(space):
+    space.set_root("a", Node(1))
+    space.set_root("b", 42)
+    roots = space.roots()
+    assert set(roots) == {"a", "b"}
+
+
+def test_adopt_foreign_space_rejected(space):
+    other = make_space("other")
+    node = Node(1)
+    other.set_root("n", node)
+    with pytest.raises(AlreadyManagedError):
+        space.adopt(node)
+
+
+def test_adopt_unmanaged_rejected(space):
+    with pytest.raises(NotManagedError):
+        space.adopt(object())
+
+
+def test_new_swap_cluster_ids_unique(space):
+    first = space.new_swap_cluster()
+    second = space.new_swap_cluster()
+    assert first.sid != second.sid
+    assert first.sid != ROOT_SID
+
+
+def test_describe_output(space):
+    space.ingest(build_chain(5), cluster_size=5, root_name="h")
+    text = space.describe()
+    assert "sc-1" in text and "resident" in text
+
+
+def test_sid_of_handles(space):
+    handle = space.ingest(build_chain(10), cluster_size=5)
+    assert space.sid_of(handle) == 1
+    raw = space.resolve(handle)
+    assert space.sid_of(raw) == 1
+
+
+def test_managed_class_with_slots_rejected_at_decoration(space):
+    from repro import managed
+
+    with pytest.raises(TypeError, match="__slots__"):
+        @managed
+        class Slotted:
+            __slots__ = ("x",)
+
+            def ping(self):
+                return 1
+
+
+def test_foreign_space_proxy_rejected(space):
+    other = make_space("elsewhere")
+    other_handle = other.ingest(build_chain(3), cluster_size=3, root_name="x")
+    with pytest.raises(NotManagedError, match="cannot cross spaces"):
+        space.set_root("bad", other_handle)

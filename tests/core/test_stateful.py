@@ -1,0 +1,195 @@
+"""Stateful model-based testing of the whole swapping core.
+
+A hypothesis ``RuleBasedStateMachine`` drives one :class:`Space` through
+arbitrary interleavings of every state-changing operation the library
+offers — ingest, field writes, swap-out/in, merge, split, GC, root
+deletion, store failure and recovery — while a plain-Python model tracks
+what the application should observe.  Invariants checked after *every*
+step:
+
+* the visible values of every live chain match the model exactly;
+* ``verify_integrity`` holds;
+* heap accounting equals the sum of resident footprints.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.devices import InMemoryStore
+from repro.errors import SwapStoreUnavailableError
+from tests.helpers import Node, build_chain, chain_values, make_space
+
+
+class SwapMachine(RuleBasedStateMachine):
+    chains = Bundle("chains")
+
+    @initialize()
+    def setup(self) -> None:
+        self.space = make_space(heap_capacity=8 << 20)
+        self.store = self.space.manager.available_stores()[0]
+        self.backup = InMemoryStore("backup")
+        self.space.manager.add_store(self.backup)
+        self.model: dict[str, list[int]] = {}
+        self.counter = 0
+        self.store_lost = False
+
+    # -- operations ---------------------------------------------------------
+
+    @rule(
+        target=chains,
+        length=st.integers(min_value=1, max_value=15),
+        cluster_size=st.integers(min_value=1, max_value=6),
+    )
+    def ingest_chain(self, length, cluster_size):
+        name = f"chain-{self.counter}"
+        self.counter += 1
+        self.space.ingest(
+            build_chain(length), cluster_size=cluster_size, root_name=name
+        )
+        self.model[name] = list(range(length))
+        return name
+
+    @rule(name=chains)
+    def walk(self, name):
+        if name not in self.model:
+            return
+        assert chain_values(self.space.get_root(name)) == self.model[name]
+
+    @rule(
+        name=chains,
+        position=st.integers(min_value=0, max_value=30),
+        value=st.integers(min_value=-999, max_value=999),
+    )
+    def write(self, name, position, value):
+        if name not in self.model:
+            return
+        position %= len(self.model[name])
+        cursor = self.space.get_root(name)
+        for _ in range(position):
+            cursor = cursor.get_next()
+        cursor.set_value(value)
+        self.model[name][position] = value
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def swap_out_something(self, pick):
+        candidates = [
+            sid
+            for sid, cluster in self.space.clusters().items()
+            if cluster.swappable() and cluster.oids
+        ]
+        if not candidates:
+            return
+        self.space.swap_out(candidates[pick % len(candidates)])
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def swap_in_something(self, pick):
+        swapped = [
+            sid
+            for sid, cluster in self.space.clusters().items()
+            if cluster.is_swapped
+        ]
+        if not swapped:
+            return
+        sid = swapped[pick % len(swapped)]
+        try:
+            self.space.swap_in(sid)
+        except SwapStoreUnavailableError:
+            assert self.store_lost  # only legal while the store is away
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def merge_two(self, pick):
+        candidates = [
+            sid
+            for sid, cluster in self.space.clusters().items()
+            if cluster.swappable() and cluster.oids
+        ]
+        if len(candidates) < 2:
+            return
+        absorber = candidates[pick % len(candidates)]
+        absorbed = candidates[(pick + 1) % len(candidates)]
+        if absorber != absorbed:
+            self.space.merge_swap_clusters(absorber, absorbed)
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def split_one(self, pick):
+        candidates = [
+            sid
+            for sid, cluster in self.space.clusters().items()
+            if cluster.swappable() and len(cluster) >= 2
+        ]
+        if not candidates:
+            return
+        sid = candidates[pick % len(candidates)]
+        size = len(self.space.clusters()[sid])
+        self.space.split_swap_cluster(sid, 1 + pick % (size - 1) if size > 2 else 1)
+
+    @rule(name=chains)
+    def drop_chain(self, name):
+        if name not in self.model:
+            return
+        # roots of swapped clusters can't be collected while the store is
+        # lost... they can: GC just drops the record and tells the store
+        self.space.del_root(name)
+        del self.model[name]
+
+    @rule()
+    def collect(self):
+        self.space.gc()
+
+    @rule()
+    def toggle_store(self):
+        # the backup store guarantees swap-outs still succeed; the
+        # primary toggling exercises mirror-less failover paths
+        if self.store_lost:
+            self.space.manager.add_store(self.store)
+            self.store_lost = False
+        else:
+            self.space.manager.remove_store(self.store)
+            self.store_lost = True
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def integrity_holds(self):
+        if hasattr(self, "space"):
+            self.space.verify_integrity()
+
+    @invariant()
+    def heap_matches_residency(self):
+        if not hasattr(self, "space"):
+            return
+        expected = sum(
+            self.space.size_model.size_of(obj)
+            for obj in self.space._objects.values()
+        )
+        replacement_bytes = sum(
+            self.space.size_model.replacement_size(
+                cluster.replacement.outbound_count()
+            )
+            for cluster in self.space._clusters.values()
+            if cluster.replacement is not None
+        )
+        assert self.space.heap.used == expected + replacement_bytes
+
+    @invariant()
+    def model_matches_when_stores_present(self):
+        if not hasattr(self, "space") or self.store_lost:
+            return
+        for name, expected in self.model.items():
+            assert chain_values(self.space.get_root(name)) == expected
+
+
+TestSwapMachine = SwapMachine.TestCase
+TestSwapMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

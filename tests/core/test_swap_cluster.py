@@ -1,0 +1,60 @@
+"""SwapCluster bookkeeping."""
+
+import pytest
+
+from repro.core.swap_cluster import SwapCluster, SwapClusterState
+from repro.errors import ClusterNotResidentError, ClusterPinnedError
+from repro.ids import ROOT_SID
+
+
+def test_new_cluster_resident():
+    cluster = SwapCluster(3)
+    assert cluster.is_resident and not cluster.is_swapped
+    assert cluster.epoch == 0
+
+
+def test_membership():
+    cluster = SwapCluster(1)
+    cluster.add_member(10, "Node")
+    cluster.add_member(11, "Node")
+    assert len(cluster) == 2
+    assert cluster.class_name_by_oid[10] == "Node"
+    cluster.remove_member(10)
+    assert len(cluster) == 1
+
+
+def test_root_cluster_never_swappable():
+    cluster = SwapCluster(ROOT_SID)
+    cluster.add_member(1, "Node")
+    assert not cluster.swappable()
+    with pytest.raises(ClusterNotResidentError):
+        cluster.ensure_swappable()
+
+
+def test_pinned_cluster_not_swappable():
+    cluster = SwapCluster(1)
+    cluster.pins += 1
+    with pytest.raises(ClusterPinnedError):
+        cluster.ensure_swappable()
+    cluster.pins -= 1
+    cluster.ensure_swappable()  # no raise
+
+
+def test_swapped_cluster_not_swappable_again():
+    cluster = SwapCluster(1)
+    cluster.state = SwapClusterState.SWAPPED
+    with pytest.raises(ClusterNotResidentError):
+        cluster.ensure_swappable()
+
+
+def test_crossing_statistics():
+    cluster = SwapCluster(1, created_tick=5)
+    cluster.record_crossing(10)
+    cluster.record_crossing(20)
+    assert cluster.crossings == 2
+    assert cluster.last_crossing_tick == 20
+    assert cluster.idle_ticks(25) == 5
+
+
+def test_repr_mentions_state():
+    assert "resident" in repr(SwapCluster(1))

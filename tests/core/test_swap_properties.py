@@ -1,0 +1,147 @@
+"""Property-based invariants of the swapping core.
+
+The central theorem of the paper is referential integrity: any sequence
+of swap-outs, reloads and collections leaves the application-visible
+graph unchanged.  Hypothesis drives random graphs and random operation
+sequences against a model of the expected values.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.utils import SwapClusterUtils
+from tests.helpers import Node, Pair, build_chain, chain_values, make_space
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    length=st.integers(min_value=1, max_value=60),
+    cluster_size=st.integers(min_value=1, max_value=12),
+    operations=st.lists(
+        st.tuples(st.sampled_from(["swap", "walk", "gc", "touch"]),
+                  st.integers(min_value=0, max_value=10_000)),
+        max_size=12,
+    ),
+)
+def test_chain_semantics_invariant(length, cluster_size, operations):
+    space = make_space(heap_capacity=4 << 20)
+    handle = space.ingest(
+        build_chain(length), cluster_size=cluster_size, root_name="h"
+    )
+    expected = list(range(length))
+
+    for op, argument in operations:
+        if op == "swap":
+            swappable = [
+                sid
+                for sid, cluster in space.clusters().items()
+                if cluster.swappable() and cluster.oids
+            ]
+            if swappable:
+                space.swap_out(swappable[argument % len(swappable)])
+        elif op == "walk":
+            assert chain_values(space.get_root("h")) == expected
+        elif op == "gc":
+            space.gc()
+        elif op == "touch":
+            position = argument % length
+            cursor = space.get_root("h")
+            for _ in range(position):
+                cursor = cursor.get_next()
+            assert cursor.get_value() == position
+        space.verify_integrity()
+
+    assert chain_values(space.get_root("h")) == expected
+    space.verify_integrity()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    length=st.integers(min_value=2, max_value=40),
+    cluster_size=st.integers(min_value=1, max_value=8),
+    writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=39),
+                  st.integers(min_value=-1000, max_value=1000)),
+        max_size=8,
+    ),
+)
+def test_writes_survive_swap_cycles(length, cluster_size, writes):
+    space = make_space(heap_capacity=4 << 20)
+    handle = space.ingest(
+        build_chain(length), cluster_size=cluster_size, root_name="h"
+    )
+    expected = list(range(length))
+
+    for position, new_value in writes:
+        position %= length
+        cursor = space.get_root("h")
+        for _ in range(position):
+            cursor = cursor.get_next()
+        cursor.set_value(new_value)
+        expected[position] = new_value
+        # swap the written cluster out and back: the write must persist
+        sid = space.sid_of(cursor)
+        if space.clusters()[sid].swappable():
+            space.swap_out(sid)
+
+    assert chain_values(space.get_root("h")) == expected
+    space.verify_integrity()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=30),
+    cluster_size=st.integers(min_value=1, max_value=6),
+)
+def test_assign_iteration_equivalent_to_plain(length, cluster_size):
+    space = make_space(heap_capacity=4 << 20)
+    handle = space.ingest(
+        build_chain(length), cluster_size=cluster_size, root_name="h"
+    )
+    plain = chain_values(handle)
+    cursor = SwapClusterUtils.assign(space.make_cursor(handle))
+    via_assign = []
+    while cursor is not None:
+        via_assign.append(cursor.get_value())
+        cursor = cursor.get_next()
+    assert via_assign == plain == list(range(length))
+    space.verify_integrity()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fan=st.integers(min_value=1, max_value=10),
+    cluster_size=st.integers(min_value=1, max_value=4),
+    swap_rounds=st.integers(min_value=0, max_value=4),
+)
+def test_shared_objects_keep_identity(fan, cluster_size, swap_rounds):
+    # a diamond: many pairs all sharing one node; identity must hold
+    # across arbitrary swapping
+    shared = Node(7)
+    root = Pair()
+    root.left = [Pair(shared, None) for _ in range(fan)]
+    root.right = shared
+    space = make_space(heap_capacity=4 << 20)
+    handle = space.ingest(root, cluster_size=cluster_size, root_name="r")
+
+    for round_index in range(swap_rounds):
+        swappable = [
+            sid
+            for sid, cluster in space.clusters().items()
+            if cluster.swappable() and cluster.oids
+        ]
+        if not swappable:
+            break
+        space.swap_out(swappable[round_index % len(swappable)])
+
+    handle = space.get_root("r")
+    right = handle.get_right()
+    for position in range(fan):
+        left_shared = handle.get_left()[position].get_left()
+        assert SwapClusterUtils.equals(left_shared, right)
+        assert left_shared.get_value() == 7
+    space.verify_integrity()

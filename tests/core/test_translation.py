@@ -1,0 +1,139 @@
+"""The paper's three reference-translation rules."""
+
+import pytest
+
+from repro.core.utils import SwapClusterUtils
+from tests.helpers import Factory, Holder, Node, Pair, build_chain, make_space
+
+
+@pytest.fixture
+def space_with_chain():
+    space = make_space()
+    handle = space.ingest(build_chain(15), cluster_size=5, root_name="h")
+    return space, handle
+
+
+def test_rule_i_raw_cross_cluster_result_wrapped(space_with_chain):
+    space, handle = space_with_chain
+    node4 = handle
+    for _ in range(4):
+        node4 = node4.get_next()
+    crossing = node4.get_next()  # raw next lives in cluster 2
+    assert SwapClusterUtils.is_swap_proxy(crossing)
+    assert SwapClusterUtils.source_sid(crossing) == 0
+    assert SwapClusterUtils.target_sid(crossing) == 2
+
+
+def test_rule_iii_argument_proxy_dismantled(space_with_chain):
+    space, handle = space_with_chain
+    # handle is a (0 -> cluster1) proxy; identity_of echoes its argument.
+    # Passing `handle` to a method of the SAME cluster must dismantle it:
+    raw_head = space.resolve(handle)
+    echoed = handle.identity_of(handle)
+    # inside the method, the argument was the raw object:
+    assert echoed is not None
+    # result translated back out to cluster 0 -> proxy again
+    assert SwapClusterUtils.is_swap_proxy(echoed)
+    assert echoed == raw_head
+
+
+def test_rule_ii_proxy_handoff_rewrapped(space_with_chain):
+    space, handle = space_with_chain
+    far = handle
+    for _ in range(10):
+        far = far.get_next()  # proxy (0 -> cluster 3)
+    # pass the cluster-3 proxy into a cluster-1 method; the value the
+    # method observes must be a proxy with source cluster 1
+    received = handle.identity_of(far)
+    raw_head = space.resolve(handle)
+    observed = raw_head.identity_of.__self__  # sanity: raw object exists
+    assert received == far
+    space.verify_integrity()
+
+
+def test_same_cluster_result_stays_raw(space_with_chain):
+    space, handle = space_with_chain
+    raw_head = space.resolve(handle)
+    raw_next = raw_head.get_next()
+    assert not SwapClusterUtils.is_swap_proxy(raw_next)  # intra-cluster: raw
+
+
+def test_container_results_translated(space_with_chain):
+    space, handle = space_with_chain
+
+    raw_head = space.resolve(handle)
+    far = raw_head
+    for _ in range(7):
+        far = space.resolve(far.get_next() if far.get_next() is not None else far)
+
+    holder = Holder()
+    holder.items.append(far)  # cluster-2 object inside a root-side list
+    space.set_root("holder", holder)
+    space.verify_integrity()
+    stored = space.resolve(space.get_root("holder")).items[0]
+    assert SwapClusterUtils.is_swap_proxy(stored)
+
+
+def test_new_objects_absorbed_into_creating_cluster(space_with_chain):
+    space, handle = space_with_chain
+    factory = Factory()
+    factory_handle = space.ingest(factory, cluster_size=1, root_name="factory")
+    made = factory_handle.make_node(7)
+    # the new node was created by cluster code: absorbed and mediated
+    assert made.get_value() == 7
+    assert SwapClusterUtils.is_swap_proxy(made)
+    space.verify_integrity()
+
+
+def test_new_object_graph_absorbed_recursively(space_with_chain):
+    space, handle = space_with_chain
+    factory_handle = space.ingest(Factory(), cluster_size=1, root_name="factory")
+    chain = factory_handle.make_chain(5)
+    values = []
+    cursor = chain
+    while cursor is not None:
+        values.append(cursor.get_value())
+        cursor = cursor.get_next()
+    assert values == [0, 1, 2, 3, 4]
+    space.verify_integrity()
+
+
+def test_atomic_values_pass_untouched(space_with_chain):
+    space, handle = space_with_chain
+    assert handle.identity_of(42) == 42
+    assert handle.identity_of("text") == "text"
+    assert handle.identity_of(None) is None
+    assert handle.identity_of((1, "a")) == (1, "a")
+
+
+def test_kwargs_translated(space_with_chain):
+    space, handle = space_with_chain
+    far = handle
+    for _ in range(10):
+        far = far.get_next()
+    # the generic wrapper path handles keyword arguments
+    result = handle.identity_of(other=far)
+    assert result == far
+
+
+def test_set_root_wraps_raw_cross_cluster(space_with_chain):
+    space, handle = space_with_chain
+    raw_head = space.resolve(handle)
+    stored = space.set_root("again", raw_head)
+    assert SwapClusterUtils.is_swap_proxy(stored)
+    assert SwapClusterUtils.source_sid(stored) == 0
+
+
+def test_set_root_plain_value(space_with_chain):
+    space, _ = space_with_chain
+    space.set_root("config", {"retries": 3})
+    assert space.get_root("config") == {"retries": 3}
+
+
+def test_attach_mediates_raw_write(space_with_chain):
+    space, handle = space_with_chain
+    raw_head = space.resolve(handle)
+    far = space.resolve(space._proxy_for(0, sorted(space.clusters()[3].oids)[0]))
+    space.attach(raw_head, "next", far)
+    space.verify_integrity()
+    assert SwapClusterUtils.is_swap_proxy(raw_head.next)

@@ -1,0 +1,116 @@
+"""SwapClusterUtils, especially the assign() iteration optimisation."""
+
+import pytest
+
+from repro.core.utils import SwapClusterUtils
+from repro.errors import NotManagedError, PolicyError
+from tests.helpers import Node, build_chain, chain_values, make_space
+
+
+@pytest.fixture
+def chain_space(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    return space, handle
+
+
+def test_assign_requires_proxy(chain_space):
+    with pytest.raises(NotManagedError):
+        SwapClusterUtils.assign(Node(1))
+
+
+def test_assign_requires_root_source(chain_space):
+    space, handle = chain_space
+    node = space.resolve(handle)
+    for _ in range(4):
+        node = node.next  # intra-cluster hops are raw
+    boundary = node.next  # the (1 -> 2) proxy stored in node 4's field
+    assert SwapClusterUtils.is_swap_proxy(boundary)
+    assert SwapClusterUtils.source_sid(boundary) == 1
+    with pytest.raises(PolicyError):
+        SwapClusterUtils.assign(boundary)
+
+
+def test_assign_iteration_single_proxy(chain_space):
+    space, handle = chain_space
+    cursor = SwapClusterUtils.assign(space.make_cursor(handle))
+    original_id = id(cursor)
+    steps = 0
+    while cursor is not None:
+        assert id(cursor) == original_id  # always the same proxy object
+        nxt = cursor.get_next()
+        if nxt is None:
+            break
+        assert nxt is cursor
+        cursor = nxt
+        steps += 1
+    assert steps == 19
+
+
+def test_assign_iteration_values_correct(chain_space):
+    space, handle = chain_space
+    cursor = SwapClusterUtils.assign(space.make_cursor(handle))
+    values = []
+    while cursor is not None:
+        values.append(cursor.get_value())
+        cursor = cursor.get_next()
+    assert values == list(range(20))
+
+
+def test_assign_survives_swap_cycle(chain_space):
+    space, handle = chain_space
+    cursor = SwapClusterUtils.assign(space.make_cursor(handle))
+    cursor.get_next()  # now points at node 1
+    space.swap_out(1)  # the cluster the cursor points into
+    assert cursor.get_value() == 1  # transparently reloads
+    space.verify_integrity()
+
+
+def test_unassign_restores_normal_behaviour(chain_space):
+    space, handle = chain_space
+    cursor = SwapClusterUtils.assign(space.make_cursor(handle))
+    SwapClusterUtils.unassign(cursor)
+    nxt = cursor.get_next()
+    assert nxt is not cursor  # a fresh proxy again
+
+
+def test_assign_does_not_corrupt_canonical_root(chain_space):
+    space, handle = chain_space
+    cursor = SwapClusterUtils.assign(space.make_cursor(handle))
+    while cursor is not None:
+        cursor = cursor.get_next()
+    # the shared root handle must still denote the head
+    assert handle.get_value() == 0
+    assert chain_values(space.get_root("h")) == list(range(20))
+
+
+def test_equals_helper(chain_space):
+    space, handle = chain_space
+    raw = space.resolve(handle)
+    assert SwapClusterUtils.equals(handle, raw)
+    assert SwapClusterUtils.equals(handle, handle)
+    assert not SwapClusterUtils.equals(handle, handle.get_next())
+    assert not SwapClusterUtils.equals(handle, 42)
+
+
+def test_oid_of(chain_space):
+    space, handle = chain_space
+    raw = space.resolve(handle)
+    assert SwapClusterUtils.oid_of(handle) == SwapClusterUtils.oid_of(raw)
+    with pytest.raises(NotManagedError):
+        SwapClusterUtils.oid_of(Node(1))  # not adopted
+    with pytest.raises(NotManagedError):
+        SwapClusterUtils.oid_of("plain")
+
+
+def test_resolve_reloads_swapped(chain_space):
+    space, handle = chain_space
+    space.swap_out(1)
+    raw = SwapClusterUtils.resolve(handle)
+    assert raw.value == 0
+    assert space.clusters()[1].is_resident
+
+
+def test_resolve_passthrough_for_raw(chain_space):
+    space, handle = chain_space
+    raw = space.resolve(handle)
+    assert SwapClusterUtils.resolve(raw) is raw

@@ -1,0 +1,68 @@
+"""The full MobileDevice wiring."""
+
+from repro.devices import IPAQ_3360, InMemoryStore, MobileDevice
+from repro.devices.profiles import ALL_PROFILES, WRIST_DEVICE
+from tests.helpers import build_chain, chain_values
+
+
+def test_profiles_sane():
+    for profile in ALL_PROFILES:
+        assert profile.heap_bytes > 0
+        assert profile.link_bps > 0
+        link = profile.make_link()
+        assert link.bandwidth_bps == profile.link_bps
+
+
+def test_ipaq_profile_matches_paper_link():
+    assert IPAQ_3360.link_bps == 700_000
+
+
+def test_device_space_sized_from_profile():
+    device = MobileDevice("pda", WRIST_DEVICE)
+    assert device.space.heap.capacity == WRIST_DEVICE.heap_bytes
+
+
+def test_discovery_feeds_manager():
+    device = MobileDevice("pda")
+    store = InMemoryStore("pc")
+    device.discover_store(store)
+    assert store in device.manager.available_stores()
+    device.lose_store("pc")
+    assert store not in device.manager.available_stores()
+
+
+def test_default_policy_swaps_under_pressure():
+    device = MobileDevice("pda", WRIST_DEVICE, high_watermark=0.5, low_watermark=0.3)
+    device.discover_store(InMemoryStore("pc"))
+    space = device.space
+    # fill past the high watermark (wrist device: 256 KB heap); the
+    # machine policy must relieve pressure by swapping
+    chains = 40
+    for index in range(chains):
+        space.ingest(
+            build_chain(100), cluster_size=100, root_name=f"chain-{index}"
+        )
+    assert device.manager.stats.swap_outs > 0
+    for index in range(chains):
+        assert chain_values(space.get_root(f"chain-{index}")) == list(range(100))
+    space.verify_integrity()
+
+
+def test_context_properties_tracked():
+    device = MobileDevice("pda")
+    assert "memory.ratio" in device.context
+    assert "devices.in_range" in device.context
+    device.discover_store(InMemoryStore("pc"))
+    assert device.context.get("devices.in_range") == 1
+
+
+def test_no_default_policies_option():
+    device = MobileDevice("pda", load_default_policies=False)
+    assert device.policy_engine.policies() == []
+
+
+def test_describe():
+    device = MobileDevice("pda")
+    device.discover_store(InMemoryStore("pc"))
+    text = device.describe()
+    assert "pda" in text and "pc" in text

@@ -1,0 +1,96 @@
+"""Peer stores: a constrained device lending heap to a neighbour."""
+
+import pytest
+
+from repro.devices.peer import PeerStore
+from repro.errors import NoSwapDeviceError, StoreFullError, UnknownKeyError
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def test_guest_data_charges_host_heap():
+    host = make_space("host", heap_capacity=10_000, with_store=False)
+    peer = PeerStore(host, reserve_fraction=0.5)
+    before = host.heap.used
+    peer.store("k", "x" * 1000)
+    assert host.heap.used == before + 1000
+    peer.drop("k")
+    assert host.heap.used == before
+
+
+def test_reserve_fraction_caps_guests():
+    host = make_space("host", heap_capacity=10_000, with_store=False)
+    peer = PeerStore(host, reserve_fraction=0.1)  # 1000 bytes
+    peer.store("a", "x" * 900)
+    with pytest.raises(StoreFullError):
+        peer.store("b", "y" * 200)
+    assert not peer.has_room(200)
+
+
+def test_host_working_set_shrinks_generosity():
+    host = make_space("host", heap_capacity=4_000, with_store=False)
+    host.manager.auto_swap = False
+    peer = PeerStore(host, reserve_fraction=1.0)
+    host.ingest(build_chain(80), cluster_size=80, root_name="mine")  # ~3200B
+    assert not peer.has_room(2000)  # host heap simply has no room
+    with pytest.raises(StoreFullError):
+        peer.store("k", "x" * 2000)
+
+
+def test_overwrite_same_key_reaccounts():
+    host = make_space("host", heap_capacity=10_000, with_store=False)
+    peer = PeerStore(host, reserve_fraction=0.5)
+    peer.store("k", "x" * 1000)
+    peer.store("k", "y" * 200)
+    assert peer.guest_bytes == 200
+    assert peer.fetch("k") == "y" * 200
+
+
+def test_unknown_key():
+    host = make_space("host", with_store=False)
+    peer = PeerStore(host)
+    with pytest.raises(UnknownKeyError):
+        peer.fetch("ghost")
+    peer.drop("ghost")  # idempotent
+
+
+def test_two_devices_swap_into_each_other():
+    alpha = make_space("alpha", heap_capacity=6_000, with_store=False)
+    beta = make_space("beta", heap_capacity=6_000, with_store=False)
+    alpha.manager.add_store(PeerStore(beta, reserve_fraction=0.5))
+    beta.manager.add_store(PeerStore(alpha, reserve_fraction=0.5))
+
+    alpha_handle = alpha.ingest(build_chain(40), cluster_size=10, root_name="a")
+    beta_handle = beta.ingest(build_chain(40), cluster_size=10, root_name="b")
+
+    alpha.swap_out(2)  # lands in beta's heap
+    beta.swap_out(3)  # lands in alpha's heap
+    assert chain_values(alpha_handle) == list(range(40))
+    assert chain_values(beta_handle) == list(range(40))
+    alpha.verify_integrity()
+    beta.verify_integrity()
+
+
+def test_peer_pressure_propagates():
+    """When the host itself is squeezed, it stops admitting guests —
+    the guest's swap fails over to whoever else is around."""
+    host = make_space("host", heap_capacity=3_000, with_store=False)
+    host.manager.auto_swap = False
+    guest = make_space("guest", heap_capacity=3_000, with_store=False)
+    peer = PeerStore(host, reserve_fraction=1.0)
+    guest.manager.add_store(peer)
+
+    guest.ingest(build_chain(60), cluster_size=30, root_name="g")
+    host.ingest(build_chain(70), cluster_size=70, root_name="mine")  # fills host
+    with pytest.raises(NoSwapDeviceError):
+        guest.swap_out(1)
+    # a roomier device appears; life goes on
+    from repro.devices import InMemoryStore
+
+    guest.manager.add_store(InMemoryStore("pc"))
+    guest.swap_out(1)
+    assert chain_values(guest.get_root("g")) == list(range(60))
+
+
+def test_invalid_reserve_fraction():
+    with pytest.raises(ValueError):
+        PeerStore(make_space(with_store=False), reserve_fraction=0)

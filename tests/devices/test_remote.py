@@ -1,0 +1,81 @@
+"""Swapping through the full web-service stack (the paper's transfer path)."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import LoopbackLink, bluetooth_link
+from repro.core.interfaces import SwapStore
+from repro.devices.remote import RemoteStoreClient
+from repro.devices.store import XmlStoreDevice
+from repro.errors import StoreFullError, TransportError, UnknownKeyError
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _remote(capacity=1 << 20, clock=None):
+    backing = XmlStoreDevice("room-pc", capacity=capacity)
+    link = bluetooth_link(clock) if clock is not None else LoopbackLink()
+    return backing, RemoteStoreClient(backing.as_endpoint(), link)
+
+
+def test_conforms_to_swap_store_protocol():
+    _, remote = _remote()
+    assert isinstance(remote, SwapStore)
+    assert remote.device_id == "room-pc"
+
+
+def test_contract_roundtrip():
+    backing, remote = _remote()
+    remote.store("k", "<a/>")
+    assert backing.keys() == ["k"]
+    assert remote.fetch("k") == "<a/>"
+    assert remote.has_room(100)
+    remote.drop("k")
+    with pytest.raises(UnknownKeyError):
+        remote.fetch("k")
+
+
+def test_has_room_respects_capacity():
+    _, remote = _remote(capacity=100)
+    assert remote.has_room(100)
+    assert not remote.has_room(101)
+    remote.store("k", "x" * 60)
+    assert not remote.has_room(50)
+
+
+def test_store_full_travels_in_band():
+    _, remote = _remote(capacity=10)
+    with pytest.raises(StoreFullError):
+        remote.store("k", "x" * 100)
+
+
+def test_full_swap_cycle_over_web_services():
+    clock = SimulatedClock()
+    backing, remote = _remote(clock=clock)
+    space = make_space(with_store=False, clock=clock)
+    space.manager.add_store(remote)
+    handle = space.ingest(build_chain(30), cluster_size=10, root_name="h")
+    space.swap_out(2)
+    assert len(backing.keys()) == 1
+    assert clock.now() > 0  # envelopes charged the Bluetooth link
+    out_time = clock.now()
+    assert chain_values(handle) == list(range(30))  # reload over WS too
+    assert clock.now() > out_time
+    space.verify_integrity()
+
+
+def test_link_failure_surfaces_as_swap_error():
+    from repro.errors import NoSwapDeviceError
+
+    clock = SimulatedClock()
+    backing, remote = _remote(clock=clock)
+    link = remote._client._link
+    space = make_space(with_store=False, clock=clock)
+    space.manager.add_store(remote)
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    link.fail()
+    # has_room raises TransportError -> selection skips -> no device
+    with pytest.raises(NoSwapDeviceError):
+        space.swap_out(1)
+    link.restore()
+    space.swap_out(1)
+    assert chain_values(space.get_root("h")) == list(range(10))

@@ -1,0 +1,111 @@
+"""XML store devices."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import LoopbackLink, SimulatedLink
+from repro.comm.webservice import WebServiceClient
+from repro.devices.store import FileStore, InMemoryStore, XmlStoreDevice
+from repro.errors import StoreFullError, TransportError, UnknownKeyError
+
+
+def test_in_memory_contract():
+    store = InMemoryStore("m")
+    store.store("k", "<a/>")
+    assert store.fetch("k") == "<a/>"
+    store.drop("k")
+    with pytest.raises(UnknownKeyError):
+        store.fetch("k")
+    store.drop("k")  # idempotent
+    assert store.has_room(10**9)
+
+
+def test_xml_store_capacity_accounting():
+    store = XmlStoreDevice("d", capacity=100)
+    store.store("a", "x" * 60)
+    assert store.used == 60 and store.free == 40
+    with pytest.raises(StoreFullError):
+        store.store("b", "y" * 50)
+    store.drop("a")
+    assert store.used == 0
+
+
+def test_xml_store_overwrite_same_key():
+    store = XmlStoreDevice("d", capacity=100)
+    store.store("a", "x" * 60)
+    store.store("a", "y" * 80)  # replaces, net delta fits
+    assert store.used == 80
+    assert store.fetch("a") == "y" * 80
+
+
+def test_has_room():
+    store = XmlStoreDevice("d", capacity=100)
+    store.store("a", "x" * 60)
+    assert store.has_room(40)
+    assert not store.has_room(41)
+
+
+def test_link_charged_on_payloads():
+    clock = SimulatedClock()
+    link = SimulatedLink(8_000, latency_s=0.0, clock=clock)
+    store = XmlStoreDevice("d", capacity=10_000, link=link)
+    store.store("k", "x" * 1000)  # 8000 bits at 8000 bps = 1s
+    assert clock.now() == pytest.approx(1.0)
+    store.fetch("k")
+    assert clock.now() == pytest.approx(2.0)
+
+
+def test_down_link_fails_operations():
+    link = SimulatedLink(1000)
+    store = XmlStoreDevice("d", capacity=1000, link=link)
+    store.store("k", "v")
+    link.fail()
+    with pytest.raises(TransportError):
+        store.fetch("k")
+    with pytest.raises(TransportError):
+        store.has_room(10)
+
+
+def test_store_as_web_service_endpoint():
+    store = XmlStoreDevice("remote", capacity=10_000)
+    client = WebServiceClient(store.as_endpoint(), LoopbackLink())
+    client.call("store", key="k", text="<a/>")
+    assert client.call("fetch", key="k") == "<a/>"
+    assert client.call("keys") == ["k"]
+    client.call("drop", key="k")
+    with pytest.raises(UnknownKeyError):
+        client.call("fetch", key="k")
+
+
+def test_endpoint_store_full_travels_in_band():
+    store = XmlStoreDevice("remote", capacity=10)
+    client = WebServiceClient(store.as_endpoint(), LoopbackLink())
+    with pytest.raises(StoreFullError):
+        client.call("store", key="k", text="x" * 100)
+
+
+def test_file_store_roundtrip(tmp_path):
+    store = FileStore(tmp_path, device_id="flash")
+    store.store("pda/sc-1/e1", "<cluster/>")
+    assert (tmp_path / "pda_sc-1_e1.xml").exists()
+    assert store.fetch("pda/sc-1/e1") == "<cluster/>"
+    store.drop("pda/sc-1/e1")
+    with pytest.raises(UnknownKeyError):
+        store.fetch("pda/sc-1/e1")
+    assert not (tmp_path / "pda_sc-1_e1.xml").exists()
+
+
+def test_file_store_as_swap_target(tmp_path):
+    from tests.helpers import build_chain, chain_values, make_space
+
+    space = make_space(with_store=False)
+    space.manager.add_store(FileStore(tmp_path))
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert len(list(tmp_path.iterdir())) == 1
+    assert chain_values(handle) == list(range(10))
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        XmlStoreDevice("d", capacity=0)

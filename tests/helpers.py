@@ -1,0 +1,139 @@
+"""Shared managed classes and graph builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro import Space, managed
+from repro.devices import InMemoryStore
+
+
+@managed
+class Node:
+    """Linked-list node: the workhorse of swap tests."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self.next: Optional["Node"] = None
+
+    def get_value(self) -> int:
+        return self.value
+
+    def get_next(self) -> Optional["Node"]:
+        return self.next
+
+    def set_value(self, value: int) -> int:
+        self.value = value
+        return value
+
+    def identity_of(self, other: Any) -> Any:
+        return other
+
+
+@managed
+class Pair:
+    """Two references: exercises fan-out across clusters."""
+
+    def __init__(self, left: Any = None, right: Any = None) -> None:
+        self.left = left
+        self.right = right
+
+    def get_left(self) -> Any:
+        return self.left
+
+    def get_right(self) -> Any:
+        return self.right
+
+    def swap_sides(self) -> None:
+        self.left, self.right = self.right, self.left
+
+
+@managed
+class Holder:
+    """Container-heavy fields: lists, dicts, tuples of references."""
+
+    def __init__(self) -> None:
+        self.items: List[Any] = []
+        self.index: dict = {}
+        self.fixed: tuple = ()
+
+    def add(self, item: Any) -> None:
+        self.items.append(item)
+
+    def item_at(self, position: int) -> Any:
+        return self.items[position]
+
+    def put(self, key: Any, value: Any) -> None:
+        self.index[key] = value
+
+    def get(self, key: Any) -> Any:
+        return self.index.get(key)
+
+    def count(self) -> int:
+        return len(self.items)
+
+
+@managed(size=64)
+class Small:
+    """Fixed accounted size, like the Figure 5 bench objects."""
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+        self.peer: Any = None
+
+    def get_tag(self) -> int:
+        return self.tag
+
+    def get_peer(self) -> Any:
+        return self.peer
+
+
+@managed
+class Factory:
+    """Creates new managed objects inside its methods (absorption tests)."""
+
+    def __init__(self) -> None:
+        self.made = 0
+
+    def make_node(self, value: int) -> Node:
+        self.made += 1
+        return Node(value)
+
+    def make_chain(self, length: int) -> Node:
+        head = Node(0)
+        node = head
+        for value in range(1, length):
+            node.next = Node(value)
+            node = node.next
+        self.made += length
+        return head
+
+
+def build_chain(n: int, cls: type = Node) -> Any:
+    head = cls(0)
+    node = head
+    for value in range(1, n):
+        node.next = cls(value)
+        node = node.next
+    return head
+
+
+def chain_values(handle: Any) -> List[int]:
+    values = []
+    cursor = handle
+    while cursor is not None:
+        values.append(cursor.get_value())
+        cursor = cursor.get_next()
+    return values
+
+
+def make_space(
+    name: str = "test",
+    heap_capacity: int = 1 << 20,
+    with_store: bool = True,
+    **kwargs: Any,
+) -> Space:
+    space = Space(name, heap_capacity=heap_capacity, **kwargs)
+    if with_store:
+        space.manager.add_store(InMemoryStore(f"{name}-store"))
+    return space

@@ -1,0 +1,65 @@
+"""The ``python -m repro`` command-line entry point."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def _run(*args, timeout=180):
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    return completed
+
+
+def test_default_self_check():
+    completed = _run()
+    assert completed.returncode == 0, completed.stderr
+    assert "self-check: OK" in completed.stdout
+    assert "ICDCS 2007" in completed.stdout
+
+
+def test_demo_scenario():
+    completed = _run("demo")
+    assert completed.returncode == 0, completed.stderr
+    assert "data consistent:    True" in completed.stdout
+    assert "swap-outs:" in completed.stdout
+
+
+def test_figure5_subcommand_reduced():
+    completed = _run("figure5", "--objects", "500", "--repeats", "1", timeout=300)
+    # reduced sizes may not satisfy every shape check; the command must
+    # still run the harness end to end and print the table
+    assert "Performance impact of swapping" in completed.stdout
+    assert "NO-SWAP" in completed.stdout
+
+
+def test_hibernate_across_processes(tmp_path):
+    """Hibernate in a child process, restore here: persistence is real."""
+    script = tmp_path / "writer.py"
+    script.write_text(
+        "import sys\n"
+        f"sys.path.insert(0, {str(Path.cwd())!r})\n"
+        "from tests.helpers import build_chain, make_space\n"
+        "from repro.core.hibernate import hibernate\n"
+        "space = make_space()\n"
+        "h = space.ingest(build_chain(12), cluster_size=4, root_name='h')\n"
+        "h.set_value(99)\n"
+        "space.swap_out(2)\n"
+        f"hibernate(space, {str(tmp_path / 'snapshot')!r})\n"
+        "print('written')\n"
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    from repro.core.hibernate import restore
+    from tests.helpers import chain_values
+
+    revived = restore(tmp_path / "snapshot")
+    assert chain_values(revived.get_root("h")) == [99] + list(range(1, 12))
+    revived.verify_integrity()

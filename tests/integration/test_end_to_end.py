@@ -1,0 +1,101 @@
+"""Cross-module integration: server -> device -> stores -> GC."""
+
+import pytest
+
+from repro.baselines.compression import CompressedPoolStore
+from repro.comm import LoopbackLink, WebServiceClient
+from repro.devices import InMemoryStore, XmlStoreDevice
+from repro.replication import DirectServerClient, ObjectServer, Replicator
+from repro.replication.server import WsServerClient
+from tests.helpers import Node, build_chain, chain_values, make_space
+
+
+def test_full_pipeline_server_to_stores():
+    """Replicate over the web-service bridge, browse under pressure,
+    revisit everything, discard, collect — the paper's whole story."""
+    server = ObjectServer()
+    server.publish("data", build_chain(200), cluster_size=20)
+
+    space = make_space(heap_capacity=4500)
+    space.manager.add_store(XmlStoreDevice("pc", capacity=1 << 20))
+    client = WsServerClient(
+        WebServiceClient(server.as_endpoint(), LoopbackLink())
+    )
+    replicator = Replicator(space, client, clusters_per_swap=2)
+
+    handle = replicator.replicate("data")
+    assert chain_values(handle) == list(range(200))  # streams + swaps
+    assert space.manager.stats.swap_outs > 0
+    space.verify_integrity()
+
+    # revisit: everything reloadable
+    assert chain_values(space.get_root("data")) == list(range(200))
+
+    # discard and collect: all stores drained eventually
+    space.del_root("data")
+    space.gc()
+    assert space.object_count() == 0
+    space.verify_integrity()
+
+
+def test_mixed_stores_compression_and_device():
+    """Victims can go to a nearby device OR the in-heap compressed pool;
+    both paths preserve semantics."""
+    space = make_space(with_store=False, heap_capacity=1 << 20)
+    device = InMemoryStore("pc")
+    pool = CompressedPoolStore(space)
+    space.manager.add_store(device)
+
+    handle = space.ingest(build_chain(40), cluster_size=10, root_name="h")
+    space.swap_out(1, store=pool)
+    space.swap_out(3, store=device)
+    space.verify_integrity()
+    assert chain_values(handle) == list(range(40))
+    space.verify_integrity()
+
+
+def test_two_spaces_one_server():
+    server = ObjectServer()
+    server.publish("shared", build_chain(30), cluster_size=10)
+    client = DirectServerClient(server)
+
+    first = make_space("alpha")
+    second = make_space("beta")
+    first_handle = Replicator(first, client).replicate("shared")
+    second_handle = Replicator(second, client).replicate("shared")
+
+    assert chain_values(first_handle) == chain_values(second_handle)
+    first.swap_out(2)
+    assert chain_values(first.get_root("shared")) == list(range(30))
+    # the other replica is untouched by alpha's swapping
+    assert second.manager.stats.swap_outs == 0
+    first.verify_integrity()
+    second.verify_integrity()
+
+
+def test_store_capacity_spillover():
+    space = make_space(with_store=False, heap_capacity=1 << 20)
+    # tiny first store: only one cluster fits; the rest spill to the big one
+    tiny = XmlStoreDevice("tiny", capacity=2100)
+    big = XmlStoreDevice("big", capacity=1 << 20)
+    space.manager.add_store(tiny)
+    space.manager.add_store(big)
+    handle = space.ingest(build_chain(40), cluster_size=10, root_name="h")
+    for sid in (1, 2, 3, 4):
+        space.swap_out(sid)
+    assert len(tiny.keys()) >= 1
+    assert len(big.keys()) >= 1
+    assert chain_values(handle) == list(range(40))
+
+
+def test_writes_reach_swap_and_server_replicas_independent():
+    server = ObjectServer()
+    master = build_chain(10)
+    server.publish("w", master, cluster_size=5)
+    space = make_space()
+    handle = Replicator(space, DirectServerClient(server)).replicate("w")
+    chain_values(handle)
+    handle.set_value(999)
+    space.swap_out(space.sid_of(handle))
+    assert handle.get_value() == 999  # replica write survived its swap
+    assert master.value == 0  # the master copy is a separate replica

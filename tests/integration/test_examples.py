@@ -1,0 +1,66 @@
+"""The example scripts must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    output = _run("quickstart.py")
+    assert "sum = 4950" in output
+    assert "integrity verified" in output
+
+
+def test_photo_album():
+    output = _run("photo_album.py")
+    assert "swap-outs" in output
+    assert "integrity verified" in output
+
+
+def test_field_survey():
+    output = _run("field_survey.py")
+    assert "all pages verified" in output
+    assert "integrity verified" in output
+
+
+def test_device_mesh():
+    output = _run("device_mesh.py")
+    assert "failover to mirror" in output
+    assert "hot boundaries merged away" in output
+    assert "integrity verified" in output
+
+
+def test_shared_notes():
+    output = _run("shared_notes.py")
+    assert "REFUSED" in output
+    assert "replicas converged" in output
+
+
+def test_evaluation_sweep(tmp_path):
+    import os
+
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "evaluation_sweep.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=tmp_path,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "mJ/KB" in completed.stdout
+    assert (tmp_path / "results" / "swap_cycle_sweep.csv").exists()

@@ -1,0 +1,112 @@
+"""Failure injection: departing devices, lost data, full stores."""
+
+import pytest
+
+from repro.devices import InMemoryStore, XmlStoreDevice
+from repro.errors import (
+    HeapExhaustedError,
+    NoSwapDeviceError,
+    SwapStoreUnavailableError,
+)
+from repro.sim import ScenarioWorld, StoreSpec
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def test_department_midway_other_clusters_unaffected():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("a"))
+    world.add_store(StoreSpec("b"))
+    space = world.space
+    handle = space.ingest(build_chain(30), cluster_size=10, root_name="h")
+    space.swap_out(2, store=world.store("a"))
+    space.swap_out(3, store=world.store("b"))
+    world.depart_cleanly("a")
+    # cluster 3 on device b is still fine
+    space.swap_in(3)
+    # cluster 2 is not
+    with pytest.raises(SwapStoreUnavailableError):
+        space.swap_in(2)
+    # and the failure left the cluster consistently swapped
+    assert space.clusters()[2].is_swapped
+    world.come_back("a")
+    assert chain_values(handle) == list(range(30))
+
+
+def test_swap_out_fails_when_link_drops():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("a"))
+    space = world.space
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    world.link("a").fail()
+    # has_room raises TransportError -> selection skips it -> no device
+    with pytest.raises(NoSwapDeviceError):
+        space.swap_out(1)
+    assert space.clusters()[1].is_resident  # nothing half-done
+
+
+def test_pressure_with_no_devices_degrades_to_exhaustion():
+    space = make_space(with_store=False, heap_capacity=2000)
+    with pytest.raises(HeapExhaustedError):
+        for index in range(10):
+            space.ingest(build_chain(10), cluster_size=10, root_name=f"c{index}")
+    space.verify_integrity()
+
+
+def test_store_full_mid_sequence_falls_through():
+    space = make_space(with_store=False, heap_capacity=1 << 20)
+    small = XmlStoreDevice("small", capacity=2100)
+    space.manager.add_store(small)
+    handle = space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    space.swap_out(1)  # fills the small store
+    with pytest.raises(NoSwapDeviceError):
+        space.swap_out(2)
+    # late-arriving capacity fixes it
+    space.manager.add_store(InMemoryStore("late"))
+    space.swap_out(2)
+    assert chain_values(handle) == list(range(20))
+
+
+def test_data_loss_is_contained():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("flaky"))
+    space = world.space
+    handle = space.ingest(build_chain(30), cluster_size=10, root_name="h")
+    space.swap_out(2)
+    world.vanish_with_data("flaky")
+    world.come_back("flaky")
+    # lost cluster raises; the rest of the graph works
+    values = []
+    cursor = handle
+    with pytest.raises(SwapStoreUnavailableError):
+        while cursor is not None:
+            values.append(cursor.get_value())
+            cursor = cursor.get_next()
+    assert values == list(range(10))  # everything up to the lost boundary
+    space.verify_integrity()
+
+
+def test_retry_after_transient_outage():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("pc"))
+    space = world.space
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    world.depart_cleanly("pc")
+    for _ in range(3):  # repeated attempts fail cleanly
+        with pytest.raises(SwapStoreUnavailableError):
+            chain_values(handle)
+    world.come_back("pc")
+    assert chain_values(handle) == list(range(10))  # then recovers
+
+
+def test_corrupted_payload_reported_not_loaded():
+    from repro.errors import CodecError
+
+    space = make_space()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    store = space.manager.available_stores()[0]
+    location = space.swap_out(2)
+    store.store(location.key, "<swap-cluster sid='2'>garbage</swap-cluster>")
+    with pytest.raises(CodecError):
+        chain_values(handle)
+    assert space.clusters()[2].is_swapped  # state not corrupted

@@ -1,0 +1,109 @@
+"""Everything at once: the whole middleware running one long scenario.
+
+Replication over the web-service bridge + mirrored swapping + archive +
+adaptive tuning + policy-driven pressure relief + failure injection +
+GC with server-side DGC-lite — all in one story, with consistency
+checked throughout.  This is the test that catches cross-feature
+interference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import WebServiceClient
+from repro.core.archive import SwapArchive
+from repro.policy.tuning import AdaptiveTuner
+from repro.replication import ObjectServer, Replicator
+from repro.replication.server import WsServerClient
+from repro.sim import ScenarioWorld, StoreSpec
+from repro.stats import format_report, snapshot
+from tests.helpers import Node, build_chain, chain_values
+
+
+def test_kitchen_sink():
+    # -- the resourceful side -------------------------------------------------
+    server = ObjectServer("archive-server")
+    master = build_chain(120)
+    server.publish("data", master, cluster_size=12)
+
+    # -- the constrained side --------------------------------------------------
+    world = ScenarioWorld("pda", heap_capacity=3 * 1024)
+    world.add_store(StoreSpec("desk-pc", capacity=2 << 20))
+    world.add_store(StoreSpec("peer-pda", capacity=1 << 20))
+    space = world.space
+    space.manager.replication_factor = 2
+    space.manager.validate_documents = True
+    archive = SwapArchive(space)
+    tuner = AdaptiveTuner(
+        space, hot_crossings=30, max_cluster_objects=60, cooldown_ticks=0
+    )
+
+    client = WsServerClient(
+        WebServiceClient(
+            server.as_endpoint(), world.device.profile.make_link(world.clock)
+        )
+    )
+    replicator = Replicator(space, client, clusters_per_swap=2, prefetch_frontier=1)
+
+    # -- phase 1: replicate under pressure (the heap holds ~half the data) -----
+    handle = replicator.replicate("data")
+    expected = list(range(120))
+    assert chain_values(handle) == expected
+    assert space.manager.stats.swap_outs > 0, "pressure should have swapped"
+    assert replicator.prefetched > 0
+    space.verify_integrity()
+
+    # -- phase 2: edits survive swap cycles, the archive records epochs --------
+    handle.set_value(-1)
+    expected[0] = -1
+    sid = space.sid_of(handle)
+    if space.clusters()[sid].swappable():
+        space.swap_out(sid)
+    assert chain_values(space.get_root("data")) == expected
+    assert archive.archived_bytes() > 0
+
+    # -- phase 3: a mirror holder vanishes mid-scenario -------------------------
+    swapped_sids = [
+        cluster_sid
+        for cluster_sid, cluster in space.clusters().items()
+        if cluster.is_swapped
+    ]
+    if swapped_sids:
+        holders = space.manager.bindings_for(swapped_sids[0])
+        if len(holders) == 2:
+            world.vanish_with_data(holders[0].device_id)
+            assert chain_values(space.get_root("data")) == expected
+            world.come_back(holders[0].device_id)
+    space.verify_integrity()
+
+    # -- phase 4: hot traversal drives the tuner to merge ------------------------
+    for _ in range(8):
+        assert chain_values(space.get_root("data")) == expected
+        tuner.step()
+    merges = sum(
+        1 for decision in tuner.decisions if decision.action == "merge"
+    )
+    assert merges > 0
+    space.verify_integrity()
+
+    # -- phase 5: discard everything; GC cleans device, stores, and server ------
+    replica_count_before = server.replica_count("data")
+    assert replica_count_before > 0
+    space.del_root("data")
+    del handle
+    space.gc()
+    assert space.object_count() == 0
+    assert server.replica_count("data") == 0  # DGC-lite released everything
+    # archived epochs may remain by design (retention is the archive's job)
+    archive_keys = sum(
+        len(world.store(name).keys()) for name in ("desk-pc", "peer-pda")
+    )
+    archive.prune(1, keep_last=0)
+    space.verify_integrity()
+
+    # -- the master copy was never touched ----------------------------------------
+    assert master.value == 0
+
+    # telemetry renders without error on the final state
+    assert "pda" in format_report(snapshot(space))

@@ -1,0 +1,87 @@
+"""Stateful property test of the heap's accounting invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.errors import HeapExhaustedError
+from repro.memory.heap import Heap
+
+
+class HeapMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.heap = Heap(10_000, high_watermark=0.8, low_watermark=0.4)
+        self.model: dict[int, int] = {}
+        self.next_oid = 1
+        self.highs = 0
+        self.lows = 0
+        self.heap.on_high(lambda h, n: setattr(self, "highs", self.highs + 1))
+        self.heap.on_low(lambda h, n: setattr(self, "lows", self.lows + 1))
+
+    @rule(size=st.integers(min_value=0, max_value=4_000))
+    def allocate(self, size):
+        oid = self.next_oid
+        self.next_oid += 1
+        if sum(self.model.values()) + size > self.heap.capacity:
+            with pytest.raises(HeapExhaustedError):
+                self.heap.allocate(oid, size)
+        else:
+            self.heap.allocate(oid, size)
+            self.model[oid] = size
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def free(self, pick):
+        if not self.model:
+            return
+        oid = sorted(self.model)[pick % len(self.model)]
+        freed = self.heap.free_oid(oid)
+        assert freed == self.model.pop(oid)
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000),
+          new_size=st.integers(min_value=0, max_value=4_000))
+    def resize(self, pick, new_size):
+        if not self.model:
+            return
+        oid = sorted(self.model)[pick % len(self.model)]
+        delta = new_size - self.model[oid]
+        if sum(self.model.values()) + delta > self.heap.capacity:
+            with pytest.raises(HeapExhaustedError):
+                self.heap.resize(oid, new_size)
+        else:
+            self.heap.resize(oid, new_size)
+            self.model[oid] = new_size
+
+    @invariant()
+    def used_matches_model(self):
+        if hasattr(self, "heap"):
+            assert self.heap.used == sum(self.model.values())
+            assert self.heap.free == self.heap.capacity - self.heap.used
+
+    @invariant()
+    def per_oid_sizes_match(self):
+        if hasattr(self, "heap"):
+            for oid, size in self.model.items():
+                assert self.heap.holds(oid)
+                assert self.heap.size_of(oid) == size
+
+    @invariant()
+    def watermark_events_alternate(self):
+        # high/low notifications strictly alternate, starting with high
+        if hasattr(self, "heap"):
+            assert self.highs - self.lows in (0, 1)
+
+    @invariant()
+    def peak_monotone(self):
+        if hasattr(self, "heap"):
+            stats = self.heap.stats()
+            assert stats.peak_used >= self.heap.used
+
+
+TestHeapMachine = HeapMachine.TestCase
+TestHeapMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

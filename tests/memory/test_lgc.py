@@ -1,0 +1,172 @@
+"""The local collector and its swap cooperation."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.events import SwapDroppedEvent
+from tests.helpers import Node, build_chain, chain_values, make_space
+
+
+def test_reachable_graph_survives(space):
+    space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    result = space.gc()
+    assert result.objects_collected == 0
+    assert space.object_count() == 20
+
+
+def test_unreachable_resident_cluster_collected(space):
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    space.del_root("h")
+    result = space.gc()
+    assert result.objects_collected == 10
+    assert result.clusters_collected == 1
+    assert space.object_count() == 0
+    assert space.heap.used == 0
+
+
+def test_conservative_whole_cluster_rule(space):
+    # two chains into one cluster-sized ingest; break one chain's root:
+    # the cluster stays whole because the other chain still reaches it
+    handle = space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    # drop an internal reference: tail objects are logical garbage now
+    raw_head = space.resolve(handle)
+    raw_head.next = None
+    space.gc()
+    # conservative: the whole cluster is preserved while its head lives
+    assert space.object_count() == 10
+
+
+def test_root_cluster_collected_per_object(space):
+    first, second = Node(1), Node(2)
+    space.set_root("a", first)
+    space.set_root("b", second)
+    space.del_root("a")
+    result = space.gc()
+    assert result.objects_collected == 1
+    assert space.object_count() == 1
+
+
+def test_unreachable_swapped_cluster_dropped_from_store(space):
+    store = space.manager.available_stores()[0]
+    dropped = []
+    space.bus.subscribe(SwapDroppedEvent, lambda e: dropped.append(e.sid))
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert len(store.keys()) == 1
+    space.del_root("h")
+    result = space.gc()
+    assert result.swapped_dropped == 1
+    assert store.keys() == []
+    assert dropped == [2]
+
+
+def test_reachable_swapped_cluster_preserved_on_store(space):
+    store = space.manager.available_stores()[0]
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    space.gc()
+    assert len(store.keys()) == 1  # still reachable through the chain
+
+
+def test_gc_frees_replacement_bytes(space):
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    space.del_root("h")
+    space.gc()
+    assert space.heap.used == 0
+
+
+def test_stale_proxy_to_collected_cluster_raises(space):
+    handle = space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    space.del_root("h")
+    space.gc()
+    with pytest.raises(IntegrityError):
+        handle.get_value()
+
+
+def test_gc_with_extra_roots_protects_locals(space):
+    handle = space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    space.del_root("h")
+    result = space.gc(extra_roots=(handle,))
+    assert result.objects_collected == 0
+    assert chain_values(handle) == list(range(10))
+
+
+def test_partial_graph_collection(space):
+    # two independent chains; drop one root
+    space.ingest(build_chain(10), cluster_size=10, root_name="a")
+    space.ingest(build_chain(6), cluster_size=6, root_name="b")
+    space.del_root("a")
+    result = space.gc()
+    assert result.objects_collected == 10
+    assert chain_values(space.get_root("b")) == list(range(6))
+
+
+def test_collection_result_describe(space):
+    space.ingest(build_chain(4), cluster_size=4, root_name="h")
+    space.del_root("h")
+    text = space.gc().describe()
+    assert "4 objects" in text
+
+
+def test_gc_emits_event(space):
+    from repro.events import GcCompletedEvent
+
+    space.ingest(build_chain(4), cluster_size=4, root_name="h")
+    space.del_root("h")
+    space.gc()
+    event = space.bus.last(GcCompletedEvent)
+    assert event is not None and event.collected_objects == 4
+
+
+def test_swap_in_after_gc_of_other_cluster(space):
+    space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    space.ingest(build_chain(5), cluster_size=5, root_name="dead")
+    space.swap_out(2)
+    space.del_root("dead")
+    space.gc()
+    assert chain_values(space.get_root("h")) == list(range(20))
+
+
+def test_conservative_members_anchor_their_references(space):
+    """Objects kept only by the whole-cluster rule still keep their own
+    reference targets alive (cluster-transitive marking): a dead chain
+    merged into a live cluster must not leave dangling proxies."""
+    space.ingest(build_chain(9), cluster_size=3, root_name="dead")
+    space.del_root("dead")
+    live = space.ingest(build_chain(1), cluster_size=1, root_name="live")
+    # fold the dead chain's first cluster into the live cluster
+    live_sid = space.sid_of(live)
+    space.merge_swap_clusters(live_sid, 1)
+    space.gc()
+    space.verify_integrity()
+    # the dead head is conservatively kept, so everything it references
+    # transitively survives too
+    assert space.object_count() == 10
+
+
+def test_conservative_transitivity_through_swapped_clusters(space):
+    """The chain of anchors crosses a swapped cluster: resident dead
+    member -> proxy -> replacement -> outbound proxy -> resident."""
+    space.ingest(build_chain(9), cluster_size=3, root_name="dead")
+    space.del_root("dead")
+    live = space.ingest(build_chain(1), cluster_size=1, root_name="live")
+    space.merge_swap_clusters(space.sid_of(live), 1)
+    space.swap_out(2)  # the dead chain's middle cluster
+    space.gc()
+    space.verify_integrity()
+    # middle stays swapped (reachable via the conservative anchor), and
+    # the tail cluster behind it survives as well
+    assert space.clusters()[2].is_swapped
+    assert 3 in space.clusters()
+
+
+def test_fully_dead_subgraph_still_collected_after_merge(space):
+    space.ingest(build_chain(9), cluster_size=3, root_name="dead")
+    live = space.ingest(build_chain(1), cluster_size=1, root_name="live")
+    space.merge_swap_clusters(space.sid_of(live), 1)
+    space.del_root("dead")
+    space.del_root("live")
+    result = space.gc()
+    assert space.object_count() == 0
+    assert result.objects_collected == 10

@@ -1,0 +1,79 @@
+"""The marking walk, including the conservative swapped-cluster rule."""
+
+from repro.memory.reachability import mark_from, space_roots
+from tests.helpers import Holder, Node, Pair, build_chain, make_space
+
+
+def test_marks_linear_chain(space):
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    result = mark_from(space_roots(space))
+    assert len(result.oids) == 10
+
+
+def test_unreferenced_objects_not_marked(space):
+    space.ingest(build_chain(5), cluster_size=5, root_name="h")
+    orphan = Node(99)
+    space.adopt(orphan, space.new_swap_cluster().sid)
+    result = mark_from(space_roots(space))
+    assert orphan._obi_oid not in result.oids
+
+
+def test_marks_through_containers(space):
+    holder = Holder()
+    holder.items.append(Node(1))
+    holder.index["k"] = Node(2)
+    holder.fixed = (Node(3),)
+    space.set_root("holder", holder)
+    result = mark_from(space_roots(space))
+    assert len(result.oids) == 4
+
+
+def test_marks_through_proxies(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    # cross-cluster edges are proxies; the walk must pass through them
+    result = mark_from(space_roots(space))
+    assert len(result.oids) == 20
+
+
+def test_swapped_cluster_marks_replacement_not_objects(space):
+    handle = space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    space.swap_out(2)
+    result = mark_from(space_roots(space))
+    assert result.is_swapped_cluster_reachable(2)
+    assert len(result.oids) == 10  # only the resident half
+
+
+def test_swapped_cluster_outbound_keeps_targets_alive(space):
+    # chain spans 3 clusters; swap the middle one; its outbound proxy to
+    # cluster 3 must keep cluster 3 reachable even though every resident
+    # path to cluster 3 goes through the swapped cluster
+    handle = space.ingest(build_chain(30), cluster_size=10, root_name="h")
+    space.swap_out(2)
+    result = mark_from(space_roots(space))
+    third_cluster_oids = space.clusters()[3].oids
+    assert any(oid in result.oids for oid in third_cluster_oids)
+
+
+def test_cycles_terminate():
+    first, second = Pair(), Pair()
+    first.left = second
+    second.left = first
+    space = make_space()
+    space.set_root("a", first)
+    result = mark_from(space_roots(space))
+    assert len(result.oids) == 2
+
+
+def test_pinned_clusters_are_roots(space):
+    handle = space.ingest(build_chain(10), cluster_size=5)
+    # not installed as a root; normally unreachable
+    with space.pin(2):
+        result = mark_from(space_roots(space))
+        assert any(oid in result.oids for oid in space.clusters()[2].oids)
+
+
+def test_extra_roots(space):
+    node = Node(1)
+    space.adopt(node, space.new_swap_cluster().sid)
+    result = mark_from(space_roots(space, extra_roots=[node]))
+    assert node._obi_oid in result.oids

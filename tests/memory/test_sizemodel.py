@@ -1,0 +1,94 @@
+"""The deterministic size model."""
+
+from repro.memory.sizemodel import (
+    DEFAULT_SIZE_MODEL,
+    OBJECT_HEADER_BYTES,
+    SLOT_BYTES,
+    CONTAINER_HEADER_BYTES,
+    SizeModel,
+    graph_footprint,
+)
+from tests.helpers import Holder, Node, Small
+
+
+def test_size_hint_wins():
+    assert DEFAULT_SIZE_MODEL.size_of(Small(1)) == 64
+
+
+def test_header_plus_fields():
+    node = Node(5)
+    # header + (value slot + int payload) + (next slot + None)
+    expected = OBJECT_HEADER_BYTES + (SLOT_BYTES + 8) + (SLOT_BYTES + 0)
+    assert DEFAULT_SIZE_MODEL.size_of(node) == expected
+
+
+def test_reference_fields_cost_one_slot():
+    first, second = Node(1), Node(2)
+    first.next = second
+    # a reference costs the same as None: the pointee is accounted separately
+    alone = Node(1)
+    assert DEFAULT_SIZE_MODEL.size_of(first) == DEFAULT_SIZE_MODEL.size_of(alone)
+
+
+def test_string_costs_utf8_bytes():
+    node = Node(0)
+    node.value = "héllo"
+    with_str = DEFAULT_SIZE_MODEL.size_of(node)
+    node.value = ""
+    empty = DEFAULT_SIZE_MODEL.size_of(node)
+    assert with_str - empty == len("héllo".encode("utf-8"))
+
+
+def test_bytes_cost_length():
+    node = Node(0)
+    node.value = b"12345"
+    base = Node(0)
+    base.value = b""
+    assert (
+        DEFAULT_SIZE_MODEL.size_of(node) - DEFAULT_SIZE_MODEL.size_of(base) == 5
+    )
+
+
+def test_list_costs_header_plus_slots():
+    holder = Holder()
+    empty = DEFAULT_SIZE_MODEL.size_of(holder)
+    holder.items.extend([1, 2, 3])
+    grown = DEFAULT_SIZE_MODEL.size_of(holder)
+    assert grown - empty == 3 * (SLOT_BYTES + 8)
+
+
+def test_dict_costs_both_sides():
+    holder = Holder()
+    empty = DEFAULT_SIZE_MODEL.size_of(holder)
+    holder.index["k"] = 1
+    grown = DEFAULT_SIZE_MODEL.size_of(holder)
+    assert grown - empty == 2 * SLOT_BYTES + 1 + 8  # key "k" + int payload
+
+
+def test_internals_excluded():
+    node = Node(1)
+    before = DEFAULT_SIZE_MODEL.size_of(node)
+    object.__setattr__(node, "_obi_oid", 12345)
+    assert DEFAULT_SIZE_MODEL.size_of(node) == before
+
+
+def test_proxy_and_replacement_sizes():
+    model = SizeModel()
+    assert model.proxy_size() == OBJECT_HEADER_BYTES + 4 * SLOT_BYTES
+    assert (
+        model.replacement_size(3)
+        == CONTAINER_HEADER_BYTES + 3 * SLOT_BYTES
+    )
+
+
+def test_graph_footprint():
+    objects = {1: Small(1), 2: Small(2)}
+    count, total = graph_footprint(objects)
+    assert count == 2
+    assert total == 128
+
+
+def test_custom_model_parameters():
+    model = SizeModel(header_bytes=100, slot_bytes=1)
+    node = Node(0)
+    assert model.size_of(node) == 100 + (1 + 8) + (1 + 0)

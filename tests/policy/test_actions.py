@@ -1,0 +1,88 @@
+"""Built-in policy actions."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.actions import ActionContext, default_action_registry
+from tests.helpers import build_chain, make_space
+
+
+@pytest.fixture
+def context():
+    space = make_space()
+    for index in range(4):
+        space.ingest(build_chain(10), cluster_size=10, root_name=f"c{index}")
+    return ActionContext(space=space)
+
+
+@pytest.fixture
+def registry():
+    return default_action_registry()
+
+
+def test_swap_out_default_one_victim(context, registry):
+    registry.run("swap_out", context, {})
+    assert context.space.manager.stats.swap_outs == 1
+    assert any("swap_out" in note for note in context.journal)
+
+
+def test_swap_out_count(context, registry):
+    registry.run("swap_out", context, {"count": "3"})
+    assert context.space.manager.stats.swap_outs == 3
+
+
+def test_swap_out_until_ratio(context, registry):
+    target = context.space.heap.ratio / 2
+    registry.run("swap_out", context, {"until_ratio": str(target)})
+    assert context.space.heap.ratio <= target
+
+
+def test_swap_out_strategy_argument(context, registry):
+    registry.run("swap_out", context, {"victims": "largest", "count": "1"})
+    assert context.space.manager.stats.swap_outs == 1
+
+
+def test_swap_out_no_device_notes_failure(registry):
+    space = make_space(with_store=False)
+    space.ingest(build_chain(5), cluster_size=5, root_name="h")
+    context = ActionContext(space=space)
+    registry.run("swap_out", context, {})
+    assert any("no nearby device" in note for note in context.journal)
+    assert space.manager.stats.swap_outs == 0
+
+
+def test_swap_in_action(context, registry):
+    registry.run("swap_out", context, {"count": "1"})
+    swapped = [
+        sid for sid, cluster in context.space.clusters().items()
+        if cluster.is_swapped
+    ][0]
+    registry.run("swap_in", context, {"sid": str(swapped)})
+    assert context.space.clusters()[swapped].is_resident
+
+
+def test_swap_in_requires_sid(context, registry):
+    with pytest.raises(PolicyError):
+        registry.run("swap_in", context, {})
+
+
+def test_gc_action(context, registry):
+    context.space.del_root("c0")
+    registry.run("gc", context, {})
+    assert any("gc:" in note for note in context.journal)
+    assert context.space.object_count() == 30
+
+
+def test_set_victim_strategy(context, registry):
+    registry.run("set_victim_strategy", context, {"strategy": "largest"})
+    assert any("largest" in note for note in context.journal)
+
+
+def test_bad_int_argument(context, registry):
+    with pytest.raises(PolicyError):
+        registry.run("swap_out", context, {"count": "many"})
+
+
+def test_unknown_action(context, registry):
+    with pytest.raises(PolicyError, match="unknown action"):
+        registry.run("warp", context, {})

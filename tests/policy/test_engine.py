@@ -1,0 +1,175 @@
+"""The policy engine end to end."""
+
+import pytest
+
+from repro.context.monitor import MemoryMonitor
+from repro.errors import PolicyError
+from repro.policy.actions import ActionContext, default_action_registry
+from repro.policy.engine import PolicyEngine
+from repro.policy.xmlpolicy import parse_policies
+from tests.helpers import build_chain, chain_values, make_space
+
+
+PRESSURE_POLICY = """
+<policy name="swap-on-pressure" category="machine">
+  <rule on="memory.high">
+    <do action="swap_out" victims="lru" until_ratio="0.50"/>
+  </rule>
+</policy>
+"""
+
+
+def test_engine_reacts_to_memory_pressure():
+    space = make_space(heap_capacity=4000, high_watermark=0.8, low_watermark=0.5)
+    MemoryMonitor(space)
+    engine = PolicyEngine(space)
+    engine.load_xml(PRESSURE_POLICY)
+    space.manager.auto_swap = False  # the policy, not the fallback, acts
+
+    for index in range(8):
+        space.ingest(build_chain(10), cluster_size=10, root_name=f"c{index}")
+
+    assert space.manager.stats.swap_outs > 0
+    assert space.heap.ratio <= 0.8
+    assert engine.fired, "expected the rule to fire"
+    for index in range(8):
+        assert chain_values(space.get_root(f"c{index}")) == list(range(10))
+
+
+def test_condition_gates_actions():
+    space = make_space()
+    engine = PolicyEngine(space)
+    engine.load_xml(
+        '<policy name="picky"><rule on="memory.high">'
+        "<when>ratio &gt; 0.95</when>"
+        '<do action="log" message="extreme"/></rule></policy>'
+    )
+    from repro.events import MemoryHighEvent
+
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=86, capacity=100, ratio=0.86)
+    )
+    assert engine.fired == []
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=97, capacity=100, ratio=0.97)
+    )
+    assert len(engine.fired) == 1
+
+
+def test_event_fields_in_namespace():
+    space = make_space()
+    engine = PolicyEngine(space)
+    engine.load_xml(
+        '<policy name="p"><rule on="context.device_joined">'
+        "<when>event.device_id == 'pc'</when>"
+        '<do action="log" message="pc joined"/></rule></policy>'
+    )
+    from repro.events import DeviceJoinedEvent
+
+    space.bus.emit(DeviceJoinedEvent(device_id="other"))
+    space.bus.emit(DeviceJoinedEvent(device_id="pc"))
+    assert len(engine.fired) == 1
+
+
+def test_disabled_policy_ignored():
+    space = make_space()
+    engine = PolicyEngine(space)
+    policies = parse_policies(PRESSURE_POLICY)
+    policies[0].enabled = False
+    engine.load_all(policies)
+    from repro.events import MemoryHighEvent
+
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=99, capacity=100, ratio=0.99)
+    )
+    assert engine.fired == []
+
+
+def test_no_reentrant_evaluation():
+    # actions emit swap events; the engine must not evaluate policies
+    # against events raised while running actions
+    space = make_space(heap_capacity=1 << 20)
+    engine = PolicyEngine(space)
+    engine.load_xml(
+        '<policy name="p"><rule on="memory.high">'
+        '<do action="swap_out" victims="lru" count="1"/></rule>'
+        '<rule on="swap.out"><do action="log" message="saw swap"/></rule>'
+        "</policy>"
+    )
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    from repro.events import MemoryHighEvent
+
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=99, capacity=100, ratio=0.99)
+    )
+    topics = [fired.topic for fired in engine.fired]
+    assert topics == ["memory.high"]  # the nested swap.out did not re-fire
+
+
+def test_unknown_action_raises():
+    space = make_space()
+    engine = PolicyEngine(space)
+    engine.load_xml(
+        '<policy name="p"><rule on="memory.high">'
+        '<do action="no_such_action"/></rule></policy>'
+    )
+    from repro.events import MemoryHighEvent
+
+    with pytest.raises(RuntimeError):  # wrapped by the bus
+        space.bus.emit(
+            MemoryHighEvent(space=space.name, used=99, capacity=100, ratio=0.99)
+        )
+
+
+def test_custom_action_registration():
+    space = make_space()
+    registry = default_action_registry()
+    calls = []
+    registry.register("probe", lambda context, args: calls.append(args))
+    engine = PolicyEngine(space, actions=registry)
+    engine.load_xml(
+        '<policy name="p"><rule on="memory.high">'
+        '<do action="probe" level="9"/></rule></policy>'
+    )
+    from repro.events import MemoryHighEvent
+
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=99, capacity=100, ratio=0.99)
+    )
+    assert calls == [{"level": "9"}]
+
+
+def test_unload_policy():
+    space = make_space()
+    engine = PolicyEngine(space)
+    engine.load_xml(PRESSURE_POLICY)
+    engine.unload("swap-on-pressure")
+    assert engine.policies() == []
+
+
+def test_engine_close_unsubscribes():
+    space = make_space()
+    engine = PolicyEngine(space)
+    engine.load_xml(PRESSURE_POLICY)
+    engine.close()
+    from repro.events import MemoryHighEvent
+
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=99, capacity=100, ratio=0.99)
+    )
+    assert engine.fired == []
+
+
+def test_fired_journal_records_notes():
+    space = make_space()
+    engine = PolicyEngine(space)
+    engine.load_xml(
+        '<policy name="p"><rule on="memory.high">'
+        '<do action="log" message="note this"/></rule></policy>'
+    )
+    from repro.events import MemoryHighEvent
+
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=99, capacity=100, ratio=0.99)
+    )
+    assert engine.fired[0].notes == ["log: note this"]

@@ -1,0 +1,103 @@
+"""The safe condition-expression subset."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.policy.expr import compile_expression, evaluate_expression
+
+
+class _Obj:
+    ratio = 0.9
+    used = 90
+    _secret = "hidden"
+
+
+NAMESPACE = {
+    "heap": _Obj(),
+    "count": 5,
+    "flag": True,
+    "name": "pda",
+    "items": [1, 2, 3],
+    "table": {"k": 7},
+}
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("1 + 1", 2),
+        ("count * 2", 10),
+        ("7 // 2", 3),
+        ("7 % 2", 1),
+        ("-count", -5),
+        ("count > 3", True),
+        ("count >= 5 and flag", True),
+        ("count < 3 or flag", True),
+        ("not flag", False),
+        ("1 < count < 10", True),
+        ("name == 'pda'", True),
+        ("name != 'other'", True),
+        ("heap.ratio >= 0.85", True),
+        ("heap.used + 10", 100),
+        ("items[0]", 1),
+        ("table['k']", 7),
+        ("2 in items", True),
+        ("9 not in items", True),
+        ("'yes' if flag else 'no'", "yes"),
+        ("(1, 2)", (1, 2)),
+        ("[count, flag]", [5, True]),
+        ("None is None", True),
+    ],
+)
+def test_expressions(source, expected):
+    assert evaluate_expression(source, NAMESPACE) == expected
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "__import__('os')",
+        "open('/etc/passwd')",
+        "heap.ratio.__class__",
+        "heap._secret",
+        "(lambda: 1)()",
+        "[x for x in items]",
+        "items.append(4)",
+        "count := 9",
+    ],
+)
+def test_forbidden_constructs(source):
+    with pytest.raises(ExpressionError):
+        evaluate_expression(source, NAMESPACE)
+
+
+def test_unknown_name():
+    with pytest.raises(ExpressionError, match="unknown name"):
+        evaluate_expression("missing > 1", NAMESPACE)
+
+
+def test_missing_attribute():
+    with pytest.raises(ExpressionError, match="no attribute"):
+        evaluate_expression("heap.nope", NAMESPACE)
+
+
+def test_bad_subscript():
+    with pytest.raises(ExpressionError):
+        evaluate_expression("items[99]", NAMESPACE)
+
+
+def test_syntax_error():
+    with pytest.raises(ExpressionError):
+        compile_expression("1 +")
+
+
+def test_compiled_reusable():
+    compiled = compile_expression("count > threshold")
+    assert compiled({"count": 5, "threshold": 3}) is True
+    assert compiled({"count": 5, "threshold": 9}) is False
+
+
+def test_short_circuit_and():
+    # the right side would fail; and must short-circuit on falsy left
+    assert evaluate_expression("flag and count", NAMESPACE) == 5
+    assert evaluate_expression("not flag and missing", NAMESPACE) is False

@@ -1,0 +1,68 @@
+"""Property test: the safe expression evaluator agrees with Python.
+
+Hypothesis generates expressions from the allowed grammar and checks
+the evaluator against Python's own ``eval`` over the same namespace —
+any divergence in arithmetic, comparison chains, or boolean
+short-circuiting is a bug in the interpreter.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy.expr import evaluate_expression
+
+NAMESPACE = {"a": 3, "b": -7, "c": 0.5, "flag": True, "empty": 0}
+
+_atoms = st.sampled_from(["a", "b", "c", "flag", "empty", "1", "2", "0.25"])
+_binary_ops = st.sampled_from(["+", "-", "*"])
+_compare_ops = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
+_bool_ops = st.sampled_from(["and", "or"])
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        return draw(_atoms)
+    kind = draw(st.sampled_from(["atom", "binary", "compare", "bool", "not", "paren"]))
+    if kind == "atom":
+        return draw(_atoms)
+    if kind == "binary":
+        left = draw(expressions(depth=depth + 1))
+        right = draw(expressions(depth=depth + 1))
+        return f"({left} {draw(_binary_ops)} {right})"
+    if kind == "compare":
+        left = draw(expressions(depth=depth + 1))
+        right = draw(expressions(depth=depth + 1))
+        return f"({left} {draw(_compare_ops)} {right})"
+    if kind == "bool":
+        left = draw(expressions(depth=depth + 1))
+        right = draw(expressions(depth=depth + 1))
+        return f"({left} {draw(_bool_ops)} {right})"
+    if kind == "not":
+        return f"(not {draw(expressions(depth=depth + 1))})"
+    return f"({draw(expressions(depth=depth + 1))})"
+
+
+@settings(max_examples=300, deadline=None)
+@given(expressions())
+def test_agrees_with_python_eval(source):
+    expected = eval(source, {"__builtins__": {}}, dict(NAMESPACE))  # noqa: S307
+    actual = evaluate_expression(source, NAMESPACE)
+    assert actual == expected
+    assert type(actual) is type(expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(-5, 5), min_size=2, max_size=4),
+    st.lists(_compare_ops, min_size=1, max_size=3),
+)
+def test_chained_comparisons(values, operators):
+    operators = operators[: len(values) - 1]
+    source = str(values[0])
+    for value, operator in zip(values[1:], operators):
+        source += f" {operator} {value}"
+    expected = eval(source, {"__builtins__": {}}, {})  # noqa: S307
+    assert evaluate_expression(source, {}) == expected

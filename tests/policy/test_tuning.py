@@ -1,0 +1,116 @@
+"""Adaptive swap-cluster tuning."""
+
+import pytest
+
+from repro.policy.engine import PolicyEngine
+from repro.policy.tuning import AdaptiveTuner, install_tuning_action, reference_affinity
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _tuner(space, **kwargs):
+    defaults = dict(hot_crossings=10, cold_crossings=2,
+                    max_cluster_objects=50, min_cluster_objects=2,
+                    cooldown_ticks=0)
+    defaults.update(kwargs)
+    return AdaptiveTuner(space, **defaults)
+
+
+def test_reference_affinity_counts_boundary_edges(space):
+    space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    affinity = reference_affinity(space, 1)
+    assert affinity == {2: 1}  # one chained edge into the next cluster
+
+
+def test_hot_boundary_gets_merged(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    tuner = _tuner(space)
+    # hammer the 1->2 boundary: walking repeatedly crosses it
+    for _ in range(30):
+        chain_values(handle)
+    decision = tuner.step()
+    assert decision.action == "merge"
+    space.verify_integrity()
+    assert chain_values(handle) == list(range(20))
+
+
+def test_quiet_space_does_nothing(space):
+    space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    tuner = _tuner(space)
+    decision = tuner.step()
+    assert decision.action == "none"
+    assert sorted(space.clusters()) == [0, 1, 2, 3, 4]
+
+
+def test_cold_oversized_cluster_split(space):
+    space.ingest(build_chain(60), cluster_size=60, root_name="h")
+    tuner = _tuner(space, max_cluster_objects=40)
+    decision = tuner.step()
+    assert decision.action == "split"
+    sizes = sorted(len(c) for s, c in space.clusters().items() if s != 0)
+    assert sizes == [30, 30]
+    space.verify_integrity()
+    assert chain_values(space.get_root("h")) == list(range(60))
+
+
+def test_merge_respects_max_size(space):
+    handle = space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    tuner = _tuner(space, max_cluster_objects=15)  # 10+10 would exceed
+    for _ in range(30):
+        chain_values(handle)
+    decision = tuner.step()
+    assert decision.action != "merge"
+
+
+def test_cooldown(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    tuner = _tuner(space, cooldown_ticks=10_000)
+    for _ in range(30):
+        chain_values(handle)
+    tuner._last_step_tick = space._tick  # as if a step just ran
+    decision = tuner.step()
+    assert decision.action == "none" and decision.detail == "cooldown"
+
+
+def test_crossings_reset_between_steps(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    tuner = _tuner(space)
+    for _ in range(30):
+        chain_values(handle)
+    tuner.step()  # merges something, resets baselines
+    decision = tuner.step()  # no NEW crossings since
+    assert decision.action == "none"
+
+
+def test_policy_action_integration(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    engine = PolicyEngine(space)
+    tuner = _tuner(space)
+    install_tuning_action(engine, tuner)
+    engine.load_xml(
+        '<policy name="adaptive"><rule on="memory.high">'
+        '<do action="adapt_clusters"/></rule></policy>'
+    )
+    for _ in range(30):
+        chain_values(handle)
+    from repro.events import MemoryHighEvent
+
+    space.bus.emit(
+        MemoryHighEvent(space=space.name, used=9, capacity=10, ratio=0.9)
+    )
+    assert engine.fired and "adapt_clusters" in engine.fired[0].notes[0]
+    assert tuner.decisions[-1].action == "merge"
+    space.verify_integrity()
+
+
+def test_repeated_steps_converge(space):
+    handle = space.ingest(build_chain(40), cluster_size=5, root_name="h")
+    tuner = _tuner(space, max_cluster_objects=40)
+    for round_index in range(10):
+        for _ in range(30):
+            chain_values(handle)
+        tuner.step()
+        space.verify_integrity()
+    # heavy uniform traversal drives toward fewer, bigger clusters
+    non_root = [s for s in space.clusters() if s != 0]
+    assert len(non_root) < 8
+    assert chain_values(handle) == list(range(40))

@@ -1,0 +1,86 @@
+"""Victim-selection strategies."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.victims import make_selector, select_victims
+from tests.helpers import build_chain, make_space
+
+
+@pytest.fixture
+def populated():
+    """Three clusters with distinct recency/frequency/size profiles."""
+    space = make_space()
+    space.ingest(build_chain(30), cluster_size=30, root_name="big")     # sc-1
+    space.ingest(build_chain(5), cluster_size=5, root_name="small")    # sc-2
+    space.ingest(build_chain(10), cluster_size=10, root_name="mid")    # sc-3
+    # access pattern: sc-3 most recent + most frequent, sc-1 untouched
+    for _ in range(5):
+        space.get_root("mid").get_value()
+    space.get_root("small").get_value()
+    for _ in range(3):
+        space.get_root("mid").get_value()
+    return space
+
+
+def test_lru_prefers_untouched(populated):
+    assert select_victims(populated, "lru")[0] == 1
+
+
+def test_lfu_prefers_rarely_crossed(populated):
+    ranked = select_victims(populated, "lfu")
+    assert ranked[0] == 1  # zero crossings
+    assert ranked[1] == 2  # one crossing
+
+
+def test_largest_prefers_big_footprint(populated):
+    assert select_victims(populated, "largest")[0] == 1
+    assert select_victims(populated, "smallest")[0] == 2
+
+
+def test_hybrid_prefers_big_idle(populated):
+    assert select_victims(populated, "hybrid")[0] == 1
+
+
+def test_count_cut(populated):
+    assert len(select_victims(populated, "lru", count=2)) == 2
+
+
+def test_need_bytes_cut(populated):
+    heap = populated.heap
+    big_bytes = sum(
+        heap.size_of(oid) for oid in populated.clusters()[1].oids
+    )
+    victims = select_victims(populated, "largest", need_bytes=big_bytes)
+    assert victims == [1]
+
+
+def test_swapped_clusters_not_candidates(populated):
+    populated.swap_out(1)
+    assert 1 not in select_victims(populated, "lru")
+
+
+def test_pinned_clusters_not_candidates(populated):
+    with populated.pin(1):
+        assert 1 not in select_victims(populated, "lru")
+
+
+def test_root_cluster_never_a_victim(populated):
+    from tests.helpers import Node
+
+    populated.set_root("global", Node(1))
+    assert 0 not in select_victims(populated, "lru")
+
+
+def test_unknown_strategy(populated):
+    with pytest.raises(PolicyError):
+        select_victims(populated, "nope")
+    with pytest.raises(PolicyError):
+        make_selector("nope")
+
+
+def test_make_selector_single_victim(populated):
+    selector = make_selector("largest")
+    assert selector(populated) == 1
+    empty = make_space()
+    assert make_selector("lru")(empty) is None

@@ -1,0 +1,103 @@
+"""XML policy documents."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.xmlpolicy import parse_policies, render_policies
+
+GOOD = """
+<policies>
+  <policy name="swap-on-pressure" category="machine">
+    <rule on="memory.high">
+      <when>heap.ratio &gt;= 0.85</when>
+      <do action="swap_out" victims="lru" until_ratio="0.6"/>
+    </rule>
+    <rule on="context.device_joined">
+      <do action="log" message="store appeared"/>
+    </rule>
+  </policy>
+  <policy name="audit" category="user" enabled="false">
+    <rule on="swap.*">
+      <do action="log" message="swap activity"/>
+    </rule>
+  </policy>
+</policies>
+"""
+
+
+def test_parse_structure():
+    policies = parse_policies(GOOD)
+    assert [policy.name for policy in policies] == ["swap-on-pressure", "audit"]
+    first = policies[0]
+    assert first.category == "machine" and first.enabled
+    assert len(first.rules) == 2
+    rule = first.rules[0]
+    assert rule.on == "memory.high"
+    assert rule.when_source == "heap.ratio >= 0.85"
+    assert rule.actions[0].name == "swap_out"
+    assert rule.actions[0].args == {"victims": "lru", "until_ratio": "0.6"}
+
+
+def test_disabled_policy_flag():
+    policies = parse_policies(GOOD)
+    assert policies[1].enabled is False
+
+
+def test_single_policy_document():
+    policies = parse_policies(
+        '<policy name="p"><rule on="x"><do action="log"/></rule></policy>'
+    )
+    assert len(policies) == 1
+
+
+def test_topic_wildcard_rule():
+    policies = parse_policies(GOOD)
+    rule = policies[1].rules[0]
+    assert rule.matches_topic("swap.out")
+    assert rule.matches_topic("swap.in")
+    assert not rule.matches_topic("memory.high")
+
+
+@pytest.mark.parametrize(
+    "document,match",
+    [
+        ("<policies><policy><rule on='x'><do action='a'/></rule></policy></policies>", "name"),
+        ("<policy name='p'></policy>", "no rules"),
+        ("<policy name='p'><rule><do action='a'/></rule></policy>", "on="),
+        ("<policy name='p'><rule on='x'></rule></policy>", "no <do>"),
+        ("<policy name='p'><rule on='x'><do/></rule></policy>", "action="),
+        ("<policy name='p' category='bogus'><rule on='x'><do action='a'/></rule></policy>", "category"),
+        ("<policy name='p'><rule on='x'><when></when><do action='a'/></rule></policy>", "empty"),
+        ("<policy name='p'><rule on='x'><oops/><do action='a'/></rule></policy>", "unexpected"),
+        ("<wrong/>", "expected"),
+        ("<policies", "malformed"),
+    ],
+)
+def test_malformed_documents(document, match):
+    with pytest.raises(PolicyError, match=match):
+        parse_policies(document)
+
+
+def test_condition_validated_at_parse_time():
+    with pytest.raises(PolicyError):
+        parse_policies(
+            "<policy name='p'><rule on='x'>"
+            "<when>__import__('os')</when><do action='a'/></rule></policy>"
+        )
+
+
+def test_render_roundtrip():
+    policies = parse_policies(GOOD)
+    rendered = render_policies(policies)
+    reparsed = parse_policies(rendered)
+    assert [policy.name for policy in reparsed] == [
+        policy.name for policy in policies
+    ]
+    assert reparsed[0].rules[0].when_source == policies[0].rules[0].when_source
+    assert reparsed[1].enabled is False
+
+
+def test_describe():
+    policies = parse_policies(GOOD)
+    text = policies[0].describe()
+    assert "swap-on-pressure" in text and "memory.high" in text

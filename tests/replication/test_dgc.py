@@ -1,0 +1,121 @@
+"""DGC-lite: server-side replica reference listing."""
+
+import pytest
+
+from repro.comm import LoopbackLink, WebServiceClient
+from repro.errors import ReplicationError
+from repro.replication import DirectServerClient, ObjectServer, Replicator
+from repro.replication.server import WsServerClient
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _setup(n=30, cluster_size=10, client_factory=DirectServerClient):
+    server = ObjectServer()
+    server.publish("list", build_chain(n), cluster_size=cluster_size)
+    space = make_space()
+    if client_factory is DirectServerClient:
+        client = DirectServerClient(server)
+    else:
+        client = WsServerClient(
+            WebServiceClient(server.as_endpoint(), LoopbackLink())
+        )
+    replicator = Replicator(space, client)
+    return server, space, replicator
+
+
+def test_materialization_registers_replica():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")
+    root_cid = server.describe_root("list").root_cid
+    assert server.replica_holders("list", root_cid) == ["test"]
+    assert server.replica_count("list") == 1
+
+
+def test_full_walk_registers_all_clusters():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    assert server.replica_count("list") == 3
+    assert server.unreplicated_clusters("list") == []
+
+
+def test_collection_unregisters():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    space.del_root("list")
+    del handle
+    space.gc()
+    assert server.replica_count("list") == 0
+    assert server.unreplicated_clusters("list") == server.cluster_ids("list")
+
+
+def test_partial_collection_partial_unregister():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")  # only the root cluster
+    assert server.replica_count("list") == 1
+    space.del_root("list")
+    del handle
+    space.gc()
+    assert server.replica_count("list") == 0
+
+
+def test_swapped_replica_stays_registered():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    sid = space.sid_of(handle)
+    space.swap_out(sid)
+    # the replica still exists (as XML on a store): registration holds
+    assert server.replica_count("list") == 3
+
+
+def test_gc_of_swapped_replica_unregisters():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    sid = space.sid_of(handle)
+    space.del_root("list")
+    del handle
+    space.gc()
+    assert server.replica_count("list") == 0
+
+
+def test_two_devices_tracked_separately():
+    server = ObjectServer()
+    server.publish("list", build_chain(10), cluster_size=10)
+    client = DirectServerClient(server)
+    alpha, beta = make_space("alpha"), make_space("beta")
+    Replicator(alpha, client).replicate("list")
+    Replicator(beta, client).replicate("list")
+    root_cid = server.describe_root("list").root_cid
+    assert server.replica_holders("list", root_cid) == ["alpha", "beta"]
+    alpha.del_root("list")
+    alpha.gc()
+    assert server.replica_holders("list", root_cid) == ["beta"]
+
+
+def test_registration_over_web_service_bridge():
+    server, space, replicator = _setup(client_factory=WsServerClient)
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    assert server.replica_count("list") == 3
+    space.del_root("list")
+    del handle
+    space.gc()
+    assert server.replica_count("list") == 0
+
+
+def test_unregister_idempotent():
+    server = ObjectServer()
+    server.publish("list", build_chain(5), cluster_size=5)
+    server.register_replica("list", 1, "pda")
+    server.unregister_replica("list", 1, "pda")
+    server.unregister_replica("list", 1, "pda")
+    assert server.replica_holders("list", 1) == []
+
+
+def test_register_unknown_root_rejected():
+    server = ObjectServer()
+    with pytest.raises(ReplicationError):
+        server.register_replica("ghost", 1, "pda")

@@ -1,0 +1,72 @@
+"""Frontier prefetching (hoarding extension)."""
+
+import pytest
+
+from repro.replication import DirectServerClient, ObjectServer, Replicator
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _setup(prefetch=0, n=60, cluster_size=10):
+    server = ObjectServer()
+    server.publish("list", build_chain(n), cluster_size=cluster_size)
+    space = make_space()
+    replicator = Replicator(
+        space, DirectServerClient(server), prefetch_frontier=prefetch
+    )
+    return server, space, replicator
+
+
+def test_prefetch_zero_is_pure_on_demand():
+    _, space, replicator = _setup(prefetch=0)
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    assert replicator.faults == 5
+    assert replicator.prefetched == 0
+
+
+def test_prefetch_one_halves_faults():
+    _, space, replicator = _setup(prefetch=1)
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    assert replicator.clusters_fetched == 6
+    # each fault brings its cluster plus the next: fewer faults
+    assert replicator.faults < 5
+    assert replicator.prefetched > 0
+    space.verify_integrity()
+
+
+def test_prefetch_large_budget_fetches_whole_chain():
+    _, space, replicator = _setup(prefetch=10)
+    handle = replicator.replicate("list")
+    handle.get_value()
+    # first fault cascades down the frontier chain
+    cursor = handle
+    for _ in range(10):
+        cursor = cursor.get_next()
+    cursor.get_value()
+    assert replicator.faults == 1
+    assert replicator.clusters_fetched == 6
+    assert chain_values(handle) == list(range(60))
+    assert replicator.faults == 1  # nothing left to fault
+
+
+def test_prefetch_counts_against_heap_pressure():
+    server = ObjectServer()
+    server.publish("list", build_chain(100), cluster_size=10)
+    space = make_space(heap_capacity=2500)
+    replicator = Replicator(
+        space, DirectServerClient(server), prefetch_frontier=3
+    )
+    handle = replicator.replicate("list")
+    assert chain_values(handle) == list(range(100))
+    assert space.manager.stats.swap_outs > 0  # prefetching forced swaps
+    space.verify_integrity()
+
+
+def test_negative_prefetch_rejected():
+    server = ObjectServer()
+    server.publish("list", build_chain(10), cluster_size=5)
+    with pytest.raises(ValueError):
+        Replicator(
+            make_space(), DirectServerClient(server), prefetch_frontier=-1
+        )

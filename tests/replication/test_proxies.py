@@ -1,0 +1,74 @@
+"""Replication proxies (object-fault handlers)."""
+
+import pytest
+
+from repro.replication import DirectServerClient, ObjectServer, Replicator
+from repro.replication.proxies import ReplicationProxy
+from tests.helpers import build_chain, make_space
+
+
+def _setup():
+    server = ObjectServer()
+    server.publish("list", build_chain(20), cluster_size=10)
+    space = make_space()
+    replicator = Replicator(space, DirectServerClient(server))
+    handle = replicator.replicate("list")
+    return space, replicator, handle
+
+
+def _frontier_proxy(space):
+    # the last object of cluster 1 holds the frontier replication proxy
+    member = space._objects[sorted(space.clusters()[1].oids)[-1]]
+    value = member.next
+    assert isinstance(value, ReplicationProxy)
+    return value
+
+
+def test_attribute_access_faults(space=None):
+    space, replicator, handle = _setup()
+    proxy = _frontier_proxy(space)
+    assert proxy.value == 10  # field access on the proxy faults cluster 2
+    assert replicator.clusters_fetched == 2
+
+
+def test_method_call_faults():
+    space, replicator, handle = _setup()
+    proxy = _frontier_proxy(space)
+    assert proxy.get_value() == 10
+
+
+def test_fault_replaces_holder_fields():
+    space, replicator, handle = _setup()
+    proxy = _frontier_proxy(space)
+    holder = space._objects[sorted(space.clusters()[1].oids)[-1]]
+    proxy.get_value()
+    assert not isinstance(holder.next, ReplicationProxy)
+
+
+def test_equality_faults():
+    space, replicator, handle = _setup()
+    proxy = _frontier_proxy(space)
+    other = _frontier_proxy(space) if replicator.clusters_fetched == 1 else proxy
+    assert (proxy == proxy) is True
+
+
+def test_setattr_faults_and_writes():
+    space, replicator, handle = _setup()
+    proxy = _frontier_proxy(space)
+    proxy.value = 777
+    assert proxy.get_value() == 777
+
+
+def test_extern_attrs():
+    space, replicator, handle = _setup()
+    proxy = _frontier_proxy(space)
+    attrs = proxy._obi_extern_attrs()
+    assert set(attrs) == {"cid", "soid"}
+
+
+def test_repr_does_not_fault():
+    space, replicator, handle = _setup()
+    proxy = _frontier_proxy(space)
+    fetched_before = replicator.clusters_fetched
+    repr(proxy)
+    assert replicator.clusters_fetched == fetched_before

@@ -1,0 +1,163 @@
+"""Incremental replication + proxy replacement + swapping interplay."""
+
+import pytest
+
+from repro.core.utils import SwapClusterUtils
+from repro.events import ClusterReplicatedEvent, ObjectFaultEvent
+from repro.replication import DirectServerClient, ObjectServer, Replicator
+from tests.helpers import Node, Pair, build_chain, chain_values, make_space
+
+
+def _setup(n=50, cluster_size=10, clusters_per_swap=1, **space_kwargs):
+    server = ObjectServer()
+    server.publish("list", build_chain(n), cluster_size=cluster_size)
+    space = make_space(**space_kwargs)
+    replicator = Replicator(
+        space, DirectServerClient(server), clusters_per_swap=clusters_per_swap
+    )
+    return server, space, replicator
+
+
+def test_replicate_fetches_only_root_cluster():
+    server, space, replicator = _setup()
+    replicator.replicate("list")
+    assert space.object_count() == 10
+    assert replicator.clusters_fetched == 1
+    assert replicator.pending_proxy_count() == 1
+
+
+def test_navigation_faults_in_remaining_clusters():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")
+    assert chain_values(handle) == list(range(50))
+    assert replicator.clusters_fetched == 5
+    assert replicator.faults == 4
+    assert space.bus.count(ObjectFaultEvent) == 4
+    space.verify_integrity()
+
+
+def test_proxy_replacement_to_raw_within_swap_cluster():
+    # two replication clusters grouped into ONE swap-cluster: after both
+    # materialize, the edge between them must be raw (full speed)
+    server, space, replicator = _setup(n=20, cluster_size=10, clusters_per_swap=2)
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    raw = space.resolve(handle)
+    cursor = raw
+    hops = 0
+    while getattr(cursor, "next", None) is not None:
+        assert not SwapClusterUtils.is_swap_proxy(cursor.next)
+        cursor = cursor.next
+        hops += 1
+    assert hops == 19  # the whole chain is raw inside one swap-cluster
+
+
+def test_proxy_replacement_to_swap_proxy_across_swap_clusters():
+    server, space, replicator = _setup(n=20, cluster_size=10, clusters_per_swap=1)
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    raw = space.resolve(handle)
+    cursor = raw
+    boundary_proxies = 0
+    for _ in range(19):
+        value = cursor.next
+        if SwapClusterUtils.is_swap_proxy(value):
+            boundary_proxies += 1
+            cursor = space.resolve(value)
+        else:
+            cursor = value
+    assert boundary_proxies == 1  # exactly the swap-cluster boundary
+
+
+def test_replicate_twice_idempotent():
+    server, space, replicator = _setup()
+    first = replicator.replicate("list")
+    second = replicator.replicate("list")
+    assert first == second
+    assert replicator.clusters_fetched == 1
+
+
+def test_prefetch():
+    server, space, replicator = _setup()
+    replicator.replicate("list")
+    replicator.prefetch("list", server.cluster_ids("list"))
+    assert replicator.clusters_fetched == 5
+    assert replicator.faults == 0
+    handle = space.get_root("list")
+    assert chain_values(handle) == list(range(50))
+
+
+def test_cluster_events_emitted():
+    server, space, replicator = _setup()
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    assert space.bus.count(ClusterReplicatedEvent) == 5
+    assert space.manager.stats.replicated_clusters == 5
+
+
+def test_swap_cycle_with_pending_frontier():
+    """A cluster holding replication proxies can swap out; the <extref>
+    wire reference reconnects on reload."""
+    server, space, replicator = _setup(n=30, cluster_size=10)
+    handle = replicator.replicate("list")
+    assert replicator.pending_proxy_count() == 1
+    space.swap_out(1)
+    space.verify_integrity()
+    assert chain_values(handle) == list(range(30))
+    space.verify_integrity()
+
+
+def test_swap_cycle_after_full_replication():
+    server, space, replicator = _setup(n=30, cluster_size=10)
+    handle = replicator.replicate("list")
+    chain_values(handle)
+    for sid in (1, 2, 3):
+        space.swap_out(sid)
+        assert chain_values(handle) == list(range(30))
+        space.verify_integrity()
+
+
+def test_replication_under_memory_pressure():
+    # heap too small for the whole list: earlier clusters must swap out
+    # automatically while later ones stream in
+    server, space, replicator = _setup(
+        n=100, cluster_size=10, heap_capacity=2500
+    )
+    handle = replicator.replicate("list")
+    assert chain_values(handle) == list(range(100))
+    assert space.manager.stats.swap_outs > 0
+    space.verify_integrity()
+
+
+def test_extern_resolution_to_materialized_target():
+    # swap a cluster holding a frontier proxy; materialize the frontier
+    # through ANOTHER path; then reload: the extref must resolve to a
+    # swap-cluster-proxy, not a new replication proxy
+    server, space, replicator = _setup(n=20, cluster_size=10)
+    handle = replicator.replicate("list")
+    space.swap_out(1)
+    replicator.prefetch("list", [server.cluster_ids("list")[1]])
+    assert chain_values(handle) == list(range(20))
+    assert replicator.pending_proxy_count() == 0
+    space.verify_integrity()
+
+
+def test_shared_structure_replicates_once():
+    server = ObjectServer()
+    shared = Node(7)
+    root = Pair(Pair(shared, None), shared)
+    server.publish("diamond", root, cluster_size=2)
+    space = make_space()
+    replicator = Replicator(space, DirectServerClient(server))
+    handle = replicator.replicate("diamond")
+    left_shared = handle.get_left().get_left()
+    right_shared = handle.get_right()
+    assert SwapClusterUtils.equals(left_shared, right_shared)
+    assert left_shared.get_value() == 7
+    space.verify_integrity()
+
+
+def test_invalid_clusters_per_swap():
+    server, space, _ = _setup()
+    with pytest.raises(ValueError):
+        Replicator(space, DirectServerClient(server), clusters_per_swap=0)

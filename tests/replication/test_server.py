@@ -1,0 +1,96 @@
+"""The master object server."""
+
+import pytest
+
+from repro.comm import LoopbackLink, WebServiceClient
+from repro.errors import ReplicationError
+from repro.replication.server import (
+    DirectServerClient,
+    ObjectServer,
+    WsServerClient,
+    parse_replica_document,
+)
+from tests.helpers import Node, Pair, build_chain
+
+
+def test_publish_and_describe():
+    server = ObjectServer()
+    descriptor = server.publish("list", build_chain(23), cluster_size=5)
+    assert descriptor.cluster_count == 5
+    assert descriptor.object_count == 23
+    assert descriptor.class_name.endswith("Node")
+    assert descriptor.root_cid == server.describe_root("list").root_cid
+
+
+def test_publish_twice_rejected():
+    server = ObjectServer()
+    server.publish("x", build_chain(3))
+    with pytest.raises(ReplicationError):
+        server.publish("x", build_chain(3))
+
+
+def test_unknown_root():
+    with pytest.raises(ReplicationError):
+        ObjectServer().describe_root("ghost")
+
+
+def test_fetch_cluster_document_shape():
+    server = ObjectServer()
+    descriptor = server.publish("list", build_chain(10), cluster_size=5)
+    text = server.fetch_cluster("list", descriptor.root_cid)
+    cid, frontier, body, version = parse_replica_document(text)
+    assert cid == descriptor.root_cid
+    assert len(frontier) == 1  # one edge to the second cluster
+    assert body.startswith("<swap-cluster")
+    assert version == 1
+
+
+def test_last_cluster_has_empty_frontier():
+    server = ObjectServer()
+    server.publish("list", build_chain(10), cluster_size=5)
+    last_cid = server.cluster_ids("list")[-1]
+    _, frontier, _, _ = parse_replica_document(server.fetch_cluster("list", last_cid))
+    assert frontier == []
+
+
+def test_fetch_unknown_cluster():
+    server = ObjectServer()
+    server.publish("list", build_chain(5))
+    with pytest.raises(ReplicationError):
+        server.fetch_cluster("list", 999)
+
+
+def test_frontier_deduplicates_targets():
+    server = ObjectServer()
+    shared = Node(7)
+    root = Pair(Pair(shared, shared), Pair(shared, None))
+    server.publish("diamond", root, cluster_size=3)
+    root_cid = server.describe_root("diamond").root_cid
+    _, frontier, _, _ = parse_replica_document(server.fetch_cluster("diamond", root_cid))
+    soids = [soid for _, soid in frontier]
+    assert len(soids) == len(set(soids))
+
+
+def test_unpublish():
+    server = ObjectServer()
+    server.publish("x", build_chain(3))
+    server.unpublish("x")
+    assert server.published_roots() == []
+
+
+def test_ws_client_parity():
+    server = ObjectServer()
+    server.publish("list", build_chain(10), cluster_size=5)
+    direct = DirectServerClient(server)
+    remote = WsServerClient(WebServiceClient(server.as_endpoint(), LoopbackLink()))
+    assert remote.describe_root("list") == direct.describe_root("list")
+    cid = direct.describe_root("list").root_cid
+    assert remote.fetch_cluster("list", cid) == direct.fetch_cluster("list", cid)
+
+
+def test_clusters_served_counter():
+    server = ObjectServer()
+    server.publish("list", build_chain(10), cluster_size=5)
+    for cid in server.cluster_ids("list"):
+        server.fetch_cluster("list", cid)
+    assert server.clusters_served == 2

@@ -1,0 +1,121 @@
+"""Schema extraction."""
+
+from repro.runtime.classext import (
+    declared_field_names,
+    extract_schema,
+    instance_fields,
+    is_managed,
+    is_proxy,
+    public_method_names,
+    schema_of,
+)
+from tests.helpers import Holder, Node
+
+
+def test_public_methods_discovered():
+    methods = public_method_names(Node)
+    assert "get_value" in methods and "get_next" in methods
+
+
+def test_private_methods_excluded():
+    class WithPrivate:
+        def visible(self):
+            return 1
+
+        def _hidden(self):
+            return 2
+
+    assert public_method_names(WithPrivate) == ["visible"]
+
+
+def test_dunder_protocol_methods_forwarded():
+    class Sized:
+        def __len__(self):
+            return 3
+
+        def item(self):
+            return None
+
+    methods = public_method_names(Sized)
+    assert "__len__" in methods and "item" in methods
+
+
+def test_init_and_identity_dunders_excluded():
+    methods = public_method_names(Node)
+    assert "__init__" not in methods
+    assert "__eq__" not in methods
+
+
+def test_inherited_methods_included():
+    class Base:
+        def base_method(self):
+            return 1
+
+    class Child(Base):
+        def child_method(self):
+            return 2
+
+    methods = public_method_names(Child)
+    assert "base_method" in methods and "child_method" in methods
+
+
+def test_static_and_class_methods_excluded():
+    class Mixed:
+        def plain(self):
+            return 1
+
+        @staticmethod
+        def helper():
+            return 2
+
+        @classmethod
+        def maker(cls):
+            return 3
+
+    assert public_method_names(Mixed) == ["plain"]
+
+
+def test_declared_fields_from_annotations():
+    class Annotated:
+        name: str
+        count: int
+        _internal: int
+
+    fields = declared_field_names(Annotated)
+    assert fields == ["name", "count"]
+
+
+def test_extract_schema():
+    schema = extract_schema(Node, size_hint=32)
+    assert schema.name.endswith("Node")
+    assert schema.size_hint == 32
+    assert "get_value" in schema.public_methods
+
+
+def test_is_managed_and_is_proxy():
+    node = Node(1)
+    assert is_managed(node)
+    assert not is_proxy(node)
+    assert not is_managed(42)
+
+
+def test_schema_of_unmanaged_raises():
+    import pytest
+
+    from repro.errors import NotManagedError
+
+    with pytest.raises(NotManagedError):
+        schema_of(dict)
+
+
+def test_instance_fields_excludes_internals():
+    node = Node(7)
+    object.__setattr__(node, "_obi_oid", 1)
+    fields = instance_fields(node)
+    assert fields == {"value": 7, "next": None}
+
+
+def test_instance_fields_keeps_app_underscore_fields():
+    node = Node(1)
+    node._cache = "keep me"
+    assert instance_fields(node)["_cache"] == "keep me"

@@ -1,0 +1,55 @@
+"""The energy model."""
+
+import pytest
+
+from repro.sim.energy import (
+    EnergyLedger,
+    EnergyModel,
+    PDA_ENERGY,
+    WRIST_ENERGY,
+    swap_cycle_energy,
+)
+
+
+def test_cpu_and_radio_joules():
+    model = EnergyModel("t", cpu_active_w=0.5, radio_tx_w=0.1,
+                        radio_rx_w=0.08, idle_w=0.01)
+    assert model.cpu_joules(2.0) == pytest.approx(1.0)
+    assert model.radio_joules(1.0, 2.0) == pytest.approx(0.1 + 0.16)
+    assert model.idle_joules(10.0) == pytest.approx(0.1)
+
+
+def test_ledger_accumulates():
+    ledger = EnergyLedger(model=PDA_ENERGY)
+    ledger.charge_cpu(0.1)
+    ledger.charge_cpu(0.1)
+    ledger.charge_radio_tx(1.0)
+    ledger.charge_radio_rx(0.5)
+    assert ledger.cpu_joules == pytest.approx(0.4 * 0.2)
+    assert ledger.radio_joules == pytest.approx(0.1 * 1.0 + 0.085 * 0.5)
+    assert ledger.total_joules == ledger.cpu_joules + ledger.radio_joules
+
+
+def test_millijoules_per_kb():
+    ledger = EnergyLedger(model=PDA_ENERGY)
+    ledger.charge_radio_tx(1.0)  # 100 mJ
+    assert ledger.millijoules_per_kb(2048) == pytest.approx(50.0)
+    assert ledger.millijoules_per_kb(0) == 0.0
+
+
+def test_swap_cycle_energy_scales_with_payload():
+    small = swap_cycle_energy(1_000, 700_000, 0.05, cpu_seconds=0.001)
+    large = swap_cycle_energy(100_000, 700_000, 0.05, cpu_seconds=0.001)
+    assert large.total_joules > small.total_joules * 5
+
+
+def test_wrist_cheaper_than_pda():
+    pda = swap_cycle_energy(10_000, 700_000, 0.05, 0.01, model=PDA_ENERGY)
+    wrist = swap_cycle_energy(10_000, 700_000, 0.05, 0.01, model=WRIST_ENERGY)
+    assert wrist.total_joules < pda.total_joules
+
+
+def test_describe_renders():
+    ledger = swap_cycle_energy(10_000, 700_000, 0.05, 0.01)
+    text = ledger.describe()
+    assert "mJ" in text and "radio" in text

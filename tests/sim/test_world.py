@@ -1,0 +1,86 @@
+"""Scenario world and the canned pressure scenario."""
+
+import pytest
+
+from repro.errors import SwapStoreUnavailableError
+from repro.sim import ScenarioWorld, StoreSpec, run_pressure_scenario
+from tests.helpers import build_chain, chain_values
+
+
+def test_add_store_discovers():
+    world = ScenarioWorld()
+    world.add_store(StoreSpec("pc"))
+    assert world.stores_in_range() == ["pc"]
+
+
+def test_clean_departure_and_return():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("pc"))
+    space = world.space
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    world.depart_cleanly("pc")
+    with pytest.raises(SwapStoreUnavailableError):
+        chain_values(handle)
+    world.come_back("pc")
+    assert chain_values(handle) == list(range(10))
+
+
+def test_vanish_with_data_loses_cluster():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("pc"))
+    space = world.space
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    world.vanish_with_data("pc")
+    world.come_back("pc")  # device returns, but the XML is gone
+    with pytest.raises(SwapStoreUnavailableError):
+        chain_values(handle)
+    # the resident half is still intact
+    assert space.get_root("h").get_value() == 0
+
+
+def test_transfers_charge_sim_clock():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("pc", bandwidth_bps=700_000))
+    space = world.space
+    space.ingest(build_chain(50), cluster_size=50, root_name="h")
+    space.swap_out(1)
+    assert world.clock.now() > 0
+
+
+def test_swap_avoids_departed_stores():
+    world = ScenarioWorld(heap_capacity=1 << 20)
+    world.add_store(StoreSpec("first"))
+    world.add_store(StoreSpec("second"))
+    world.depart_cleanly("first")
+    space = world.space
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    location = space.swap_out(1)
+    assert location.device_id == "second"
+
+
+def test_pressure_scenario_consistent():
+    report = run_pressure_scenario()
+    assert report.consistent
+    assert report.swap_outs > 0
+    assert report.swap_ins > 0
+    assert report.drops >= 1
+    assert report.sim_seconds > 0
+
+
+def test_pressure_scenario_small_store_overflow():
+    # tiny stores: some swaps go to the second device
+    report = run_pressure_scenario(
+        store_specs=[StoreSpec("tiny", capacity=6 << 10),
+                     StoreSpec("big", capacity=4 << 20)],
+    )
+    assert report.consistent
+    assert "big" in set(report.stores_used)
+
+
+def test_describe():
+    world = ScenarioWorld()
+    world.add_store(StoreSpec("pc"))
+    text = world.describe()
+    assert "pc" in text and "sim time" in text

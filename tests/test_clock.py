@@ -1,0 +1,49 @@
+"""Clocks."""
+
+import pytest
+
+from repro.clock import SimulatedClock, Stopwatch, WallClock
+
+
+def test_simulated_clock_starts_at_zero():
+    assert SimulatedClock().now() == 0.0
+
+
+def test_simulated_clock_advances():
+    clock = SimulatedClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now() == 2.0
+
+
+def test_simulated_clock_rejects_negative():
+    with pytest.raises(ValueError):
+        SimulatedClock().advance(-1)
+
+
+def test_simulated_clock_custom_start():
+    assert SimulatedClock(start=10.0).now() == 10.0
+
+
+def test_wall_clock_monotonic():
+    clock = WallClock()
+    first = clock.now()
+    second = clock.now()
+    assert second >= first
+
+
+def test_stopwatch_on_simulated_clock():
+    clock = SimulatedClock()
+    watch = Stopwatch(clock)
+    clock.advance(2.0)
+    assert watch.elapsed() == 2.0
+    assert watch.elapsed_ms() == 2000.0
+
+
+def test_stopwatch_restart():
+    clock = SimulatedClock()
+    watch = Stopwatch(clock)
+    clock.advance(5.0)
+    watch.restart()
+    clock.advance(1.0)
+    assert watch.elapsed() == 1.0

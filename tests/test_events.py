@@ -1,0 +1,145 @@
+"""The event bus."""
+
+import pytest
+
+from repro.events import (
+    Event,
+    EventBus,
+    MemoryHighEvent,
+    MemoryLowEvent,
+    SwapInEvent,
+    SwapOutEvent,
+    topic_of,
+)
+
+
+def _high(ratio=0.9):
+    return MemoryHighEvent(space="s", used=90, capacity=100, ratio=ratio)
+
+
+def _swap_out(sid=1):
+    return SwapOutEvent(
+        space="s", sid=sid, device_id="d", key="k", object_count=1,
+        bytes_freed=10, xml_bytes=20,
+    )
+
+
+def test_subscribe_by_type():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(MemoryHighEvent, seen.append)
+    bus.emit(_high())
+    assert len(seen) == 1
+
+
+def test_type_subscription_ignores_other_events():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(MemoryHighEvent, seen.append)
+    bus.emit(_swap_out())
+    assert seen == []
+
+
+def test_subscribe_base_type_matches_subclasses():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(Event, seen.append)
+    bus.emit(_high())
+    bus.emit(_swap_out())
+    assert len(seen) == 2
+
+
+def test_subscribe_topic_exact():
+    bus = EventBus()
+    seen = []
+    bus.subscribe_topic("swap.out", seen.append)
+    bus.emit(_swap_out())
+    bus.emit(_high())
+    assert len(seen) == 1
+
+
+def test_subscribe_topic_wildcard():
+    bus = EventBus()
+    seen = []
+    bus.subscribe_topic("swap.*", seen.append)
+    bus.emit(_swap_out())
+    bus.emit(
+        SwapInEvent(space="s", sid=1, device_id="d", key="k",
+                    object_count=1, bytes_restored=5)
+    )
+    bus.emit(_high())
+    assert len(seen) == 2
+
+
+def test_subscribe_all():
+    bus = EventBus()
+    seen = []
+    bus.subscribe_all(seen.append)
+    bus.emit(_high())
+    bus.emit(_swap_out())
+    assert len(seen) == 2
+
+
+def test_unsubscribe():
+    bus = EventBus()
+    seen = []
+    unsubscribe = bus.subscribe(MemoryHighEvent, seen.append)
+    bus.emit(_high())
+    unsubscribe()
+    bus.emit(_high())
+    assert len(seen) == 1
+
+
+def test_handler_error_does_not_block_others():
+    bus = EventBus()
+    seen = []
+
+    def bad(_event):
+        raise RuntimeError("boom")
+
+    bus.subscribe(MemoryHighEvent, bad)
+    bus.subscribe(MemoryHighEvent, seen.append)
+    with pytest.raises(RuntimeError):
+        bus.emit(_high())
+    assert len(seen) == 1  # the good handler still ran
+
+
+def test_history_and_last():
+    bus = EventBus()
+    bus.emit(_high(0.9))
+    bus.emit(_swap_out())
+    assert len(bus.history) == 2
+    last = bus.last(MemoryHighEvent)
+    assert isinstance(last, MemoryHighEvent)
+    assert bus.last(MemoryLowEvent) is None
+
+
+def test_count():
+    bus = EventBus()
+    bus.emit(_high())
+    bus.emit(_high())
+    bus.emit(_swap_out())
+    assert bus.count(MemoryHighEvent) == 2
+
+
+def test_history_bounded():
+    bus = EventBus(history=5)
+    for _ in range(10):
+        bus.emit(_high())
+    assert len(bus.history) == 5
+
+
+def test_topic_of():
+    assert topic_of(MemoryHighEvent) == "memory.high"
+    assert topic_of(_swap_out()) == "swap.out"
+
+
+def test_events_are_frozen():
+    event = _high()
+    with pytest.raises(AttributeError):
+        event.ratio = 0.1
+
+
+def test_describe_mentions_fields():
+    text = _swap_out(sid=7).describe()
+    assert "sid=7" in text and "SwapOutEvent" in text

@@ -1,0 +1,70 @@
+"""Identifier allocation."""
+
+import threading
+
+from repro.ids import IdAllocator, IdSpace, ROOT_SID, format_swap_key
+
+
+def test_allocator_monotonic():
+    allocator = IdAllocator()
+    values = [allocator.next() for _ in range(100)]
+    assert values == sorted(values)
+    assert len(set(values)) == 100
+
+
+def test_allocator_start():
+    allocator = IdAllocator(start=42)
+    assert allocator.next() == 42
+
+
+def test_reserve_above_skips_ids():
+    allocator = IdAllocator()
+    allocator.next()
+    allocator.reserve_above(500)
+    assert allocator.next() == 501
+
+
+def test_reserve_above_never_goes_backwards():
+    allocator = IdAllocator(start=1000)
+    allocator.reserve_above(5)
+    assert allocator.next() >= 1000
+
+
+def test_allocator_thread_safety():
+    allocator = IdAllocator()
+    seen = []
+
+    def grab():
+        seen.extend(allocator.next() for _ in range(500))
+
+    threads = [threading.Thread(target=grab) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(set(seen)) == 2000
+
+
+def test_id_space_namespaces_independent():
+    ids = IdSpace()
+    assert ids.oids.next() == 1
+    assert ids.cids.next() == 1
+    assert ids.sids.next() == 1
+    assert ids.oids.next() == 2
+
+
+def test_root_sid_reserved():
+    ids = IdSpace()
+    assert ROOT_SID == 0
+    assert ids.sids.next() != ROOT_SID
+
+
+def test_swap_key_unique_per_epoch():
+    first = format_swap_key("pda", 3, 1)
+    second = format_swap_key("pda", 3, 2)
+    assert first != second
+    assert "sc-3" in first
+
+
+def test_swap_key_includes_space():
+    assert format_swap_key("a", 1, 1) != format_swap_key("b", 1, 1)

@@ -1,0 +1,64 @@
+"""Telemetry snapshots."""
+
+from repro.stats import format_report, snapshot
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def test_snapshot_basic_counts(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    telemetry = snapshot(space)
+    assert telemetry.resident_objects == 20
+    assert telemetry.swapped_objects == 0
+    assert telemetry.roots == 1
+    assert len(telemetry.clusters) == 5  # roots + 4
+    assert telemetry.heap_used == space.heap.used
+
+
+def test_snapshot_after_swap(space):
+    handle = space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    telemetry = snapshot(space)
+    assert telemetry.swapped_objects == 5
+    assert telemetry.resident_objects == 15
+    swapped = telemetry.swapped_clusters()
+    assert len(swapped) == 1
+    assert swapped[0].device_ids  # bound to a store
+    assert telemetry.swap_outs == 1
+
+
+def test_cluster_footprints_sum_to_heap(space):
+    space.ingest(build_chain(20), cluster_size=5, root_name="h")
+    telemetry = snapshot(space)
+    assert (
+        sum(record.footprint_bytes for record in telemetry.clusters)
+        == telemetry.heap_used
+    )
+
+
+def test_crossings_reported(space):
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    chain_values(handle)
+    telemetry = snapshot(space)
+    by_sid = {record.sid: record for record in telemetry.clusters}
+    assert by_sid[1].crossings > 0
+
+
+def test_format_report(space):
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    text = format_report(snapshot(space))
+    assert "sc-0 (roots)" in text
+    assert "swapped" in text
+    assert "1 out" in text
+
+
+def test_mirror_counters_surface(space):
+    from repro.devices import InMemoryStore
+
+    space.manager.add_store(InMemoryStore("mirror"))
+    space.manager.replication_factor = 2
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    telemetry = snapshot(space)
+    assert telemetry.mirror_writes == 1
+    assert "mirrors" in format_report(telemetry)

@@ -1,0 +1,47 @@
+"""Canonicalization and digests."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.wire.canonical import canonical_text, payload_digest
+
+
+def test_whitespace_insensitive():
+    compact = "<a><b>text</b></a>"
+    spaced = "<a>\n  <b>text</b>\n</a>"
+    assert canonical_text(compact) == canonical_text(spaced)
+
+
+def test_attribute_order_insensitive():
+    assert canonical_text('<a x="1" y="2"/>') == canonical_text('<a y="2" x="1"/>')
+
+
+def test_text_preserved():
+    assert "text with  spaces" in canonical_text("<a>text with  spaces</a>")
+
+
+def test_escaping():
+    text = canonical_text("<a>&lt;tag&gt; &amp; more</a>")
+    assert "&lt;tag&gt;" in text and "&amp;" in text
+
+
+def test_attribute_quote_escaping():
+    original = '<a name="say &quot;hi&quot;"/>'
+    assert "&quot;hi&quot;" in canonical_text(original)
+
+
+def test_digest_stable_across_formatting():
+    assert payload_digest("<a><b/></a>") == payload_digest("<a>\n <b/>\n</a>")
+
+
+def test_digest_differs_for_different_content():
+    assert payload_digest("<a>1</a>") != payload_digest("<a>2</a>")
+
+
+def test_malformed_raises():
+    with pytest.raises(CodecError):
+        canonical_text("<oops")
+
+
+def test_self_closing_empty_elements():
+    assert canonical_text("<a></a>") == "<a/>"

@@ -1,0 +1,138 @@
+"""Property-based swap-cycle round-trips over random object graphs.
+
+Hypothesis builds arbitrary graphs (random payload values, random
+topology including shared nodes and cycles, container fields), ingests
+them, swaps every swappable cluster out and back, and asserts the
+application-visible state is bit-identical.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import managed
+from tests.helpers import make_space
+
+
+@managed
+class GraphNode:
+    """A node with a scalar payload, two edges, and a container field."""
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.left = None
+        self.right = None
+        self.bag = []
+
+    def get_payload(self):
+        return self.payload
+
+    def get_left(self):
+        return self.left
+
+    def get_right(self):
+        return self.right
+
+    def get_bag(self):
+        return self.bag
+
+
+payloads = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-10**6, 10**6),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+
+@st.composite
+def graphs(draw):
+    """(nodes, edges) — a random graph over 1..12 nodes."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    node_payloads = draw(
+        st.lists(payloads, min_size=count, max_size=count)
+    )
+    edge_count = draw(st.integers(min_value=0, max_value=2 * count))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, count - 1),
+                st.integers(0, count - 1),
+                st.sampled_from(["left", "right", "bag"]),
+            ),
+            min_size=edge_count,
+            max_size=edge_count,
+        )
+    )
+    return node_payloads, edges
+
+
+def _build(node_payloads, edges):
+    nodes = [GraphNode(payload) for payload in node_payloads]
+    for source, target, kind in edges:
+        if kind == "bag":
+            nodes[source].bag.append(nodes[target])
+        else:
+            setattr(nodes[source], kind, nodes[target])
+    # chain everything off node 0 so the whole graph is reachable
+    for index in range(1, len(nodes)):
+        nodes[0].bag.append(nodes[index])
+    return nodes[0]
+
+
+def _observe(space, handle, budget=200):
+    """A deterministic serialization of the visible graph state."""
+    seen = {}
+    order = []
+
+    def visit(value):
+        if len(order) > budget:
+            return "..."
+        from repro.core.utils import SwapClusterUtils
+
+        if getattr(type(value), "_obi_is_proxy", False) or getattr(
+            type(value), "_obi_managed", False
+        ):
+            oid = SwapClusterUtils.oid_of(value)
+            if oid in seen:
+                return f"#<{seen[oid]}>"
+            seen[oid] = len(seen)
+            order.append(oid)
+            raw = space.resolve(value)
+            return (
+                f"node{seen[oid]}(",
+                repr(raw.payload),
+                visit(raw.left) if raw.left is not None else "-",
+                visit(raw.right) if raw.right is not None else "-",
+                tuple(visit(item) for item in raw.bag),
+            )
+        return repr(value)
+
+    return visit(handle)
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(graph=graphs(), cluster_size=st.integers(min_value=1, max_value=5))
+def test_swap_cycle_roundtrip_arbitrary_graphs(graph, cluster_size):
+    node_payloads, edges = graph
+    space = make_space(heap_capacity=8 << 20)
+    root = _build(node_payloads, edges)
+    handle = space.ingest(root, cluster_size=cluster_size, root_name="g")
+    before = _observe(space, handle)
+    space.verify_integrity()
+
+    for sid, cluster in list(space.clusters().items()):
+        if cluster.swappable() and cluster.oids:
+            space.swap_out(sid)
+    space.verify_integrity()
+
+    after = _observe(space, handle)
+    assert after == before
+    space.verify_integrity()

@@ -1,0 +1,118 @@
+"""The swap-cluster document validator."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.wire.schema import ensure_valid_cluster, validate_cluster_text
+from tests.helpers import build_chain, make_space
+
+
+def _valid_document():
+    space = make_space()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    location = space.swap_out(2)
+    store = space.manager.available_stores()[0]
+    return store.fetch(location.key)
+
+
+def test_real_swap_document_valid():
+    assert validate_cluster_text(_valid_document()) == []
+    ensure_valid_cluster(_valid_document())  # no raise
+
+
+@pytest.mark.parametrize(
+    "mutate,expected",
+    [
+        (lambda t: t.replace("swap-cluster", "something"), "root element"),
+        (lambda t: t.replace('sid="2"', "", 1), "missing sid"),
+        (lambda t: t.replace('sid="2"', 'sid="two"', 1), "not an integer"),
+        (lambda t: t.replace('space="test"', "", 1), "missing space"),
+        (lambda t: t.replace("<object", "<thing", 1).replace("</object>", "</thing>", 1), "unexpected <thing>"),
+        (lambda t: t.replace('class="Node"', "", 1), "missing class"),
+        (lambda t: t.replace('name="value"', "", 1), "without name"),
+        (lambda t: t.replace("<int>", "<number>", 1).replace("</int>", "</number>", 1), "unknown value tag"),
+        (lambda t: t.replace("<int>5</int>", "<int>five</int>", 1), "non-numeric"),
+        (lambda t: t.replace('count="5"', 'count="9"', 1), "count attribute"),
+        (lambda t: t.replace('<ref oid="7"', "<ref ", 1) if '<ref oid="7"' in t else t.replace("<ref oid=", "<ref x=", 1), "missing oid"),
+    ],
+)
+def test_corruptions_detected(mutate, expected):
+    document = _valid_document()
+    corrupted = mutate(document)
+    assert corrupted != document, "mutation did not apply"
+    problems = validate_cluster_text(corrupted)
+    assert any(expected in problem for problem in problems), problems
+
+
+def test_duplicate_oid_detected():
+    document = _valid_document()
+    # duplicate the first object element wholesale
+    start = document.index("<object")
+    end = document.index("</object>") + len("</object>")
+    duplicated = document[:end] + document[start:end] + document[end:]
+    problems = validate_cluster_text(duplicated)
+    assert any("duplicate object" in problem for problem in problems)
+
+
+def test_not_xml():
+    assert validate_cluster_text("garbage <<<")[0].startswith("not well-formed")
+
+
+def test_ensure_valid_raises_with_all_problems():
+    bad = "<swap-cluster><object/></swap-cluster>"
+    with pytest.raises(CodecError) as excinfo:
+        ensure_valid_cluster(bad)
+    message = str(excinfo.value)
+    assert "missing sid" in message and "missing oid" in message
+
+
+def test_extref_attrs_checked():
+    document = (
+        '<swap-cluster sid="1" epoch="0" count="1" space="s">'
+        '<object oid="1" class="Node">'
+        '<field name="next"><extref cid="4"/></field>'
+        "</object></swap-cluster>"
+    )
+    problems = validate_cluster_text(document)
+    assert any("missing soid" in problem for problem in problems)
+
+
+def test_dict_structure_checked():
+    document = (
+        '<swap-cluster sid="1" epoch="0" count="1" space="s">'
+        '<object oid="1" class="Node">'
+        '<field name="index"><dict><entry><k><int>1</int></k></entry></dict></field>'
+        "</object></swap-cluster>"
+    )
+    problems = validate_cluster_text(document)
+    assert any("malformed <dict>" in problem for problem in problems)
+
+
+def test_manager_optional_validation_pass():
+    from tests.helpers import build_chain, chain_values, make_space
+
+    space = make_space()
+    space.manager.validate_documents = True
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert chain_values(handle) == list(range(10))
+
+
+def test_manager_validation_reports_structural_corruption():
+    from tests.helpers import build_chain, chain_values, make_space
+    from repro.wire.canonical import payload_digest
+
+    space = make_space()
+    space.manager.validate_documents = True
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    location = space.swap_out(2)
+    store = space.manager.available_stores()[0]
+    # a structural corruption that keeps the digest... impossible; instead
+    # fake the digest too, simulating a store that rewrites documents
+    corrupted = store.fetch(location.key).replace('class="Node"', "", 1)
+    store.store(location.key, corrupted)
+    object.__setattr__(  # align the recorded digest with the new text
+        space.clusters()[2].location, "digest", payload_digest(corrupted)
+    )
+    with pytest.raises(CodecError, match="missing class"):
+        chain_values(handle)

@@ -1,0 +1,164 @@
+"""Value wrapping, including property-based round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.wire.wrappers import decode_value, encode_value
+
+
+def _no_refs(_value):
+    return None
+
+
+def _no_resolve(kind, ident):
+    raise AssertionError("no references expected")
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value, _no_refs), _no_resolve)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        2**80,
+        1.5,
+        -0.0,
+        "plain",
+        "",
+        "uni→code 🚀",
+        "<xml> & entities",
+        "control \x00\x1f chars",
+        "carriage\rreturn",
+        "lone surrogate \udcff",
+        "  leading and trailing  ",
+        b"",
+        b"\x00\xff\x10",
+        [],
+        [1, "two", 3.0, None],
+        (1, (2, 3)),
+        set(),
+        {1, 2, 3},
+        frozenset({"a", "b"}),
+        {},
+        {"k": "v", 1: [2, 3]},
+        {(1, 2): "tuple key"},
+        [[["deep"]]],
+    ],
+)
+def test_roundtrip_values(value):
+    assert roundtrip(value) == value
+
+
+def test_roundtrip_preserves_types():
+    assert isinstance(roundtrip((1, 2)), tuple)
+    assert isinstance(roundtrip([1, 2]), list)
+    assert isinstance(roundtrip(frozenset({1})), frozenset)
+    assert isinstance(roundtrip({1}), set)
+    assert isinstance(roundtrip(b"x"), bytes)
+
+
+def test_bool_not_confused_with_int():
+    assert roundtrip(True) is True
+    assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+
+def test_nan_and_infinities():
+    assert math.isnan(roundtrip(float("nan")))
+    assert roundtrip(float("inf")) == float("inf")
+    assert roundtrip(float("-inf")) == float("-inf")
+
+
+def test_unencodable_type_raises():
+    class Strange:
+        pass
+
+    with pytest.raises(CodecError):
+        encode_value(Strange(), _no_refs)
+
+
+def test_classifier_local_reference():
+    sentinel = object()
+
+    def classify(value):
+        return ("local", 42) if value is sentinel else None
+
+    element = encode_value(sentinel, classify)
+    assert element.tag == "ref" and element.get("oid") == "42"
+    resolved = decode_value(element, lambda kind, ident: ("got", kind, ident))
+    assert resolved == ("got", "local", 42)
+
+
+def test_classifier_out_reference():
+    sentinel = object()
+    element = encode_value(
+        sentinel, lambda v: ("out", 3) if v is sentinel else None
+    )
+    assert element.tag == "outref"
+    assert decode_value(element, lambda k, i: (k, i)) == ("out", 3)
+
+
+def test_classifier_ext_reference():
+    sentinel = object()
+    element = encode_value(
+        sentinel, lambda v: ("ext", {"cid": 1, "soid": 2}) if v is sentinel else None
+    )
+    assert element.tag == "extref"
+    kind_attrs = decode_value(element, lambda k, a: (k, a))
+    assert kind_attrs == ("ext", {"cid": "1", "soid": "2"})
+
+
+def test_references_inside_containers():
+    sentinel = object()
+
+    def classify(value):
+        return ("local", 7) if value is sentinel else None
+
+    element = encode_value([1, sentinel, {"k": sentinel}], classify)
+    decoded = decode_value(element, lambda k, i: f"obj-{i}")
+    assert decoded == [1, "obj-7", {"k": "obj-7"}]
+
+
+def test_set_encoding_deterministic():
+    import xml.etree.ElementTree as ET
+
+    first = ET.tostring(encode_value({3, 1, 2}, _no_refs))
+    second = ET.tostring(encode_value({2, 3, 1}, _no_refs))
+    assert first == second
+
+
+# -- property-based -----------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(),
+    st.binary(max_size=64),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.tuples(children, children),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(values)
+def test_roundtrip_property(value):
+    assert roundtrip(value) == value

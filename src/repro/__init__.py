@@ -47,12 +47,14 @@ from repro.core.swap_cluster import SwapCluster, SwapClusterState
 from repro.core.replacement import ReplacementObject, SwapLocation
 from repro.events import EventBus
 from repro.errors import (
+    AllStoresUnreachableError,
     CodecError,
     HeapExhaustedError,
     IntegrityError,
     NoSwapDeviceError,
     NotManagedError,
     ObiError,
+    RetryExhaustedError,
     SwapError,
     SwapStoreUnavailableError,
 )
@@ -75,6 +77,8 @@ __all__ = [
     "ObiError",
     "SwapError",
     "SwapStoreUnavailableError",
+    "AllStoresUnreachableError",
+    "RetryExhaustedError",
     "NoSwapDeviceError",
     "NotManagedError",
     "IntegrityError",

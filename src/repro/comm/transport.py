@@ -74,6 +74,7 @@ class SimulatedLink:
         self.clock: Clock = clock if clock is not None else SimulatedClock()
         self.name = name
         self._up = True
+        self._down_until: Optional[float] = None
         self.stats = LinkStats()
 
     def transfer_time(self, nbytes: int) -> float:
@@ -81,7 +82,7 @@ class SimulatedLink:
         return self.latency_s + (nbytes * 8) / self.bandwidth_bps
 
     def transfer(self, nbytes: int) -> float:
-        if not self._up:
+        if not self.is_up:
             raise TransportError(f"link {self.name!r} is down")
         elapsed = self.transfer_time(nbytes)
         self.clock.advance(elapsed)
@@ -92,14 +93,36 @@ class SimulatedLink:
 
     @property
     def is_up(self) -> bool:
+        if (
+            not self._up
+            and self._down_until is not None
+            and self.clock.now() >= self._down_until
+        ):
+            # the scheduled outage elapsed: the peer is back in range
+            self._up = True
+            self._down_until = None
         return self._up
 
     def fail(self) -> None:
         """The peer left range / the radio dropped."""
         self._up = False
+        self._down_until = None
+
+    def fail_for(self, seconds: float) -> None:
+        """Take the link down until the clock reaches now + ``seconds``.
+
+        The outage heals itself as simulated time passes — the device
+        "comes back into the room" without anyone calling
+        :meth:`restore`.  Used by fault schedules and chaos tests.
+        """
+        if seconds < 0:
+            raise ValueError("outage duration must be non-negative")
+        self._up = False
+        self._down_until = self.clock.now() + seconds
 
     def restore(self) -> None:
         self._up = True
+        self._down_until = None
 
 
 def bluetooth_link(

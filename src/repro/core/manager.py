@@ -28,17 +28,19 @@ protocol*:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.interfaces import SwapStore
 from repro.core.replacement import ReplacementObject, SwapLocation
 from repro.core.swap_cluster import SwapCluster, SwapClusterState
 from repro.errors import (
+    AllStoresUnreachableError,
     ClusterNotSwappedError,
     CodecError,
     HeapExhaustedError,
     NoSwapDeviceError,
     ObiError,
+    RetryExhaustedError,
     StoreFullError,
     SwapError,
     SwapStoreUnavailableError,
@@ -47,13 +49,24 @@ from repro.errors import (
 )
 from repro.events import (
     ClusterReplicatedEvent,
+    SwapDegradedEvent,
     SwapDroppedEvent,
+    SwapFailoverEvent,
     SwapInEvent,
     SwapOutEvent,
 )
 from repro.ids import Sid, format_swap_key
 from repro.wire.canonical import payload_digest
 from repro.wire.xmlcodec import decode_cluster, encode_cluster
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience import Resilience, ResilienceConfig
+
+#: The dedicated subclass lets the retry machinery distinguish "this
+#: copy arrived but is damaged" (worth re-fetching) from structural
+#: codec failures that no retry will fix.
+class CorruptPayloadError(CodecError):
+    """A fetched payload failed the digest check (transient or bitrot)."""
 
 #: Picks a swap victim; returns a sid or None when nothing is swappable.
 VictimSelector = Callable[["Any"], Optional[Sid]]
@@ -82,6 +95,13 @@ class ManagerStats:
     replicated_clusters: int = 0
     mirror_writes: int = 0
     mirror_failovers: int = 0
+    # -- resilience counters (all zero while resilience is disabled) --
+    retries: int = 0
+    failovers: int = 0
+    circuit_opens: int = 0
+    circuit_closes: int = 0
+    degraded_swaps: int = 0
+    journal_recoveries: int = 0
 
 
 class SwappingManager:
@@ -113,7 +133,31 @@ class SwappingManager:
         #: diagnostics on archives or hand-provisioned stores.
         self.validate_documents = False
         self.stats = ManagerStats()
+        #: Optional resilience coordinator (retry/circuit/journal/degrade).
+        #: ``None`` keeps the pipeline exactly as fast as before.
+        self.resilience: Optional["Resilience"] = None
         space.bus.subscribe(ClusterReplicatedEvent, self._on_cluster_replicated)
+
+    # -- resilience --------------------------------------------------------------
+
+    def enable_resilience(
+        self, config: Optional["ResilienceConfig"] = None
+    ) -> "Resilience":
+        """Turn on the resilient swap pipeline (retry, circuit breaker,
+        write-ahead journal, failover, degrade-to-local).
+
+        Idempotent in effect: calling again replaces the coordinator
+        (fresh health/journal state) with the new ``config``.
+        """
+        from repro.resilience import Resilience, ResilienceConfig
+
+        self.resilience = Resilience(
+            config if config is not None else ResilienceConfig(), self
+        )
+        return self.resilience
+
+    def disable_resilience(self) -> None:
+        self.resilience = None
 
     # -- store management -------------------------------------------------------
 
@@ -137,6 +181,12 @@ class SwappingManager:
             for store in self._store_provider():
                 if store not in stores:
                     stores.append(store)
+        if self.resilience is not None:
+            stores = [
+                store
+                for store in stores
+                if self.resilience.admits(store.device_id)
+            ]
         return stores
 
     def select_store(self, nbytes: int) -> SwapStore:
@@ -155,6 +205,10 @@ class SwappingManager:
                 if store.has_room(nbytes):
                     chosen.append(store)
             except TransportError:
+                # an unreachable probe is a health signal: enough of them
+                # open the store's circuit and stop us probing it at all
+                if self.resilience is not None:
+                    self.resilience.record_failure(store.device_id)
                 continue
             if len(chosen) >= count:
                 break
@@ -203,8 +257,21 @@ class SwappingManager:
         )
         xml_bytes = len(xml_text.encode("utf-8"))
 
+        resilience = self.resilience
+        degrade = (
+            resilience is not None and resilience.config.degrade_to_local
+        )
         if store is None:
-            holders = self.select_stores(xml_bytes, max(1, self.replication_factor))
+            try:
+                holders = self.select_stores(
+                    xml_bytes, max(1, self.replication_factor)
+                )
+            except NoSwapDeviceError:
+                # with local degradation available an empty neighborhood
+                # is not fatal: fall through to the compressed pool
+                if not degrade:
+                    raise
+                holders = []
         else:
             holders = [store]
             if self.replication_factor > 1:
@@ -219,24 +286,109 @@ class SwappingManager:
                     except TransportError:
                         continue
         key = format_swap_key(space.name, sid, cluster.epoch + 1)
+        entry = (
+            resilience.journal.begin(sid, key, cluster.epoch + 1, xml_bytes)
+            if resilience is not None
+            else None
+        )
         stored_on: List[SwapStore] = []
         first_failure: Optional[BaseException] = None
-        for holder in holders:
-            try:
-                holder.store(key, xml_text)
+        try:
+            tried: List[SwapStore] = []
+            for holder in holders:
+                tried.append(holder)
+                try:
+                    self._store_payload(holder, key, xml_text, sid)
+                except StoreFullError:
+                    # a caller-chosen store that refuses is the caller's
+                    # problem; auto-selected mirrors are best-effort
+                    if store is not None and holder is store:
+                        raise
+                    continue
+                except (TransportError, RetryExhaustedError) as exc:
+                    if first_failure is None:
+                        first_failure = exc
+                    continue
                 stored_on.append(holder)
-            except StoreFullError:
-                # a caller-chosen store that refuses is the caller's
-                # problem; auto-selected mirrors are best-effort
-                if store is not None and holder is store:
-                    raise
-            except TransportError as exc:
-                if first_failure is None:
-                    first_failure = exc
-        if not stored_on:
-            raise SwapStoreUnavailableError(
-                "no selected device accepted the swapped cluster"
-            ) from first_failure
+                if entry is not None:
+                    resilience.journal.record_write(entry, holder.device_id)
+
+            if not stored_on and resilience is not None and store is None:
+                # failover: every selected holder is gone — try the
+                # remaining candidates the selection pass skipped
+                for candidate in self.available_stores():
+                    if candidate in tried:
+                        continue
+                    tried.append(candidate)
+                    try:
+                        if not candidate.has_room(xml_bytes):
+                            continue
+                        self._store_payload(candidate, key, xml_text, sid)
+                    except (StoreFullError, TransportError, RetryExhaustedError):
+                        continue
+                    stored_on.append(candidate)
+                    resilience.journal.record_write(entry, candidate.device_id)
+                    self.stats.failovers += 1
+                    space.bus.emit(
+                        SwapFailoverEvent(
+                            space=space.name,
+                            sid=sid,
+                            operation="swap-out",
+                            from_device=holders[0].device_id
+                            if holders
+                            else "(none)",
+                            to_device=candidate.device_id,
+                        )
+                    )
+                    break
+
+            if not stored_on and degrade and store is None:
+                fallback = resilience.fallback_store()
+                # the pool compresses into the SAME heap; freeze the
+                # victim loop so a tight heap cannot recurse into us
+                previous_auto = self.auto_swap
+                self.auto_swap = False
+                try:
+                    fallback.store(key, xml_text)
+                    stored_on.append(fallback)
+                except (StoreFullError, HeapExhaustedError) as exc:
+                    if first_failure is None:
+                        first_failure = exc
+                finally:
+                    self.auto_swap = previous_auto
+                if stored_on:
+                    resilience.journal.record_write(entry, fallback.device_id)
+                    self.stats.degraded_swaps += 1
+                    space.bus.emit(
+                        SwapDegradedEvent(
+                            space=space.name,
+                            sid=sid,
+                            fallback_device_id=fallback.device_id,
+                            reason=str(first_failure)
+                            if first_failure is not None
+                            else "no nearby store reachable",
+                        )
+                    )
+
+            if not stored_on:
+                if resilience is not None:
+                    raise AllStoresUnreachableError(
+                        f"swap-out of cluster {sid}: no device accepted the "
+                        f"payload ({len(tried)} tried, retries exhausted)"
+                    ) from first_failure
+                raise SwapStoreUnavailableError(
+                    "no selected device accepted the swapped cluster"
+                ) from first_failure
+        except BaseException:
+            # nothing was detached: any copies that did land are orphans
+            if entry is not None:
+                for holder in stored_on:
+                    try:
+                        holder.drop(key)
+                    except (TransportError, UnknownKeyError):
+                        pass
+                resilience.journal.abort(entry)
+            raise
         store = stored_on[0]
         self.stats.mirror_writes += max(0, len(stored_on) - 1)
 
@@ -273,6 +425,10 @@ class SwappingManager:
         cluster.replacement = replacement
         cluster.swap_out_count += 1
         self._bindings[sid] = stored_on
+        if entry is not None:
+            # the detach happened strictly after at least one store
+            # acknowledged the payload; the hand-off is durable
+            resilience.journal.commit(entry)
         self.stats.swap_outs += 1
         self.stats.bytes_shipped += xml_bytes
 
@@ -315,25 +471,42 @@ class SwappingManager:
         self._loading.add(sid)
         cluster.pins += 1
         try:
+            resilience = self.resilience
             xml_text: Optional[str] = None
             fetch_errors: List[str] = []
             corrupt: Optional[CodecError] = None
             for attempt_index, holder in enumerate(holders):
                 try:
-                    candidate = holder.fetch(location.key)
+                    candidate = self._fetch_verified(holder, location, sid)
+                except CorruptPayloadError as exc:
+                    corrupt = CodecError(str(exc))
+                    fetch_errors.append(f"{holder.device_id}: digest mismatch")
+                    continue
+                except RetryExhaustedError as exc:
+                    if isinstance(exc.__cause__, CorruptPayloadError):
+                        corrupt = CodecError(str(exc.__cause__))
+                        fetch_errors.append(
+                            f"{holder.device_id}: digest mismatch"
+                        )
+                    else:
+                        fetch_errors.append(f"{holder.device_id}: {exc}")
+                    continue
                 except (TransportError, UnknownKeyError) as exc:
                     fetch_errors.append(f"{holder.device_id}: {exc}")
-                    continue
-                if payload_digest(candidate) != location.digest:
-                    corrupt = CodecError(
-                        f"device {holder.device_id} returned corrupted XML "
-                        f"for {location.key} (digest mismatch)"
-                    )
-                    fetch_errors.append(f"{holder.device_id}: digest mismatch")
                     continue
                 xml_text = candidate
                 if attempt_index > 0:
                     self.stats.mirror_failovers += 1
+                    if resilience is not None:
+                        space.bus.emit(
+                            SwapFailoverEvent(
+                                space=space.name,
+                                sid=sid,
+                                operation="swap-in",
+                                from_device=holders[0].device_id,
+                                to_device=holder.device_id,
+                            )
+                        )
                 break
             if xml_text is None:
                 if corrupt is not None and all(
@@ -342,7 +515,7 @@ class SwappingManager:
                     # every copy was retrieved but corrupted: a codec
                     # problem, not an availability one
                     raise corrupt
-                raise SwapStoreUnavailableError(
+                raise AllStoresUnreachableError(
                     f"cannot fetch {location.key} from any of "
                     f"{len(holders)} device(s): {'; '.join(fetch_errors)}"
                 )
@@ -419,6 +592,100 @@ class SwappingManager:
         finally:
             cluster.pins -= 1
             self._loading.discard(sid)
+
+    # -- resilient store I/O ------------------------------------------------------
+
+    def _store_payload(
+        self, holder: SwapStore, key: str, xml_text: str, sid: Sid
+    ) -> None:
+        """Ship one payload; retried under the resilience policy if enabled."""
+        if self.resilience is None:
+            holder.store(key, xml_text)
+            return
+        self.resilience.run(
+            lambda: holder.store(key, xml_text),
+            sid=sid,
+            device_id=holder.device_id,
+            op_name="store",
+        )
+
+    def _fetch_verified(
+        self, holder: SwapStore, location: SwapLocation, sid: Sid
+    ) -> str:
+        """Fetch + digest-check one copy; retried (transport failures
+        *and* transient corruption) under the resilience policy."""
+
+        def attempt() -> str:
+            text = holder.fetch(location.key)
+            try:
+                matches = payload_digest(text) == location.digest
+            except CodecError as exc:
+                # so mangled it cannot even be canonicalized for hashing
+                raise CorruptPayloadError(
+                    f"device {holder.device_id} returned corrupted XML "
+                    f"for {location.key} (unparseable: {exc})"
+                ) from exc
+            if not matches:
+                raise CorruptPayloadError(
+                    f"device {holder.device_id} returned corrupted XML "
+                    f"for {location.key} (digest mismatch)"
+                )
+            return text
+
+        if self.resilience is None:
+            return attempt()
+        return self.resilience.run(
+            attempt,
+            sid=sid,
+            device_id=holder.device_id,
+            op_name="fetch",
+            retry_on=(TransportError, CorruptPayloadError),
+        )
+
+    def recover_journal(self) -> int:
+        """Clean up after interrupted swap-outs; returns entries recovered.
+
+        A pending journal entry whose cluster never detached names the
+        store copies that were acknowledged before the operation died —
+        orphans that would otherwise sit on nearby devices forever.
+        Each named copy is dropped (best-effort) and the entry aborted.
+        Entries whose hand-off actually completed (cluster swapped at
+        the entry's epoch) are committed instead — their copies are the
+        live data.
+        """
+        resilience = self.resilience
+        if resilience is None:
+            return 0
+        recovered = 0
+        stores_by_id = {
+            holder.device_id: holder for holder in self.available_stores()
+        }
+        if resilience._fallback is not None:
+            stores_by_id.setdefault(
+                resilience._fallback.device_id, resilience._fallback
+            )
+        for entry in resilience.journal.pending():
+            cluster = self._space._clusters.get(entry.sid)
+            if (
+                cluster is not None
+                and cluster.state is SwapClusterState.SWAPPED
+                and cluster.epoch == entry.epoch
+            ):
+                resilience.journal.commit(entry)
+                continue
+            for device_id in entry.writes:
+                holder = stores_by_id.get(device_id)
+                if holder is None:
+                    continue
+                try:
+                    holder.drop(entry.key)
+                except (TransportError, UnknownKeyError):
+                    pass
+            resilience.journal.abort(entry)
+            resilience.journal.stats.recoveries += 1
+            self.stats.journal_recoveries += 1
+            recovered += 1
+        return recovered
 
     # -- memory pressure ----------------------------------------------------------------
 

@@ -116,6 +116,19 @@ class XmlStoreDevice:
     # -- extras ----------------------------------------------------------------------
 
     @property
+    def link(self) -> Optional[Link]:
+        """The simulated link in front of this store (None = direct).
+
+        Writable so fault schedules can interpose a
+        :class:`~repro.faults.flaky.FlakyLink` on a live device.
+        """
+        return self._link
+
+    @link.setter
+    def link(self, link: Optional[Link]) -> None:
+        self._link = link
+
+    @property
     def used(self) -> int:
         return self._used
 

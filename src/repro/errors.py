@@ -54,6 +54,29 @@ class NoSwapDeviceError(SwapError):
     """No nearby device is available/has room to receive a swap-cluster."""
 
 
+class RetryExhaustedError(SwapError):
+    """A retried swap-store operation failed on every attempt.
+
+    Raised by the resilience layer when a :class:`repro.resilience.
+    RetryPolicy` runs out of attempts or overruns its deadline against a
+    single device.  The last underlying failure (usually a
+    :class:`TransportError`) is chained as ``__cause__``; the pipeline
+    treats this as "that device is unreachable" and moves on to failover
+    candidates.
+    """
+
+
+class AllStoresUnreachableError(SwapStoreUnavailableError):
+    """Every candidate device failed, retries and failover included.
+
+    The terminal availability failure of the resilient swap pipeline:
+    retries were exhausted against each holder/candidate in turn and no
+    fallback applied (or local degradation was disabled/out of room).
+    Subclasses :class:`SwapStoreUnavailableError` so existing handlers
+    for single-device unavailability keep working.
+    """
+
+
 class HeapExhaustedError(ObiError):
     """The managed heap cannot satisfy an allocation even after policy ran."""
 

@@ -187,6 +187,70 @@ class BoundaryCrossedEvent(Event):
 
 
 # ---------------------------------------------------------------------------
+# Resilience events (retry / failover / circuit breaker / degradation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SwapRetryEvent(Event):
+    """A swap-store operation failed transiently and will be retried."""
+
+    topic = "resilience.retry"
+    space: str
+    sid: int
+    device_id: str
+    operation: str
+    attempt: int
+    delay_s: float
+    error: str
+
+
+@dataclass(frozen=True)
+class SwapFailoverEvent(Event):
+    """A device was given up on; the operation moved to another one."""
+
+    topic = "resilience.failover"
+    space: str
+    sid: int
+    operation: str
+    from_device: str
+    to_device: str
+
+
+@dataclass(frozen=True)
+class CircuitOpenEvent(Event):
+    """A store's failure streak crossed the threshold; it is evicted
+    from device selection until the cool-down elapses."""
+
+    topic = "resilience.circuit_open"
+    space: str
+    device_id: str
+    consecutive_failures: int
+    cooldown_s: float
+
+
+@dataclass(frozen=True)
+class CircuitClosedEvent(Event):
+    """A previously-evicted store proved healthy and was re-admitted."""
+
+    topic = "resilience.circuit_closed"
+    space: str
+    device_id: str
+
+
+@dataclass(frozen=True)
+class SwapDegradedEvent(Event):
+    """Every nearby store was unreachable; the cluster was hibernated
+    into the local compressed pool instead of being lost."""
+
+    topic = "resilience.degraded"
+    space: str
+    sid: int
+    fallback_device_id: str
+    reason: str
+
+
+# ---------------------------------------------------------------------------
 # GC events
 # ---------------------------------------------------------------------------
 
@@ -332,6 +396,11 @@ __all__ = [
     "SwapClusterMergedEvent",
     "SwapClusterSplitEvent",
     "BoundaryCrossedEvent",
+    "SwapRetryEvent",
+    "SwapFailoverEvent",
+    "CircuitOpenEvent",
+    "CircuitClosedEvent",
+    "SwapDegradedEvent",
     "GcCompletedEvent",
     "ClusterCollectedEvent",
 ]

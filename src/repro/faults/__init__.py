@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the swap pipeline.
+
+The paper's deployment model is hostile by construction: swapped
+clusters live on *nearby, dumb, unreliable* devices reached over a
+Bluetooth-class radio — devices that leave the room mid-transfer, links
+that drop, stores that return garbage.  This package makes that
+hostility reproducible.  A :class:`FaultPlan` is a seeded description of
+*how often* and *how badly* things fail; a :class:`FaultInjector` turns
+the plan into a deterministic decision stream; :class:`FlakyStore` and
+:class:`FlakyLink` wrap any conforming :class:`~repro.core.interfaces.
+SwapStore` / :class:`~repro.comm.transport.Link` and consult the
+injector on every operation.
+
+Everything is replayable: the same plan (seed included) over the same
+operation sequence injects the same faults, and all injected latency is
+charged to the simulated clock — nothing here sleeps or reads wall
+time.
+"""
+
+from repro.faults.plan import FaultPlan, FaultInjector, FaultStats
+from repro.faults.flaky import FlakyLink, FlakyStore
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "FlakyLink",
+    "FlakyStore",
+]

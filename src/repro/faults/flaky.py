@@ -1,0 +1,132 @@
+"""Protocol-conforming flaky wrappers around stores and links.
+
+Both wrappers delegate to an inner implementation and consult a shared
+:class:`~repro.faults.plan.FaultInjector` before (and sometimes after)
+every operation.  They raise the same exception types the real devices
+raise — :class:`~repro.errors.TransportError` for anything reachability-
+shaped — so the swap pipeline cannot tell injected faults from real
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.errors import TransportError
+from repro.faults.plan import FaultInjector
+
+
+class FlakyLink:
+    """A :class:`~repro.comm.transport.Link` that fails on schedule."""
+
+    def __init__(self, inner: Any, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    def transfer(self, nbytes: int) -> float:
+        injector = self._injector
+        if injector.in_down_window():
+            injector.stats.window_denials += 1
+            raise TransportError("injected: link in down window")
+        spike = injector.charge_latency()
+        if injector.roll(injector.plan.link_failure_rate):
+            injector.stats.link_faults += 1
+            raise TransportError("injected: transient link failure")
+        return spike + self._inner.transfer(nbytes)
+
+    @property
+    def is_up(self) -> bool:
+        if self._injector.in_down_window():
+            return False
+        return self._inner.is_up
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class FlakyStore:
+    """A :class:`~repro.core.interfaces.SwapStore` that fails on schedule.
+
+    Fault kinds (all drawn from the shared injector's seeded stream):
+
+    * down windows — every operation raises ``TransportError``;
+    * transient operation failures (``store``/``fetch``/``drop``/
+      ``has_room``), each with its own rate;
+    * mid-payload interruption — a *truncated* document lands on the
+      inner store, then the transfer errors (exercises the digest check
+      and the write-ahead journal);
+    * corrupted responses — ``fetch`` returns mangled text;
+    * latency spikes — extra seconds charged to the simulated clock.
+    """
+
+    def __init__(self, inner: Any, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    # -- SwapStore protocol ------------------------------------------------
+
+    @property
+    def device_id(self) -> str:
+        return self._inner.device_id
+
+    def store(self, key: str, xml_text: str) -> None:
+        injector = self._injector
+        self._gate()
+        injector.charge_latency()
+        if injector.roll(injector.plan.interruption_rate):
+            injector.stats.interruptions += 1
+            # half the payload lands before the peer walks out of range
+            self._inner.store(key, xml_text[: max(1, len(xml_text) // 2)])
+            raise TransportError(
+                f"injected: transfer to {self.device_id} interrupted mid-payload"
+            )
+        if injector.roll(injector.plan.store_failure_rate):
+            injector.stats.store_faults += 1
+            raise TransportError(f"injected: store to {self.device_id} failed")
+        self._inner.store(key, xml_text)
+
+    def fetch(self, key: str) -> str:
+        injector = self._injector
+        self._gate()
+        injector.charge_latency()
+        if injector.roll(injector.plan.fetch_failure_rate):
+            injector.stats.fetch_faults += 1
+            raise TransportError(f"injected: fetch from {self.device_id} failed")
+        text = self._inner.fetch(key)
+        if injector.roll(injector.plan.corruption_rate):
+            return injector.corrupt(text)
+        return text
+
+    def drop(self, key: str) -> None:
+        injector = self._injector
+        self._gate()
+        if injector.roll(injector.plan.drop_failure_rate):
+            injector.stats.drop_faults += 1
+            raise TransportError(f"injected: drop on {self.device_id} failed")
+        self._inner.drop(key)
+
+    def has_room(self, nbytes: int) -> bool:
+        injector = self._injector
+        self._gate()
+        if injector.roll(injector.plan.probe_failure_rate):
+            injector.stats.probe_faults += 1
+            raise TransportError(f"injected: {self.device_id} probe failed")
+        return self._inner.has_room(nbytes)
+
+    # -- extras ------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        return self._inner.keys()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def _gate(self) -> None:
+        if self._injector.in_down_window():
+            self._injector.stats.window_denials += 1
+            raise TransportError(
+                f"injected: {self.device_id} unreachable (down window)"
+            )

@@ -1,0 +1,45 @@
+"""Resilience subsystem for the swap pipeline.
+
+The paper swaps live data to *nearby, dumb, unreliable* storage; this
+package is what keeps that honest when the neighborhood misbehaves:
+
+* :class:`RetryPolicy` / :func:`run_with_retry` — exponential backoff
+  with deterministic jitter and a deadline, all waiting charged to the
+  simulated clock;
+* :class:`StoreHealth` / :class:`HealthRegistry` — per-device circuit
+  breakers that evict failing stores from device selection for a
+  cool-down, then probe them half-open;
+* :class:`SwapJournal` — the write-ahead hand-off journal: a cluster is
+  detached from the heap only after a store acknowledged its payload,
+  and interrupted hand-offs name their orphaned copies for recovery;
+* :class:`Resilience` / :class:`ResilienceConfig` — the coordinator a
+  :class:`~repro.core.manager.SwappingManager` enables via
+  ``manager.enable_resilience()``, including degrade-to-local: when
+  every store is unreachable the victim is hibernated into a local
+  compressed pool (:mod:`repro.baselines.compression`) instead of the
+  swap failing.
+
+Disabled (the default), none of this touches the swap hot path.
+"""
+
+from repro.resilience.coordinator import Resilience, ResilienceConfig
+from repro.resilience.health import CircuitState, HealthRegistry, StoreHealth
+from repro.resilience.journal import (
+    JournalEntry,
+    JournalEntryState,
+    SwapJournal,
+)
+from repro.resilience.retry import RetryPolicy, run_with_retry
+
+__all__ = [
+    "Resilience",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "run_with_retry",
+    "CircuitState",
+    "StoreHealth",
+    "HealthRegistry",
+    "SwapJournal",
+    "JournalEntry",
+    "JournalEntryState",
+]

@@ -1,0 +1,160 @@
+"""The resilience coordinator: glue between policy objects and the manager.
+
+One :class:`Resilience` instance per :class:`~repro.core.manager.
+SwappingManager` owns the retry policy (and its deterministic jitter
+PRNG), the per-device :class:`~repro.resilience.health.HealthRegistry`,
+the :class:`~repro.resilience.journal.SwapJournal`, and the lazily
+created local fallback pool.  The manager stays in charge of the swap
+protocol; this class answers "run this store operation robustly" and
+"may I talk to this device right now", emitting resilience events and
+bumping :class:`~repro.core.manager.ManagerStats` counters as it goes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.errors import RetryExhaustedError, TransportError
+from repro.events import (
+    CircuitClosedEvent,
+    CircuitOpenEvent,
+    SwapRetryEvent,
+)
+from repro.resilience.health import HealthRegistry
+from repro.resilience.journal import SwapJournal
+from repro.resilience.retry import RetryPolicy, run_with_retry
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs for the resilient swap pipeline."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Consecutive failures that open a store's circuit breaker.
+    failure_threshold: int = 3
+    #: Simulated seconds an open circuit keeps a store out of selection.
+    cooldown_s: float = 30.0
+    #: When every store is unreachable, hibernate the cluster into the
+    #: local compressed pool instead of raising.
+    degrade_to_local: bool = True
+    #: Heap share the local fallback pool may occupy.
+    fallback_pool_fraction: float = 0.5
+    #: Completed journal entries retained for inspection.
+    journal_history: int = 256
+    #: Seed for the deterministic retry-jitter PRNG.
+    seed: int = 0
+
+
+class Resilience:
+    """Retry/health/journal/degrade state for one swapping manager."""
+
+    def __init__(self, config: ResilienceConfig, manager: Any) -> None:
+        self.config = config
+        self._manager = manager
+        self._rng = random.Random(config.seed)
+        self.health = HealthRegistry(
+            failure_threshold=config.failure_threshold,
+            cooldown_s=config.cooldown_s,
+        )
+        self.journal = SwapJournal(history=config.journal_history)
+        self._fallback: Optional[Any] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def _space(self) -> Any:
+        return self._manager._space
+
+    @property
+    def clock(self) -> Any:
+        return self._space.clock
+
+    # -- circuit breaker ---------------------------------------------------
+
+    def admits(self, device_id: str) -> bool:
+        """May device selection consider this store right now?"""
+        return self.health.of(device_id).admits(self.clock.now())
+
+    def record_success(self, device_id: str) -> None:
+        if self.health.of(device_id).record_success():
+            self._manager.stats.circuit_closes += 1
+            self._space.bus.emit(
+                CircuitClosedEvent(space=self._space.name, device_id=device_id)
+            )
+
+    def record_failure(self, device_id: str) -> None:
+        record = self.health.of(device_id)
+        if record.record_failure(self.clock.now()):
+            self._manager.stats.circuit_opens += 1
+            self._space.bus.emit(
+                CircuitOpenEvent(
+                    space=self._space.name,
+                    device_id=device_id,
+                    consecutive_failures=record.consecutive_failures,
+                    cooldown_s=record.cooldown_s,
+                )
+            )
+
+    # -- retried execution -------------------------------------------------
+
+    def run(
+        self,
+        operation: Callable[[], Any],
+        *,
+        sid: int,
+        device_id: str,
+        op_name: str,
+        retry_on: Tuple[Type[BaseException], ...] = (TransportError,),
+    ) -> Any:
+        """Run one store operation under the retry policy.
+
+        Health bookkeeping: success closes/clears the device's record;
+        exhausting retries (reachability failures only) counts one
+        failure toward its circuit breaker.
+        """
+        space = self._space
+
+        def on_retry(attempt: int, delay: float, error: BaseException) -> None:
+            self._manager.stats.retries += 1
+            space.bus.emit(
+                SwapRetryEvent(
+                    space=space.name,
+                    sid=sid,
+                    device_id=device_id,
+                    operation=op_name,
+                    attempt=attempt,
+                    delay_s=delay,
+                    error=str(error),
+                )
+            )
+
+        try:
+            result = run_with_retry(
+                operation,
+                policy=self.config.retry,
+                clock=self.clock,
+                rng=self._rng,
+                retry_on=retry_on,
+                on_retry=on_retry,
+                describe=f"{op_name} on {device_id}",
+            )
+        except RetryExhaustedError as exc:
+            if isinstance(exc.__cause__, TransportError):
+                self.record_failure(device_id)
+            raise
+        self.record_success(device_id)
+        return result
+
+    # -- graceful degradation ----------------------------------------------
+
+    def fallback_store(self) -> Any:
+        """The local compressed pool used when no store is reachable."""
+        if self._fallback is None:
+            from repro.baselines.compression import CompressedPoolStore
+
+            self._fallback = CompressedPoolStore(
+                self._space, pool_fraction=self.config.fallback_pool_fraction
+            )
+        return self._fallback

@@ -1,0 +1,101 @@
+"""Per-store health tracking with a circuit breaker.
+
+A store that keeps failing is *evicted* from device selection for a
+cool-down period instead of being probed (and retried against) on every
+swap — the swap pipeline stops burning simulated seconds on a device
+that left the room.  After the cool-down the breaker goes half-open:
+the store is re-admitted for one probe; success closes the circuit,
+another failure re-opens it for a fresh cool-down.
+
+All timing uses the owning space's clock, so breaker behaviour is as
+deterministic as the rest of the simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class StoreHealth:
+    """Rolling health record for one device id."""
+
+    device_id: str
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    state: CircuitState = CircuitState.CLOSED
+    open_until: float = 0.0
+    opens: int = 0
+
+    def admits(self, now: float) -> bool:
+        """Should device selection consider this store right now?"""
+        if self.state is CircuitState.CLOSED:
+            return True
+        if self.state is CircuitState.OPEN and now >= self.open_until:
+            self.state = CircuitState.HALF_OPEN
+        return self.state is CircuitState.HALF_OPEN
+
+    def record_success(self) -> bool:
+        """Returns True when this success closed an open circuit."""
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        if self.state is not CircuitState.CLOSED:
+            self.state = CircuitState.CLOSED
+            self.open_until = 0.0
+            return True
+        return False
+
+    def record_failure(self, now: float) -> bool:
+        """Returns True when this failure opened the circuit."""
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        if self.state is CircuitState.HALF_OPEN or (
+            self.state is CircuitState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = CircuitState.OPEN
+            self.open_until = now + self.cooldown_s
+            self.opens += 1
+            return True
+        return False
+
+
+class HealthRegistry:
+    """Health records keyed by device id, with shared breaker settings."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 30.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._records: Dict[str, StoreHealth] = {}
+
+    def of(self, device_id: str) -> StoreHealth:
+        record = self._records.get(device_id)
+        if record is None:
+            record = StoreHealth(
+                device_id,
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+            )
+            self._records[device_id] = record
+        return record
+
+    def get(self, device_id: str) -> Optional[StoreHealth]:
+        return self._records.get(device_id)
+
+    def records(self) -> Dict[str, StoreHealth]:
+        return dict(self._records)

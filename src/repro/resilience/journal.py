@@ -1,0 +1,123 @@
+"""The write-ahead swap journal.
+
+The dangerous moment of a swap-out is the hand-off: once the cluster is
+detached from the heap, the stored XML is the *only* copy of that data.
+The journal makes the ordering auditable and recoverable: an intent
+record is written before the first byte is shipped, every store
+acknowledgement is recorded, and the entry is committed only after the
+cluster is detached with at least one acknowledged copy.  An operation
+that dies between those points leaves a ``PENDING`` entry whose acked
+writes name exactly the orphaned payloads — :meth:`repro.core.manager.
+SwappingManager.recover_journal` drops them and aborts the entry.
+
+The journal is in-process state (the simulation has no real crashes);
+what it guarantees is the *ordering* invariant — detach strictly after
+acknowledge — and a bounded, inspectable history of every hand-off.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+
+class JournalEntryState(enum.Enum):
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class JournalEntry:
+    """One swap-out hand-off, begin-to-commit."""
+
+    sequence: int
+    sid: int
+    key: str
+    epoch: int
+    xml_bytes: int
+    state: JournalEntryState = JournalEntryState.PENDING
+    #: Device ids that acknowledged the payload, in ack order.
+    writes: List[str] = field(default_factory=list)
+
+    @property
+    def acknowledged(self) -> bool:
+        return bool(self.writes)
+
+
+@dataclass
+class JournalStats:
+    begins: int = 0
+    commits: int = 0
+    aborts: int = 0
+    recoveries: int = 0
+
+
+class SwapJournal:
+    """Bounded in-memory write-ahead journal for swap hand-offs."""
+
+    def __init__(self, history: int = 256) -> None:
+        self._sequence = 0
+        self._pending: List[JournalEntry] = []
+        self._completed: Deque[JournalEntry] = deque(maxlen=history)
+        self.stats = JournalStats()
+
+    def begin(self, sid: int, key: str, epoch: int, xml_bytes: int) -> JournalEntry:
+        """Record the intent to ship ``sid``'s payload under ``key``."""
+        self._sequence += 1
+        entry = JournalEntry(
+            sequence=self._sequence, sid=sid, key=key, epoch=epoch, xml_bytes=xml_bytes
+        )
+        self._pending.append(entry)
+        self.stats.begins += 1
+        return entry
+
+    def record_write(self, entry: JournalEntry, device_id: str) -> None:
+        """A store acknowledged the full payload."""
+        if entry.state is not JournalEntryState.PENDING:
+            raise ValueError(f"journal entry {entry.sequence} is {entry.state.value}")
+        entry.writes.append(device_id)
+
+    def commit(self, entry: JournalEntry) -> None:
+        """The cluster is detached; its stored copies are authoritative."""
+        if entry.state is not JournalEntryState.PENDING:
+            raise ValueError(f"journal entry {entry.sequence} is {entry.state.value}")
+        if not entry.writes:
+            raise ValueError(
+                f"journal entry {entry.sequence} cannot commit without an "
+                f"acknowledged write"
+            )
+        entry.state = JournalEntryState.COMMITTED
+        self._retire(entry)
+        self.stats.commits += 1
+
+    def abort(self, entry: JournalEntry) -> None:
+        """The swap-out failed before detach; copies (if any) are orphans."""
+        if entry.state is not JournalEntryState.PENDING:
+            return
+        entry.state = JournalEntryState.ABORTED
+        self._retire(entry)
+        self.stats.aborts += 1
+
+    # -- inspection --------------------------------------------------------
+
+    def pending(self) -> List[JournalEntry]:
+        """Entries begun but neither committed nor aborted (oldest first)."""
+        return list(self._pending)
+
+    def history(self) -> List[JournalEntry]:
+        return list(self._completed)
+
+    def last(self) -> Optional[JournalEntry]:
+        if self._pending:
+            return self._pending[-1]
+        return self._completed[-1] if self._completed else None
+
+    def _retire(self, entry: JournalEntry) -> None:
+        try:
+            self._pending.remove(entry)
+        except ValueError:
+            pass
+        self._completed.append(entry)

@@ -49,6 +49,12 @@ class SpaceTelemetry:
     mirror_writes: int
     mirror_failovers: int
     clusters: tuple  # of ClusterTelemetry
+    # -- resilience counters (zero while resilience is disabled) --
+    retries: int = 0
+    failovers: int = 0
+    circuit_opens: int = 0
+    degraded_swaps: int = 0
+    journal_recoveries: int = 0
 
     def resident_clusters(self) -> List[ClusterTelemetry]:
         return [record for record in self.clusters if record.state == "resident"]
@@ -107,6 +113,11 @@ def snapshot(space: Any) -> SpaceTelemetry:
         mirror_writes=stats.mirror_writes,
         mirror_failovers=stats.mirror_failovers,
         clusters=tuple(cluster_records),
+        retries=stats.retries,
+        failovers=stats.failovers,
+        circuit_opens=stats.circuit_opens,
+        degraded_swaps=stats.degraded_swaps,
+        journal_recoveries=stats.journal_recoveries,
     )
 
 
@@ -129,6 +140,20 @@ def format_report(telemetry: SpaceTelemetry) -> str:
             else ""
         ),
     ]
+    if (
+        telemetry.retries
+        or telemetry.failovers
+        or telemetry.circuit_opens
+        or telemetry.degraded_swaps
+        or telemetry.journal_recoveries
+    ):
+        lines.append(
+            f"  resilience: {telemetry.retries} retries, "
+            f"{telemetry.failovers} failovers, "
+            f"{telemetry.circuit_opens} circuit-opens, "
+            f"{telemetry.degraded_swaps} degraded, "
+            f"{telemetry.journal_recoveries} journal recoveries"
+        )
     for record in telemetry.clusters:
         label = "sc-0 (roots)" if record.sid == ROOT_SID else f"sc-{record.sid}"
         holders = f" @ {','.join(record.device_ids)}" if record.device_ids else ""

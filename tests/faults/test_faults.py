@@ -1,0 +1,138 @@
+"""Fault injection: deterministic, replayable, wall-clock-free."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.devices import InMemoryStore
+from repro.errors import TransportError
+from repro.faults import FaultInjector, FaultPlan, FlakyLink, FlakyStore
+
+
+def _drive(seed: int, rate: float = 0.4, operations: int = 60):
+    """One scripted run; returns the success/failure pattern."""
+    clock = SimulatedClock()
+    plan = FaultPlan(
+        seed=seed,
+        store_failure_rate=rate,
+        fetch_failure_rate=rate,
+        corruption_rate=0.2,
+    )
+    injector = FaultInjector(plan, clock)
+    store = FlakyStore(InMemoryStore("x"), injector)
+    pattern = []
+    for index in range(operations):
+        try:
+            store.store(f"k{index}", f"<doc n='{index}' pad='{'x' * 20}'/>")
+            pattern.append("s+")
+        except TransportError:
+            pattern.append("s-")
+    for index in range(operations):
+        try:
+            text = store.fetch(f"k{index}")
+            pattern.append("f+" if "rot" not in text else "f~")
+        except Exception:
+            pattern.append("f-")
+    return pattern, injector.stats
+
+
+def test_same_seed_replays_identically():
+    pattern_a, stats_a = _drive(seed=42)
+    pattern_b, stats_b = _drive(seed=42)
+    assert pattern_a == pattern_b
+    assert stats_a == stats_b
+    assert stats_a.total_faults > 0  # the plan actually bit
+
+
+def test_different_seeds_differ():
+    pattern_a, _ = _drive(seed=1)
+    pattern_b, _ = _drive(seed=2)
+    assert pattern_a != pattern_b
+
+
+def test_empty_plan_injects_nothing():
+    plan = FaultPlan.empty()
+    assert plan.is_empty
+    injector = FaultInjector(plan)
+    store = FlakyStore(InMemoryStore("x"), injector)
+    for index in range(50):
+        store.store(f"k{index}", "<doc/>")
+        assert store.fetch(f"k{index}") == "<doc/>"
+        assert store.has_room(10)
+        store.drop(f"k{index}")
+    assert injector.stats.decisions == 0
+    assert injector.stats.total_faults == 0
+
+
+def test_down_windows_follow_the_simulated_clock():
+    clock = SimulatedClock()
+    injector = FaultInjector(FaultPlan(down_windows=((5.0, 10.0),)), clock)
+    store = FlakyStore(InMemoryStore("x"), injector)
+    store.store("k", "<doc/>")  # t=0: fine
+    clock.advance(6.0)
+    with pytest.raises(TransportError):
+        store.fetch("k")
+    with pytest.raises(TransportError):
+        store.has_room(10)
+    clock.advance(5.0)  # t=11: the device is back
+    assert store.fetch("k") == "<doc/>"
+    assert injector.stats.window_denials == 2
+
+
+def test_interruption_leaves_a_truncated_payload():
+    injector = FaultInjector(FaultPlan(seed=3, interruption_rate=1.0))
+    inner = InMemoryStore("x")
+    store = FlakyStore(inner, injector)
+    payload = "<doc>" + "y" * 100 + "</doc>"
+    with pytest.raises(TransportError):
+        store.store("k", payload)
+    # half the document landed before the link died
+    assert inner.fetch("k") == payload[: len(payload) // 2]
+    assert injector.stats.interruptions == 1
+
+
+def test_corruption_mangles_the_fetched_text():
+    injector = FaultInjector(FaultPlan(seed=4, corruption_rate=1.0))
+    store = FlakyStore(InMemoryStore("x"), injector)
+    store.store("k", "<doc attr='value'/>")
+    assert store.fetch("k") != "<doc attr='value'/>"
+    assert injector.stats.corruptions == 1
+
+
+def test_latency_spikes_charge_the_simulated_clock():
+    clock = SimulatedClock()
+    injector = FaultInjector(
+        FaultPlan(seed=5, latency_spike_rate=1.0, latency_spike_s=0.5), clock
+    )
+    store = FlakyStore(InMemoryStore("x"), injector)
+    store.store("k", "<doc/>")
+    store.fetch("k")
+    assert clock.now() == pytest.approx(1.0)
+    assert injector.stats.latency_spikes == 2
+
+
+def test_flaky_link_injects_and_reports_down_windows():
+    clock = SimulatedClock()
+
+    class Wire:
+        def transfer(self, nbytes: int) -> float:
+            return 0.0
+
+        @property
+        def is_up(self) -> bool:
+            return True
+
+    injector = FaultInjector(FaultPlan(down_windows=((1.0, 2.0),)), clock)
+    link = FlakyLink(Wire(), injector)
+    assert link.is_up
+    link.transfer(100)
+    clock.advance(1.5)
+    assert not link.is_up
+    with pytest.raises(TransportError):
+        link.transfer(100)
+
+
+def test_malformed_plans_are_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan(store_failure_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(down_windows=((5.0, 1.0),))

@@ -1,20 +1,31 @@
 """The example scripts must run clean end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
 
 
-def _run(name: str) -> str:
+def _run(name: str, cwd=None) -> str:
+    # the examples import `repro` from the source tree, regardless of
+    # where pytest was launched from or what the child's cwd is
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=180,
+        cwd=cwd,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr
     return completed.stdout
@@ -52,15 +63,6 @@ def test_shared_notes():
 
 
 def test_evaluation_sweep(tmp_path):
-    import os
-
-    completed = subprocess.run(
-        [sys.executable, str(EXAMPLES / "evaluation_sweep.py")],
-        capture_output=True,
-        text=True,
-        timeout=180,
-        cwd=tmp_path,
-    )
-    assert completed.returncode == 0, completed.stderr
-    assert "mJ/KB" in completed.stdout
+    output = _run("evaluation_sweep.py", cwd=tmp_path)
+    assert "mJ/KB" in output
     assert (tmp_path / "results" / "swap_cycle_sweep.csv").exists()

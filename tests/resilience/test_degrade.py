@@ -1,0 +1,63 @@
+"""Graceful degradation: no reachable store → local compressed pool."""
+
+import pytest
+
+from repro.devices import InMemoryStore
+from repro.errors import AllStoresUnreachableError, TransportError
+from repro.events import SwapDegradedEvent
+from repro.resilience import ResilienceConfig, RetryPolicy
+from tests.helpers import build_chain, chain_values, make_space
+
+
+class DeadStore(InMemoryStore):
+    def store(self, key: str, xml_text: str) -> None:
+        raise TransportError(f"{self.device_id}: out of range")
+
+
+def _space(degrade: bool, with_dead_store: bool = True):
+    space = make_space(with_store=False)
+    if with_dead_store:
+        space.manager.add_store(DeadStore("gone"))
+    space.manager.enable_resilience(
+        ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.05, jitter=0.0),
+            degrade_to_local=degrade,
+        )
+    )
+    return space
+
+
+def test_degrades_to_local_compressed_pool_and_reloads():
+    space = _space(degrade=True)
+    handle = space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    heap_before = space.heap.used
+    space.swap_out(2)
+    assert space.clusters()[2].is_swapped
+    assert space.manager.stats.degraded_swaps == 1
+    event = space.bus.last(SwapDegradedEvent)
+    assert event is not None
+    assert event.fallback_device_id == "compressed-pool"
+    # the compressed copy lives in the same heap, but costs less than
+    # the resident cluster did
+    assert space.heap.used < heap_before
+    # transparent reload from the pool
+    assert chain_values(handle) == list(range(20))
+    assert space.clusters()[2].is_resident
+    space.verify_integrity()
+
+
+def test_degrade_works_with_an_empty_neighborhood():
+    space = _space(degrade=True, with_dead_store=False)
+    handle = space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    space.swap_out(2)  # no stores at all: straight to the pool
+    assert space.manager.stats.degraded_swaps == 1
+    assert chain_values(handle) == list(range(20))
+
+
+def test_without_degradation_the_failure_is_loud():
+    space = _space(degrade=False)
+    space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    with pytest.raises(AllStoresUnreachableError):
+        space.swap_out(2)
+    assert space.manager.stats.degraded_swaps == 0
+    assert space.clusters()[2].is_resident  # nothing half-done

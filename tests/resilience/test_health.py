@@ -1,0 +1,118 @@
+"""Circuit breaker: failing stores are evicted, then re-admitted."""
+
+import pytest
+
+from repro.devices import InMemoryStore, XmlStoreDevice
+from repro.comm.transport import SimulatedLink
+from repro.errors import NoSwapDeviceError, TransportError
+from repro.events import CircuitClosedEvent, CircuitOpenEvent
+from repro.resilience import (
+    CircuitState,
+    ResilienceConfig,
+    RetryPolicy,
+    StoreHealth,
+)
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def test_store_health_state_machine():
+    health = StoreHealth("pc", failure_threshold=3, cooldown_s=10.0)
+    assert health.admits(now=0.0)
+    assert not health.record_failure(now=0.0)
+    assert not health.record_failure(now=1.0)
+    assert health.record_failure(now=2.0)  # third strike opens
+    assert health.state is CircuitState.OPEN
+    assert not health.admits(now=2.0)
+    assert not health.admits(now=11.9)
+    # cool-down elapsed: half-open, one probe allowed
+    assert health.admits(now=12.0)
+    assert health.state is CircuitState.HALF_OPEN
+    # a half-open failure re-opens immediately (no fresh streak needed)
+    assert health.record_failure(now=12.5)
+    assert health.state is CircuitState.OPEN
+    assert not health.admits(now=13.0)
+    assert health.admits(now=22.5)
+    assert health.record_success()  # the probe worked: closed again
+    assert health.state is CircuitState.CLOSED
+    assert health.admits(now=22.5)
+    assert health.opens == 2
+
+
+def _flaky_world():
+    space = make_space(with_store=False)
+    link = SimulatedLink(700_000, latency_s=0.01, clock=space.clock, name="l")
+    store = XmlStoreDevice("nearby", capacity=1 << 20, link=link)
+    space.manager.add_store(store)
+    space.manager.enable_resilience(
+        ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1, base_delay_s=0.1, jitter=0.0),
+            failure_threshold=3,
+            cooldown_s=30.0,
+            degrade_to_local=False,
+        )
+    )
+    return space, store, link
+
+
+def test_circuit_opens_after_repeated_probe_failures_and_readmits():
+    space, store, link = _flaky_world()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    link.fail()
+    # three failed selection probes open the circuit
+    for _ in range(3):
+        with pytest.raises(NoSwapDeviceError):
+            space.swap_out(2)
+    assert space.manager.stats.circuit_opens == 1
+    assert space.bus.count(CircuitOpenEvent) == 1
+    # the store is evicted from selection entirely (no probe at all)
+    assert space.manager.available_stores() == []
+    # the peer comes back, but the circuit stays open until cool-down
+    link.restore()
+    assert space.manager.available_stores() == []
+    # cool-down elapses: half-open probe is allowed and the swap works
+    space.clock.advance(30.0)
+    assert space.manager.available_stores() == [store]
+    space.swap_out(2)
+    assert space.clusters()[2].is_swapped
+    assert space.manager.stats.circuit_closes == 1
+    assert space.bus.count(CircuitClosedEvent) == 1
+
+
+def test_half_open_failure_reopens_for_another_cooldown():
+    space, store, link = _flaky_world()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    link.fail()
+    for _ in range(3):
+        with pytest.raises(NoSwapDeviceError):
+            space.swap_out(2)
+    space.clock.advance(30.0)
+    # still down at the half-open probe: re-opened on the spot
+    with pytest.raises(NoSwapDeviceError):
+        space.swap_out(2)
+    assert space.manager.stats.circuit_opens == 2
+    assert space.manager.available_stores() == []
+    link.restore()
+    space.clock.advance(30.0)
+    space.swap_out(2)
+    assert space.clusters()[2].is_swapped
+
+
+def test_failover_to_healthy_mirror_on_swap_in():
+    space = make_space(with_store=False)
+    first = InMemoryStore("first")
+    second = InMemoryStore("second")
+    space.manager.add_store(first)
+    space.manager.add_store(second)
+    space.manager.replication_factor = 2
+    space.manager.enable_resilience(
+        ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.05, jitter=0.0)
+        )
+    )
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert len(space.manager.bindings_for(2)) == 2
+    # the primary holder loses the payload entirely
+    first._data.clear()
+    assert chain_values(handle) == list(range(10))
+    assert space.manager.stats.mirror_failovers == 1

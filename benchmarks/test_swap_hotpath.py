@@ -1,0 +1,50 @@
+"""Swap hot-path benchmark — clean-cluster fast path vs always-re-encode.
+
+Runs the three hot-path scenarios (baseline, fastpath-clean,
+fastpath-mutating) on identical workloads over the simulated 700 Kbps
+Bluetooth link, writes ``BENCH_swap_hotpath.json``, and asserts the
+issue's acceptance bar: at least a 2x reduction in simulated swap-out
+cost *and* encoder invocations for unmodified clusters.
+
+Run:  pytest benchmarks/test_swap_hotpath.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.hotpath import HotPathConfig, format_table, run_hotpath
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_swap_hotpath.json"
+
+
+def test_swap_hotpath(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_hotpath(HotPathConfig.quick()), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(report))
+    OUTPUT.write_text(report.to_json() + "\n", encoding="utf-8")
+
+    baseline = report.scenarios["baseline"]
+    clean = report.scenarios["fastpath_clean"]
+    mutating = report.scenarios["fastpath_mutating"]
+
+    # same amount of swapping everywhere: the comparison is apples-to-apples
+    assert baseline.swap_outs == clean.swap_outs == mutating.swap_outs
+
+    # acceptance bar: >=2x cheaper simulated swap-out and >=2x fewer
+    # encoder invocations for unmodified clusters
+    assert report.swap_out_cost_reduction >= 2.0
+    assert report.encode_call_reduction >= 2.0
+    # the payload should leave the device rarely once clusters are clean
+    assert report.link_bytes_reduction >= 2.0
+
+    # after the first cycle every clean swap-out is a metadata-only no-op
+    assert clean.fastpath_noops == clean.swap_outs - clean.encode_calls
+    # every clean swap-in is served from the local payload cache
+    assert clean.swapin_cache_hits == clean.swap_outs
+
+    # the honesty check: mutation invalidates the fast path every cycle
+    assert mutating.fastpath_noops == 0
+    assert mutating.encode_calls == mutating.swap_outs

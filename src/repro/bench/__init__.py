@@ -30,6 +30,12 @@ from repro.bench.model import (
     holdout_error,
 )
 from repro.bench.sweep import Sweep
+from repro.bench.hotpath import (
+    HotPathConfig,
+    HotPathReport,
+    run_hotpath,
+    format_table as format_hotpath_table,
+)
 
 __all__ = [
     "BenchNode",
@@ -49,4 +55,8 @@ __all__ = [
     "fit_traversal_model",
     "holdout_error",
     "Sweep",
+    "HotPathConfig",
+    "HotPathReport",
+    "run_hotpath",
+    "format_hotpath_table",
 ]

@@ -1,0 +1,253 @@
+"""Swap hot-path benchmark: clean-cluster fast path vs always-re-encode.
+
+Measures what the fast path (:mod:`repro.core.fastpath`) buys on the
+paper's Bluetooth-class link for the common case — clusters that swap
+out *unmodified* after their last cycle:
+
+* ``baseline``          — fast path off: every swap-out re-encodes the
+  cluster and ships the full payload;
+* ``fastpath_clean``    — fast path on, clusters never mutated: after
+  the first cycle every swap-out is a metadata-only no-op (or at worst a
+  cached re-ship) and every swap-in is served from the payload cache;
+* ``fastpath_mutating`` — fast path on, one member mutated before every
+  swap-out: dirty tracking must force the full pipeline each time (the
+  honesty check — invalidation is not free riding on stale payloads).
+
+Reported per scenario: p50/p95 simulated swap-out and full-cycle cost,
+bytes carried on the link, encoder invocations, and the fast-path
+counters.  ``python -m repro.bench.hotpath`` writes
+``BENCH_swap_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+from repro.bench.workloads import build_list
+from repro.clock import SimulatedClock
+from repro.comm.transport import bluetooth_link
+from repro.core.fastpath import FastPathConfig
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+
+
+@dataclass
+class HotPathConfig:
+    objects: int = 1_000
+    cluster_size: int = 50
+    cycles: int = 20
+    heap_capacity: int = 32 << 20
+    store_capacity: int = 32 << 20
+
+    @classmethod
+    def quick(cls) -> "HotPathConfig":
+        """CI smoke-test sizing (sub-second wall clock).
+
+        Keeps the paper-scale 50-object clusters: with very small
+        clusters the per-message link latency dominates both paths and
+        the metadata-only no-op's advantage shrinks below its real value.
+        """
+        return cls(objects=400, cluster_size=50, cycles=8)
+
+
+@dataclass
+class ScenarioResult:
+    name: str
+    cycles: int
+    swap_outs: int
+    encode_calls: int
+    bytes_on_link: int
+    link_seconds: float
+    swap_out_p50_s: float
+    swap_out_p95_s: float
+    swap_out_mean_s: float
+    cycle_p50_s: float
+    cycle_p95_s: float
+    fastpath_noops: int
+    fastpath_reships: int
+    swapin_cache_hits: int
+
+
+@dataclass
+class HotPathReport:
+    config: HotPathConfig
+    scenarios: Dict[str, ScenarioResult] = field(default_factory=dict)
+
+    @property
+    def swap_out_cost_reduction(self) -> float:
+        """baseline / fastpath_clean mean simulated swap-out cost."""
+        clean = self.scenarios["fastpath_clean"].swap_out_mean_s
+        base = self.scenarios["baseline"].swap_out_mean_s
+        return base / clean if clean > 0 else float("inf")
+
+    @property
+    def encode_call_reduction(self) -> float:
+        clean = self.scenarios["fastpath_clean"].encode_calls
+        base = self.scenarios["baseline"].encode_calls
+        return base / clean if clean > 0 else float("inf")
+
+    @property
+    def link_bytes_reduction(self) -> float:
+        clean = self.scenarios["fastpath_clean"].bytes_on_link
+        base = self.scenarios["baseline"].bytes_on_link
+        return base / clean if clean > 0 else float("inf")
+
+    def to_json(self) -> str:
+        payload = {
+            "benchmark": "swap_hotpath",
+            "config": asdict(self.config),
+            "scenarios": {
+                name: asdict(result) for name, result in self.scenarios.items()
+            },
+            "reductions": {
+                "swap_out_cost": self.swap_out_cost_reduction,
+                "encode_calls": self.encode_call_reduction,
+                "link_bytes": self.link_bytes_reduction,
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _build_space(config: HotPathConfig) -> tuple:
+    clock = SimulatedClock()
+    space = Space("hotpath", heap_capacity=config.heap_capacity, clock=clock)
+    link = bluetooth_link(clock)
+    store = XmlStoreDevice(
+        "nearby", capacity=config.store_capacity, link=link
+    )
+    space.manager.add_store(store)
+    space.ingest(
+        build_list(config.objects),
+        cluster_size=config.cluster_size,
+        root_name="head",
+    )
+    sids = [
+        sid
+        for sid, cluster in sorted(space._clusters.items())
+        if cluster.swappable() and cluster.oids
+    ]
+    return space, clock, link, sids
+
+
+def _mutate_one(space: Space, sid: int) -> None:
+    """Touch one member field through the write barrier (dirties the sid)."""
+    cluster = space._clusters[sid]
+    oid = min(cluster.oids)
+    node = space._objects[oid]
+    node.index = node.index + 1
+
+
+def run_scenario(
+    name: str,
+    config: HotPathConfig,
+    *,
+    fastpath: bool,
+    mutate: bool,
+) -> ScenarioResult:
+    space, clock, link, sids = _build_space(config)
+    manager = space.manager
+    if fastpath:
+        manager.enable_fastpath(FastPathConfig())
+
+    swap_out_costs: List[float] = []
+    cycle_costs: List[float] = []
+    for _ in range(config.cycles):
+        for sid in sids:
+            if mutate:
+                _mutate_one(space, sid)
+            start = clock.now()
+            manager.swap_out(sid)
+            swap_out_costs.append(clock.now() - start)
+            manager.swap_in(sid)
+            cycle_costs.append(clock.now() - start)
+
+    stats = manager.stats
+    return ScenarioResult(
+        name=name,
+        cycles=config.cycles,
+        swap_outs=stats.swap_outs,
+        encode_calls=stats.encode_calls,
+        bytes_on_link=link.stats.bytes_carried,
+        link_seconds=link.stats.seconds_charged,
+        swap_out_p50_s=_percentile(swap_out_costs, 0.50),
+        swap_out_p95_s=_percentile(swap_out_costs, 0.95),
+        swap_out_mean_s=sum(swap_out_costs) / len(swap_out_costs),
+        cycle_p50_s=_percentile(cycle_costs, 0.50),
+        cycle_p95_s=_percentile(cycle_costs, 0.95),
+        fastpath_noops=stats.fastpath_noops,
+        fastpath_reships=stats.fastpath_reships,
+        swapin_cache_hits=stats.swapin_cache_hits,
+    )
+
+
+def run_hotpath(config: HotPathConfig | None = None) -> HotPathReport:
+    """Run all three scenarios on identical workloads."""
+    config = config if config is not None else HotPathConfig()
+    report = HotPathReport(config=config)
+    report.scenarios["baseline"] = run_scenario(
+        "baseline", config, fastpath=False, mutate=False
+    )
+    report.scenarios["fastpath_clean"] = run_scenario(
+        "fastpath_clean", config, fastpath=True, mutate=False
+    )
+    report.scenarios["fastpath_mutating"] = run_scenario(
+        "fastpath_mutating", config, fastpath=True, mutate=True
+    )
+    return report
+
+
+def format_table(report: HotPathReport) -> str:
+    header = (
+        f"{'scenario':<20} {'out p50 s':>10} {'out p95 s':>10} "
+        f"{'cycle p50 s':>12} {'link bytes':>11} {'encodes':>8} "
+        f"{'noops':>6} {'cache hits':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in report.scenarios.values():
+        lines.append(
+            f"{result.name:<20} {result.swap_out_p50_s:>10.4f} "
+            f"{result.swap_out_p95_s:>10.4f} {result.cycle_p50_s:>12.4f} "
+            f"{result.bytes_on_link:>11} {result.encode_calls:>8} "
+            f"{result.fastpath_noops:>6} {result.swapin_cache_hits:>10}"
+        )
+    lines.append(
+        f"reductions vs baseline: swap-out cost "
+        f"{report.swap_out_cost_reduction:.1f}x, encodes "
+        f"{report.encode_call_reduction:.1f}x, link bytes "
+        f"{report.link_bytes_reduction:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke-test sizing"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_swap_hotpath.json", help="JSON output path"
+    )
+    arguments = parser.parse_args(argv)
+    config = HotPathConfig.quick() if arguments.quick else HotPathConfig()
+    report = run_hotpath(config)
+    print(format_table(report))
+    with open(arguments.output, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json() + "\n")
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -17,7 +17,13 @@ from repro.comm.transport import (
     SimulatedLink,
     bluetooth_link,
     wifi_link,
+    chunk_text,
+    compress_payload,
+    decompress_payload,
+    negotiate_compression,
     BLUETOOTH_BPS,
+    FRAME_OVERHEAD_BYTES,
+    SUPPORTED_COMPRESSIONS,
 )
 from repro.comm.discovery import Neighborhood, NeighborEntry
 from repro.comm.webservice import WebServiceEndpoint, WebServiceClient
@@ -28,7 +34,13 @@ __all__ = [
     "SimulatedLink",
     "bluetooth_link",
     "wifi_link",
+    "chunk_text",
+    "compress_payload",
+    "decompress_payload",
+    "negotiate_compression",
     "BLUETOOTH_BPS",
+    "FRAME_OVERHEAD_BYTES",
+    "SUPPORTED_COMPRESSIONS",
     "Neighborhood",
     "NeighborEntry",
     "WebServiceEndpoint",

@@ -9,8 +9,9 @@ Links can be taken down to model a storage device leaving the room.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.clock import Clock, SimulatedClock
 from repro.errors import TransportError
@@ -20,6 +21,61 @@ BLUETOOTH_BPS = 700_000
 
 #: A 802.11b-class link for the desktop-PC receiver comparison.
 WIFI_BPS = 11_000_000
+
+#: Per-frame framing cost (length prefix + sequence number) when a
+#: payload is shipped as a batch of chunks over one connection.
+FRAME_OVERHEAD_BYTES = 8
+
+#: Compression codecs this implementation can negotiate, best first.
+SUPPORTED_COMPRESSIONS: Tuple[str, ...] = ("zlib",)
+
+
+def chunk_text(text: str, frame_bytes: int) -> List[bytes]:
+    """Split UTF-8 encoded ``text`` into frames of at most ``frame_bytes``."""
+    if frame_bytes <= 0:
+        raise ValueError("frame size must be positive")
+    data = text.encode("utf-8")
+    return [data[i : i + frame_bytes] for i in range(0, len(data), frame_bytes)]
+
+
+def negotiate_compression(
+    ours: Sequence[str], theirs: Sequence[str] | None
+) -> Optional[str]:
+    """Pick the first codec both ends support (``None`` = ship plain).
+
+    ``theirs`` is what the store advertises (``supported_compressions``);
+    stores predating the negotiation advertise nothing and get plain text,
+    so the protocol stays backward compatible.
+    """
+    if not theirs:
+        return None
+    theirs_set = set(theirs)
+    for name in ours:
+        if name in theirs_set:
+            return name
+    return None
+
+
+def compress_payload(text: str, compression: Optional[str]) -> bytes:
+    """Encode ``text`` for the wire under the negotiated codec."""
+    data = text.encode("utf-8")
+    if compression is None:
+        return data
+    if compression == "zlib":
+        return zlib.compress(data, level=6)
+    raise TransportError(f"unknown compression codec {compression!r}")
+
+
+def decompress_payload(data: bytes, compression: Optional[str]) -> str:
+    """Invert :func:`compress_payload`."""
+    if compression is None:
+        return data.decode("utf-8")
+    if compression == "zlib":
+        try:
+            return zlib.decompress(data).decode("utf-8")
+        except zlib.error as exc:
+            raise TransportError(f"corrupt zlib payload: {exc}") from exc
+    raise TransportError(f"unknown compression codec {compression!r}")
 
 
 class Link(Protocol):
@@ -43,6 +99,11 @@ class LoopbackLink:
         self.bytes_carried += nbytes
         return 0.0
 
+    def transfer_batch(self, sizes: Iterable[int]) -> float:
+        for nbytes in sizes:
+            self.bytes_carried += nbytes
+        return 0.0
+
     @property
     def is_up(self) -> bool:
         return True
@@ -51,6 +112,7 @@ class LoopbackLink:
 @dataclass
 class LinkStats:
     transfers: int = 0
+    frames: int = 0
     bytes_carried: int = 0
     seconds_charged: float = 0.0
 
@@ -87,7 +149,39 @@ class SimulatedLink:
         elapsed = self.transfer_time(nbytes)
         self.clock.advance(elapsed)
         self.stats.transfers += 1
+        self.stats.frames += 1
         self.stats.bytes_carried += nbytes
+        self.stats.seconds_charged += elapsed
+        return elapsed
+
+    def batch_transfer_time(self, sizes: Sequence[int]) -> float:
+        """Cost of shipping ``sizes`` as frames over one connection.
+
+        Latency is paid **once** for the whole batch (the radio round
+        trip that dominates per-message cost on Bluetooth-class links);
+        each frame adds :data:`FRAME_OVERHEAD_BYTES` of framing on top
+        of its payload.
+        """
+        total = sum(sizes) + FRAME_OVERHEAD_BYTES * len(sizes)
+        return self.latency_s + (total * 8) / self.bandwidth_bps
+
+    def transfer_batch(self, sizes: Iterable[int]) -> float:
+        """Carry a batch of frames; charge and return the elapsed seconds.
+
+        Compared to one :meth:`transfer` per frame this saves
+        ``(n - 1) * latency`` — the point of batching a streamed payload
+        instead of opening a connection per chunk.
+        """
+        if not self.is_up:
+            raise TransportError(f"link {self.name!r} is down")
+        frame_sizes = list(sizes)
+        elapsed = self.batch_transfer_time(frame_sizes)
+        self.clock.advance(elapsed)
+        self.stats.transfers += 1
+        self.stats.frames += len(frame_sizes)
+        self.stats.bytes_carried += (
+            sum(frame_sizes) + FRAME_OVERHEAD_BYTES * len(frame_sizes)
+        )
         self.stats.seconds_charged += elapsed
         return elapsed
 

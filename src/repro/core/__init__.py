@@ -17,6 +17,7 @@ Central concepts (paper, Sections 1 and 3):
   (:mod:`repro.core.space`).
 """
 
+from repro.core.fastpath import FastPathConfig, FastPathState, PayloadCache
 from repro.core.interfaces import SwapStore, ISwapClusterProxy
 from repro.core.replacement import ReplacementObject, SwapLocation
 from repro.core.swap_cluster import SwapCluster, SwapClusterState
@@ -29,6 +30,9 @@ from repro.core.archive import SwapArchive, ArchivedEpoch
 from repro.core.hibernate import hibernate, restore
 
 __all__ = [
+    "FastPathConfig",
+    "FastPathState",
+    "PayloadCache",
     "SwapStore",
     "ISwapClusterProxy",
     "ReplacementObject",

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
+from repro.comm.transport import compress_payload
+from repro.core.fastpath import FastPathConfig, FastPathState
 from repro.core.interfaces import SwapStore
 from repro.core.replacement import ReplacementObject, SwapLocation
 from repro.core.swap_cluster import SwapCluster, SwapClusterState
@@ -48,16 +50,18 @@ from repro.errors import (
     UnknownKeyError,
 )
 from repro.events import (
+    ClusterCollectedEvent,
     ClusterReplicatedEvent,
     SwapDegradedEvent,
     SwapDroppedEvent,
     SwapFailoverEvent,
+    SwapFastPathEvent,
     SwapInEvent,
     SwapOutEvent,
 )
 from repro.ids import Sid, format_swap_key
-from repro.wire.canonical import payload_digest
-from repro.wire.xmlcodec import decode_cluster, encode_cluster
+from repro.wire.canonical import verify_payload
+from repro.wire.xmlcodec import decode_cluster, encode_cluster_canonical
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.resilience import Resilience, ResilienceConfig
@@ -102,6 +106,11 @@ class ManagerStats:
     circuit_closes: int = 0
     degraded_swaps: int = 0
     journal_recoveries: int = 0
+    # -- fast-path counters (all zero while the fast path is disabled) --
+    encode_calls: int = 0
+    fastpath_noops: int = 0
+    fastpath_reships: int = 0
+    swapin_cache_hits: int = 0
 
 
 class SwappingManager:
@@ -136,7 +145,11 @@ class SwappingManager:
         #: Optional resilience coordinator (retry/circuit/journal/degrade).
         #: ``None`` keeps the pipeline exactly as fast as before.
         self.resilience: Optional["Resilience"] = None
+        #: Optional swap fast path (dirty tracking + payload cache +
+        #: metadata-only clean swap-outs).  ``None`` = classic pipeline.
+        self.fastpath: Optional[FastPathState] = None
         space.bus.subscribe(ClusterReplicatedEvent, self._on_cluster_replicated)
+        space.bus.subscribe(ClusterCollectedEvent, self._on_cluster_collected)
 
     # -- resilience --------------------------------------------------------------
 
@@ -158,6 +171,29 @@ class SwappingManager:
 
     def disable_resilience(self) -> None:
         self.resilience = None
+
+    # -- fast path ---------------------------------------------------------------
+
+    def enable_fastpath(
+        self, config: Optional[FastPathConfig] = None
+    ) -> FastPathState:
+        """Turn on the swap fast path (see :mod:`repro.core.fastpath`).
+
+        Calling again replaces the state (fresh cache and retention
+        tables) with the new ``config``.
+        """
+        self.fastpath = FastPathState(
+            config if config is not None else FastPathConfig()
+        )
+        return self.fastpath
+
+    def disable_fastpath(self) -> None:
+        """Back to the classic always-encode pipeline.
+
+        Clean bits left on clusters are ignored while ``fastpath`` is
+        ``None``, so this is safe at any point.
+        """
+        self.fastpath = None
 
     # -- store management -------------------------------------------------------
 
@@ -224,13 +260,134 @@ class SwappingManager:
     # -- swap-out -----------------------------------------------------------------
 
     def swap_out(self, sid: Sid, store: SwapStore | None = None) -> SwapLocation:
-        """Detach swap-cluster ``sid`` and ship it to a nearby store."""
+        """Detach swap-cluster ``sid`` and ship it to a nearby store.
+
+        With the fast path enabled and the cluster *clean* (unmutated
+        since its last serialization), the encode-and-ship pipeline is
+        bypassed: see :meth:`_swap_out_clean`.
+        """
         space = self._space
         cluster: SwapCluster = space._cluster(sid)
         cluster.ensure_swappable()
         if sid in self._loading:
             raise SwapError(f"swap-cluster {sid} is being loaded; cannot swap out")
 
+        if (
+            self.fastpath is not None
+            and not cluster.dirty
+            and cluster.clean_digest is not None
+            and cluster.clean_outbound is not None
+        ):
+            location = self._swap_out_clean(cluster, store)
+            if location is not None:
+                return location
+        return self._swap_out_full(cluster, store)
+
+    def _swap_out_clean(
+        self, cluster: SwapCluster, chosen: SwapStore | None
+    ) -> Optional[SwapLocation]:
+        """Swap out a clean cluster without re-encoding it.
+
+        Tier 1 (metadata-only no-op): a store already retaining the
+        payload under the clean key answers a 64-byte ``contains`` probe
+        — nothing is encoded, nothing is shipped.  Tier 2 (re-ship): the
+        cached canonical text is shipped as-is.  Returns ``None`` when
+        neither tier applies (cache evicted, no retained copy); the
+        caller falls back to the full pipeline.
+        """
+        fastpath = self.fastpath
+        space = self._space
+        sid = cluster.sid
+        key = cluster.clean_key
+        digest = cluster.clean_digest
+        outbound = list(cluster.clean_outbound)
+
+        retained = fastpath.retained.get(sid)
+        if retained is not None and retained[0] == key:
+            candidates = (
+                retained[1]
+                if chosen is None
+                else [holder for holder in retained[1] if holder is chosen]
+            )
+            want = max(1, self.replication_factor) if chosen is None else 1
+            verified: List[SwapStore] = []
+            lost: List[SwapStore] = []
+            for holder in candidates:
+                probe = getattr(holder, "contains", None)
+                if probe is None:
+                    continue  # legacy store: cannot answer key probes
+                try:
+                    if probe(key):
+                        verified.append(holder)
+                    else:
+                        lost.append(holder)  # evicted behind our back
+                except (TransportError, RetryExhaustedError):
+                    lost.append(holder)
+                if len(verified) >= want:
+                    break
+            if lost:
+                fastpath.retained[sid] = (
+                    key,
+                    [holder for holder in retained[1] if holder not in lost],
+                )
+            if verified:
+                location = SwapLocation(
+                    device_id=verified[0].device_id,
+                    key=key,
+                    digest=digest,
+                    xml_bytes=cluster.clean_xml_bytes,
+                    epoch=cluster.clean_epoch,
+                )
+                object_count = len(cluster.oids)
+                bytes_freed = self._detach(cluster, outbound, location, verified)
+                # content unchanged -> same epoch, same key, same digest
+                cluster.epoch = cluster.clean_epoch
+                self.stats.swap_outs += 1
+                self.stats.fastpath_noops += 1
+                space.bus.emit(
+                    SwapFastPathEvent(
+                        space=space.name, sid=sid, tier="noop", key=key
+                    )
+                )
+                space.bus.emit(
+                    SwapOutEvent(
+                        space=space.name,
+                        sid=sid,
+                        device_id=location.device_id,
+                        key=key,
+                        object_count=object_count,
+                        bytes_freed=bytes_freed,
+                        xml_bytes=0,
+                    )
+                )
+                return location
+
+        text = fastpath.cache.get(digest)
+        if text is None:
+            return None  # cache evicted and no retained copy: full path
+        try:
+            return self._ship_and_detach(
+                cluster,
+                text,
+                key=key,
+                epoch=cluster.clean_epoch,
+                digest=digest,
+                outbound=outbound,
+                chosen=chosen,
+                tier="reship",
+            )
+        except BaseException:
+            # shipping failed; retained bookkeeping may name stores the
+            # abort path just dropped from
+            fastpath.retained.pop(sid, None)
+            raise
+
+    def _swap_out_full(
+        self, cluster: SwapCluster, chosen: SwapStore | None
+    ) -> SwapLocation:
+        """The classic pipeline: encode, ship, detach (epoch bump)."""
+        space = self._space
+        sid = cluster.sid
         members = {oid: space._objects[oid] for oid in cluster.oids}
 
         # Collect the cluster's outbound swap-cluster-proxies in the order
@@ -247,7 +404,8 @@ class SwappingManager:
                 outbound.append(proxy)
             return index
 
-        xml_text = encode_cluster(
+        # one pass: canonical text and its digest come out together
+        xml_text, digest = encode_cluster_canonical(
             sid=sid,
             space=space.name,
             epoch=cluster.epoch + 1,
@@ -255,6 +413,38 @@ class SwappingManager:
             oid_of=lambda obj: obj._obi_oid,
             outbound_index_of=outbound_index_of,
         )
+        self.stats.encode_calls += 1
+        key = format_swap_key(space.name, sid, cluster.epoch + 1)
+        return self._ship_and_detach(
+            cluster,
+            xml_text,
+            key=key,
+            epoch=cluster.epoch + 1,
+            digest=digest,
+            outbound=outbound,
+            chosen=chosen,
+            tier="full",
+        )
+
+    def _ship_and_detach(
+        self,
+        cluster: SwapCluster,
+        xml_text: str,
+        *,
+        key: str,
+        epoch: int,
+        digest: str,
+        outbound: List[Any],
+        chosen: SwapStore | None,
+        tier: str,
+    ) -> SwapLocation:
+        """Ship one serialized payload (with mirrors, failover, degrade)
+        and detach the cluster.  The payload is encoded exactly once by
+        the caller; retries and alternate stores all reuse ``xml_text``.
+        """
+        space = self._space
+        sid = cluster.sid
+        store = chosen
         xml_bytes = len(xml_text.encode("utf-8"))
 
         resilience = self.resilience
@@ -285,9 +475,8 @@ class SwappingManager:
                             holders.append(candidate)
                     except TransportError:
                         continue
-        key = format_swap_key(space.name, sid, cluster.epoch + 1)
         entry = (
-            resilience.journal.begin(sid, key, cluster.epoch + 1, xml_bytes)
+            resilience.journal.begin(sid, key, epoch, xml_bytes)
             if resilience is not None
             else None
         )
@@ -389,18 +578,78 @@ class SwappingManager:
                         pass
                 resilience.journal.abort(entry)
             raise
-        store = stored_on[0]
+        primary = stored_on[0]
         self.stats.mirror_writes += max(0, len(stored_on) - 1)
 
         location = SwapLocation(
-            device_id=store.device_id,
+            device_id=primary.device_id,
             key=key,
-            digest=payload_digest(xml_text),
+            digest=digest,
             xml_bytes=xml_bytes,
-            epoch=cluster.epoch + 1,
+            epoch=epoch,
         )
 
-        # Detach: patch every inbound proxy to the replacement-object.
+        object_count = len(cluster.oids)
+        bytes_freed = self._detach(cluster, outbound, location, stored_on)
+        cluster.epoch = epoch
+        if entry is not None:
+            # the detach happened strictly after at least one store
+            # acknowledged the payload; the hand-off is durable
+            resilience.journal.commit(entry)
+        self.stats.swap_outs += 1
+        self.stats.bytes_shipped += xml_bytes
+
+        fastpath = self.fastpath
+        if fastpath is not None:
+            previous = fastpath.retained.pop(sid, None)
+            if previous is not None and previous[0] != key:
+                # the content changed: stale copies under the old key are
+                # dead weight on their stores
+                for holder in previous[1]:
+                    try:
+                        holder.drop(previous[0])
+                    except (TransportError, UnknownKeyError):
+                        pass
+            fastpath.cache.put(digest, xml_text)
+            cluster.mark_clean(
+                digest=digest,
+                key=key,
+                epoch=epoch,
+                xml_bytes=xml_bytes,
+                outbound=list(outbound),
+            )
+            fastpath.retained[sid] = (key, list(stored_on))
+            if tier == "reship":
+                self.stats.fastpath_reships += 1
+                space.bus.emit(
+                    SwapFastPathEvent(
+                        space=space.name, sid=sid, tier="reship", key=key
+                    )
+                )
+
+        space.bus.emit(
+            SwapOutEvent(
+                space=space.name,
+                sid=sid,
+                device_id=primary.device_id,
+                key=key,
+                object_count=object_count,
+                bytes_freed=bytes_freed,
+                xml_bytes=xml_bytes,
+            )
+        )
+        return location
+
+    def _detach(
+        self,
+        cluster: SwapCluster,
+        outbound: List[Any],
+        location: SwapLocation,
+        stored_on: List[SwapStore],
+    ) -> int:
+        """Patch inbound proxies to a replacement-object and free members."""
+        space = self._space
+        sid = cluster.sid
         replacement_oid = space._ids.oids.next()
         replacement = ReplacementObject(
             sid=sid, oid=replacement_oid, outbound=outbound, location=location
@@ -420,30 +669,11 @@ class SwappingManager:
         )
 
         cluster.state = SwapClusterState.SWAPPED
-        cluster.epoch += 1
         cluster.location = location
         cluster.replacement = replacement
         cluster.swap_out_count += 1
         self._bindings[sid] = stored_on
-        if entry is not None:
-            # the detach happened strictly after at least one store
-            # acknowledged the payload; the hand-off is durable
-            resilience.journal.commit(entry)
-        self.stats.swap_outs += 1
-        self.stats.bytes_shipped += xml_bytes
-
-        space.bus.emit(
-            SwapOutEvent(
-                space=space.name,
-                sid=sid,
-                device_id=store.device_id,
-                key=key,
-                object_count=len(members),
-                bytes_freed=bytes_freed,
-                xml_bytes=xml_bytes,
-            )
-        )
-        return location
+        return bytes_freed
 
     # -- swap-in ---------------------------------------------------------------------
 
@@ -463,7 +693,14 @@ class SwappingManager:
         assert location is not None and replacement is not None
 
         holders = self._bindings.get(sid, [])
-        if not holders:
+        fastpath = self.fastpath
+        cached: Optional[str] = None
+        if fastpath is not None and fastpath.config.serve_swap_in_from_cache:
+            # the canonical payload may still be held locally; its digest
+            # is in the (trusted) location record, so no verification or
+            # fetch is needed at all
+            cached = fastpath.cache.get(location.digest)
+        if cached is None and not holders:
             raise SwapStoreUnavailableError(
                 f"no binding for device {location.device_id}"
             )
@@ -475,7 +712,12 @@ class SwappingManager:
             xml_text: Optional[str] = None
             fetch_errors: List[str] = []
             corrupt: Optional[CodecError] = None
-            for attempt_index, holder in enumerate(holders):
+            if cached is not None:
+                xml_text = cached
+                self.stats.swapin_cache_hits += 1
+            for attempt_index, holder in enumerate(
+                holders if xml_text is None else []
+            ):
                 try:
                     candidate = self._fetch_verified(holder, location, sid)
                 except CorruptPayloadError as exc:
@@ -572,12 +814,30 @@ class SwappingManager:
             self.stats.swap_ins += 1
             self.stats.bytes_restored += total
 
-            if not self.keep_swapped_copies:
+            retain = (
+                fastpath is not None and fastpath.config.retain_remote_copies
+            )
+            if retain and holders:
+                # leave the copies in place: if the cluster comes back
+                # clean, the next swap-out is a metadata-only no-op
+                fastpath.retained[sid] = (location.key, list(holders))
+            elif not self.keep_swapped_copies:
                 for holder in holders:
                     try:
                         holder.drop(location.key)
                     except (TransportError, UnknownKeyError):
                         pass  # stale copies are harmless; epochs prevent reuse
+            if fastpath is not None:
+                fastpath.cache.put(location.digest, xml_text)
+                # the replicas were just decoded from this payload: the
+                # cluster re-enters residency *clean*
+                cluster.mark_clean(
+                    digest=location.digest,
+                    key=location.key,
+                    epoch=location.epoch,
+                    xml_bytes=location.xml_bytes,
+                    outbound=list(replacement.outbound),
+                )
             space.bus.emit(
                 SwapInEvent(
                     space=space.name,
@@ -598,16 +858,41 @@ class SwappingManager:
     def _store_payload(
         self, holder: SwapStore, key: str, xml_text: str, sid: Sid
     ) -> None:
-        """Ship one payload; retried under the resilience policy if enabled."""
+        """Ship one payload; retried under the resilience policy if enabled.
+
+        With the fast path on and a batching-capable store, the payload
+        travels as compressed frames over one connection
+        (``store_stream``): one link latency for the whole batch instead
+        of one per payload-sized transfer, and fewer bytes on the wire
+        when a codec was negotiated.  Retries re-chunk but never
+        re-encode — the serialized text is produced once by the caller.
+        """
+        ship = self._shipper(holder, key, xml_text)
         if self.resilience is None:
-            holder.store(key, xml_text)
+            ship()
             return
         self.resilience.run(
-            lambda: holder.store(key, xml_text),
+            ship,
             sid=sid,
             device_id=holder.device_id,
             op_name="store",
         )
+
+    def _shipper(
+        self, holder: SwapStore, key: str, xml_text: str
+    ) -> Callable[[], None]:
+        fastpath = self.fastpath
+        stream = getattr(holder, "store_stream", None)
+        if fastpath is None or stream is None:
+            return lambda: holder.store(key, xml_text)
+        compression = fastpath.negotiate_for(holder)
+        data = compress_payload(xml_text, compression)
+        frame_bytes = fastpath.config.frame_bytes
+        frames = [
+            data[offset : offset + frame_bytes]
+            for offset in range(0, len(data), frame_bytes)
+        ] or [b""]
+        return lambda: stream(key, frames, compression)
 
     def _fetch_verified(
         self, holder: SwapStore, location: SwapLocation, sid: Sid
@@ -617,15 +902,10 @@ class SwappingManager:
 
         def attempt() -> str:
             text = holder.fetch(location.key)
-            try:
-                matches = payload_digest(text) == location.digest
-            except CodecError as exc:
-                # so mangled it cannot even be canonicalized for hashing
-                raise CorruptPayloadError(
-                    f"device {holder.device_id} returned corrupted XML "
-                    f"for {location.key} (unparseable: {exc})"
-                ) from exc
-            if not matches:
+            # verify_payload hashes the raw text first (payloads are
+            # canonical on the wire) and only falls back to the full
+            # canonicalization pass for foreign text
+            if not verify_payload(text, location.digest):
                 raise CorruptPayloadError(
                     f"device {holder.device_id} returned corrupted XML "
                     f"for {location.key} (digest mismatch)"
@@ -734,6 +1014,16 @@ class SwappingManager:
                     holder.drop(location.key)
                 except (TransportError, UnknownKeyError):
                     pass  # unreachable device: the copy is orphaned, by design
+        if self.fastpath is not None:
+            retained = self.fastpath.retained.pop(cluster.sid, None)
+            if retained is not None and (
+                location is None or retained[0] != location.key
+            ):
+                for holder in retained[1]:
+                    try:
+                        holder.drop(retained[0])
+                    except (TransportError, UnknownKeyError):
+                        pass
         if cluster.replacement is not None:
             space.heap.free_oid(cluster.replacement.oid)
             cluster.replacement = None
@@ -753,6 +1043,22 @@ class SwappingManager:
     def _on_cluster_replicated(self, event: Any) -> None:
         if event.space == self._space.name:
             self.stats.replicated_clusters += 1
+
+    def _on_cluster_collected(self, event: Any) -> None:
+        """A resident cluster was reclaimed by the local collector: its
+        retained store copies (left behind for fast-path no-ops) are
+        unreachable through any replacement-object, so drop them."""
+        if event.space != self._space.name or self.fastpath is None:
+            return
+        retained = self.fastpath.retained.pop(event.sid, None)
+        if retained is None:
+            return
+        key, holders = retained
+        for holder in holders:
+            try:
+                holder.drop(key)
+            except (TransportError, UnknownKeyError):
+                pass
 
     def binding_for(self, sid: Sid) -> Optional[SwapStore]:
         """The primary store holding a swapped cluster (None if resident)."""

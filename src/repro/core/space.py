@@ -43,6 +43,7 @@ from repro.events import (
 from repro.ids import IdSpace, Oid, ROOT_SID, Sid
 from repro.memory.heap import Heap
 from repro.memory.sizemodel import DEFAULT_SIZE_MODEL, SizeModel
+from repro.runtime.barrier import MUTABLE_CONTAINERS
 from repro.runtime.classext import instance_fields
 from repro.runtime.registry import TypeRegistry, global_registry
 
@@ -476,6 +477,13 @@ class Space:
         cls = type(value)
         if cls in _ATOMIC:
             return value
+        if cls in MUTABLE_CONTAINERS:
+            # a mutable container escaping its cluster may be mutated by
+            # the receiver without any interceptable write: conservatively
+            # invalidate the owning cluster's clean payload
+            cluster = proxy._obi_cluster
+            if not cluster.dirty:
+                cluster.mark_dirty()
         to_sid = proxy._obi_source_sid
         if getattr(cls, "_obi_managed", False):
             value_sid = getattr(value, "_obi_sid", None)
@@ -629,6 +637,9 @@ class Space:
         if not getattr(type(owner), "_obi_managed", False):
             raise NotManagedError("attach() owner must be managed")
         _object_setattr(owner, field, self._translate(value, owner._obi_sid))
+        owner_cluster = self._clusters.get(owner._obi_sid)
+        if owner_cluster is not None:
+            owner_cluster.mark_dirty()
         self.heap.resize(owner._obi_oid, self.size_model.size_of(owner))
 
     # ------------------------------------------------------------------ swapping facade

@@ -42,6 +42,12 @@ class SwapCluster:
         "swap_out_count",
         "swap_in_count",
         "created_tick",
+        "dirty",
+        "clean_digest",
+        "clean_key",
+        "clean_epoch",
+        "clean_xml_bytes",
+        "clean_outbound",
     )
 
     def __init__(self, sid: Sid, created_tick: int = 0) -> None:
@@ -65,6 +71,19 @@ class SwapCluster:
         self.swap_out_count = 0
         self.swap_in_count = 0
         self.created_tick = created_tick
+        #: Dirty-tracking for the swap fast path: a cluster is *clean*
+        #: when its members are byte-identical to the last serialized
+        #: payload (``clean_digest``).  New clusters are dirty; the
+        #: write barrier and the proxy layer flip the bit on mutation.
+        self.dirty = True
+        self.clean_digest: Optional[str] = None
+        self.clean_key: Optional[str] = None
+        self.clean_epoch: Optional[int] = None
+        self.clean_xml_bytes: int = 0
+        #: Outbound proxies in serialization order, retained while clean
+        #: so a clean swap-out can rebuild its replacement-object array
+        #: without re-encoding.  Only populated when the fast path is on.
+        self.clean_outbound: Optional[List] = None
 
     # -- state predicates ----------------------------------------------------
 
@@ -93,13 +112,45 @@ class SwapCluster:
                 f"swap-cluster {self.sid} is pinned ({self.pins} holders)"
             )
 
+    # -- dirty tracking ---------------------------------------------------------
+
+    def mark_dirty(self) -> None:
+        """The serialized payload (if any) no longer matches the members."""
+        if self.dirty:
+            return
+        self.dirty = True
+        self.clean_digest = None
+        self.clean_key = None
+        self.clean_epoch = None
+        self.clean_xml_bytes = 0
+        self.clean_outbound = None
+
+    def mark_clean(
+        self,
+        *,
+        digest: str,
+        key: str,
+        epoch: int,
+        xml_bytes: int,
+        outbound: List,
+    ) -> None:
+        """Record that the members match the payload identified by ``digest``."""
+        self.dirty = False
+        self.clean_digest = digest
+        self.clean_key = key
+        self.clean_epoch = epoch
+        self.clean_xml_bytes = xml_bytes
+        self.clean_outbound = outbound
+
     # -- membership ------------------------------------------------------------
 
     def add_member(self, oid: Oid, class_name: str) -> None:
+        self.mark_dirty()
         self.oids.add(oid)
         self.class_name_by_oid[oid] = class_name
 
     def remove_member(self, oid: Oid) -> None:
+        self.mark_dirty()
         self.oids.discard(oid)
         self.class_name_by_oid.pop(oid, None)
 

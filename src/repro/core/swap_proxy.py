@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Any, Dict, Tuple
 
 from repro.core.replacement import ReplacementObject
+from repro.runtime.barrier import MUTABLE_CONTAINERS
 
 _object_setattr = object.__setattr__
 
@@ -116,6 +117,21 @@ class SwapClusterProxyBase:
         cluster = self._obi_cluster
         cluster.crossings += 1
         cluster.last_crossing_tick = tick
+        if not cluster.dirty and not getattr(
+            getattr(target.__class__, name, None), "_obi_readonly", False
+        ):
+            # conservative dirty-tracking: a non-@readonly method may
+            # mutate the target cluster without any field write
+            cluster.mark_dirty()
+        if args or kwargs:
+            # a mutable container handed across the boundary may later be
+            # mutated by the callee: invalidate the *source* cluster too
+            for value in args if not kwargs else (*args, *kwargs.values()):
+                if value.__class__ in MUTABLE_CONTAINERS:
+                    source = space._clusters.get(self._obi_source_sid)
+                    if source is not None and not source.dirty:
+                        source.mark_dirty()
+                    break
         if args:
             args = tuple(space._translate(value, target_sid) for value in args)
         if kwargs:

@@ -18,11 +18,19 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.comm.transport import Link
+from repro.comm.transport import (
+    Link,
+    SUPPORTED_COMPRESSIONS,
+    compress_payload,
+    decompress_payload,
+)
 from repro.comm.webservice import WebServiceEndpoint
 from repro.errors import StoreFullError, TransportError, UnknownKeyError
+
+#: Cost of a key-probe / drop round trip: a control message, not a payload.
+CONTROL_MESSAGE_BYTES = 64
 
 
 class InMemoryStore:
@@ -48,6 +56,9 @@ class InMemoryStore:
     def drop(self, key: str) -> None:
         self._data.pop(key, None)
 
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
     def has_room(self, nbytes: int) -> bool:
         return True
 
@@ -59,7 +70,15 @@ class InMemoryStore:
 
 
 class XmlStoreDevice:
-    """A nearby device with bounded storage behind an optional link."""
+    """A nearby device with bounded storage behind an optional link.
+
+    Entries are kept as the bytes that actually travelled (compressed
+    when a codec was negotiated), so capacity accounting reflects the
+    store's real footprint; :meth:`fetch` transparently decompresses.
+    """
+
+    #: Codecs this store can accept, best first (compression negotiation).
+    supported_compressions: Tuple[str, ...] = SUPPORTED_COMPRESSIONS
 
     def __init__(
         self,
@@ -72,7 +91,8 @@ class XmlStoreDevice:
         self._device_id = device_id
         self.capacity = capacity
         self._link = link
-        self._data: Dict[str, str] = {}
+        #: key -> (stored bytes, compression codec or None)
+        self._data: Dict[str, Tuple[bytes, Optional[str]]] = {}
         self._used = 0
 
     # -- SwapStore protocol ----------------------------------------------------
@@ -82,36 +102,76 @@ class XmlStoreDevice:
         return self._device_id
 
     def store(self, key: str, xml_text: str) -> None:
-        nbytes = len(xml_text.encode("utf-8"))
-        self._carry(nbytes)
-        previous = self._data.get(key)
-        delta = nbytes - (len(previous.encode("utf-8")) if previous else 0)
-        if self._used + delta > self.capacity:
-            raise StoreFullError(
-                f"{self._device_id}: {nbytes} bytes exceed free space "
-                f"({self.capacity - self._used} of {self.capacity})"
+        data = xml_text.encode("utf-8")
+        self._carry(len(data))
+        self._put(key, data, None)
+
+    def store_stream(
+        self,
+        key: str,
+        frames: Iterable[bytes],
+        compression: Optional[str] = None,
+    ) -> None:
+        """Receive a payload as a batch of frames over one connection.
+
+        ``frames`` already carry the negotiated ``compression``; the link
+        (when batching-capable) charges one latency for the whole batch
+        instead of one per frame.
+        """
+        frame_list = [bytes(frame) for frame in frames]
+        if self._link is not None:
+            batch = getattr(self._link, "transfer_batch", None)
+            if batch is not None:
+                batch([len(frame) for frame in frame_list])
+            else:
+                for frame in frame_list:
+                    self._link.transfer(len(frame))
+        data = b"".join(frame_list)
+        if compression is not None and compression not in self.supported_compressions:
+            raise TransportError(
+                f"{self._device_id}: unsupported compression {compression!r}"
             )
-        self._data[key] = xml_text
-        self._used += delta
+        self._put(key, data, compression)
 
     def fetch(self, key: str) -> str:
         try:
-            text = self._data[key]
+            data, compression = self._data[key]
         except KeyError:
             raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
-        self._carry(len(text.encode("utf-8")))
-        return text
+        self._carry(len(data))
+        return decompress_payload(data, compression)
 
     def drop(self, key: str) -> None:
-        self._carry(64)  # a control message, not a payload
-        text = self._data.pop(key, None)
-        if text is not None:
-            self._used -= len(text.encode("utf-8"))
+        self._carry(CONTROL_MESSAGE_BYTES)
+        entry = self._data.pop(key, None)
+        if entry is not None:
+            self._used -= len(entry[0])
+
+    def contains(self, key: str) -> bool:
+        """Key probe: a cheap control round trip, no payload on the link.
+
+        This is what makes a metadata-only swap-out of a *clean* cluster
+        possible — the manager verifies the store still holds the payload
+        without shipping it again.
+        """
+        self._carry(CONTROL_MESSAGE_BYTES)
+        return key in self._data
 
     def has_room(self, nbytes: int) -> bool:
         if self._link is not None and not self._link.is_up:
             raise TransportError(f"{self._device_id}: link down")
         return self._used + nbytes <= self.capacity
+
+    def _put(self, key: str, data: bytes, compression: Optional[str]) -> None:
+        previous = self._data.get(key)
+        delta = len(data) - (len(previous[0]) if previous else 0)
+        if self._used + delta > self.capacity:
+            raise StoreFullError(
+                f"{self._device_id}: {len(data)} bytes exceed free space "
+                f"({self.capacity - self._used} of {self.capacity})"
+            )
+        self._data[key] = (data, compression)
+        self._used += delta
 
     # -- extras ----------------------------------------------------------------------
 
@@ -153,24 +213,19 @@ class XmlStoreDevice:
 
     # endpoint variants skip the link (the web-service client charges it)
     def _store_direct(self, key: str, text: str) -> None:
-        nbytes = len(text.encode("utf-8"))
-        previous = self._data.get(key)
-        delta = nbytes - (len(previous.encode("utf-8")) if previous else 0)
-        if self._used + delta > self.capacity:
-            raise StoreFullError(f"{self._device_id}: store full")
-        self._data[key] = text
-        self._used += delta
+        self._put(key, text.encode("utf-8"), None)
 
     def _fetch_direct(self, key: str) -> str:
         try:
-            return self._data[key]
+            data, compression = self._data[key]
         except KeyError:
             raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+        return decompress_payload(data, compression)
 
     def _drop_direct(self, key: str) -> None:
-        text = self._data.pop(key, None)
-        if text is not None:
-            self._used -= len(text.encode("utf-8"))
+        entry = self._data.pop(key, None)
+        if entry is not None:
+            self._used -= len(entry[0])
 
     def _carry(self, nbytes: int) -> None:
         if self._link is not None:
@@ -217,6 +272,10 @@ class FileStore:
         path = self._paths.pop(key, self._directory / _safe_filename(key))
         if path.exists():
             path.unlink()
+
+    def contains(self, key: str) -> bool:
+        path = self._paths.get(key, self._directory / _safe_filename(key))
+        return path.exists()
 
     def has_room(self, nbytes: int) -> bool:
         return True

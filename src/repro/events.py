@@ -133,6 +133,22 @@ class SwapOutEvent(Event):
 
 
 @dataclass(frozen=True)
+class SwapFastPathEvent(Event):
+    """A clean cluster took the swap fast path instead of a full encode.
+
+    ``tier`` is ``"noop"`` (a retained store copy was verified with a
+    key probe; nothing shipped) or ``"reship"`` (the cached canonical
+    payload was shipped without re-encoding).
+    """
+
+    topic = "swap.fastpath"
+    space: str
+    sid: int
+    tier: str
+    key: str
+
+
+@dataclass(frozen=True)
 class SwapInEvent(Event):
     topic = "swap.in"
     space: str
@@ -391,6 +407,7 @@ __all__ = [
     "ClusterReplicatedEvent",
     "ObjectFaultEvent",
     "SwapOutEvent",
+    "SwapFastPathEvent",
     "SwapInEvent",
     "SwapDroppedEvent",
     "SwapClusterMergedEvent",

@@ -34,6 +34,19 @@ class FlakyLink:
             raise TransportError("injected: transient link failure")
         return spike + self._inner.transfer(nbytes)
 
+    def transfer_batch(self, sizes: Any) -> float:
+        # defined explicitly (not via __getattr__) so batched transfers
+        # face the same injected faults as single ones
+        injector = self._injector
+        if injector.in_down_window():
+            injector.stats.window_denials += 1
+            raise TransportError("injected: link in down window")
+        spike = injector.charge_latency()
+        if injector.roll(injector.plan.link_failure_rate):
+            injector.stats.link_faults += 1
+            raise TransportError("injected: transient link failure")
+        return spike + self._inner.transfer_batch(sizes)
+
     @property
     def is_up(self) -> bool:
         if self._injector.in_down_window():
@@ -112,6 +125,36 @@ class FlakyStore:
             injector.stats.probe_faults += 1
             raise TransportError(f"injected: {self.device_id} probe failed")
         return self._inner.has_room(nbytes)
+
+    def store_stream(self, key: str, frames: Any, compression: Any = None) -> None:
+        # same fault surface as store(): down window, mid-payload
+        # interruption (a truncated batch lands), transient failure
+        injector = self._injector
+        self._gate()
+        injector.charge_latency()
+        frame_list = [bytes(frame) for frame in frames]
+        if injector.roll(injector.plan.interruption_rate):
+            injector.stats.interruptions += 1
+            truncated = frame_list[: max(1, len(frame_list) // 2)]
+            try:
+                self._inner.store_stream(key, truncated, compression)
+            except Exception:
+                pass  # the partial batch may itself be undecodable
+            raise TransportError(
+                f"injected: transfer to {self.device_id} interrupted mid-batch"
+            )
+        if injector.roll(injector.plan.store_failure_rate):
+            injector.stats.store_faults += 1
+            raise TransportError(f"injected: store to {self.device_id} failed")
+        self._inner.store_stream(key, frame_list, compression)
+
+    def contains(self, key: str) -> bool:
+        injector = self._injector
+        self._gate()
+        if injector.roll(injector.plan.probe_failure_rate):
+            injector.stats.probe_faults += 1
+            raise TransportError(f"injected: {self.device_id} probe failed")
+        return self._inner.contains(key)
 
     # -- extras ------------------------------------------------------------
 

@@ -33,7 +33,7 @@ from repro.errors import SyncConflictError, SyncError
 from repro.events import ClusterReplicatedEvent
 from repro.replication.server import PushResult, parse_replica_document
 from repro.runtime.classext import instance_fields
-from repro.wire.canonical import payload_digest
+from repro.wire.canonical import element_digest
 from repro.wire.wrappers import encode_value
 
 _object_setattr = object.__setattr__
@@ -245,7 +245,8 @@ class ReplicaSync:
         body = ET.Element("push-body", {"cid": str(cid)})
         for element in self._object_elements(cid):
             body.append(element)
-        return payload_digest(ET.tostring(body, encoding="unicode"))
+        # hash the tree directly: no serialize -> parse -> re-serialize pass
+        return element_digest(body)
 
     def _build_push_document(self, root_name: str, cid: int) -> str:
         document = ET.Element(

@@ -9,6 +9,7 @@ decorator extracts a :class:`ClassSchema`, registers the class, and the
 proxy class is compiled lazily on first use.
 """
 
+from repro.runtime.barrier import install_write_barrier, readonly
 from repro.runtime.classext import ClassSchema, extract_schema, is_managed, is_proxy
 from repro.runtime.registry import TypeRegistry, global_registry
 from repro.runtime.obicomp import managed, compile_proxy_class
@@ -22,4 +23,6 @@ __all__ = [
     "global_registry",
     "managed",
     "compile_proxy_class",
+    "readonly",
+    "install_write_barrier",
 ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 import functools
 from typing import Any, Callable, Optional, Type, TypeVar, overload
 
+from repro.runtime.barrier import install_write_barrier, is_readonly_method
 from repro.runtime.classext import extract_schema
 from repro.runtime.registry import TypeRegistry, global_registry
 
@@ -65,6 +66,7 @@ def managed(
                 f"(_obi_oid, _obi_sid, _obi_space) in the instance dict"
             )
         schema = extract_schema(klass, size_hint=size)
+        install_write_barrier(klass)
         klass._obi_managed = True  # type: ignore[attr-defined]
         klass._obi_size_hint = size  # type: ignore[attr-defined]
         klass._obi_schema = schema  # type: ignore[attr-defined]
@@ -114,7 +116,9 @@ def _make_forwarding_method(cls: Type[Any], name: str) -> Callable[..., Any]:
         for parameter in exact_params
     )
     if safe_params and name.isidentifier() and not name.startswith("__"):
-        method = _compile_inline_forwarder(name, exact_params)
+        method = _compile_inline_forwarder(
+            name, exact_params, readonly=is_readonly_method(cls, name)
+        )
     else:
         def method(self: Any, *args: Any, **kwargs: Any) -> Any:
             return self._obi_invoke(name, args, kwargs)
@@ -144,6 +148,7 @@ def {name}(self{params}):
     _cluster = self._obi_cluster
     _cluster.crossings += 1
     _cluster.last_crossing_tick = _tick
+{mark_dirty}\
 {arg_translations}\
     _result = _target.{name}({args})
     _result_class = _result.__class__
@@ -164,18 +169,34 @@ def {name}(self{params}):
 
 _ARG_TRANSLATION = (
     "    if {arg}.__class__ not in _ATOMIC:\n"
+    "        if {arg}.__class__ in _MUTABLE:\n"
+    "            _src = _space._clusters.get(self._obi_source_sid)\n"
+    "            if _src is not None and not _src.dirty:\n"
+    "                _src.mark_dirty()\n"
     "        {arg} = _space._translate({arg}, self._obi_target_sid)\n"
 )
 
+# Conservative dirty-tracking: a non-@readonly method may mutate its
+# target cluster; the write barrier catches field writes, this catches
+# in-place container mutation the barrier cannot see.
+_MARK_DIRTY = (
+    "    if not _cluster.dirty:\n"
+    "        _cluster.mark_dirty()\n"
+)
 
-def _compile_inline_forwarder(name: str, params: list) -> Callable[..., Any]:
+
+def _compile_inline_forwarder(
+    name: str, params: list, readonly: bool = False
+) -> Callable[..., Any]:
     from repro.core.replacement import ReplacementObject
     from repro.core.swap_proxy import _ATOMIC_RESULTS
+    from repro.runtime.barrier import MUTABLE_CONTAINERS
 
     source = _INLINE_TEMPLATE.format(
         name=name,
         params="".join(f", {parameter}" for parameter in params),
         args=", ".join(params),
+        mark_dirty="" if readonly else _MARK_DIRTY,
         arg_translations="".join(
             _ARG_TRANSLATION.format(arg=parameter) for parameter in params
         ),
@@ -183,6 +204,7 @@ def _compile_inline_forwarder(name: str, params: list) -> Callable[..., Any]:
     namespace: dict[str, Any] = {
         "_Replacement": ReplacementObject,
         "_ATOMIC": _ATOMIC_RESULTS,
+        "_MUTABLE": MUTABLE_CONTAINERS,
         "_setattr": object.__setattr__,
         "getattr": getattr,
     }

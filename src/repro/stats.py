@@ -55,6 +55,12 @@ class SpaceTelemetry:
     circuit_opens: int = 0
     degraded_swaps: int = 0
     journal_recoveries: int = 0
+    # -- fast-path counters (zero while the fast path is disabled) --
+    encode_calls: int = 0
+    fastpath_noops: int = 0
+    fastpath_reships: int = 0
+    swapin_cache_hits: int = 0
+    payload_cache_bytes: int = 0
 
     def resident_clusters(self) -> List[ClusterTelemetry]:
         return [record for record in self.clusters if record.state == "resident"]
@@ -118,6 +124,15 @@ def snapshot(space: Any) -> SpaceTelemetry:
         circuit_opens=stats.circuit_opens,
         degraded_swaps=stats.degraded_swaps,
         journal_recoveries=stats.journal_recoveries,
+        encode_calls=stats.encode_calls,
+        fastpath_noops=stats.fastpath_noops,
+        fastpath_reships=stats.fastpath_reships,
+        swapin_cache_hits=stats.swapin_cache_hits,
+        payload_cache_bytes=(
+            manager.fastpath.cache.used_bytes
+            if getattr(manager, "fastpath", None) is not None
+            else 0
+        ),
     )
 
 
@@ -153,6 +168,19 @@ def format_report(telemetry: SpaceTelemetry) -> str:
             f"{telemetry.circuit_opens} circuit-opens, "
             f"{telemetry.degraded_swaps} degraded, "
             f"{telemetry.journal_recoveries} journal recoveries"
+        )
+    if (
+        telemetry.fastpath_noops
+        or telemetry.fastpath_reships
+        or telemetry.swapin_cache_hits
+        or telemetry.payload_cache_bytes
+    ):
+        lines.append(
+            f"  fast path: {telemetry.fastpath_noops} no-ops, "
+            f"{telemetry.fastpath_reships} re-ships, "
+            f"{telemetry.swapin_cache_hits} cached reloads; "
+            f"{telemetry.encode_calls} encodes, "
+            f"cache {telemetry.payload_cache_bytes} B"
         )
     for record in telemetry.clusters:
         label = "sc-0 (roots)" if record.sid == ROOT_SID else f"sc-{record.sid}"

@@ -18,10 +18,18 @@ from repro.wire.xmlcodec import (
     OutRef,
     LocalRef,
     encode_cluster,
+    encode_cluster_canonical,
+    encode_cluster_stream,
     decode_cluster,
 )
 from repro.wire.wrappers import encode_value, decode_value
-from repro.wire.canonical import canonical_text, payload_digest
+from repro.wire.canonical import (
+    canonical_text,
+    digest_of_canonical,
+    element_digest,
+    payload_digest,
+    verify_payload,
+)
 from repro.wire.schema import (
     ensure_valid_cluster,
     validate_cluster_text,
@@ -33,11 +41,16 @@ __all__ = [
     "OutRef",
     "LocalRef",
     "encode_cluster",
+    "encode_cluster_canonical",
+    "encode_cluster_stream",
     "decode_cluster",
     "encode_value",
     "decode_value",
     "canonical_text",
+    "digest_of_canonical",
+    "element_digest",
     "payload_digest",
+    "verify_payload",
     "ensure_valid_cluster",
     "validate_cluster_text",
     "VALUE_TAGS",

@@ -34,6 +34,63 @@ def payload_digest(xml_text: str) -> str:
     return hashlib.sha256(canonical_text(xml_text).encode("utf-8")).hexdigest()
 
 
+def digest_of_canonical(canonical: str) -> str:
+    """Digest of text that is *already* canonical (no parse, no re-serialize).
+
+    The streaming encoder (:func:`repro.wire.xmlcodec.encode_cluster_stream`)
+    emits canonical text directly, so its digest is a single raw hash —
+    this is the fast-path counterpart of :func:`payload_digest`.
+    """
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def element_digest(element: ET.Element) -> str:
+    """Digest of an element tree without the serialize/parse round trip.
+
+    Strips insignificant whitespace in place (idempotent, semantics-
+    preserving), then hashes the canonical serialization.
+    """
+    _strip_whitespace(element)
+    return hashlib.sha256(_serialize(element).encode("utf-8")).hexdigest()
+
+
+def verify_payload(xml_text: str, expected_digest: str) -> bool:
+    """Check ``xml_text`` against ``expected_digest``, cheaply when possible.
+
+    Payloads produced by the one-pass encoder are already canonical, so a
+    raw hash usually matches outright; only foreign/pretty-printed text
+    pays for the full canonicalization pass.
+    """
+    if digest_of_canonical(xml_text) == expected_digest:
+        return True
+    try:
+        return payload_digest(xml_text) == expected_digest
+    except CodecError:
+        return False
+
+
+def canonical_open_tag(tag: str, attrib: dict) -> str:
+    """Open tag with canonical (sorted) attribute order.
+
+    Lets streaming encoders emit a document's root incrementally while
+    staying byte-identical to :func:`canonical_text` of the full text.
+    """
+    attributes = "".join(
+        f' {name}="{_escape_attr(value)}"' for name, value in sorted(attrib.items())
+    )
+    return f"<{tag}{attributes}>"
+
+
+def serialize_element(element: ET.Element) -> str:
+    """Serialize one element in canonical form (sorted attributes).
+
+    Public entry point for encoders that build canonical documents
+    incrementally; ``canonical_text(serialize_element(e))`` is the
+    identity for whitespace-free trees.
+    """
+    return _serialize(element)
+
+
 def _strip_whitespace(element: ET.Element) -> None:
     if element.text is not None and not element.text.strip() and len(element):
         element.text = None

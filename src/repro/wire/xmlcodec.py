@@ -21,13 +21,15 @@ alive while the cluster is away, and reload reconnects by index.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Tuple
 from xml.etree import ElementTree as ET
 
 from repro.errors import CodecError, IntegrityError
 from repro.runtime.classext import instance_fields, is_managed, is_proxy
 from repro.runtime.registry import TypeRegistry
+from repro.wire.canonical import canonical_open_tag, serialize_element
 from repro.wire.wrappers import decode_value, encode_value
 
 
@@ -73,6 +75,71 @@ def encode_cluster(
     graph has no proxies, so its frontier edges are raw.  Without it, a
     raw foreign reference raises :class:`IntegrityError`: on a device
     such an edge should have been a swap-cluster-proxy.
+
+    The returned text is *canonical* (see :mod:`repro.wire.canonical`):
+    re-hashing it raw equals its :func:`~repro.wire.canonical.
+    payload_digest`, with no parse/re-serialize round trip.
+    """
+    text, _digest = encode_cluster_canonical(
+        sid=sid,
+        space=space,
+        epoch=epoch,
+        objects=objects,
+        oid_of=oid_of,
+        outbound_index_of=outbound_index_of,
+        foreign_index_of=foreign_index_of,
+    )
+    return text
+
+
+def encode_cluster_canonical(
+    *,
+    sid: int,
+    space: str,
+    epoch: int,
+    objects: Dict[int, Any],
+    oid_of: Callable[[Any], int],
+    outbound_index_of: Callable[[Any], int],
+    foreign_index_of: Callable[[Any], int] | None = None,
+) -> Tuple[str, str]:
+    """One-pass encode: canonical text plus its digest, hashed incrementally.
+
+    Replaces the old encode → parse → canonicalize → re-serialize → hash
+    pipeline with a single traversal; the digest is computed over the
+    chunks as they are produced.
+    """
+    hasher = hashlib.sha256()
+    parts: List[str] = []
+    for chunk in encode_cluster_stream(
+        sid=sid,
+        space=space,
+        epoch=epoch,
+        objects=objects,
+        oid_of=oid_of,
+        outbound_index_of=outbound_index_of,
+        foreign_index_of=foreign_index_of,
+    ):
+        hasher.update(chunk.encode("utf-8"))
+        parts.append(chunk)
+    return "".join(parts), hasher.hexdigest()
+
+
+def encode_cluster_stream(
+    *,
+    sid: int,
+    space: str,
+    epoch: int,
+    objects: Dict[int, Any],
+    oid_of: Callable[[Any], int],
+    outbound_index_of: Callable[[Any], int],
+    foreign_index_of: Callable[[Any], int] | None = None,
+) -> Iterator[str]:
+    """Yield the canonical document in chunks: root open tag, one chunk
+    per member object, closing tag.
+
+    Chunks concatenate to exactly :func:`encode_cluster`'s output, so a
+    transport can frame/ship them without ever materializing the whole
+    document alongside a second serialized copy.
     """
     member_ids = set(objects)
 
@@ -97,15 +164,17 @@ def encode_cluster(
             return ("local", oid)
         return None
 
-    root = ET.Element(
-        "swap-cluster",
-        {
-            "sid": str(sid),
-            "space": space,
-            "epoch": str(epoch),
-            "count": str(len(objects)),
-        },
-    )
+    attrib = {
+        "sid": str(sid),
+        "space": space,
+        "epoch": str(epoch),
+        "count": str(len(objects)),
+    }
+    if not objects:
+        # canonical form of an empty element is self-closing
+        yield canonical_open_tag("swap-cluster", attrib)[:-1] + "/>"
+        return
+    yield canonical_open_tag("swap-cluster", attrib)
     for oid in sorted(objects):
         obj = objects[oid]
         schema = getattr(type(obj), "_obi_schema", None)
@@ -113,13 +182,12 @@ def encode_cluster(
             raise CodecError(
                 f"object oid={oid} of type {type(obj).__name__} is not @managed"
             )
-        obj_el = ET.SubElement(
-            root, "object", {"oid": str(oid), "class": schema.name}
-        )
+        obj_el = ET.Element("object", {"oid": str(oid), "class": schema.name})
         for name, value in instance_fields(obj).items():
             field_el = ET.SubElement(obj_el, "field", {"name": name})
             field_el.append(encode_value(value, classify))
-    return ET.tostring(root, encoding="unicode")
+        yield serialize_element(obj_el)
+    yield "</swap-cluster>"
 
 
 def decode_cluster(

@@ -1,0 +1,136 @@
+"""Link batching and compression negotiation."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import (
+    FRAME_OVERHEAD_BYTES,
+    SUPPORTED_COMPRESSIONS,
+    LoopbackLink,
+    bluetooth_link,
+    chunk_text,
+    compress_payload,
+    decompress_payload,
+    negotiate_compression,
+)
+from repro.errors import TransportError
+
+
+# -- chunking -------------------------------------------------------------
+
+
+def test_chunk_text_joins_back():
+    text = "payload-" * 700
+    frames = chunk_text(text, 256)
+    assert all(len(frame) <= 256 for frame in frames)
+    assert b"".join(frames).decode("utf-8") == text
+
+
+def test_chunk_text_empty_and_exact():
+    assert chunk_text("", 64) == []
+    frames = chunk_text("x" * 128, 64)
+    assert [len(frame) for frame in frames] == [64, 64]
+
+
+def test_chunk_text_requires_positive_frame_size():
+    with pytest.raises(ValueError):
+        chunk_text("x", 0)
+
+
+# -- negotiation ----------------------------------------------------------
+
+
+def test_negotiation_picks_first_mutual_codec():
+    assert negotiate_compression(("a", "b"), ("b", "c")) == "b"
+    assert negotiate_compression(("b", "a"), ("a", "b")) == "b"  # our order
+
+
+def test_negotiation_falls_back_to_plain():
+    assert negotiate_compression(("zlib",), ()) is None
+    assert negotiate_compression(("zlib",), None) is None  # legacy store
+    assert negotiate_compression(("zlib",), ("lzma",)) is None
+    assert negotiate_compression((), ("zlib",)) is None
+
+
+def test_zlib_is_supported():
+    assert "zlib" in SUPPORTED_COMPRESSIONS
+
+
+# -- compression ----------------------------------------------------------
+
+
+def test_compress_roundtrip():
+    text = "<swap-cluster>" + "abc" * 500 + "</swap-cluster>"
+    data = compress_payload(text, "zlib")
+    assert len(data) < len(text.encode("utf-8"))
+    assert decompress_payload(data, "zlib") == text
+
+
+def test_plain_codec_is_passthrough():
+    assert compress_payload("héllo", None) == "héllo".encode("utf-8")
+    assert decompress_payload("héllo".encode("utf-8"), None) == "héllo"
+
+
+def test_corrupt_zlib_payload_raises_transport_error():
+    with pytest.raises(TransportError):
+        decompress_payload(b"not zlib at all", "zlib")
+
+
+def test_unknown_codec_raises_transport_error():
+    with pytest.raises(TransportError):
+        compress_payload("x", "lzma")
+    with pytest.raises(TransportError):
+        decompress_payload(b"x", "lzma")
+
+
+# -- batched transfers ----------------------------------------------------
+
+
+def test_batch_pays_latency_once():
+    clock = SimulatedClock()
+    link = bluetooth_link(clock)
+    sizes = [1000, 1000, 500]
+    expected = link.latency_s + (
+        (sum(sizes) + FRAME_OVERHEAD_BYTES * len(sizes)) * 8
+    ) / link.bandwidth_bps
+    assert link.batch_transfer_time(sizes) == pytest.approx(expected)
+    # versus three separate connections: two extra latencies
+    individual = sum(link.transfer_time(nbytes) for nbytes in sizes)
+    saved = individual - link.batch_transfer_time(sizes)
+    assert saved == pytest.approx(
+        2 * link.latency_s - (3 * FRAME_OVERHEAD_BYTES * 8) / link.bandwidth_bps
+    )
+
+
+def test_transfer_batch_charges_clock_and_stats():
+    clock = SimulatedClock()
+    link = bluetooth_link(clock)
+    sizes = [100, 200, 300]
+    elapsed = link.transfer_batch(sizes)
+    assert clock.now() == pytest.approx(elapsed)
+    assert elapsed == pytest.approx(link.batch_transfer_time(sizes))
+    assert link.stats.transfers == 1  # one connection...
+    assert link.stats.frames == 3  # ...carrying three frames
+    assert link.stats.bytes_carried == 600 + 3 * FRAME_OVERHEAD_BYTES
+
+
+def test_single_transfer_counts_one_frame():
+    clock = SimulatedClock()
+    link = bluetooth_link(clock)
+    link.transfer(100)
+    assert link.stats.transfers == 1
+    assert link.stats.frames == 1
+
+
+def test_transfer_batch_refuses_down_link():
+    clock = SimulatedClock()
+    link = bluetooth_link(clock)
+    link.fail()
+    with pytest.raises(TransportError):
+        link.transfer_batch([10, 10])
+
+
+def test_loopback_batch_is_free():
+    link = LoopbackLink()
+    assert link.transfer_batch([100, 200]) == 0.0
+    assert link.is_up

@@ -1,0 +1,246 @@
+"""Dirty tracking: the write barrier, conservative proxy rules, readonly."""
+
+import pytest
+
+from repro import managed
+from repro.core.fastpath import FastPathConfig
+from repro.runtime import readonly
+from tests.helpers import Node, Pair, build_chain, chain_values, make_space
+
+
+@managed
+class Gauge:
+    """Local class exercising the @readonly exemption."""
+
+    def __init__(self) -> None:
+        self.level = 0
+
+    @readonly
+    def peek(self) -> int:
+        return self.level
+
+    def raise_level(self) -> int:
+        self.level += 1
+        return self.level
+
+    @readonly
+    def sneaky(self) -> int:
+        # wrongly annotated: performs a field write inside @readonly;
+        # the write barrier must still catch it
+        self.level = 99
+        return self.level
+
+
+@managed
+class Box:
+    """Exposes a mutable container through a @readonly method."""
+
+    def __init__(self) -> None:
+        self.items = [1, 2, 3]
+
+    @readonly
+    def contents(self) -> list:
+        return self.items
+
+
+def _fast_space(**config):
+    space = make_space()
+    space.manager.enable_fastpath(FastPathConfig(**config))
+    return space
+
+
+def _cycle(space, sid):
+    space.swap_out(sid)
+    space.swap_in(sid)
+
+
+def _ingest_chain(space, n=20, cluster_size=5):
+    return space.ingest(build_chain(n), cluster_size=cluster_size, root_name="h")
+
+
+def _raw_member(space, sid):
+    return space._objects[min(space.clusters()[sid].oids)]
+
+
+def _sid_of_class(space, class_name):
+    for sid, cluster in space.clusters().items():
+        if class_name in cluster.class_name_by_oid.values():
+            return sid
+    raise AssertionError(f"no cluster holds a {class_name}")
+
+
+# -- basics --------------------------------------------------------------
+
+
+def test_fresh_clusters_start_dirty(space):
+    _ingest_chain(space)
+    assert all(cluster.dirty for cluster in space.clusters().values())
+
+
+def test_swap_cycle_marks_clean_under_fastpath():
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 2)
+    cluster = space.clusters()[2]
+    assert not cluster.dirty
+    assert cluster.clean_digest is not None
+    assert cluster.clean_key is not None
+    assert cluster.clean_epoch == cluster.epoch
+    assert cluster.clean_outbound is not None
+
+
+def test_swap_cycle_without_fastpath_stays_dirty(space):
+    _ingest_chain(space)
+    _cycle(space, 2)
+    assert space.clusters()[2].dirty
+
+
+def test_direct_field_write_dirties():
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 2)
+    node = _raw_member(space, 2)
+    node.value = 777
+    cluster = space.clusters()[2]
+    assert cluster.dirty
+    assert cluster.clean_digest is None
+    assert cluster.clean_key is None
+    assert cluster.clean_outbound is None
+
+
+def test_bookkeeping_writes_do_not_dirty():
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 2)
+    node = _raw_member(space, 2)
+    object.__setattr__(node, "value", 777)  # middleware-style bypass
+    node._obi_scratch = "x"  # _obi_-prefixed: never semantic
+    assert not space.clusters()[2].dirty
+
+
+# -- proxy-mediated mutation ---------------------------------------------
+
+
+def test_mutating_method_through_proxy_dirties_target():
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 2)
+    proxy = space._proxy_for(0, min(space.clusters()[2].oids))
+    proxy.set_value(41)
+    assert space.clusters()[2].dirty
+
+
+def test_plain_getter_through_proxy_dirties_conservatively():
+    # Node.get_value is not @readonly: the conservative rule applies
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 2)
+    proxy = space._proxy_for(0, min(space.clusters()[2].oids))
+    proxy.get_value()
+    assert space.clusters()[2].dirty
+
+
+def test_readonly_method_does_not_dirty():
+    space = _fast_space()
+    handle = space.ingest(Pair(Gauge()), cluster_size=1, root_name="p")
+    gauge_proxy = handle.get_left()
+    sid = _sid_of_class(space, "Gauge")
+    _cycle(space, sid)
+    assert not space.clusters()[sid].dirty
+    assert gauge_proxy.peek() == 0
+    assert not space.clusters()[sid].dirty
+    gauge_proxy.raise_level()
+    assert space.clusters()[sid].dirty
+
+
+def test_field_write_inside_readonly_method_still_caught():
+    space = _fast_space()
+    handle = space.ingest(Pair(Gauge()), cluster_size=1, root_name="p")
+    gauge_proxy = handle.get_left()
+    sid = _sid_of_class(space, "Gauge")
+    _cycle(space, sid)
+    assert gauge_proxy.sneaky() == 99
+    assert space.clusters()[sid].dirty
+
+
+def test_container_argument_dirties_source_and_target():
+    space = _fast_space()
+    _ingest_chain(space)
+    for sid in (1, 2):
+        _cycle(space, sid)
+    proxy = space._proxy_for(1, min(space.clusters()[2].oids))
+    proxy.identity_of([1, 2])  # a list crosses the 1 -> 2 boundary
+    assert space.clusters()[1].dirty  # callee may retain and mutate it
+    assert space.clusters()[2].dirty
+
+
+def test_container_return_dirties_even_from_readonly_method():
+    space = _fast_space()
+    handle = space.ingest(Pair(Box()), cluster_size=1, root_name="p")
+    box_proxy = handle.get_left()
+    sid = _sid_of_class(space, "Box")
+    _cycle(space, sid)
+    items = box_proxy.contents()
+    assert items == [1, 2, 3]
+    # the caller holds a raw alias into the cluster: assume the worst
+    assert space.clusters()[sid].dirty
+
+
+# -- membership and structural changes -----------------------------------
+
+
+def test_merge_dirties_absorber():
+    space = _fast_space()
+    handle = _ingest_chain(space)
+    for sid in (1, 2):
+        _cycle(space, sid)
+    space.merge_swap_clusters(1, 2)
+    assert space.clusters()[1].dirty
+    assert chain_values(handle) == list(range(20))
+
+
+def test_adopt_into_cluster_dirties():
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 2)
+    space.adopt(Node(99), sid=2)
+    assert space.clusters()[2].dirty
+
+
+def test_attach_dirties_owner_cluster():
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 1)
+    owner = _raw_member(space, 1)
+    target = _raw_member(space, 2)
+    space.attach(owner, "next", target)
+    assert space.clusters()[1].dirty
+
+
+# -- payload identity ----------------------------------------------------
+
+
+def test_mutation_forces_new_epoch_and_key():
+    space = _fast_space()
+    _ingest_chain(space)
+    _cycle(space, 2)
+    first_key = space.clusters()[2].clean_key
+    first_epoch = space.clusters()[2].epoch
+    _raw_member(space, 2).value = 123
+    location = space.swap_out(2)
+    assert location.key != first_key
+    assert space.clusters()[2].epoch == first_epoch + 1
+
+
+def test_clean_swap_out_is_byte_identical():
+    space = _fast_space()
+    _ingest_chain(space)
+    store = space.manager.available_stores()[0]
+    first = space.swap_out(2)
+    shipped = store.fetch(first.key)
+    space.swap_in(2)
+    second = space.swap_out(2)
+    assert second.key == first.key
+    assert second.digest == first.digest
+    assert store.fetch(second.key) == shipped
+    assert space.manager.stats.encode_calls == 1

@@ -1,0 +1,103 @@
+"""Store-side streaming: batched receive, compression, key probes."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import chunk_text, compress_payload, bluetooth_link
+from repro.devices.store import (
+    CONTROL_MESSAGE_BYTES,
+    FileStore,
+    InMemoryStore,
+    XmlStoreDevice,
+)
+from repro.errors import StoreFullError, TransportError
+
+PAYLOAD = "<swap-cluster count='3'>" + "<object/>" * 200 + "</swap-cluster>"
+
+
+def _device(clock=None, capacity=1 << 20):
+    link = bluetooth_link(clock) if clock is not None else None
+    return XmlStoreDevice("nearby", capacity=capacity, link=link)
+
+
+# -- store_stream ---------------------------------------------------------
+
+
+def test_store_stream_plain_frames_roundtrip():
+    device = _device()
+    device.store_stream("k", chunk_text(PAYLOAD, 64))
+    assert device.fetch("k") == PAYLOAD
+    assert device.used == len(PAYLOAD.encode("utf-8"))
+
+
+def test_store_stream_batches_on_the_link():
+    clock = SimulatedClock()
+    device = _device(clock)
+    frames = chunk_text(PAYLOAD, 64)
+    device.store_stream("k", frames)
+    expected = device.link.batch_transfer_time([len(f) for f in frames])
+    assert clock.now() == pytest.approx(expected)
+    assert device.link.stats.transfers == 1
+    assert device.link.stats.frames == len(frames)
+
+
+def test_store_stream_compressed_accounts_compressed_size():
+    device = _device()
+    data = compress_payload(PAYLOAD, "zlib")
+    frames = [data[i : i + 64] for i in range(0, len(data), 64)]
+    device.store_stream("k", frames, compression="zlib")
+    assert device.used == len(data)  # stored bytes, not decoded bytes
+    assert device.fetch("k") == PAYLOAD  # fetch decompresses
+
+
+def test_store_stream_compression_stretches_capacity():
+    text = "a" * 10_000  # very compressible
+    data = compress_payload(text, "zlib")
+    device = _device(capacity=len(data) + 10)
+    with pytest.raises(StoreFullError):
+        device.store("raw", text)
+    device.store_stream("k", [data], compression="zlib")
+    assert device.fetch("k") == text
+
+
+def test_store_stream_rejects_unsupported_codec():
+    device = _device()
+    with pytest.raises(TransportError):
+        device.store_stream("k", [b"x"], compression="lzma")
+    assert device.keys() == []
+
+
+def test_device_advertises_codecs():
+    assert "zlib" in _device().supported_compressions
+
+
+# -- key probes -----------------------------------------------------------
+
+
+def test_contains_is_a_control_round_trip():
+    clock = SimulatedClock()
+    device = _device(clock)
+    device.store("k", "<doc/>")
+    before = clock.now()
+    assert device.contains("k")
+    assert not device.contains("other")
+    per_probe = device.link.transfer_time(CONTROL_MESSAGE_BYTES)
+    assert clock.now() - before == pytest.approx(2 * per_probe)
+
+
+def test_inmemory_store_contains():
+    store = InMemoryStore("m")
+    store.store("k", "<doc/>")
+    assert store.contains("k")
+    assert not store.contains("other")
+    store.drop("k")
+    assert not store.contains("k")
+
+
+def test_file_store_contains(tmp_path):
+    store = FileStore(tmp_path)
+    store.store("k", "<doc/>")
+    assert store.contains("k")
+    assert not store.contains("other")
+    store.drop("k")
+    assert not store.contains("k")

@@ -1,0 +1,87 @@
+"""Fault injection on the new fast-path surfaces: batches and probes."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import bluetooth_link, chunk_text
+from repro.devices import InMemoryStore, XmlStoreDevice
+from repro.errors import TransportError
+from repro.faults import FaultInjector, FaultPlan, FlakyLink, FlakyStore
+
+PAYLOAD = "<doc>" + "y" * 200 + "</doc>"
+
+
+def _flaky_device(plan, clock=None):
+    injector = FaultInjector(plan, clock)
+    inner = XmlStoreDevice("x", capacity=1 << 20)
+    return FlakyStore(inner, injector), inner, injector
+
+
+def test_store_stream_passes_through_on_empty_plan():
+    store, inner, injector = _flaky_device(FaultPlan.empty())
+    store.store_stream("k", chunk_text(PAYLOAD, 64))
+    assert inner.fetch("k") == PAYLOAD
+    assert injector.stats.total_faults == 0
+
+
+def test_store_stream_respects_down_windows():
+    clock = SimulatedClock()
+    store, _, injector = _flaky_device(
+        FaultPlan(down_windows=((5.0, 10.0),)), clock
+    )
+    clock.advance(6.0)
+    with pytest.raises(TransportError):
+        store.store_stream("k", [b"frame"])
+    assert injector.stats.window_denials == 1
+
+
+def test_store_stream_interruption_lands_truncated_batch():
+    store, inner, injector = _flaky_device(
+        FaultPlan(seed=3, interruption_rate=1.0)
+    )
+    frames = chunk_text(PAYLOAD, 16)
+    with pytest.raises(TransportError):
+        store.store_stream("k", frames)
+    assert injector.stats.interruptions == 1
+    landed = b"".join(frames[: len(frames) // 2]).decode("utf-8")
+    assert inner.fetch("k") == landed  # half the frames made it
+
+
+def test_store_stream_transient_failure():
+    store, inner, _ = _flaky_device(FaultPlan(seed=7, store_failure_rate=1.0))
+    with pytest.raises(TransportError):
+        store.store_stream("k", [b"frame"])
+    assert "k" not in inner.keys()
+
+
+def test_contains_probe_faults():
+    store, _, injector = _flaky_device(FaultPlan(seed=9, probe_failure_rate=1.0))
+    with pytest.raises(TransportError):
+        store.contains("k")
+    assert injector.stats.probe_faults == 1
+
+
+def test_contains_passes_through_when_healthy():
+    store, inner, _ = _flaky_device(FaultPlan.empty())
+    inner.store("k", "<doc/>")
+    assert store.contains("k")
+    assert not store.contains("other")
+
+
+def test_flaky_link_transfer_batch_gates_and_delegates():
+    clock = SimulatedClock()
+    injector = FaultInjector(FaultPlan(down_windows=((1.0, 2.0),)), clock)
+    link = FlakyLink(bluetooth_link(clock), injector)
+    elapsed = link.transfer_batch([100, 100])
+    assert elapsed > 0
+    clock.advance(1.0)  # into the down window
+    with pytest.raises(TransportError):
+        link.transfer_batch([100, 100])
+
+
+def test_flaky_link_transfer_batch_transient_failure():
+    injector = FaultInjector(FaultPlan(seed=5, link_failure_rate=1.0))
+    link = FlakyLink(bluetooth_link(SimulatedClock()), injector)
+    with pytest.raises(TransportError):
+        link.transfer_batch([10])
+    assert injector.stats.link_faults == 1

@@ -1,0 +1,91 @@
+"""A swap-out serializes exactly once, however rough the delivery gets.
+
+Regression tests for the old behavior where every retry attempt and every
+failover target re-ran the encoder on an unchanged cluster.
+"""
+
+import pytest
+
+from repro.core.fastpath import FastPathConfig
+from repro.devices import InMemoryStore
+from repro.errors import TransportError
+from repro.events import SwapDegradedEvent
+from repro.resilience import ResilienceConfig, RetryPolicy
+from tests.helpers import build_chain, chain_values, make_space
+
+
+class BlippyStore(InMemoryStore):
+    """Fails the first ``failures`` uploads, then accepts."""
+
+    def __init__(self, device_id: str, failures: int) -> None:
+        super().__init__(device_id)
+        self.failures = failures
+        self.uploads = 0
+
+    def store(self, key: str, xml_text: str) -> None:
+        self.uploads += 1
+        if self.uploads <= self.failures:
+            raise TransportError(f"{self.device_id}: transient blip")
+        super().store(key, xml_text)
+
+
+def _resilient_space(*stores, degrade=False, fastpath=False):
+    space = make_space(with_store=False)
+    for store in stores:
+        space.manager.add_store(store)
+    space.manager.enable_resilience(
+        ResilienceConfig(
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.05, jitter=0.0),
+            degrade_to_local=degrade,
+        )
+    )
+    if fastpath:
+        space.manager.enable_fastpath(FastPathConfig())
+    return space
+
+
+def test_retries_reuse_the_serialized_payload():
+    store = BlippyStore("blippy", failures=2)
+    space = _resilient_space(store)
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert store.uploads == 3
+    assert space.manager.stats.retries == 2
+    assert space.manager.stats.encode_calls == 1  # one serialization only
+    assert chain_values(handle) == list(range(10))
+
+
+def test_failover_reuses_the_serialized_payload():
+    dead = BlippyStore("dead", failures=99)
+    alive = InMemoryStore("alive")
+    space = _resilient_space(dead, alive)
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    location = space.swap_out(2)
+    assert location.device_id == "alive"
+    assert space.manager.stats.encode_calls == 1
+    assert alive.keys() == [location.key]
+
+
+def test_degrade_to_local_reuses_the_serialized_payload():
+    dead = BlippyStore("dead", failures=99)
+    space = _resilient_space(dead, degrade=True)
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    assert space.manager.stats.degraded_swaps == 1
+    assert space.bus.last(SwapDegradedEvent) is not None
+    assert space.manager.stats.encode_calls == 1
+    assert chain_values(handle) == list(range(10))
+
+
+def test_fastpath_retries_still_encode_once():
+    store = BlippyStore("blippy", failures=2)
+    space = _resilient_space(store, fastpath=True)
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    space.swap_in(2)
+    space.swap_out(2)  # clean: a no-op probe, no upload at all
+    assert store.uploads == 3  # the retried first swap-out, nothing since
+    assert space.manager.stats.encode_calls == 1
+    assert space.manager.stats.fastpath_noops == 1
+    space.swap_in(2)
+    assert chain_values(handle) == list(range(10))

@@ -1,0 +1,213 @@
+"""Durability benchmark: recovery cost after killing 1..k of n stores.
+
+The replicated swap-out (:mod:`repro.resilience.placement`) claims that
+``replication_factor`` copies across distinct stores make swapped
+clusters survive store deaths.  This harness measures what that claim
+costs: for each kill count it swaps a workload out at the configured
+factor over ``stores`` nearby devices (each behind its own simulated
+Bluetooth-class link), kills that many stores *with data loss*, and
+drives the scrubber until the neighborhood is stable again — reporting
+
+* **recovery time** — simulated seconds of scrub/repair traffic until
+  replication is restored;
+* **bytes re-replicated** — payload bytes the repair shipped;
+* **clusters lost** — how many records had no surviving copy (must be
+  zero while ``kills < replication_factor``).
+
+``python -m repro.bench.durability`` writes ``BENCH_durability.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+from repro.bench.workloads import build_list
+from repro.clock import SimulatedClock
+from repro.comm.transport import bluetooth_link
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+from repro.faults import FaultInjector, FaultPlan, FlakyStore
+from repro.resilience import ResilienceConfig
+
+
+@dataclass
+class DurabilityConfig:
+    objects: int = 600
+    cluster_size: int = 50
+    stores: int = 5
+    replication_factor: int = 3
+    max_kills: int = 4
+    heap_capacity: int = 32 << 20
+    store_capacity: int = 32 << 20
+
+    @classmethod
+    def quick(cls) -> "DurabilityConfig":
+        """CI smoke-test sizing (sub-second wall clock)."""
+        return cls(objects=200, cluster_size=50, max_kills=3)
+
+
+@dataclass
+class KillResult:
+    """What recovering from ``kills`` simultaneous store deaths cost."""
+
+    kills: int
+    clusters: int
+    clusters_lost: int
+    recovery_s: float
+    bytes_re_replicated: int
+    replicas_repaired: int
+    scrub_passes: int
+    fully_replicated: int  # clusters back at the target factor
+
+
+@dataclass
+class DurabilityReport:
+    config: DurabilityConfig
+    results: Dict[int, KillResult] = field(default_factory=dict)
+
+    @property
+    def survives_minority_loss(self) -> bool:
+        """Zero clusters lost for every kill count below the factor."""
+        return all(
+            result.clusters_lost == 0
+            for kills, result in self.results.items()
+            if kills < self.config.replication_factor
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "benchmark": "durability",
+            "config": asdict(self.config),
+            "results": {
+                str(kills): asdict(result)
+                for kills, result in sorted(self.results.items())
+            },
+            "survives_minority_loss": self.survives_minority_loss,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_kill_scenario(config: DurabilityConfig, kills: int) -> KillResult:
+    """One scenario: swap out, kill ``kills`` stores, scrub to stable."""
+    clock = SimulatedClock()
+    space = Space(
+        f"durability-{kills}", heap_capacity=config.heap_capacity, clock=clock
+    )
+    injector = FaultInjector(FaultPlan.empty(seed=kills), clock)
+    flaky: List[FlakyStore] = []
+    for i in range(config.stores):
+        inner = XmlStoreDevice(
+            f"s{i}",
+            capacity=config.store_capacity,
+            link=bluetooth_link(clock),
+        )
+        store = FlakyStore(inner, injector)
+        flaky.append(store)
+        space.manager.add_store(store)
+    space.manager.enable_resilience(
+        ResilienceConfig(
+            replication_factor=config.replication_factor,
+            degrade_to_local=False,
+            scrub_interval_s=1.0,
+        )
+    )
+
+    space.ingest(
+        build_list(config.objects),
+        cluster_size=config.cluster_size,
+        root_name="head",
+    )
+    sids = [
+        sid
+        for sid, cluster in sorted(space._clusters.items())
+        if cluster.swappable() and cluster.oids
+    ]
+    for sid in sids:
+        space.manager.swap_out(sid)
+
+    for store in flaky[:kills]:
+        store.kill(lose_data=True)
+        space.manager.detach_store(store, dead=True)
+
+    scrubber = space.manager.resilience.scrubber
+    stats_before_bytes = space.manager.stats.scrub_bytes_repaired
+    stats_before_repairs = space.manager.stats.replicas_repaired
+    passes_before = space.manager.stats.scrub_ticks
+    started = clock.now()
+    scrubber.run_until_stable()
+    recovery_s = clock.now() - started
+
+    placement = space.manager.resilience.placement
+    lost = sum(
+        1 for record in placement.records().values() if record.live_count == 0
+    )
+    full = sum(
+        1
+        for record in placement.records().values()
+        if record.live_count >= config.replication_factor
+    )
+    stats = space.manager.stats
+    return KillResult(
+        kills=kills,
+        clusters=len(sids),
+        clusters_lost=lost,
+        recovery_s=recovery_s,
+        bytes_re_replicated=stats.scrub_bytes_repaired - stats_before_bytes,
+        replicas_repaired=stats.replicas_repaired - stats_before_repairs,
+        scrub_passes=stats.scrub_ticks - passes_before,
+        fully_replicated=full,
+    )
+
+
+def run_durability(config: DurabilityConfig | None = None) -> DurabilityReport:
+    config = config if config is not None else DurabilityConfig()
+    report = DurabilityReport(config=config)
+    top = min(config.max_kills, config.stores - 1)
+    for kills in range(1, top + 1):
+        report.results[kills] = run_kill_scenario(config, kills)
+    return report
+
+
+def format_table(report: DurabilityReport) -> str:
+    header = (
+        f"{'kills':>5} {'clusters':>9} {'lost':>5} {'recovery s':>11} "
+        f"{'bytes reshipped':>16} {'repairs':>8} {'full rf':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for kills, result in sorted(report.results.items()):
+        lines.append(
+            f"{kills:>5} {result.clusters:>9} {result.clusters_lost:>5} "
+            f"{result.recovery_s:>11.3f} {result.bytes_re_replicated:>16} "
+            f"{result.replicas_repaired:>8} {result.fully_replicated:>8}"
+        )
+    lines.append(
+        "survives minority loss: "
+        + ("yes" if report.survives_minority_loss else "NO")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke-test sizing"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_durability.json", help="JSON output path"
+    )
+    arguments = parser.parse_args(argv)
+    config = DurabilityConfig.quick() if arguments.quick else DurabilityConfig()
+    report = run_durability(config)
+    print(format_table(report))
+    with open(arguments.output, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json() + "\n")
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -52,6 +52,10 @@ from repro.errors import (
 from repro.events import (
     ClusterCollectedEvent,
     ClusterReplicatedEvent,
+    ClusterUnderReplicatedEvent,
+    ReplicaCorruptEvent,
+    StoreDetachedEvent,
+    StoreRejoinedEvent,
     SwapDegradedEvent,
     SwapDroppedEvent,
     SwapFailoverEvent,
@@ -106,6 +110,15 @@ class ManagerStats:
     circuit_closes: int = 0
     degraded_swaps: int = 0
     journal_recoveries: int = 0
+    # -- durability counters (placement / scrub; zero while disabled) --
+    replicas_repaired: int = 0
+    replicas_quarantined: int = 0
+    scrub_ticks: int = 0
+    scrub_bytes_repaired: int = 0
+    orphans_collected: int = 0
+    repromotions: int = 0
+    journal_truncated: int = 0
+    placement_recoveries: int = 0
     # -- fast-path counters (all zero while the fast path is disabled) --
     encode_calls: int = 0
     fastpath_noops: int = 0
@@ -232,22 +245,35 @@ class SwappingManager:
     def select_stores(self, nbytes: int, count: int) -> List[SwapStore]:
         """Up to ``count`` distinct stores that admit ``nbytes`` each.
 
-        At least one is required; extras are best-effort mirrors.
+        At least one is required; extras are best-effort mirrors.  With
+        resilience enabled, selection is placement-aware: healthier
+        stores first, more free space first, and anti-affinity across
+        ``placement_group``s (two replicas share a rack/owner only when
+        no other group has room).
         """
         stores = self.available_stores()
-        chosen: List[SwapStore] = []
-        for store in stores:
-            try:
-                if store.has_room(nbytes):
-                    chosen.append(store)
-            except TransportError:
-                # an unreachable probe is a health signal: enough of them
-                # open the store's circuit and stop us probing it at all
-                if self.resilience is not None:
-                    self.resilience.record_failure(store.device_id)
-                continue
-            if len(chosen) >= count:
-                break
+        if self.resilience is not None:
+            from repro.resilience.placement import plan_placement
+
+            chosen = plan_placement(
+                stores,
+                nbytes,
+                count,
+                health=self.resilience.health,
+                on_probe_failure=lambda store: self.resilience.record_failure(
+                    store.device_id
+                ),
+            )
+        else:
+            chosen = []
+            for store in stores:
+                try:
+                    if store.has_room(nbytes):
+                        chosen.append(store)
+                except TransportError:
+                    continue
+                if len(chosen) >= count:
+                    break
         if chosen:
             return chosen
         if not stores:
@@ -256,6 +282,13 @@ class SwappingManager:
             f"no nearby device has room for {nbytes} bytes "
             f"({len(stores)} device(s) in range)"
         )
+
+    def target_replicas(self) -> int:
+        """How many distinct stores should hold each swapped cluster."""
+        factor = max(1, self.replication_factor)
+        if self.resilience is not None:
+            factor = max(factor, self.resilience.config.replication_factor)
+        return factor
 
     # -- swap-out -----------------------------------------------------------------
 
@@ -309,7 +342,7 @@ class SwappingManager:
                 if chosen is None
                 else [holder for holder in retained[1] if holder is chosen]
             )
-            want = max(1, self.replication_factor) if chosen is None else 1
+            want = self.target_replicas() if chosen is None else 1
             verified: List[SwapStore] = []
             lost: List[SwapStore] = []
             for holder in candidates:
@@ -342,6 +375,23 @@ class SwappingManager:
                 bytes_freed = self._detach(cluster, outbound, location, verified)
                 # content unchanged -> same epoch, same key, same digest
                 cluster.epoch = cluster.clean_epoch
+                if self.resilience is not None:
+                    # the contains probes just re-verified these copies:
+                    # record them AND bump the verified epoch so the
+                    # scrubber does not re-fetch an unmodified cluster
+                    placement = self.resilience.placement
+                    placement.record_swap_out(
+                        sid,
+                        key=key,
+                        digest=digest,
+                        epoch=cluster.clean_epoch,
+                        xml_bytes=cluster.clean_xml_bytes,
+                        device_ids=[holder.device_id for holder in verified],
+                    )
+                    placement.record_verified(
+                        sid, cluster.clean_epoch, space.clock.now()
+                    )
+                    self._warn_if_under_replicated(sid, "clean swap-out")
                 self.stats.swap_outs += 1
                 self.stats.fastpath_noops += 1
                 space.bus.emit(
@@ -453,9 +503,7 @@ class SwappingManager:
         )
         if store is None:
             try:
-                holders = self.select_stores(
-                    xml_bytes, max(1, self.replication_factor)
-                )
+                holders = self.select_stores(xml_bytes, self.target_replicas())
             except NoSwapDeviceError:
                 # with local degradation available an empty neighborhood
                 # is not fatal: fall through to the compressed pool
@@ -464,9 +512,9 @@ class SwappingManager:
                 holders = []
         else:
             holders = [store]
-            if self.replication_factor > 1:
+            if self.target_replicas() > 1:
                 for candidate in self.available_stores():
-                    if len(holders) >= self.replication_factor:
+                    if len(holders) >= self.target_replicas():
                         break
                     if candidate in holders:
                         continue
@@ -476,7 +524,7 @@ class SwappingManager:
                     except TransportError:
                         continue
         entry = (
-            resilience.journal.begin(sid, key, epoch, xml_bytes)
+            resilience.journal.begin(sid, key, epoch, xml_bytes, digest=digest)
             if resilience is not None
             else None
         )
@@ -596,6 +644,16 @@ class SwappingManager:
             # the detach happened strictly after at least one store
             # acknowledged the payload; the hand-off is durable
             resilience.journal.commit(entry)
+        if resilience is not None:
+            resilience.placement.record_swap_out(
+                sid,
+                key=key,
+                digest=digest,
+                epoch=epoch,
+                xml_bytes=xml_bytes,
+                device_ids=[holder.device_id for holder in stored_on],
+            )
+            self._warn_if_under_replicated(sid, "swap-out placement short")
         self.stats.swap_outs += 1
         self.stats.bytes_shipped += xml_bytes
 
@@ -693,6 +751,10 @@ class SwappingManager:
         assert location is not None and replacement is not None
 
         holders = self._bindings.get(sid, [])
+        if self.resilience is not None and len(holders) > 1:
+            # fastest admitted replica first: healthy circuits before
+            # open ones, then best history, then lowest link latency
+            holders = self.resilience.rank_replicas(holders)
         fastpath = self.fastpath
         cached: Optional[str] = None
         if fastpath is not None and fastpath.config.serve_swap_in_from_cache:
@@ -712,6 +774,7 @@ class SwappingManager:
             xml_text: Optional[str] = None
             fetch_errors: List[str] = []
             corrupt: Optional[CodecError] = None
+            corrupt_holders: List[SwapStore] = []
             if cached is not None:
                 xml_text = cached
                 self.stats.swapin_cache_hits += 1
@@ -723,6 +786,8 @@ class SwappingManager:
                 except CorruptPayloadError as exc:
                     corrupt = CodecError(str(exc))
                     fetch_errors.append(f"{holder.device_id}: digest mismatch")
+                    corrupt_holders.append(holder)
+                    self._quarantine_corrupt(sid, holder, location)
                     continue
                 except RetryExhaustedError as exc:
                     if isinstance(exc.__cause__, CorruptPayloadError):
@@ -730,6 +795,8 @@ class SwappingManager:
                         fetch_errors.append(
                             f"{holder.device_id}: digest mismatch"
                         )
+                        corrupt_holders.append(holder)
+                        self._quarantine_corrupt(sid, holder, location)
                     else:
                         fetch_errors.append(f"{holder.device_id}: {exc}")
                     continue
@@ -813,6 +880,21 @@ class SwappingManager:
             cluster.swap_in_count += 1
             self.stats.swap_ins += 1
             self.stats.bytes_restored += total
+
+            if corrupt_holders:
+                # a corrupt copy must never be retained for fast-path
+                # probes (contains cannot see bitrot): drop it now
+                for bad in corrupt_holders:
+                    try:
+                        bad.drop(location.key)
+                    except (TransportError, UnknownKeyError):
+                        pass
+                holders = [
+                    holder for holder in holders if holder not in corrupt_holders
+                ]
+                self._bindings[sid] = list(holders)
+            if resilience is not None:
+                resilience.placement.forget(sid)
 
             retain = (
                 fastpath is not None and fastpath.config.retain_remote_copies
@@ -967,6 +1049,199 @@ class SwappingManager:
             recovered += 1
         return recovered
 
+    def recover_placement(self) -> int:
+        """Rebuild the placement map after a restart; returns records rebuilt.
+
+        The in-memory map is gone after a crash; what survives is the
+        write-ahead journal (committed entries name the acknowledged
+        replica set per epoch) and the stores' own inventory.  For every
+        cluster still swapped, the two are reconciled: journal-named
+        copies confirmed by a key probe come back ``ACTIVE``, journal-
+        named copies on unreachable stores come back ``SUSPECT`` (the
+        scrubber re-verifies them), and inventory copies the (possibly
+        truncated) journal forgot are re-adopted.
+        """
+        from repro.resilience.journal import JournalEntryState
+        from repro.resilience.placement import ReplicaState
+
+        resilience = self.resilience
+        if resilience is None:
+            return 0
+        stores_by_id: Dict[str, SwapStore] = {
+            holder.device_id: holder for holder in self.available_stores()
+        }
+        if resilience._fallback is not None:
+            stores_by_id.setdefault(
+                resilience._fallback.device_id, resilience._fallback
+            )
+        committed: Dict[tuple, Any] = {}
+        for entry in reversed(resilience.journal.history()):
+            if entry.state is JournalEntryState.COMMITTED:
+                committed.setdefault((entry.sid, entry.epoch), entry)
+
+        rebuilt = 0
+        for sid, cluster in self._space._clusters.items():
+            if cluster.state is not SwapClusterState.SWAPPED:
+                continue
+            location = cluster.location
+            if location is None:
+                continue
+            entry = committed.get((sid, location.epoch))
+            named = list(entry.writes) if entry is not None else []
+            suspects: List[str] = []
+            active: List[str] = []
+            holders: List[SwapStore] = []
+            for device_id, holder in stores_by_id.items():
+                if device_id in named:
+                    continue
+                # inventory scan: copies the truncated journal lost
+                probe = getattr(holder, "contains", None)
+                if probe is None:
+                    continue
+                try:
+                    if probe(location.key):
+                        named.append(device_id)
+                except (TransportError, RetryExhaustedError):
+                    continue
+            for device_id in named:
+                holder = stores_by_id.get(device_id)
+                if holder is None:
+                    suspects.append(device_id)  # departed: may rejoin
+                    continue
+                probe = getattr(holder, "contains", None)
+                try:
+                    present = True if probe is None else probe(location.key)
+                except (TransportError, RetryExhaustedError):
+                    suspects.append(device_id)
+                    continue
+                if present:
+                    active.append(device_id)
+                    holders.append(holder)
+            record = resilience.placement.record_swap_out(
+                sid,
+                key=location.key,
+                digest=location.digest,
+                epoch=location.epoch,
+                xml_bytes=location.xml_bytes,
+                device_ids=active,
+            )
+            for device_id in suspects:
+                record.replicas[device_id] = ReplicaState.SUSPECT
+            self._bindings[sid] = holders
+            resilience.placement.stats.recoveries += 1
+            self.stats.placement_recoveries += 1
+            rebuilt += 1
+        return rebuilt
+
+    # -- store churn --------------------------------------------------------------
+
+    def detach_store(self, store: SwapStore, *, dead: bool = False) -> List[Sid]:
+        """A store is leaving the neighborhood; returns affected sids.
+
+        ``dead=False`` (planned departure / out of range): its replicas
+        are marked ``SUSPECT`` — the copies may still exist and will be
+        re-verified, not re-shipped, if the store rejoins.  ``dead=True``
+        (battery pulled, storage wiped): the replicas are struck from
+        the map outright.  Either way, affected swapped clusters become
+        under-replicated and the scrubber re-replicates them.
+        """
+        self.remove_store(store)
+        device_id = store.device_id
+        resilience = self.resilience
+        affected: List[Sid] = []
+        if resilience is not None:
+            if dead:
+                affected = resilience.placement.mark_device_lost(device_id)
+                rf = self.target_replicas()
+                for sid in affected:
+                    record = resilience.placement.get(sid)
+                    if record is not None and record.live_count < rf:
+                        self._space.bus.emit(
+                            ClusterUnderReplicatedEvent(
+                                space=self._space.name,
+                                sid=sid,
+                                live_replicas=record.live_count,
+                                target_replicas=rf,
+                                reason=f"{device_id}: store died",
+                            )
+                        )
+            else:
+                affected = resilience.mark_device_suspect(
+                    device_id, reason="store detached"
+                )
+        # swap-in must not waste its first fetch on the departed store
+        for sid, bound in list(self._bindings.items()):
+            pruned = [holder for holder in bound if holder is not store]
+            if len(pruned) != len(bound):
+                self._bindings[sid] = pruned
+                if sid not in affected:
+                    affected.append(sid)
+        if self.fastpath is not None:
+            for sid, (key, retained) in list(self.fastpath.retained.items()):
+                if store in retained:
+                    self.fastpath.retained[sid] = (
+                        key,
+                        [holder for holder in retained if holder is not store],
+                    )
+        self._space.bus.emit(
+            StoreDetachedEvent(
+                space=self._space.name,
+                device_id=device_id,
+                dead=dead,
+                affected_clusters=len(affected),
+            )
+        )
+        return affected
+
+    def attach_store(self, store: SwapStore) -> None:
+        """A store (re)joined the neighborhood.
+
+        Rejoining is evidence of reachability: the store's circuit is
+        closed so selection admits it immediately.  Suspect replicas it
+        may still hold are re-verified by the next scrub pass, not
+        trusted blindly.
+        """
+        self.add_store(store)
+        if self.resilience is not None:
+            self.resilience.record_success(store.device_id)
+        self._space.bus.emit(
+            StoreRejoinedEvent(space=self._space.name, device_id=store.device_id)
+        )
+
+    def _quarantine_corrupt(
+        self, sid: Sid, holder: SwapStore, location: SwapLocation
+    ) -> None:
+        """A fetched copy failed the end-to-end digest check."""
+        self.stats.replicas_quarantined += 1
+        if self.resilience is not None:
+            self.resilience.placement.quarantine(sid, holder.device_id)
+        self._space.bus.emit(
+            ReplicaCorruptEvent(
+                space=self._space.name,
+                sid=sid,
+                device_id=holder.device_id,
+                key=location.key,
+                source="swap-in",
+            )
+        )
+
+    def _warn_if_under_replicated(self, sid: Sid, reason: str) -> None:
+        resilience = self.resilience
+        if resilience is None:
+            return
+        record = resilience.placement.get(sid)
+        rf = self.target_replicas()
+        if record is not None and record.live_count < rf:
+            self._space.bus.emit(
+                ClusterUnderReplicatedEvent(
+                    space=self._space.name,
+                    sid=sid,
+                    live_replicas=record.live_count,
+                    target_replicas=rf,
+                    reason=reason,
+                )
+            )
+
     # -- memory pressure ----------------------------------------------------------------
 
     def ensure_room(self, need_bytes: int) -> int:
@@ -1008,6 +1283,8 @@ class SwappingManager:
         space = self._space
         location = cluster.location
         holders = self._bindings.pop(cluster.sid, [])
+        if self.resilience is not None:
+            self.resilience.placement.forget(cluster.sid)
         if location is not None:
             for holder in holders:
                 try:

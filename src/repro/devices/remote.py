@@ -47,5 +47,14 @@ class RemoteStoreClient:
     def has_room(self, nbytes: int) -> bool:
         return bool(self._client.call("has_room", nbytes=nbytes))
 
+    def contains(self, key: str) -> bool:
+        return bool(self._client.call("contains", key=key))
+
+    def digest(self, key: str) -> str:
+        """Digest probe round trip (see PROTOCOL §1c): the endpoint
+        hashes the payload it actually holds, so the client verifies
+        at-rest integrity without pulling the payload over the link."""
+        return self._client.call("digest", key=key)
+
     def keys(self) -> List[str]:
         return self._client.call("keys")

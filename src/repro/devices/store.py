@@ -28,9 +28,15 @@ from repro.comm.transport import (
 )
 from repro.comm.webservice import WebServiceEndpoint
 from repro.errors import StoreFullError, TransportError, UnknownKeyError
+from repro.wire.canonical import digest_of_canonical
 
 #: Cost of a key-probe / drop round trip: a control message, not a payload.
 CONTROL_MESSAGE_BYTES = 64
+
+#: Digest returned by a digest probe when the stored payload cannot even
+#: be decoded (at-rest corruption of the compressed frames).  Never a
+#: valid hex digest, so it can only ever mismatch.
+UNREADABLE_DIGEST = "unreadable"
 
 
 class InMemoryStore:
@@ -59,6 +65,13 @@ class InMemoryStore:
     def contains(self, key: str) -> bool:
         return key in self._data
 
+    def digest(self, key: str) -> str:
+        """Digest probe: hash of the payload as held *right now*."""
+        try:
+            return digest_of_canonical(self._data[key])
+        except KeyError:
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+
     def has_room(self, nbytes: int) -> bool:
         return True
 
@@ -85,12 +98,17 @@ class XmlStoreDevice:
         device_id: str,
         capacity: int = 1 << 20,
         link: Optional[Link] = None,
+        placement_group: Optional[str] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("store capacity must be positive")
         self._device_id = device_id
         self.capacity = capacity
         self._link = link
+        #: Anti-affinity domain (rack/owner/desk); replica placement
+        #: avoids putting two copies in one group.  ``None`` = the
+        #: device is its own failure domain.
+        self.placement_group = placement_group
         #: key -> (stored bytes, compression codec or None)
         self._data: Dict[str, Tuple[bytes, Optional[str]]] = {}
         self._used = 0
@@ -157,6 +175,25 @@ class XmlStoreDevice:
         self._carry(CONTROL_MESSAGE_BYTES)
         return key in self._data
 
+    def digest(self, key: str) -> str:
+        """Digest probe: hash what is *actually at rest* under ``key``.
+
+        The scrubber's cheap integrity check — one control round trip
+        instead of a payload fetch.  The digest is computed over the
+        stored bytes at probe time, so silent at-rest corruption shows
+        up as a mismatch (or :data:`UNREADABLE_DIGEST` when the frames
+        no longer even decompress).
+        """
+        try:
+            data, compression = self._data[key]
+        except KeyError:
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+        self._carry(CONTROL_MESSAGE_BYTES)
+        try:
+            return digest_of_canonical(decompress_payload(data, compression))
+        except Exception:
+            return UNREADABLE_DIGEST
+
     def has_room(self, nbytes: int) -> bool:
         if self._link is not None and not self._link.is_up:
             raise TransportError(f"{self._device_id}: link down")
@@ -209,6 +246,8 @@ class XmlStoreDevice:
         endpoint.register(
             "has_room", lambda nbytes: self._used + nbytes <= self.capacity
         )
+        endpoint.register("contains", lambda key: key in self._data)
+        endpoint.register("digest", lambda key: self._digest_direct(key))
         return endpoint
 
     # endpoint variants skip the link (the web-service client charges it)
@@ -226,6 +265,16 @@ class XmlStoreDevice:
         entry = self._data.pop(key, None)
         if entry is not None:
             self._used -= len(entry[0])
+
+    def _digest_direct(self, key: str) -> str:
+        try:
+            data, compression = self._data[key]
+        except KeyError:
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+        try:
+            return digest_of_canonical(decompress_payload(data, compression))
+        except Exception:
+            return UNREADABLE_DIGEST
 
     def _carry(self, nbytes: int) -> None:
         if self._link is not None:
@@ -276,6 +325,13 @@ class FileStore:
     def contains(self, key: str) -> bool:
         path = self._paths.get(key, self._directory / _safe_filename(key))
         return path.exists()
+
+    def digest(self, key: str) -> str:
+        """Digest probe over the file as it exists on the card now."""
+        path = self._paths.get(key, self._directory / _safe_filename(key))
+        if not path.exists():
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}")
+        return digest_of_canonical(path.read_text(encoding="utf-8"))
 
     def has_room(self, nbytes: int) -> bool:
         return True

@@ -267,6 +267,97 @@ class SwapDegradedEvent(Event):
 
 
 # ---------------------------------------------------------------------------
+# Durability events (replication / placement / scrub)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicaCorruptEvent(Event):
+    """A replica failed its end-to-end digest check and was quarantined.
+
+    ``source`` names who caught it: ``"swap-in"`` (a fetch on the hot
+    path) or ``"scrub"`` (a background digest probe)."""
+
+    topic = "resilience.replica_corrupt"
+    space: str
+    sid: int
+    device_id: str
+    key: str
+    source: str
+
+
+@dataclass(frozen=True)
+class ReplicaRepairedEvent(Event):
+    """The scrubber shipped a fresh copy of an under-replicated cluster."""
+
+    topic = "resilience.replica_repaired"
+    space: str
+    sid: int
+    device_id: str
+    key: str
+    xml_bytes: int
+
+
+@dataclass(frozen=True)
+class ClusterUnderReplicatedEvent(Event):
+    """A swapped cluster has fewer live replicas than the target factor."""
+
+    topic = "resilience.under_replicated"
+    space: str
+    sid: int
+    live_replicas: int
+    target_replicas: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class StoreDetachedEvent(Event):
+    """A store left the neighborhood (planned departure or detected death)."""
+
+    topic = "resilience.store_detached"
+    space: str
+    device_id: str
+    dead: bool
+    affected_clusters: int
+
+
+@dataclass(frozen=True)
+class StoreRejoinedEvent(Event):
+    """A previously-departed store was re-attached to the manager."""
+
+    topic = "resilience.store_rejoined"
+    space: str
+    device_id: str
+
+
+@dataclass(frozen=True)
+class ScrubCompletedEvent(Event):
+    """One background scrub pass finished (see ``ScrubReport``)."""
+
+    topic = "resilience.scrub"
+    space: str
+    verified: int
+    reactivated: int
+    repaired_replicas: int
+    repaired_bytes: int
+    quarantined: int
+    orphans_dropped: int
+    repromotions: int
+    under_replicated: int
+
+
+@dataclass(frozen=True)
+class JournalTruncatedEvent(Event):
+    """The bounded journal history overflowed; completed entries were
+    discarded and are no longer available to placement recovery."""
+
+    topic = "resilience.journal.truncated"
+    space: str
+    dropped: int
+    history: int
+
+
+# ---------------------------------------------------------------------------
 # GC events
 # ---------------------------------------------------------------------------
 
@@ -418,6 +509,13 @@ __all__ = [
     "CircuitOpenEvent",
     "CircuitClosedEvent",
     "SwapDegradedEvent",
+    "ReplicaCorruptEvent",
+    "ReplicaRepairedEvent",
+    "ClusterUnderReplicatedEvent",
+    "StoreDetachedEvent",
+    "StoreRejoinedEvent",
+    "ScrubCompletedEvent",
+    "JournalTruncatedEvent",
     "GcCompletedEvent",
     "ClusterCollectedEvent",
 ]

@@ -17,8 +17,9 @@ charged to the simulated clock — nothing here sleeps or reads wall
 time.
 """
 
-from repro.faults.plan import FaultPlan, FaultInjector, FaultStats
+from repro.faults.plan import FaultPlan, FaultInjector, FaultStats, mangle_payload
 from repro.faults.flaky import FlakyLink, FlakyStore
+from repro.faults.churn import ChurnEvent, ChurnInjector, ChurnPlan
 
 __all__ = [
     "FaultPlan",
@@ -26,4 +27,8 @@ __all__ = [
     "FaultStats",
     "FlakyLink",
     "FlakyStore",
+    "ChurnEvent",
+    "ChurnInjector",
+    "ChurnPlan",
+    "mangle_payload",
 ]

@@ -1,0 +1,101 @@
+"""Store churn schedules: scripted deaths, revivals and bitrot.
+
+A :class:`FaultPlan` describes *random* per-operation misbehavior; a
+:class:`ChurnPlan` scripts the *macro* events of a hostile neighborhood
+— this store dies at t=40s, that one comes back at t=90s, a third rots
+a payload at rest in between.  The :class:`ChurnInjector` replays the
+schedule against a set of :class:`~repro.faults.flaky.FlakyStore`
+wrappers as simulated time passes, which is what the churn chaos suite
+and the durability benchmark drive their kill/heal phases with.
+
+Like everything in this package the schedule is pure data and fully
+deterministic: the same plan over the same clock fires the same events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import Clock
+from repro.faults.flaky import FlakyStore
+
+#: Actions a churn event may take against its target store.
+CHURN_ACTIONS = ("kill", "revive", "corrupt")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scripted thing that happens to one store at one instant."""
+
+    at_s: float
+    device_id: str
+    action: str
+    #: ``kill`` only — also wipe the inner store (device lost, not rebooted).
+    lose_data: bool = False
+    #: ``corrupt`` only — which key to rot (lowest key when ``None``).
+    key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in CHURN_ACTIONS:
+            raise ValueError(
+                f"unknown churn action {self.action!r}; "
+                f"expected one of {CHURN_ACTIONS}"
+            )
+        if self.at_s < 0:
+            raise ValueError(f"churn event at negative time {self.at_s!r}")
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """An ordered churn schedule (events need not be given sorted)."""
+
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def ordered(self) -> List[ChurnEvent]:
+        return sorted(self.events, key=lambda event: (event.at_s, event.device_id))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+
+class ChurnInjector:
+    """Replays a :class:`ChurnPlan` against live stores as time passes.
+
+    Call :meth:`apply` after advancing the simulated clock (typically
+    once per workload cycle); every not-yet-fired event whose time has
+    come is executed, in schedule order.  Events naming an unknown
+    device are skipped but still consumed.
+    """
+
+    def __init__(self, plan: ChurnPlan, clock: Clock) -> None:
+        self.plan = plan
+        self.clock = clock
+        self._pending: List[ChurnEvent] = plan.ordered()
+        self.fired: List[ChurnEvent] = []
+
+    def apply(self, stores: Dict[str, FlakyStore]) -> List[ChurnEvent]:
+        """Fire every due event; returns the events fired this call."""
+        now = self.clock.now()
+        fired_now: List[ChurnEvent] = []
+        while self._pending and self._pending[0].at_s <= now:
+            event = self._pending.pop(0)
+            store = stores.get(event.device_id)
+            if store is not None:
+                self._fire(event, store)
+            fired_now.append(event)
+            self.fired.append(event)
+        return fired_now
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._pending
+
+    def _fire(self, event: ChurnEvent, store: FlakyStore) -> None:
+        if event.action == "kill":
+            store.kill(lose_data=event.lose_data)
+        elif event.action == "revive":
+            store.revive()
+        elif event.action == "corrupt":
+            store.corrupt_at_rest(event.key)

@@ -10,10 +10,10 @@ ones.
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional
 
 from repro.errors import TransportError
-from repro.faults.plan import FaultInjector
+from repro.faults.plan import FaultInjector, mangle_payload
 
 
 class FlakyLink:
@@ -68,13 +68,21 @@ class FlakyStore:
     * mid-payload interruption — a *truncated* document lands on the
       inner store, then the transfer errors (exercises the digest check
       and the write-ahead journal);
-    * corrupted responses — ``fetch`` returns mangled text;
-    * latency spikes — extra seconds charged to the simulated clock.
+    * corrupted responses — ``fetch`` returns mangled text, ``contains``
+      lies, digest probes answer with garbage;
+    * at-rest corruption — ``store`` acknowledges success but the landed
+      copy silently rots (only digest sampling or the next swap-in sees
+      it);
+    * latency spikes — extra seconds charged to the simulated clock;
+    * death — :meth:`kill` makes every operation raise until
+      :meth:`revive` (the churn schedule's crash model); killing with
+      ``lose_data=True`` also wipes the inner store.
     """
 
     def __init__(self, inner: Any, injector: FaultInjector) -> None:
         self._inner = inner
         self._injector = injector
+        self._dead = False
 
     # -- SwapStore protocol ------------------------------------------------
 
@@ -96,6 +104,11 @@ class FlakyStore:
         if injector.roll(injector.plan.store_failure_rate):
             injector.stats.store_faults += 1
             raise TransportError(f"injected: store to {self.device_id} failed")
+        if injector.roll(injector.plan.at_rest_corruption_rate):
+            # the store acknowledges, but the landed copy is already bad
+            injector.stats.at_rest_corruptions += 1
+            self._inner.store(key, mangle_payload(xml_text))
+            return
         self._inner.store(key, xml_text)
 
     def fetch(self, key: str) -> str:
@@ -146,6 +159,10 @@ class FlakyStore:
         if injector.roll(injector.plan.store_failure_rate):
             injector.stats.store_faults += 1
             raise TransportError(f"injected: store to {self.device_id} failed")
+        if injector.roll(injector.plan.at_rest_corruption_rate) and frame_list:
+            injector.stats.at_rest_corruptions += 1
+            frame_list = list(frame_list)
+            frame_list[-1] = frame_list[-1][: max(0, len(frame_list[-1]) - 4)] + b"\x00rot"
         self._inner.store_stream(key, frame_list, compression)
 
     def contains(self, key: str) -> bool:
@@ -154,12 +171,76 @@ class FlakyStore:
         if injector.roll(injector.plan.probe_failure_rate):
             injector.stats.probe_faults += 1
             raise TransportError(f"injected: {self.device_id} probe failed")
-        return self._inner.contains(key)
+        present = self._inner.contains(key)
+        if injector.roll(injector.plan.corruption_rate):
+            # a corrupted control response: the probe answer is a lie
+            injector.stats.corruptions += 1
+            return not present
+        return present
+
+    def digest(self, key: str) -> str:
+        injector = self._injector
+        self._gate()
+        if injector.roll(injector.plan.probe_failure_rate):
+            injector.stats.probe_faults += 1
+            raise TransportError(f"injected: {self.device_id} probe failed")
+        value = self._inner.digest(key)
+        if injector.roll(injector.plan.corruption_rate):
+            injector.stats.corruptions += 1
+            return "corrupt:" + value[:8]
+        return value
 
     # -- extras ------------------------------------------------------------
 
     def keys(self) -> List[str]:
+        injector = self._injector
+        self._gate()
+        if injector.roll(injector.plan.probe_failure_rate):
+            injector.stats.probe_faults += 1
+            raise TransportError(
+                f"injected: {self.device_id} inventory scan failed"
+            )
         return self._inner.keys()
+
+    # -- churn lifecycle ---------------------------------------------------
+
+    @property
+    def is_dead(self) -> bool:
+        return self._dead
+
+    def kill(self, lose_data: bool = False) -> None:
+        """Crash the store: every operation raises until :meth:`revive`.
+
+        ``lose_data=True`` models losing the device itself (flash wiped,
+        owner gone for good) rather than a reboot: the inner store's
+        inventory is cleared, so a later revive comes back *empty*.
+        """
+        self._dead = True
+        if lose_data:
+            dropper = getattr(self._inner, "drop", None)
+            lister = getattr(self._inner, "keys", None)
+            if dropper is not None and lister is not None:
+                for key in list(lister()):
+                    dropper(key)
+
+    def revive(self) -> None:
+        self._dead = False
+
+    def corrupt_at_rest(self, key: Optional[str] = None) -> Optional[str]:
+        """Silently rot one landed payload on the inner store.
+
+        Bypasses the fault gates on purpose — bitrot is not an I/O
+        event.  Returns the mangled key (the lowest one when ``key`` is
+        not given), or ``None`` if the store is empty.
+        """
+        candidates = sorted(self._inner.keys())
+        if not candidates:
+            return None
+        target = key if key is not None else candidates[0]
+        text = self._inner.fetch(target)
+        self._inner.store(target, mangle_payload(text))
+        self._injector.stats.at_rest_corruptions += 1
+        return target
 
     def __len__(self) -> int:
         return len(self._inner)
@@ -168,6 +249,9 @@ class FlakyStore:
         return getattr(self._inner, name)
 
     def _gate(self) -> None:
+        if self._dead:
+            self._injector.stats.dead_denials += 1
+            raise TransportError(f"injected: {self.device_id} is dead")
         if self._injector.in_down_window():
             self._injector.stats.window_denials += 1
             raise TransportError(

@@ -38,6 +38,10 @@ class FaultPlan:
     #: Probability that a ``fetch()`` returns a corrupted payload
     #: (caught downstream by the digest check).
     corruption_rate: float = 0.0
+    #: Probability that a ``store()`` lands a payload that then silently
+    #: rots *at rest*: the store acknowledges success, the copy is bad.
+    #: Only the scrubber's digest sampling (or the next swap-in) sees it.
+    at_rest_corruption_rate: float = 0.0
     #: Probability that a ``store()`` is interrupted mid-payload: a
     #: truncated document lands on the device, then the link errors.
     interruption_rate: float = 0.0
@@ -57,6 +61,7 @@ class FaultPlan:
             "drop_failure_rate",
             "probe_failure_rate",
             "corruption_rate",
+            "at_rest_corruption_rate",
             "interruption_rate",
             "latency_spike_rate",
             "link_failure_rate",
@@ -81,6 +86,7 @@ class FaultPlan:
             and self.drop_failure_rate == 0.0
             and self.probe_failure_rate == 0.0
             and self.corruption_rate == 0.0
+            and self.at_rest_corruption_rate == 0.0
             and self.interruption_rate == 0.0
             and self.latency_spike_rate == 0.0
             and self.link_failure_rate == 0.0
@@ -98,10 +104,12 @@ class FaultStats:
     drop_faults: int = 0
     probe_faults: int = 0
     corruptions: int = 0
+    at_rest_corruptions: int = 0
     interruptions: int = 0
     latency_spikes: int = 0
     link_faults: int = 0
     window_denials: int = 0
+    dead_denials: int = 0
     spike_seconds: float = 0.0
 
     @property
@@ -112,6 +120,7 @@ class FaultStats:
             + self.drop_faults
             + self.probe_faults
             + self.corruptions
+            + self.at_rest_corruptions
             + self.interruptions
             + self.link_faults
             + self.window_denials
@@ -162,6 +171,11 @@ class FaultInjector:
     def corrupt(self, text: str) -> str:
         """Deterministically mangle a payload (digest check will catch it)."""
         self.stats.corruptions += 1
-        if len(text) > 8:
-            return text[:-8] + "<!--rot-->"
-        return text + "<!--rot-->"
+        return mangle_payload(text)
+
+
+def mangle_payload(text: str) -> str:
+    """The canonical bitrot: still text, never the original digest."""
+    if len(text) > 8:
+        return text[:-8] + "<!--rot-->"
+    return text + "<!--rot-->"

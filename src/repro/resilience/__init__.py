@@ -17,7 +17,14 @@ package is what keeps that honest when the neighborhood misbehaves:
   ``manager.enable_resilience()``, including degrade-to-local: when
   every store is unreachable the victim is hibernated into a local
   compressed pool (:mod:`repro.baselines.compression`) instead of the
-  swap failing.
+  swap failing;
+* :class:`PlacementMap` / :func:`plan_placement` — replicated swap-out:
+  ``k`` copies across distinct stores (health-, capacity- and
+  anti-affinity-aware), tracked per cluster with digest and epoch;
+* :class:`Scrubber` — the background scrub/repair loop: re-verifies
+  suspect replicas after store churn, digest-samples records at rest,
+  re-replicates under-replicated clusters (including re-promotion of
+  degraded-to-local hibernations), and collects orphaned copies.
 
 Disabled (the default), none of this touches the swap hot path.
 """
@@ -29,7 +36,15 @@ from repro.resilience.journal import (
     JournalEntryState,
     SwapJournal,
 )
+from repro.resilience.placement import (
+    PlacementMap,
+    PlacementRecord,
+    ReplicaState,
+    placement_group_of,
+    plan_placement,
+)
 from repro.resilience.retry import RetryPolicy, run_with_retry
+from repro.resilience.scrub import ScrubReport, Scrubber
 
 __all__ = [
     "Resilience",
@@ -42,4 +57,11 @@ __all__ = [
     "SwapJournal",
     "JournalEntry",
     "JournalEntryState",
+    "PlacementMap",
+    "PlacementRecord",
+    "ReplicaState",
+    "placement_group_of",
+    "plan_placement",
+    "Scrubber",
+    "ScrubReport",
 ]

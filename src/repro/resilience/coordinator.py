@@ -14,17 +14,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple, Type
+from typing import Any, Callable, List, Optional, Tuple, Type
 
 from repro.errors import RetryExhaustedError, TransportError
 from repro.events import (
     CircuitClosedEvent,
     CircuitOpenEvent,
+    ClusterUnderReplicatedEvent,
+    JournalTruncatedEvent,
     SwapRetryEvent,
 )
 from repro.resilience.health import HealthRegistry
 from repro.resilience.journal import SwapJournal
+from repro.resilience.placement import PlacementMap
 from repro.resilience.retry import RetryPolicy, run_with_retry
+from repro.resilience.scrub import Scrubber
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,17 @@ class ResilienceConfig:
     journal_history: int = 256
     #: Seed for the deterministic retry-jitter PRNG.
     seed: int = 0
+    #: How many distinct stores should hold each swapped cluster.  The
+    #: effective target is ``max(manager.replication_factor, this)``.
+    replication_factor: int = 1
+    #: Simulated seconds between background scrub passes.
+    scrub_interval_s: float = 30.0
+    #: Placement records integrity-sampled per scrub pass.
+    scrub_sample: int = 4
+    #: A record verified this recently is skipped by the sampler; clean
+    #: fast-path swap-outs refresh it so unmodified clusters are not
+    #: re-fetched by scrub.
+    reverify_interval_s: float = 600.0
 
 
 class Resilience:
@@ -58,7 +73,12 @@ class Resilience:
             failure_threshold=config.failure_threshold,
             cooldown_s=config.cooldown_s,
         )
-        self.journal = SwapJournal(history=config.journal_history)
+        self.journal = SwapJournal(
+            history=config.journal_history,
+            on_truncate=self._on_journal_truncated,
+        )
+        self.placement = PlacementMap()
+        self.scrubber = Scrubber(manager, self)
         self._fallback: Optional[Any] = None
 
     # -- plumbing ----------------------------------------------------------
@@ -96,6 +116,61 @@ class Resilience:
                     cooldown_s=record.cooldown_s,
                 )
             )
+            # a tripped circuit is store-death-until-proven-otherwise:
+            # its replicas stop counting until the scrubber re-verifies
+            self.mark_device_suspect(device_id, reason="circuit open")
+
+    # -- placement hooks ---------------------------------------------------
+
+    def mark_device_suspect(self, device_id: str, *, reason: str) -> List[int]:
+        affected = self.placement.mark_device_suspect(device_id)
+        rf = self._manager.target_replicas()
+        for sid in affected:
+            record = self.placement.get(sid)
+            if record is not None and record.live_count < rf:
+                self._space.bus.emit(
+                    ClusterUnderReplicatedEvent(
+                        space=self._space.name,
+                        sid=sid,
+                        live_replicas=record.live_count,
+                        target_replicas=rf,
+                        reason=f"{device_id}: {reason}",
+                    )
+                )
+        return affected
+
+    def rank_replicas(self, holders: List[Any]) -> List[Any]:
+        """Order replica holders fastest-admitted-first for swap-in.
+
+        Admitted stores come before circuit-open ones; within each tier
+        the healthiest (fewest consecutive failures, best history) and
+        lowest-latency link wins.
+        """
+        now = self.clock.now()
+
+        def rank(holder: Any) -> Tuple:
+            device_id = holder.device_id
+            record = self.health.of(device_id)
+            link = getattr(holder, "link", None)
+            latency = getattr(link, "latency_s", 0.0) if link is not None else 0.0
+            return (
+                0 if record.admits(now) else 1,
+                record.consecutive_failures,
+                record.total_failures - record.total_successes,
+                latency,
+            )
+
+        return sorted(holders, key=rank)
+
+    def _on_journal_truncated(self, dropped: int) -> None:
+        self._manager.stats.journal_truncated += dropped
+        self._space.bus.emit(
+            JournalTruncatedEvent(
+                space=self._space.name,
+                dropped=dropped,
+                history=self.config.journal_history,
+            )
+        )
 
     # -- retried execution -------------------------------------------------
 

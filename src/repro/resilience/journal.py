@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 
 class JournalEntryState(enum.Enum):
@@ -38,6 +38,9 @@ class JournalEntry:
     key: str
     epoch: int
     xml_bytes: int
+    #: Canonical payload digest — what placement recovery verifies
+    #: inventory copies against.  Empty for pre-digest entries.
+    digest: str = ""
     state: JournalEntryState = JournalEntryState.PENDING
     #: Device ids that acknowledged the payload, in ack order.
     writes: List[str] = field(default_factory=list)
@@ -53,22 +56,40 @@ class JournalStats:
     commits: int = 0
     aborts: int = 0
     recoveries: int = 0
+    #: Completed entries pushed out of the bounded history — once
+    #: truncated they can no longer seed placement recovery.
+    truncated: int = 0
 
 
 class SwapJournal:
     """Bounded in-memory write-ahead journal for swap hand-offs."""
 
-    def __init__(self, history: int = 256) -> None:
+    def __init__(
+        self,
+        history: int = 256,
+        on_truncate: Optional[Callable[[int], None]] = None,
+    ) -> None:
         self._sequence = 0
+        self._history = history
         self._pending: List[JournalEntry] = []
         self._completed: Deque[JournalEntry] = deque(maxlen=history)
+        #: Called with the number of entries dropped whenever retiring an
+        #: entry pushes older completed entries out of the bounded history.
+        self.on_truncate = on_truncate
         self.stats = JournalStats()
 
-    def begin(self, sid: int, key: str, epoch: int, xml_bytes: int) -> JournalEntry:
+    def begin(
+        self, sid: int, key: str, epoch: int, xml_bytes: int, digest: str = ""
+    ) -> JournalEntry:
         """Record the intent to ship ``sid``'s payload under ``key``."""
         self._sequence += 1
         entry = JournalEntry(
-            sequence=self._sequence, sid=sid, key=key, epoch=epoch, xml_bytes=xml_bytes
+            sequence=self._sequence,
+            sid=sid,
+            key=key,
+            epoch=epoch,
+            xml_bytes=xml_bytes,
+            digest=digest,
         )
         self._pending.append(entry)
         self.stats.begins += 1
@@ -120,4 +141,11 @@ class SwapJournal:
             self._pending.remove(entry)
         except ValueError:
             pass
+        overflowing = len(self._completed) >= self._history
         self._completed.append(entry)
+        if overflowing:
+            # deque(maxlen=...) silently dropped the oldest entry; the
+            # truncation must be loud — recovery can no longer see it
+            self.stats.truncated += 1
+            if self.on_truncate is not None:
+                self.on_truncate(1)

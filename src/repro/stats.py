@@ -55,6 +55,15 @@ class SpaceTelemetry:
     circuit_opens: int = 0
     degraded_swaps: int = 0
     journal_recoveries: int = 0
+    journal_truncated: int = 0
+    # -- durability counters (zero without replication/scrubbing) --
+    replicas_repaired: int = 0
+    replicas_quarantined: int = 0
+    scrub_ticks: int = 0
+    scrub_bytes_repaired: int = 0
+    orphans_collected: int = 0
+    repromotions: int = 0
+    placement_recoveries: int = 0
     # -- fast-path counters (zero while the fast path is disabled) --
     encode_calls: int = 0
     fastpath_noops: int = 0
@@ -124,6 +133,14 @@ def snapshot(space: Any) -> SpaceTelemetry:
         circuit_opens=stats.circuit_opens,
         degraded_swaps=stats.degraded_swaps,
         journal_recoveries=stats.journal_recoveries,
+        journal_truncated=stats.journal_truncated,
+        replicas_repaired=stats.replicas_repaired,
+        replicas_quarantined=stats.replicas_quarantined,
+        scrub_ticks=stats.scrub_ticks,
+        scrub_bytes_repaired=stats.scrub_bytes_repaired,
+        orphans_collected=stats.orphans_collected,
+        repromotions=stats.repromotions,
+        placement_recoveries=stats.placement_recoveries,
         encode_calls=stats.encode_calls,
         fastpath_noops=stats.fastpath_noops,
         fastpath_reships=stats.fastpath_reships,
@@ -168,6 +185,21 @@ def format_report(telemetry: SpaceTelemetry) -> str:
             f"{telemetry.circuit_opens} circuit-opens, "
             f"{telemetry.degraded_swaps} degraded, "
             f"{telemetry.journal_recoveries} journal recoveries"
+        )
+    if (
+        telemetry.scrub_ticks
+        or telemetry.replicas_repaired
+        or telemetry.replicas_quarantined
+        or telemetry.repromotions
+        or telemetry.orphans_collected
+    ):
+        lines.append(
+            f"  durability: {telemetry.scrub_ticks} scrub ticks, "
+            f"{telemetry.replicas_repaired} repaired "
+            f"({telemetry.scrub_bytes_repaired} B), "
+            f"{telemetry.replicas_quarantined} quarantined, "
+            f"{telemetry.repromotions} re-promoted, "
+            f"{telemetry.orphans_collected} orphans collected"
         )
     if (
         telemetry.fastpath_noops

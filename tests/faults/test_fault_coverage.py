@@ -1,0 +1,149 @@
+"""Fault-surface coverage: the probes and extras misbehave too.
+
+The gap this closes: ``contains()`` answered truthfully and ``keys()``
+ignored the fault plan entirely, so chaos runs exercised the payload
+path but never a lying probe or an inventory scan against a dead link.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.devices import InMemoryStore
+from repro.errors import TransportError
+from repro.faults import (
+    ChurnEvent,
+    ChurnPlan,
+    FaultInjector,
+    FaultPlan,
+    FlakyStore,
+    mangle_payload,
+)
+from repro.wire.canonical import digest_of_canonical
+
+
+def _flaky(plan, clock=None):
+    injector = FaultInjector(plan, clock or SimulatedClock())
+    store = FlakyStore(InMemoryStore("target"), injector)
+    return store, injector
+
+
+def test_contains_lies_under_corruption():
+    store, injector = _flaky(FaultPlan(seed=3, corruption_rate=1.0))
+    store._inner.store("k", "<x/>")
+    assert store.contains("k") is False  # present, but the answer rotted
+    assert store.contains("missing") is True  # absent, reported present
+    assert injector.stats.corruptions == 2
+
+
+def test_contains_is_truthful_on_an_empty_plan():
+    store, injector = _flaky(FaultPlan.empty())
+    store._inner.store("k", "<x/>")
+    assert store.contains("k") is True
+    assert store.contains("missing") is False
+    assert injector.stats.decisions == 0  # zero-rate rolls skip the PRNG
+
+
+def test_keys_honors_down_windows():
+    clock = SimulatedClock()
+    store, injector = _flaky(
+        FaultPlan(down_windows=((5.0, 10.0),)), clock=clock
+    )
+    store._inner.store("k", "<x/>")
+    assert store.keys() == ["k"]
+    clock.advance(6.0)
+    with pytest.raises(TransportError):
+        store.keys()
+    assert injector.stats.window_denials == 1
+
+
+def test_keys_honors_probe_failures():
+    store, injector = _flaky(FaultPlan(seed=1, probe_failure_rate=1.0))
+    with pytest.raises(TransportError):
+        store.keys()
+    assert injector.stats.probe_faults == 1
+
+
+def test_digest_probe_fails_and_corrupts_on_schedule():
+    store, _ = _flaky(FaultPlan(seed=2, probe_failure_rate=1.0))
+    store._inner.store("k", "<x/>")
+    with pytest.raises(TransportError):
+        store.digest("k")
+
+    store, injector = _flaky(FaultPlan(seed=2, corruption_rate=1.0))
+    store._inner.store("k", "<x/>")
+    value = store.digest("k")
+    assert value != digest_of_canonical("<x/>")
+    assert value.startswith("corrupt:")
+    assert injector.stats.corruptions == 1
+
+
+def test_at_rest_corruption_acks_but_lands_rot():
+    store, injector = _flaky(FaultPlan(seed=4, at_rest_corruption_rate=1.0))
+    store.store("k", "<x/>")  # acknowledged: no exception
+    assert injector.stats.at_rest_corruptions == 1
+    landed = store._inner.fetch("k")
+    assert landed == mangle_payload("<x/>")
+    assert digest_of_canonical(landed) != digest_of_canonical("<x/>")
+
+
+def test_kill_makes_every_operation_raise_until_revive():
+    store, injector = _flaky(FaultPlan.empty())
+    store._inner.store("k", "<x/>")
+    store.kill()
+    assert store.is_dead
+    for operation in (
+        lambda: store.store("k2", "<y/>"),
+        lambda: store.fetch("k"),
+        lambda: store.drop("k"),
+        lambda: store.has_room(10),
+        lambda: store.contains("k"),
+        lambda: store.digest("k"),
+        lambda: store.keys(),
+    ):
+        with pytest.raises(TransportError):
+            operation()
+    assert injector.stats.dead_denials == 7
+    store.revive()
+    assert store.fetch("k") == "<x/>"
+
+
+def test_kill_with_lose_data_wipes_the_inventory():
+    store, _ = _flaky(FaultPlan.empty())
+    store._inner.store("k", "<x/>")
+    store.kill(lose_data=True)
+    store.revive()
+    assert store.keys() == []  # the device came back, the data did not
+
+
+def test_corrupt_at_rest_helper_targets_the_lowest_key():
+    store, injector = _flaky(FaultPlan.empty())
+    store._inner.store("b", "<b/>")
+    store._inner.store("a", "<a/>")
+    assert store.corrupt_at_rest() == "a"
+    assert store._inner.fetch("a") == mangle_payload("<a/>")
+    assert store._inner.fetch("b") == "<b/>"
+    assert injector.stats.at_rest_corruptions == 1
+    empty, _ = _flaky(FaultPlan.empty())
+    assert empty.corrupt_at_rest() is None
+
+
+def test_fault_plan_validates_the_new_rate():
+    with pytest.raises(ValueError):
+        FaultPlan(at_rest_corruption_rate=1.5)
+    assert not FaultPlan(at_rest_corruption_rate=0.1).is_empty
+    assert FaultPlan.empty().is_empty
+
+
+def test_churn_events_validate_their_action():
+    with pytest.raises(ValueError):
+        ChurnEvent(at_s=1.0, device_id="s", action="explode")
+    with pytest.raises(ValueError):
+        ChurnEvent(at_s=-1.0, device_id="s", action="kill")
+    plan = ChurnPlan(
+        events=(
+            ChurnEvent(at_s=9.0, device_id="b", action="kill"),
+            ChurnEvent(at_s=2.0, device_id="a", action="corrupt", key="k"),
+        )
+    )
+    assert [e.at_s for e in plan.ordered()] == [2.0, 9.0]
+    assert not plan.is_empty and ChurnPlan().is_empty

@@ -1,0 +1,206 @@
+"""Churn chaos: replication factor 3 over 5 stores, kill any 2 mid-run.
+
+The acceptance bar for the replicated pipeline (ISSUE acceptance
+criteria): with ``replication_factor=3`` across five stores, killing
+any two of them mid-run — including with data loss and at-rest
+corruption — never loses a cluster.  Every swap-in is digest-verified,
+and after scrub ticks every cluster is back at full replication on the
+surviving stores.
+
+``CHAOS_SEED`` in the environment adds an extra seed to the matrix so
+CI (and humans) can probe new schedules without editing the test.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.space import Space
+from repro.devices import InMemoryStore
+from repro.faults import (
+    ChurnEvent,
+    ChurnInjector,
+    ChurnPlan,
+    FaultInjector,
+    FaultPlan,
+    FlakyStore,
+)
+from repro.resilience import ResilienceConfig, RetryPolicy
+from tests.helpers import build_chain, chain_values
+
+CHAIN = 60
+CLUSTER = 10
+CYCLES = 4
+STORES = 5
+FACTOR = 3
+
+_SEEDS = [1, 2, 3]
+if os.environ.get("CHAOS_SEED"):
+    _SEEDS.append(int(os.environ["CHAOS_SEED"]))
+
+
+def _build(seed, fault_plan=None):
+    clock = SimulatedClock()
+    space = Space(f"churnchaos-{seed}", heap_capacity=1 << 20, clock=clock)
+    plan = fault_plan or FaultPlan(
+        seed=seed,
+        store_failure_rate=0.10,
+        fetch_failure_rate=0.10,
+        probe_failure_rate=0.05,
+        latency_spike_rate=0.10,
+        latency_spike_s=0.05,
+    )
+    injector = FaultInjector(plan, clock)
+    stores = {}
+    for i in range(STORES):
+        flaky = FlakyStore(InMemoryStore(f"s{i}"), injector)
+        stores[f"s{i}"] = flaky
+        space.manager.add_store(flaky)
+    space.manager.enable_resilience(
+        ResilienceConfig(
+            retry=RetryPolicy(
+                max_attempts=5,
+                base_delay_s=0.05,
+                multiplier=2.0,
+                max_delay_s=1.0,
+                jitter=0.25,
+                deadline_s=120.0,
+            ),
+            failure_threshold=4,
+            cooldown_s=3.0,
+            degrade_to_local=True,
+            seed=seed,
+            replication_factor=FACTOR,
+            scrub_interval_s=5.0,
+        )
+    )
+    return space, stores, injector
+
+
+def _run_churn_cycle(seed, kill_ids, lose_data=False):
+    """One full run; churn kills ``kill_ids`` mid-way, revives later."""
+    space, stores, injector = _build(seed)
+    churn = ChurnInjector(
+        ChurnPlan(
+            events=tuple(
+                ChurnEvent(at_s=8.0, device_id=d, action="kill", lose_data=lose_data)
+                for d in kill_ids
+            )
+            + tuple(
+                ChurnEvent(at_s=40.0, device_id=d, action="revive")
+                for d in kill_ids
+            )
+        ),
+        space.clock,
+    )
+    handle = space.ingest(build_chain(CHAIN), cluster_size=CLUSTER, root_name="h")
+    scrubber = space.manager.resilience.scrubber
+
+    for cycle in range(CYCLES):
+        for sid in sorted(space.clusters()):
+            cluster = space.clusters()[sid]
+            if cluster.swappable() and cluster.oids:
+                space.swap_out(sid)
+        space.clock.advance(6.0)
+        for event in churn.apply(stores):
+            if event.action == "kill":
+                space.manager.detach_store(stores[event.device_id], dead=True)
+            elif event.action == "revive":
+                space.manager.attach_store(stores[event.device_id])
+        scrubber.tick()
+        # traversal swaps everything back in, digest-verified
+        assert chain_values(handle) == list(range(CHAIN)), (
+            f"seed {seed}: data lost after killing {kill_ids} in cycle {cycle}"
+        )
+        space.verify_integrity()
+
+    # settle: swap everything out once more and scrub to full replication
+    for sid in sorted(space.clusters()):
+        cluster = space.clusters()[sid]
+        if cluster.swappable() and cluster.oids:
+            space.swap_out(sid)
+    scrubber.run_until_stable()
+    placement = space.manager.resilience.placement
+    for sid, record in placement.records().items():
+        assert record.live_count >= FACTOR, (
+            f"seed {seed}: sc-{sid} stuck at {record.live_count} replicas"
+        )
+    assert chain_values(handle) == list(range(CHAIN))
+    space.verify_integrity()
+    return space, injector
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_killing_any_two_of_five_never_loses_a_cluster(seed):
+    # "any 2": sweep every pair on the first seed, a rotating sample on
+    # the rest (the full 10-pair sweep per seed is needless runtime)
+    pairs = list(itertools.combinations([f"s{i}" for i in range(STORES)], 2))
+    sample = pairs if seed == _SEEDS[0] else pairs[seed % len(pairs)::4]
+    for kill_ids in sample:
+        _run_churn_cycle(seed, kill_ids)
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_killing_two_stores_with_data_loss_still_recovers(seed):
+    space, _ = _run_churn_cycle(seed, ("s1", "s3"), lose_data=True)
+    assert space.manager.stats.replicas_repaired > 0
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_at_rest_corruption_fails_over_quarantines_and_repairs(seed):
+    """One replica rots at rest each cycle: the swap-in must detect it,
+    fail over to a healthy copy, and quarantine the bad one.
+
+    Runs on a quiet fault plan so replica ranking stays stable and the
+    rotted copy is provably the one each swap-in tries first — the
+    transient-failure mix is covered by the kill-two suites above."""
+    space, stores, injector = _build(seed, fault_plan=FaultPlan.empty(seed))
+    handle = space.ingest(build_chain(CHAIN), cluster_size=CLUSTER, root_name="h")
+    placement = space.manager.resilience.placement
+    for cycle in range(CYCLES):
+        for sid in sorted(space.clusters()):
+            cluster = space.clusters()[sid]
+            if cluster.swappable() and cluster.oids:
+                space.swap_out(sid)
+        # rot the copy the next swap-in will try first
+        swapped = sorted(placement.records())
+        victim_sid = swapped[cycle % len(swapped)]
+        record = placement.get(victim_sid)
+        first_holder = space.manager.bindings_for(victim_sid)[0]
+        stores[first_holder.device_id].corrupt_at_rest(record.key)
+        space.clock.advance(6.0)
+        assert chain_values(handle) == list(range(CHAIN))
+        space.verify_integrity()
+    assert injector.stats.at_rest_corruptions == CYCLES
+    assert space.manager.stats.replicas_quarantined == CYCLES
+
+    # settle: full replication again, no quarantined copies left behind
+    for sid in sorted(space.clusters()):
+        cluster = space.clusters()[sid]
+        if cluster.swappable() and cluster.oids:
+            space.swap_out(sid)
+    space.manager.resilience.scrubber.run_until_stable()
+    for record in placement.records().values():
+        assert record.live_count >= FACTOR
+        assert not record.quarantined()
+    assert chain_values(handle) == list(range(CHAIN))
+
+
+def test_churn_chaos_replays_deterministically():
+    def counters(seed):
+        space, injector = _run_churn_cycle(seed, ("s0", "s4"))
+        stats = space.manager.stats
+        return (
+            stats.swap_outs,
+            stats.swap_ins,
+            stats.retries,
+            stats.failovers,
+            stats.replicas_repaired,
+            stats.replicas_quarantined,
+            stats.scrub_bytes_repaired,
+            injector.stats.total_faults,
+        )
+
+    assert counters(9) == counters(9)

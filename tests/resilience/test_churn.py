@@ -1,0 +1,163 @@
+"""Store churn: detach/rejoin protocol and placement recovery."""
+
+from repro.core.space import Space
+from repro.devices import InMemoryStore
+from repro.events import (
+    ClusterUnderReplicatedEvent,
+    StoreDetachedEvent,
+    StoreRejoinedEvent,
+)
+from repro.faults import ChurnEvent, ChurnInjector, ChurnPlan, FaultInjector, FaultPlan, FlakyStore
+from repro.resilience import ResilienceConfig
+from tests.helpers import build_chain, chain_values
+
+
+def _space(n_stores=4, factor=3):
+    space = Space("churn", heap_capacity=1 << 20)
+    stores = [InMemoryStore(f"s{i}") for i in range(n_stores)]
+    for store in stores:
+        space.manager.add_store(store)
+    space.manager.enable_resilience(ResilienceConfig(replication_factor=factor))
+    return space, stores
+
+
+def _swap_out_all(space):
+    sids = [sid for sid in sorted(space.clusters()) if sid != 0]
+    for sid in sids:
+        if space.clusters()[sid].swappable():
+            space.swap_out(sid)
+    return sids
+
+
+def test_detach_dead_store_loses_its_replicas():
+    space, stores = _space()
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    (sid,) = _swap_out_all(space)
+    record = space.manager.resilience.placement.get(sid)
+    dead_id = sorted(record.active())[0]
+    dead = next(s for s in stores if s.device_id == dead_id)
+
+    affected = space.manager.detach_store(dead, dead=True)
+    assert affected == [sid]
+    record = space.manager.resilience.placement.get(sid)
+    assert dead_id not in record.replicas
+    assert all(h.device_id != dead_id for h in space.manager.bindings_for(sid))
+    event = space.bus.last(StoreDetachedEvent)
+    assert event.device_id == dead_id and event.dead is True
+    under = space.bus.last(ClusterUnderReplicatedEvent)
+    assert under is not None and under.sid == sid and under.live_replicas == 2
+
+
+def test_detach_departed_store_marks_replicas_suspect():
+    space, stores = _space()
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    (sid,) = _swap_out_all(space)
+    record = space.manager.resilience.placement.get(sid)
+    away_id = sorted(record.active())[0]
+    away = next(s for s in stores if s.device_id == away_id)
+
+    space.manager.detach_store(away, dead=False)
+    record = space.manager.resilience.placement.get(sid)
+    assert record.suspects() == [away_id]  # the copy may still exist
+    event = space.bus.last(StoreDetachedEvent)
+    assert event.dead is False
+
+
+def test_attach_store_rejoins_and_closes_its_circuit():
+    space, stores = _space()
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    _swap_out_all(space)
+    away = stores[0]
+    space.manager.detach_store(away, dead=False)
+    space.manager.attach_store(away)
+    assert away in space.manager.available_stores()
+    assert space.manager.resilience.admits(away.device_id)
+    assert space.bus.last(StoreRejoinedEvent).device_id == away.device_id
+
+
+def test_full_cycle_detach_scrub_rejoin_traverse():
+    space, stores = _space(n_stores=5, factor=3)
+    handle = space.ingest(build_chain(30), cluster_size=10, root_name="h")
+    sids = _swap_out_all(space)
+
+    for store in stores[:2]:
+        space.manager.detach_store(store, dead=True)
+    space.manager.resilience.scrubber.run_until_stable()
+    placement = space.manager.resilience.placement
+    for sid in sids:
+        record = placement.get(sid)
+        assert record.live_count >= 3
+        assert all(d not in record.replicas for d in ("s0", "s1"))
+
+    assert chain_values(handle) == list(range(30))
+    space.verify_integrity()
+
+
+def test_recover_placement_rebuilds_from_journal_and_inventory():
+    space, stores = _space(n_stores=3, factor=2)
+    handle = space.ingest(build_chain(20), cluster_size=10, root_name="h")
+    sids = _swap_out_all(space)
+
+    # a crash forgets the in-memory map and bindings
+    space.manager.resilience.placement._records.clear()
+    space.manager._bindings.clear()
+
+    rebuilt = space.manager.recover_placement()
+    assert rebuilt == len(sids)
+    assert space.manager.stats.placement_recoveries == len(sids)
+    for sid in sids:
+        record = space.manager.resilience.placement.get(sid)
+        assert record is not None and record.live_count == 2
+        assert record.digest  # integrity metadata survived via the journal
+        assert len(space.manager.bindings_for(sid)) == 2
+    assert chain_values(handle) == list(range(20))
+    space.verify_integrity()
+
+
+def test_recover_placement_marks_departed_journal_writes_suspect():
+    space, stores = _space(n_stores=3, factor=2)
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    (sid,) = _swap_out_all(space)
+    record = space.manager.resilience.placement.get(sid)
+    gone_id = sorted(record.active())[0]
+    gone = next(s for s in stores if s.device_id == gone_id)
+
+    space.manager.remove_store(gone)  # silently unreachable at recovery
+    space.manager.resilience.placement._records.clear()
+    space.manager._bindings.clear()
+
+    assert space.manager.recover_placement() == 1
+    record = space.manager.resilience.placement.get(sid)
+    # the journal names the departed store, the inventory cannot confirm
+    assert record.replicas[gone_id].value == "suspect"
+    assert record.live_count == 1
+
+
+def test_churn_injector_replays_its_schedule_in_order():
+    space = Space("churn-plan", heap_capacity=1 << 20)
+    injector = FaultInjector(FaultPlan.empty(), clock=space.clock)
+    stores = {
+        f"s{i}": FlakyStore(InMemoryStore(f"s{i}"), injector) for i in range(2)
+    }
+    plan = ChurnPlan(
+        events=(
+            ChurnEvent(at_s=20.0, device_id="s0", action="revive"),
+            ChurnEvent(at_s=5.0, device_id="s0", action="kill"),
+            ChurnEvent(at_s=5.0, device_id="ghost", action="kill"),  # unknown
+        )
+    )
+    churn = ChurnInjector(plan, space.clock)
+    assert churn.apply(stores) == []  # t=0: nothing due
+
+    space.clock.advance(6.0)
+    fired = churn.apply(stores)
+    assert [e.device_id for e in fired] == ["ghost", "s0"] or [
+        e.device_id for e in fired
+    ] == ["s0", "ghost"]
+    assert stores["s0"].is_dead
+
+    space.clock.advance(20.0)
+    churn.apply(stores)
+    assert not stores["s0"].is_dead
+    assert churn.exhausted
+    assert len(churn.fired) == 3

@@ -126,3 +126,47 @@ def test_recover_journal_commits_entries_whose_handoff_completed():
     assert entry.state is JournalEntryState.COMMITTED
     # the live copy was NOT dropped
     assert location.key in store.keys()
+
+
+def test_journal_truncation_is_counted_not_silent():
+    journal = SwapJournal(history=2)
+    for sid in range(4):
+        entry = journal.begin(sid, f"k{sid}", 1, 10, digest="d")
+        journal.record_write(entry, "s0")
+        journal.commit(entry)
+    # the two oldest completed entries fell off the bounded history
+    assert journal.stats.truncated == 2
+    assert len(journal.history()) == 2
+
+
+def test_journal_truncation_emits_event_and_bumps_manager_stats():
+    from repro.events import JournalTruncatedEvent
+
+    space = make_space()
+    space.manager.enable_resilience(ResilienceConfig(journal_history=2))
+    space.ingest(build_chain(40), cluster_size=10, root_name="h")
+    for _ in range(2):
+        for sid in sorted(space.clusters()):
+            cluster = space.clusters()[sid]
+            if cluster.swappable() and cluster.oids:
+                space.swap_out(sid)
+        assert chain_values(space.get_root("h")) == list(range(40))
+    # 8 completed hand-offs through a 2-entry history
+    assert space.manager.stats.journal_truncated > 0
+    event = space.bus.last(JournalTruncatedEvent)
+    assert event is not None
+    assert event.history == 2 and event.dropped == 1
+    assert (
+        space.manager.stats.journal_truncated
+        == space.manager.resilience.journal.stats.truncated
+    )
+
+
+def test_journal_entries_carry_the_payload_digest():
+    space = _resilient_space()
+    space.manager.add_store(InMemoryStore("dev"))
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    sid = [s for s in space.clusters() if s != 0][0]
+    location = space.swap_out(sid)
+    (entry,) = space.manager.resilience.journal.history()
+    assert entry.digest == location.digest

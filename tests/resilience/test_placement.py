@@ -1,0 +1,184 @@
+"""Unit tests for the replica placement ledger and the placement planner."""
+
+import pytest
+
+from repro.devices import InMemoryStore
+from repro.errors import TransportError
+from repro.resilience import (
+    PlacementMap,
+    ReplicaState,
+    placement_group_of,
+    plan_placement,
+)
+from repro.resilience.health import HealthRegistry
+
+
+def _map_with_record(sid=1, devices=("a", "b", "c")):
+    placement = PlacementMap()
+    placement.record_swap_out(
+        sid,
+        key=f"sp/sc-{sid}/e1",
+        digest="d" * 64,
+        epoch=1,
+        xml_bytes=100,
+        device_ids=devices,
+    )
+    return placement
+
+
+class TestPlacementMap:
+    def test_record_swap_out_creates_active_replicas(self):
+        placement = _map_with_record()
+        record = placement.get(1)
+        assert record.live_count == 3
+        assert sorted(record.active()) == ["a", "b", "c"]
+        assert record.suspects() == [] and record.quarantined() == []
+        assert placement.stats.records == 1
+
+    def test_re_recording_a_sid_replaces_not_duplicates(self):
+        placement = _map_with_record()
+        placement.record_swap_out(
+            1, key="sp/sc-1/e2", digest="e" * 64, epoch=2, xml_bytes=50,
+            device_ids=["x"],
+        )
+        assert placement.stats.records == 1
+        record = placement.get(1)
+        assert record.epoch == 2 and record.active() == ["x"]
+        # the old epoch's verification does not carry over
+        assert record.verified_epoch == -1
+
+    def test_quarantine_demotes_and_is_idempotent(self):
+        placement = _map_with_record()
+        assert placement.quarantine(1, "a") is True
+        assert placement.quarantine(1, "a") is False  # already quarantined
+        assert placement.quarantine(1, "nope") is False  # not a replica
+        record = placement.get(1)
+        assert record.live_count == 2
+        assert record.quarantined() == ["a"]
+
+    def test_suspect_and_reactivate_round_trip(self):
+        placement = _map_with_record()
+        affected = placement.mark_device_suspect("b")
+        assert affected == [1]
+        assert placement.get(1).replicas["b"] is ReplicaState.SUSPECT
+        assert placement.get(1).live_count == 2
+        placement.reactivate(1, "b")
+        assert placement.get(1).live_count == 3
+        assert placement.stats.reactivations == 1
+
+    def test_suspect_does_not_touch_quarantined_copies(self):
+        placement = _map_with_record()
+        placement.quarantine(1, "a")
+        placement.mark_device_suspect("a")
+        assert placement.get(1).replicas["a"] is ReplicaState.QUARANTINED
+
+    def test_mark_device_lost_strikes_the_copy_entirely(self):
+        placement = _map_with_record()
+        assert placement.mark_device_lost("c") == [1]
+        assert "c" not in placement.get(1).replicas
+
+    def test_record_verified_requires_the_current_epoch(self):
+        placement = _map_with_record()
+        placement.record_verified(1, epoch=99, now=5.0)  # stale epoch: ignored
+        assert placement.get(1).verified_epoch == -1
+        placement.record_verified(1, epoch=1, now=5.0)
+        record = placement.get(1)
+        assert record.verified_epoch == 1 and record.verified_at == 5.0
+
+    def test_under_replicated_sorts_worst_first(self):
+        placement = _map_with_record(sid=1, devices=("a", "b", "c"))
+        placement.record_swap_out(
+            2, key="k2", digest="d", epoch=1, xml_bytes=10, device_ids=["a"]
+        )
+        placement.record_swap_out(
+            3, key="k3", digest="d", epoch=1, xml_bytes=10, device_ids=["a", "b"]
+        )
+        short = placement.under_replicated(3)
+        assert [record.sid for record in short] == [2, 3]
+
+    def test_forget_and_current_keys(self):
+        placement = _map_with_record()
+        assert placement.current_keys() == {
+            "a": {"sp/sc-1/e1"}, "b": {"sp/sc-1/e1"}, "c": {"sp/sc-1/e1"},
+        }
+        assert placement.forget(1) is not None
+        assert placement.forget(1) is None
+        assert len(placement) == 0
+
+
+class Grouped(InMemoryStore):
+    def __init__(self, device_id, group=None, room=True):
+        super().__init__(device_id)
+        self.placement_group = group
+        self._room = room
+
+    def has_room(self, nbytes):
+        return self._room
+
+
+class TestPlanPlacement:
+    def test_defaults_each_device_to_its_own_group(self):
+        store = InMemoryStore("solo")
+        assert placement_group_of(store) == "solo"
+        assert placement_group_of(Grouped("g1", group="desk-a")) == "desk-a"
+
+    def test_spreads_across_placement_groups_first(self):
+        stores = [
+            Grouped("a1", group="desk-a"),
+            Grouped("a2", group="desk-a"),
+            Grouped("b1", group="desk-b"),
+        ]
+        chosen = plan_placement(stores, 10, 2)
+        assert {placement_group_of(s) for s in chosen} == {"desk-a", "desk-b"}
+
+    def test_co_locates_only_as_a_last_resort(self):
+        stores = [Grouped("a1", group="desk-a"), Grouped("a2", group="desk-a")]
+        chosen = plan_placement(stores, 10, 2)
+        assert len(chosen) == 2  # both copies land, same group or not
+
+    def test_skips_full_and_excluded_stores(self):
+        stores = [
+            Grouped("full", room=False),
+            Grouped("banned"),
+            Grouped("ok"),
+        ]
+        chosen = plan_placement(stores, 10, 3, exclude={"banned"})
+        assert [s.device_id for s in chosen] == ["ok"]
+
+    def test_probe_failures_are_reported_not_fatal(self):
+        class Unreachable(InMemoryStore):
+            def has_room(self, nbytes):
+                raise TransportError("gone")
+
+        failed = []
+        chosen = plan_placement(
+            [Unreachable("dead"), Grouped("ok")],
+            10,
+            2,
+            on_probe_failure=lambda store: failed.append(store.device_id),
+        )
+        assert [s.device_id for s in chosen] == ["ok"]
+        assert failed == ["dead"]
+
+    def test_health_ranking_prefers_cleaner_history(self):
+        health = HealthRegistry(failure_threshold=10, cooldown_s=1.0)
+        health.of("shaky").record_failure(0.0)
+        health.of("shaky").record_failure(0.0)
+        chosen = plan_placement(
+            [Grouped("shaky"), Grouped("clean")], 10, 1, health=health
+        )
+        assert chosen[0].device_id == "clean"
+
+    def test_capacity_breaks_ties(self):
+        class Sized(InMemoryStore):
+            def __init__(self, device_id, free):
+                super().__init__(device_id)
+                self.free = free
+
+        chosen = plan_placement([Sized("small", 10), Sized("big", 1000)], 5, 1)
+        assert chosen[0].device_id == "big"
+
+    def test_returns_fewer_when_not_enough_stores(self):
+        assert plan_placement([Grouped("only")], 10, 3) != []
+        assert len(plan_placement([Grouped("only")], 10, 3)) == 1
+        assert plan_placement([], 10, 2) == []

@@ -1,0 +1,98 @@
+"""Degrade-to-local followed by healing: the scrubber re-promotes.
+
+When every nearby store is unreachable the pipeline hibernates victims
+into the local compressed pool — but the pool is heap, not durability.
+Once stores heal, a scrub pass must re-replicate the hibernated payload
+onto real stores and release the pool copy (re-promotion).
+"""
+
+from repro.core.space import Space
+from repro.devices import InMemoryStore
+from repro.events import SwapDegradedEvent
+from repro.faults import FaultInjector, FaultPlan, FlakyStore
+from repro.resilience import ResilienceConfig, RetryPolicy
+from tests.helpers import build_chain, chain_values
+
+
+def _degraded_space(factor=2, n_stores=3):
+    space = Space("promo", heap_capacity=1 << 20)
+    injector = FaultInjector(FaultPlan.empty(), clock=space.clock)
+    stores = {}
+    for i in range(n_stores):
+        flaky = FlakyStore(InMemoryStore(f"s{i}"), injector)
+        stores[f"s{i}"] = flaky
+        space.manager.add_store(flaky)
+        flaky.kill()  # the whole neighborhood is out of range
+    space.manager.enable_resilience(
+        ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.01, jitter=0.0),
+            failure_threshold=2,
+            cooldown_s=1.0,
+            replication_factor=factor,
+            degrade_to_local=True,
+        )
+    )
+    return space, stores
+
+
+def test_scrubber_repromotes_once_stores_heal():
+    space, stores = _degraded_space()
+    handle = space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    (sid,) = [s for s in space.clusters() if s != 0]
+    space.swap_out(sid)
+
+    assert space.manager.stats.degraded_swaps == 1
+    assert space.bus.last(SwapDegradedEvent) is not None
+    record = space.manager.resilience.placement.get(sid)
+    assert set(record.active()) == {"compressed-pool"}
+    fallback = space.manager.resilience.fallback_store()
+    assert record.key in fallback.keys()
+    pool_heap = space.heap.used
+
+    # the neighborhood comes back
+    for flaky in stores.values():
+        flaky.revive()
+    space.clock.advance(2.0)  # past the circuit cool-down
+
+    space.manager.resilience.scrubber.run_until_stable()
+    record = space.manager.resilience.placement.get(sid)
+    assert "compressed-pool" not in record.replicas
+    assert record.live_count >= 2  # real stores now hold the copies
+    assert record.key not in fallback.keys()  # hibernation released
+    assert space.heap.used < pool_heap  # its heap bytes came back
+    assert space.manager.stats.repromotions == 1
+    assert space.manager.stats.replicas_repaired >= 2
+
+    assert chain_values(handle) == list(range(10))
+    space.verify_integrity()
+
+
+def test_no_repromotion_while_stores_stay_dark():
+    space, stores = _degraded_space()
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    (sid,) = [s for s in space.clusters() if s != 0]
+    space.swap_out(sid)
+
+    space.clock.advance(2.0)
+    report = space.manager.resilience.scrubber.tick(force=True)
+    # nothing to promote onto: the pool copy must survive untouched
+    record = space.manager.resilience.placement.get(sid)
+    assert "compressed-pool" in record.replicas
+    assert report.repromotions == 0
+    fallback = space.manager.resilience.fallback_store()
+    assert record.key in fallback.keys()
+
+
+def test_repromoted_cluster_swaps_in_from_a_real_store():
+    space, stores = _degraded_space()
+    space.ingest(build_chain(10), cluster_size=10, root_name="h")
+    (sid,) = [s for s in space.clusters() if s != 0]
+    space.swap_out(sid)
+    for flaky in stores.values():
+        flaky.revive()
+    space.clock.advance(2.0)
+    space.manager.resilience.scrubber.run_until_stable()
+
+    assert space.swap_in(sid) > 0
+    holders = {h.device_id for h in space.manager.bindings_for(sid)}
+    assert holders and "compressed-pool" not in holders

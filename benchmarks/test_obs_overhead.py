@@ -1,0 +1,53 @@
+"""Observability overhead guard.
+
+The tentpole promise: attaching ``repro.obs`` must not distort the
+system under observation.  Spans take their timestamps from the
+simulated clock and never advance it, so the *simulated* cost of every
+operation has to be bit-identical with observability on — and the guard
+below holds the looser issue bar (<10%) with plenty of margin.  Wall
+time is reported but not asserted (CI machines are too noisy for a
+stable wall-clock bound).
+
+Run:  pytest benchmarks/test_obs_overhead.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.bench.hotpath import HotPathConfig, run_scenario
+
+CONFIG = HotPathConfig.quick()
+
+
+def _mean_swap_out(observe: bool) -> float:
+    result = run_scenario(
+        "overhead-probe",
+        CONFIG,
+        fastpath=False,
+        mutate=False,
+        observe=observe,
+    )
+    return result.swap_out_mean_s
+
+
+def test_observability_adds_no_simulated_cost(benchmark):
+    plain = _mean_swap_out(observe=False)
+    observed = benchmark.pedantic(
+        lambda: _mean_swap_out(observe=True), rounds=1, iterations=1
+    )
+    assert plain > 0
+    # issue bar: <10% added simulated swap-out cost; actual: zero
+    assert observed <= plain * 1.10
+    assert observed == plain  # spans read the clock, never charge it
+
+
+def test_observability_reports_phases_without_perturbing_counters():
+    base = run_scenario(
+        "counters-plain", CONFIG, fastpath=False, mutate=False
+    )
+    seen = run_scenario(
+        "counters-observed", CONFIG, fastpath=False, mutate=False, observe=True
+    )
+    assert seen.phases and not base.phases
+    assert seen.encode_calls == base.encode_calls
+    assert seen.bytes_on_link == base.bytes_on_link
+    assert seen.link_seconds == base.link_seconds

@@ -5,6 +5,7 @@ Usage::
     python -m repro            # inventory + quick self-check
     python -m repro demo       # run the Figure 2 pressure scenario
     python -m repro figure5    # full Figure 5 reproduction (slow)
+    python -m repro obs ...    # inspect observability dumps (check/report/prom)
 """
 
 from __future__ import annotations
@@ -56,6 +57,11 @@ def main(argv: list[str]) -> int:
         from repro.bench.figure5 import main as figure5_main
 
         return figure5_main(argv[1:])
+
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
 
     if argv and argv[0] == "demo":
         from repro.sim import run_pressure_scenario

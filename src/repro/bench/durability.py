@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.bench.workloads import build_list
 from repro.clock import SimulatedClock
@@ -60,12 +60,15 @@ class KillResult:
     replicas_repaired: int
     scrub_passes: int
     fully_replicated: int  # clusters back at the target factor
+    #: per-phase simulated/wall cost from the profiler (``--obs`` only)
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
 @dataclass
 class DurabilityReport:
     config: DurabilityConfig
     results: Dict[int, KillResult] = field(default_factory=dict)
+    observed: bool = False
 
     @property
     def survives_minority_loss(self) -> bool:
@@ -79,6 +82,7 @@ class DurabilityReport:
     def to_json(self) -> str:
         payload = {
             "benchmark": "durability",
+            "observed": self.observed,
             "config": asdict(self.config),
             "results": {
                 str(kills): asdict(result)
@@ -89,7 +93,14 @@ class DurabilityReport:
         return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def run_kill_scenario(config: DurabilityConfig, kills: int) -> KillResult:
+def run_kill_scenario(
+    config: DurabilityConfig,
+    kills: int,
+    *,
+    observe: bool = False,
+    obs_path: Optional[str] = None,
+    obs_append: bool = True,
+) -> KillResult:
     """One scenario: swap out, kill ``kills`` stores, scrub to stable."""
     clock = SimulatedClock()
     space = Space(
@@ -113,6 +124,8 @@ def run_kill_scenario(config: DurabilityConfig, kills: int) -> KillResult:
             scrub_interval_s=1.0,
         )
     )
+
+    obs = space.manager.enable_observability() if observe else None
 
     space.ingest(
         build_list(config.objects),
@@ -148,6 +161,15 @@ def run_kill_scenario(config: DurabilityConfig, kills: int) -> KillResult:
         for record in placement.records().values()
         if record.live_count >= config.replication_factor
     )
+    phases: Dict[str, Dict[str, float]] = {}
+    if obs is not None:
+        obs.refresh()
+        phases = obs.profiler.breakdown()
+        if obs_path is not None:
+            obs.export_jsonl(
+                obs_path, label=f"durability:kills={kills}", append=obs_append
+            )
+
     stats = space.manager.stats
     return KillResult(
         kills=kills,
@@ -158,15 +180,27 @@ def run_kill_scenario(config: DurabilityConfig, kills: int) -> KillResult:
         replicas_repaired=stats.replicas_repaired - stats_before_repairs,
         scrub_passes=stats.scrub_ticks - passes_before,
         fully_replicated=full,
+        phases=phases,
     )
 
 
-def run_durability(config: DurabilityConfig | None = None) -> DurabilityReport:
+def run_durability(
+    config: DurabilityConfig | None = None,
+    *,
+    observe: bool = False,
+    obs_path: Optional[str] = None,
+) -> DurabilityReport:
     config = config if config is not None else DurabilityConfig()
-    report = DurabilityReport(config=config)
+    report = DurabilityReport(config=config, observed=observe)
     top = min(config.max_kills, config.stores - 1)
     for kills in range(1, top + 1):
-        report.results[kills] = run_kill_scenario(config, kills)
+        report.results[kills] = run_kill_scenario(
+            config,
+            kills,
+            observe=observe,
+            obs_path=obs_path,
+            obs_append=kills > 1,
+        )
     return report
 
 
@@ -199,10 +233,27 @@ def main(argv: List[str] | None = None) -> int:  # pragma: no cover - CLI
     parser.add_argument(
         "--output", default="BENCH_durability.json", help="JSON output path"
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="run with observability attached: per-phase breakdowns in the "
+        "JSON plus one labeled trace/metric dump per kill count",
+    )
+    parser.add_argument(
+        "--obs-output",
+        default="BENCH_durability_obs.jsonl",
+        help="JSONL dump path (with --obs)",
+    )
     arguments = parser.parse_args(argv)
     config = DurabilityConfig.quick() if arguments.quick else DurabilityConfig()
-    report = run_durability(config)
+    report = run_durability(
+        config,
+        observe=arguments.obs,
+        obs_path=arguments.obs_output if arguments.obs else None,
+    )
     print(format_table(report))
+    if arguments.obs:
+        print(f"wrote {arguments.obs_output}")
     with open(arguments.output, "w", encoding="utf-8") as handle:
         handle.write(report.to_json() + "\n")
     print(f"wrote {arguments.output}")

@@ -68,12 +68,15 @@ class ScenarioResult:
     fastpath_noops: int
     fastpath_reships: int
     swapin_cache_hits: int
+    #: per-phase simulated/wall cost from the profiler (``--obs`` only)
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
 @dataclass
 class HotPathReport:
     config: HotPathConfig
     scenarios: Dict[str, ScenarioResult] = field(default_factory=dict)
+    observed: bool = False
 
     @property
     def swap_out_cost_reduction(self) -> float:
@@ -97,6 +100,7 @@ class HotPathReport:
     def to_json(self) -> str:
         payload = {
             "benchmark": "swap_hotpath",
+            "observed": self.observed,
             "config": asdict(self.config),
             "scenarios": {
                 name: asdict(result) for name, result in self.scenarios.items()
@@ -153,11 +157,15 @@ def run_scenario(
     *,
     fastpath: bool,
     mutate: bool,
+    observe: bool = False,
+    obs_path: str | None = None,
+    obs_append: bool = True,
 ) -> ScenarioResult:
     space, clock, link, sids = _build_space(config)
     manager = space.manager
     if fastpath:
         manager.enable_fastpath(FastPathConfig())
+    obs = manager.enable_observability() if observe else None
 
     swap_out_costs: List[float] = []
     cycle_costs: List[float] = []
@@ -170,6 +178,15 @@ def run_scenario(
             swap_out_costs.append(clock.now() - start)
             manager.swap_in(sid)
             cycle_costs.append(clock.now() - start)
+
+    phases: Dict[str, Dict[str, float]] = {}
+    if obs is not None:
+        obs.refresh()
+        phases = obs.profiler.breakdown()
+        if obs_path is not None:
+            obs.export_jsonl(
+                obs_path, label=f"hotpath:{name}", append=obs_append
+            )
 
     stats = manager.stats
     return ScenarioResult(
@@ -187,22 +204,39 @@ def run_scenario(
         fastpath_noops=stats.fastpath_noops,
         fastpath_reships=stats.fastpath_reships,
         swapin_cache_hits=stats.swapin_cache_hits,
+        phases=phases,
     )
 
 
-def run_hotpath(config: HotPathConfig | None = None) -> HotPathReport:
-    """Run all three scenarios on identical workloads."""
+def run_hotpath(
+    config: HotPathConfig | None = None,
+    *,
+    observe: bool = False,
+    obs_path: str | None = None,
+) -> HotPathReport:
+    """Run all three scenarios on identical workloads.
+
+    With ``observe`` each scenario runs under a fresh observability
+    attachment and reports its per-phase cost breakdown; ``obs_path``
+    additionally appends one labeled JSONL dump per scenario.
+    """
     config = config if config is not None else HotPathConfig()
-    report = HotPathReport(config=config)
-    report.scenarios["baseline"] = run_scenario(
-        "baseline", config, fastpath=False, mutate=False
-    )
-    report.scenarios["fastpath_clean"] = run_scenario(
-        "fastpath_clean", config, fastpath=True, mutate=False
-    )
-    report.scenarios["fastpath_mutating"] = run_scenario(
-        "fastpath_mutating", config, fastpath=True, mutate=True
-    )
+    report = HotPathReport(config=config, observed=observe)
+    plans = [
+        ("baseline", False, False),
+        ("fastpath_clean", True, False),
+        ("fastpath_mutating", True, True),
+    ]
+    for index, (name, fastpath, mutate) in enumerate(plans):
+        report.scenarios[name] = run_scenario(
+            name,
+            config,
+            fastpath=fastpath,
+            mutate=mutate,
+            observe=observe,
+            obs_path=obs_path,
+            obs_append=index > 0,
+        )
     return report
 
 
@@ -239,10 +273,27 @@ def main(argv: List[str] | None = None) -> int:  # pragma: no cover - CLI
     parser.add_argument(
         "--output", default="BENCH_swap_hotpath.json", help="JSON output path"
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="run with observability attached: per-phase breakdowns in the "
+        "JSON plus one labeled trace/metric dump per scenario",
+    )
+    parser.add_argument(
+        "--obs-output",
+        default="BENCH_swap_hotpath_obs.jsonl",
+        help="JSONL dump path (with --obs)",
+    )
     arguments = parser.parse_args(argv)
     config = HotPathConfig.quick() if arguments.quick else HotPathConfig()
-    report = run_hotpath(config)
+    report = run_hotpath(
+        config,
+        observe=arguments.obs,
+        obs_path=arguments.obs_output if arguments.obs else None,
+    )
     print(format_table(report))
+    if arguments.obs:
+        print(f"wrote {arguments.obs_output}")
     with open(arguments.output, "w", encoding="utf-8") as handle:
         handle.write(report.to_json() + "\n")
     print(f"wrote {arguments.output}")

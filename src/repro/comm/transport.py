@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.clock import Clock, SimulatedClock
 from repro.errors import TransportError
@@ -138,6 +138,11 @@ class SimulatedLink:
         self._up = True
         self._down_until: Optional[float] = None
         self.stats = LinkStats()
+        #: Observability hook: called as ``(link, nbytes, elapsed_s)``
+        #: after every successful transfer (``repro.obs`` installs it).
+        self.on_transfer: Optional[
+            Callable[["SimulatedLink", int, float], None]
+        ] = None
 
     def transfer_time(self, nbytes: int) -> float:
         """Cost model only — no state change."""
@@ -152,6 +157,8 @@ class SimulatedLink:
         self.stats.frames += 1
         self.stats.bytes_carried += nbytes
         self.stats.seconds_charged += elapsed
+        if self.on_transfer is not None:
+            self.on_transfer(self, nbytes, elapsed)
         return elapsed
 
     def batch_transfer_time(self, sizes: Sequence[int]) -> float:
@@ -177,12 +184,13 @@ class SimulatedLink:
         frame_sizes = list(sizes)
         elapsed = self.batch_transfer_time(frame_sizes)
         self.clock.advance(elapsed)
+        carried = sum(frame_sizes) + FRAME_OVERHEAD_BYTES * len(frame_sizes)
         self.stats.transfers += 1
         self.stats.frames += len(frame_sizes)
-        self.stats.bytes_carried += (
-            sum(frame_sizes) + FRAME_OVERHEAD_BYTES * len(frame_sizes)
-        )
+        self.stats.bytes_carried += carried
         self.stats.seconds_charged += elapsed
+        if self.on_transfer is not None:
+            self.on_transfer(self, carried, elapsed)
         return elapsed
 
     @property

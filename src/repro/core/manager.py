@@ -64,10 +64,12 @@ from repro.events import (
     SwapOutEvent,
 )
 from repro.ids import Sid, format_swap_key
+from repro.obs.trace import NULL_SPAN
 from repro.wire.canonical import verify_payload
 from repro.wire.xmlcodec import decode_cluster, encode_cluster_canonical
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import ObsConfig, Observability
     from repro.resilience import Resilience, ResilienceConfig
 
 #: The dedicated subclass lets the retry machinery distinguish "this
@@ -161,6 +163,9 @@ class SwappingManager:
         #: Optional swap fast path (dirty tracking + payload cache +
         #: metadata-only clean swap-outs).  ``None`` = classic pipeline.
         self.fastpath: Optional[FastPathState] = None
+        #: Optional observability runtime (tracing + metrics + profiling).
+        #: ``None`` = every span site costs one attribute test.
+        self.obs: Optional["Observability"] = None
         space.bus.subscribe(ClusterReplicatedEvent, self._on_cluster_replicated)
         space.bus.subscribe(ClusterCollectedEvent, self._on_cluster_collected)
 
@@ -208,11 +213,57 @@ class SwappingManager:
         """
         self.fastpath = None
 
+    # -- observability -----------------------------------------------------------
+
+    def enable_observability(
+        self, config: Optional["ObsConfig"] = None
+    ) -> "Observability":
+        """Turn on unified observability (see :mod:`repro.obs`): span
+        tracing through the swap pipeline, a metrics registry, per-phase
+        profiling, and event/trace correlation.
+
+        Calling again replaces the runtime (fresh tracer and registry)
+        with the new ``config``.  While disabled (the default) every
+        instrumented site costs one ``None`` check.
+        """
+        from repro.obs import Observability, ObsConfig
+
+        if self.obs is not None:
+            self.obs.detach()
+        self.obs = Observability(
+            self, config if config is not None else ObsConfig()
+        )
+        self.obs.attach()
+        return self.obs
+
+    def disable_observability(self) -> None:
+        """Detach hooks and drop the observability runtime."""
+        if self.obs is not None:
+            self.obs.detach()
+            self.obs = None
+
+    def _obs_span(self, name: str, **tags: Any):
+        """A live span when observability is on, :data:`NULL_SPAN` when off."""
+        obs = self.obs
+        if obs is None:
+            return NULL_SPAN
+        return obs.tracer.span(name, **tags)
+
+    def _obs_tag(self, key: str, value: Any) -> None:
+        """Tag the innermost open span, if any."""
+        obs = self.obs
+        if obs is not None:
+            span = obs.tracer.current_span()
+            if span is not None:
+                span.set_tag(key, value)
+
     # -- store management -------------------------------------------------------
 
     def add_store(self, store: SwapStore) -> None:
         if store not in self._stores:
             self._stores.append(store)
+            if self.obs is not None:
+                self.obs.instrument_store(store)
 
     def remove_store(self, store: SwapStore) -> None:
         if store in self._stores:
@@ -305,16 +356,17 @@ class SwappingManager:
         if sid in self._loading:
             raise SwapError(f"swap-cluster {sid} is being loaded; cannot swap out")
 
-        if (
-            self.fastpath is not None
-            and not cluster.dirty
-            and cluster.clean_digest is not None
-            and cluster.clean_outbound is not None
-        ):
-            location = self._swap_out_clean(cluster, store)
-            if location is not None:
-                return location
-        return self._swap_out_full(cluster, store)
+        with self._obs_span("swap.out", sid=sid):
+            if (
+                self.fastpath is not None
+                and not cluster.dirty
+                and cluster.clean_digest is not None
+                and cluster.clean_outbound is not None
+            ):
+                location = self._swap_out_clean(cluster, store)
+                if location is not None:
+                    return location
+            return self._swap_out_full(cluster, store)
 
     def _swap_out_clean(
         self, cluster: SwapCluster, chosen: SwapStore | None
@@ -349,11 +401,17 @@ class SwappingManager:
                 probe = getattr(holder, "contains", None)
                 if probe is None:
                     continue  # legacy store: cannot answer key probes
+                probe_span = self._obs_span(
+                    "fastpath.probe", device=holder.device_id
+                )
                 try:
-                    if probe(key):
-                        verified.append(holder)
-                    else:
-                        lost.append(holder)  # evicted behind our back
+                    with probe_span:
+                        if probe(key):
+                            probe_span.set_tag("hit", True)
+                            verified.append(holder)
+                        else:
+                            probe_span.set_tag("hit", False)
+                            lost.append(holder)  # evicted behind our back
                 except (TransportError, RetryExhaustedError):
                     lost.append(holder)
                 if len(verified) >= want:
@@ -394,6 +452,7 @@ class SwappingManager:
                     self._warn_if_under_replicated(sid, "clean swap-out")
                 self.stats.swap_outs += 1
                 self.stats.fastpath_noops += 1
+                self._obs_tag("tier", "noop")
                 space.bus.emit(
                     SwapFastPathEvent(
                         space=space.name, sid=sid, tier="noop", key=key
@@ -455,14 +514,15 @@ class SwappingManager:
             return index
 
         # one pass: canonical text and its digest come out together
-        xml_text, digest = encode_cluster_canonical(
-            sid=sid,
-            space=space.name,
-            epoch=cluster.epoch + 1,
-            objects=members,
-            oid_of=lambda obj: obj._obi_oid,
-            outbound_index_of=outbound_index_of,
-        )
+        with self._obs_span("swap.out.encode", sid=sid, objects=len(members)):
+            xml_text, digest = encode_cluster_canonical(
+                sid=sid,
+                space=space.name,
+                epoch=cluster.epoch + 1,
+                objects=members,
+                oid_of=lambda obj: obj._obi_oid,
+                outbound_index_of=outbound_index_of,
+            )
         self.stats.encode_calls += 1
         key = format_swap_key(space.name, sid, cluster.epoch + 1)
         return self._ship_and_detach(
@@ -496,6 +556,9 @@ class SwappingManager:
         sid = cluster.sid
         store = chosen
         xml_bytes = len(xml_text.encode("utf-8"))
+        self._obs_tag("tier", tier)
+        if self.obs is not None:
+            self.obs.observe_payload(xml_bytes)
 
         resilience = self.resilience
         degrade = (
@@ -523,11 +586,12 @@ class SwappingManager:
                             holders.append(candidate)
                     except TransportError:
                         continue
-        entry = (
-            resilience.journal.begin(sid, key, epoch, xml_bytes, digest=digest)
-            if resilience is not None
-            else None
-        )
+        entry = None
+        if resilience is not None:
+            with self._obs_span("swap.out.journal", op="begin", sid=sid):
+                entry = resilience.journal.begin(
+                    sid, key, epoch, xml_bytes, digest=digest
+                )
         stored_on: List[SwapStore] = []
         first_failure: Optional[BaseException] = None
         try:
@@ -535,7 +599,12 @@ class SwappingManager:
             for holder in holders:
                 tried.append(holder)
                 try:
-                    self._store_payload(holder, key, xml_text, sid)
+                    with self._obs_span(
+                        "swap.out.store",
+                        device=holder.device_id,
+                        stage="mirror" if stored_on else "primary",
+                    ):
+                        self._store_payload(holder, key, xml_text, sid)
                 except StoreFullError:
                     # a caller-chosen store that refuses is the caller's
                     # problem; auto-selected mirrors are best-effort
@@ -560,7 +629,12 @@ class SwappingManager:
                     try:
                         if not candidate.has_room(xml_bytes):
                             continue
-                        self._store_payload(candidate, key, xml_text, sid)
+                        with self._obs_span(
+                            "swap.out.store",
+                            device=candidate.device_id,
+                            stage="failover",
+                        ):
+                            self._store_payload(candidate, key, xml_text, sid)
                     except (StoreFullError, TransportError, RetryExhaustedError):
                         continue
                     stored_on.append(candidate)
@@ -586,7 +660,12 @@ class SwappingManager:
                 previous_auto = self.auto_swap
                 self.auto_swap = False
                 try:
-                    fallback.store(key, xml_text)
+                    with self._obs_span(
+                        "swap.out.store",
+                        device=fallback.device_id,
+                        stage="degrade",
+                    ):
+                        fallback.store(key, xml_text)
                     stored_on.append(fallback)
                 except (StoreFullError, HeapExhaustedError) as exc:
                     if first_failure is None:
@@ -643,7 +722,8 @@ class SwappingManager:
         if entry is not None:
             # the detach happened strictly after at least one store
             # acknowledged the payload; the hand-off is durable
-            resilience.journal.commit(entry)
+            with self._obs_span("swap.out.journal", op="commit", sid=sid):
+                resilience.journal.commit(entry)
         if resilience is not None:
             resilience.placement.record_swap_out(
                 sid,
@@ -767,6 +847,7 @@ class SwappingManager:
                 f"no binding for device {location.device_id}"
             )
 
+        root_span = self._obs_span("swap.in", sid=sid)
         self._loading.add(sid)
         cluster.pins += 1
         try:
@@ -778,11 +859,16 @@ class SwappingManager:
             if cached is not None:
                 xml_text = cached
                 self.stats.swapin_cache_hits += 1
+                root_span.set_tag("source", "cache")
             for attempt_index, holder in enumerate(
                 holders if xml_text is None else []
             ):
+                fetch_span = self._obs_span(
+                    "swap.in.fetch", device=holder.device_id
+                )
                 try:
-                    candidate = self._fetch_verified(holder, location, sid)
+                    with fetch_span:
+                        candidate = self._fetch_verified(holder, location, sid)
                 except CorruptPayloadError as exc:
                     corrupt = CodecError(str(exc))
                     fetch_errors.append(f"{holder.device_id}: digest mismatch")
@@ -804,7 +890,9 @@ class SwappingManager:
                     fetch_errors.append(f"{holder.device_id}: {exc}")
                     continue
                 xml_text = candidate
+                root_span.set_tag("source", holder.device_id)
                 if attempt_index > 0:
+                    root_span.set_tag("failover", True)
                     self.stats.mirror_failovers += 1
                     if resilience is not None:
                         space.bus.emit(
@@ -835,12 +923,15 @@ class SwappingManager:
             resolve_extern = None
             if space.extern_resolver is not None:
                 resolve_extern = lambda attrs: space.extern_resolver(attrs, sid)  # noqa: E731
-            document = decode_cluster(
-                xml_text,
-                registry=space._registry,
-                resolve_out=replacement.outbound_at,
-                resolve_extern=resolve_extern,
-            )
+            with self._obs_span(
+                "swap.in.decode", sid=sid, objects=len(cluster.oids)
+            ):
+                document = decode_cluster(
+                    xml_text,
+                    registry=space._registry,
+                    resolve_out=replacement.outbound_at,
+                    resolve_extern=resolve_extern,
+                )
             if set(document.objects) != cluster.oids:
                 raise CodecError(
                     f"swap-cluster {sid}: stored membership does not match "
@@ -931,7 +1022,11 @@ class SwappingManager:
                 )
             )
             return total
+        except BaseException as exc:
+            root_span.fail(exc)
+            raise
         finally:
+            root_span.finish()
             cluster.pins -= 1
             self._loading.discard(sid)
 
@@ -987,11 +1082,12 @@ class SwappingManager:
             # verify_payload hashes the raw text first (payloads are
             # canonical on the wire) and only falls back to the full
             # canonicalization pass for foreign text
-            if not verify_payload(text, location.digest):
-                raise CorruptPayloadError(
-                    f"device {holder.device_id} returned corrupted XML "
-                    f"for {location.key} (digest mismatch)"
-                )
+            with self._obs_span("swap.in.verify", device=holder.device_id):
+                if not verify_payload(text, location.digest):
+                    raise CorruptPayloadError(
+                        f"device {holder.device_id} returned corrupted XML "
+                        f"for {location.key} (digest mismatch)"
+                    )
             return text
 
         if self.resilience is None:

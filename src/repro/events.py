@@ -15,23 +15,50 @@ subscribe either by event class (subclass-aware) or by topic string.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, fields
-from typing import Any, Callable, Deque, Dict, List, Tuple, Type
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Type
 
 Handler = Callable[["Event"], None]
+
+#: Supplies (trace_id, span_id) for events emitted inside an open span
+#: (installed by ``repro.obs``; ``None`` while observability is off).
+TraceProvider = Callable[[], "Optional[Tuple[str, str]]"]
 
 
 @dataclass(frozen=True)
 class Event:
-    """Base class for all bus events."""
+    """Base class for all bus events.
+
+    ``trace_id`` / ``span_id`` correlate an event to the traced
+    operation that emitted it (see :mod:`repro.obs`).  They are stamped
+    by the bus at emit time, default to ``None`` while tracing is off,
+    and are excluded from equality so stamped and unstamped copies of
+    the same event still compare equal.
+    """
 
     topic = "event"
+
+    trace_id: Optional[str] = field(default=None, kw_only=True, compare=False)
+    span_id: Optional[str] = field(default=None, kw_only=True, compare=False)
 
     def describe(self) -> str:
         pairs = ", ".join(
             f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
         )
         return f"{type(self).__name__}({pairs})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; invert with :func:`event_from_dict`."""
+        data: Dict[str, Any] = {
+            "event": type(self).__name__,
+            "topic": type(self).topic,
+        }
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[f.name] = value
+        return data
 
 
 # ---------------------------------------------------------------------------
@@ -404,6 +431,14 @@ class EventBus:
         self._by_topic: Dict[str, List[Handler]] = {}
         self._any: List[Handler] = []
         self._history: Deque[Event] = deque(maxlen=history)
+        self._dropped = 0
+        self._trace_provider: Optional[TraceProvider] = None
+
+    def set_trace_provider(self, provider: Optional[TraceProvider]) -> None:
+        """Install (or clear) the source of trace context.  While set,
+        every emitted event that does not already carry a ``trace_id``
+        is stamped with the provider's current (trace_id, span_id)."""
+        self._trace_provider = provider
 
     # -- subscription ------------------------------------------------------
 
@@ -431,6 +466,17 @@ class EventBus:
     # -- dispatch ----------------------------------------------------------
 
     def emit(self, event: Event) -> None:
+        if self._trace_provider is not None and event.trace_id is None:
+            context = self._trace_provider()
+            if context is not None:
+                event = replace(
+                    event, trace_id=context[0], span_id=context[1]
+                )
+        if (
+            self._history.maxlen is not None
+            and len(self._history) == self._history.maxlen
+        ):
+            self._dropped += 1
         self._history.append(event)
         errors: List[Tuple[Handler, BaseException]] = []
         for handler in self._handlers_for(event):
@@ -463,6 +509,24 @@ class EventBus:
     def history(self) -> List[Event]:
         return list(self._history)
 
+    @property
+    def dropped_count(self) -> int:
+        """Events silently evicted from the bounded history deque.
+
+        A long chaos run that introspects ``history`` afterwards can
+        compare this before/after to detect that what it is reading is
+        a suffix, not the whole story."""
+        return self._dropped
+
+    def drain(self) -> List[Event]:
+        """Consume-and-clear the history: returns the buffered events
+        and empties the deque, so high-volume runs can read in batches
+        without unbounded growth or silent eviction.  ``dropped_count``
+        is cumulative and not reset."""
+        drained = list(self._history)
+        self._history.clear()
+        return drained
+
     def last(self, event_type: Type[Event]) -> Event | None:
         for event in reversed(self._history):
             if isinstance(event, event_type):
@@ -485,11 +549,56 @@ def topic_of(event: Event | Type[Event]) -> str:
     return cls.topic
 
 
+def event_types() -> Dict[str, Type[Event]]:
+    """Every concrete :class:`Event` subclass, keyed by class name
+    (computed live so late-defined subclasses are included)."""
+    found: Dict[str, Type[Event]] = {}
+
+    def visit(cls: Type[Event]) -> None:
+        for subclass in cls.__subclasses__():
+            found[subclass.__name__] = subclass
+            visit(subclass)
+
+    visit(Event)
+    return found
+
+
+def event_from_dict(data: Dict[str, Any]) -> Event:
+    """Rebuild an event from :meth:`Event.to_dict` output.
+
+    Raises :class:`ValueError` for unknown event classes or a topic
+    that does not match the class (corrupt / stale payloads)."""
+    try:
+        name = data["event"]
+    except KeyError:
+        raise ValueError("event dict has no 'event' class name") from None
+    cls = event_types().get(name)
+    if cls is None:
+        raise ValueError(f"unknown event class {name!r}")
+    if data.get("topic") != cls.topic:
+        raise ValueError(
+            f"topic {data.get('topic')!r} does not match "
+            f"{name}.topic {cls.topic!r}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, list):
+            value = tuple(value)  # frozen events carry tuples, not lists
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
 __all__ = [
     "Event",
     "EventBus",
     "Handler",
+    "TraceProvider",
     "topic_of",
+    "event_types",
+    "event_from_dict",
     "MemoryHighEvent",
     "MemoryLowEvent",
     "AllocationFailedEvent",

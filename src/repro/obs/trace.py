@@ -1,0 +1,323 @@
+"""Span-based tracing on the simulated clock.
+
+A :class:`Tracer` produces nested :class:`Span`\\ s describing one swap
+operation end to end: the root span (``swap.out`` / ``swap.in``) opens
+when the manager starts the operation, child spans cover the phases
+(encode, store, fetch, verify, journal, link transfers, retry backoffs),
+and the whole tree shares one *trace id* — the same id stamped onto
+every :class:`~repro.events.Event` emitted while the trace is open, so
+bus history correlates to the operation that produced it.
+
+Timestamps come from the space's clock (simulated seconds — zero for
+pure CPU work, real radio time for link transfers), so traces are
+deterministic and replayable.  Each span *also* records its wall-clock
+duration (``wall_s``, via :func:`time.perf_counter`), which is what the
+profiling harness uses to attribute CPU cost to phases the simulation
+charges nothing for (encoding, verification).
+
+Ids are sequential (``t-000001`` / ``s-000001``), not random: two runs
+of the same seeded scenario produce bit-identical trace structure.
+
+Instrumented code paths stay cheap when tracing is off: the manager
+hands out :data:`NULL_SPAN` — a stateless no-op context manager — when
+no observability state is attached, so the disabled cost is one
+attribute test per operation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One timed, tagged step of an operation."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "tags",
+        "start_s",
+        "end_s",
+        "wall_s",
+        "status",
+        "error",
+        "_tracer",
+        "_wall_start",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        *,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        tags: Dict[str, Any],
+        start_s: float,
+    ) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.tags = tags
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.wall_s: float = 0.0
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._wall_start = time.perf_counter()
+
+    # -- annotation --------------------------------------------------------
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def fail(self, error: BaseException | str) -> "Span":
+        self.status = "error"
+        self.error = str(error)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated seconds the span covered (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    def finish(self, error: Optional[BaseException] = None) -> "Span":
+        """Close the span explicitly (for code that cannot use ``with``)."""
+        if error is not None and self.status == "ok":
+            self.fail(error)
+        self._tracer._finish(self)
+        return self
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc is not None and self.status == "ok":
+            self.fail(exc)
+        self._tracer._finish(self)
+        return False  # never swallow
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "span",
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "wall_s": self.wall_s,
+            "status": self.status,
+            "error": self.error,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r} {self.span_id} trace={self.trace_id} "
+            f"status={self.status})"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span handed out while observability is disabled."""
+
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def fail(self, error: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, error: Any = None) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+#: Shared stateless instance; safe to re-enter from anywhere.
+NULL_SPAN = _NullSpan()
+
+#: Called with each finished span (profilers, metric bridges).
+SpanObserver = Callable[[Span], None]
+
+
+class Tracer:
+    """Produces spans; keeps a bounded buffer of finished ones."""
+
+    def __init__(self, clock: Any, *, max_spans: int = 4096) -> None:
+        self._clock = clock
+        self._stack: List[Span] = []
+        self.finished: Deque[Span] = deque(maxlen=max_spans)
+        self.dropped_spans = 0
+        self._trace_seq = 0
+        self._span_seq = 0
+        self._observers: List[SpanObserver] = []
+
+    # -- id plumbing -------------------------------------------------------
+
+    def _next_trace_id(self) -> str:
+        self._trace_seq += 1
+        return f"t-{self._trace_seq:06d}"
+
+    def _next_span_id(self) -> str:
+        self._span_seq += 1
+        return f"s-{self._span_seq:06d}"
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """Open a span: a child of the current one, or a new trace root."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self,
+            trace_id=(
+                parent.trace_id if parent is not None else self._next_trace_id()
+            ),
+            span_id=self._next_span_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            tags=tags,
+            start_s=self._clock.now(),
+        )
+        self._stack.append(span)
+        return span
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start_s: float,
+        end_s: float,
+        status: str = "ok",
+        error: Optional[str] = None,
+        **tags: Any,
+    ) -> Span:
+        """Record an already-completed step (e.g. a link transfer whose
+        elapsed time is only known after the fact) as a child of the
+        current span without pushing it on the stack."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self,
+            trace_id=(
+                parent.trace_id if parent is not None else self._next_trace_id()
+            ),
+            span_id=self._next_span_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            tags=tags,
+            start_s=start_s,
+        )
+        span.end_s = end_s
+        span.status = status
+        span.error = error
+        span.wall_s = 0.0
+        self._retire(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        if span.end_s is not None:
+            return  # already finished (double exit)
+        span.end_s = self._clock.now()
+        span.wall_s = time.perf_counter() - span._wall_start
+        if span in self._stack:
+            # well-nested in the common case; tolerate skipped frames
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        self._retire(span)
+
+    def _retire(self, span: Span) -> None:
+        if (
+            self.finished.maxlen is not None
+            and len(self.finished) == self.finished.maxlen
+        ):
+            self.dropped_spans += 1
+        self.finished.append(span)
+        for observer in self._observers:
+            try:
+                observer(span)
+            except Exception:  # noqa: BLE001 - observers must never break ops
+                pass
+
+    # -- introspection -----------------------------------------------------
+
+    def add_observer(self, observer: SpanObserver) -> Callable[[], None]:
+        self._observers.append(observer)
+        return lambda: self._observers.remove(observer)
+
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def current_context(self) -> Optional[Tuple[str, str]]:
+        """(trace_id, span_id) of the innermost open span, or ``None``.
+
+        This is the callable handed to
+        :meth:`repro.events.EventBus.set_trace_provider`.
+        """
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return (top.trace_id, top.span_id)
+
+    def spans(self) -> List[Span]:
+        return list(self.finished)
+
+    def traces(self) -> Dict[str, List[Span]]:
+        """Finished spans grouped by trace id, in finish order."""
+        grouped: Dict[str, List[Span]] = {}
+        for span in self.finished:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self.dropped_spans = 0
+
+
+def span_tree(spans: List[Span]) -> List[Tuple[Span, int]]:
+    """Flatten one trace's spans to (span, depth) rows, children under
+    parents, siblings in start order (ties broken by span id)."""
+    by_parent: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    known = {span.span_id for span in spans}
+    rows: List[Tuple[Span, int]] = []
+
+    def visit(parent_id: Optional[str], depth: int) -> None:
+        children = by_parent.get(parent_id, [])
+        children.sort(key=lambda span: (span.start_s, span.span_id))
+        for child in children:
+            rows.append((child, depth))
+            visit(child.span_id, depth + 1)
+
+    visit(None, 0)
+    # spans whose parent was evicted from the bounded buffer: show as roots
+    for span in spans:
+        if span.parent_id is not None and span.parent_id not in known:
+            rows.append((span, 0))
+            visit(span.span_id, 1)
+    return rows

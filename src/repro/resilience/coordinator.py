@@ -190,9 +190,28 @@ class Resilience:
         failure toward its circuit breaker.
         """
         space = self._space
+        attempts = 1
 
         def on_retry(attempt: int, delay: float, error: BaseException) -> None:
+            nonlocal attempts
+            attempts = attempt + 1
             self._manager.stats.retries += 1
+            obs = getattr(self._manager, "obs", None)
+            if obs is not None:
+                # run_with_retry advances the clock by exactly ``delay``
+                # right after this callback, so the backoff span's window
+                # is known now: [now, now + delay]
+                now = self.clock.now()
+                obs.tracer.record_span(
+                    "retry.backoff",
+                    start_s=now,
+                    end_s=now + delay,
+                    attempt=attempt,
+                    delay_s=delay,
+                    device=device_id,
+                    operation=op_name,
+                    cause=str(error),
+                )
             space.bus.emit(
                 SwapRetryEvent(
                     space=space.name,
@@ -216,11 +235,18 @@ class Resilience:
                 describe=f"{op_name} on {device_id}",
             )
         except RetryExhaustedError as exc:
+            self._observe_attempts(attempts)
             if isinstance(exc.__cause__, TransportError):
                 self.record_failure(device_id)
             raise
+        self._observe_attempts(attempts)
         self.record_success(device_id)
         return result
+
+    def _observe_attempts(self, attempts: int) -> None:
+        obs = getattr(self._manager, "obs", None)
+        if obs is not None:
+            obs.observe_attempts(attempts)
 
     # -- graceful degradation ----------------------------------------------
 

@@ -109,14 +109,21 @@ class Scrubber:
         self._last_tick = now
         report = ScrubReport(at_s=now)
 
-        stores = self._reachable_stores()
-        self._verify_suspects(stores, report)
-        self._verify_sampled(stores, report, now)
-        self._repair(stores, report)
-        self._collect_orphans(stores, report)
+        span = self._manager._obs_span("scrub.pass", tick=self.ticks)
+        with span:
+            stores = self._reachable_stores()
+            self._verify_suspects(stores, report)
+            self._verify_sampled(stores, report, now)
+            self._repair(stores, report)
+            self._collect_orphans(stores, report)
 
-        rf = self._manager.target_replicas()
-        report.under_replicated = len(self._placement.under_replicated(rf))
+            rf = self._manager.target_replicas()
+            report.under_replicated = len(self._placement.under_replicated(rf))
+            span.set_tag("verified", report.verified)
+            span.set_tag("repaired", report.repaired_replicas)
+            span.set_tag("quarantined", report.quarantined)
+            span.set_tag("orphans", report.orphans_dropped)
+            span.set_tag("under_replicated", report.under_replicated)
         self.ticks += 1
         self._manager.stats.scrub_ticks += 1
         self.last_report = report

@@ -9,9 +9,82 @@ Everything is read-only and cheap; nothing here touches the hot path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.ids import ROOT_SID
+
+#: The one naming scheme for swap counters: dot-namespaced metric name
+#: -> attribute on :class:`~repro.core.manager.ManagerStats` *and*
+#: :class:`SpaceTelemetry` (the two carry the same counters under the
+#: same attribute names; entries missing on a given source are simply
+#: skipped).  ``repro.obs`` absorbs these names into its metrics
+#: registry, so greppable counters and exported metrics agree.
+COUNTER_NAMES: Dict[str, str] = {
+    "swap.out.count": "swap_outs",
+    "swap.in.count": "swap_ins",
+    "swap.drop.count": "drops",
+    "swap.out.bytes": "bytes_shipped",
+    "swap.in.bytes": "bytes_restored",
+    "swap.mirror.writes": "mirror_writes",
+    "swap.mirror.failovers": "mirror_failovers",
+    "replication.cluster.count": "replicated_clusters",
+    "resilience.retry.count": "retries",
+    "resilience.failover.count": "failovers",
+    "resilience.circuit.opens": "circuit_opens",
+    "resilience.circuit.closes": "circuit_closes",
+    "resilience.degraded.count": "degraded_swaps",
+    "resilience.journal.recoveries": "journal_recoveries",
+    "resilience.journal.truncated": "journal_truncated",
+    "durability.replica.repaired": "replicas_repaired",
+    "durability.replica.quarantined": "replicas_quarantined",
+    "durability.scrub.ticks": "scrub_ticks",
+    "durability.scrub.bytes_repaired": "scrub_bytes_repaired",
+    "durability.orphans.collected": "orphans_collected",
+    "durability.repromotions": "repromotions",
+    "durability.placement.recoveries": "placement_recoveries",
+    "fastpath.encode.count": "encode_calls",
+    "fastpath.noop.count": "fastpath_noops",
+    "fastpath.reship.count": "fastpath_reships",
+    "fastpath.swapin.cache_hits": "swapin_cache_hits",
+}
+
+_MISSING = object()
+
+#: A counter source: live stats, a frozen telemetry snapshot, or an
+#: already-extracted name->value mapping.
+CounterSource = Union["SpaceTelemetry", Any, Mapping[str, int]]
+
+
+def counter_snapshot(source: CounterSource) -> Dict[str, int]:
+    """The source's counters under their unified dot-namespaced names.
+
+    Accepts a ``ManagerStats``, a :class:`SpaceTelemetry`, or a mapping
+    produced by an earlier call (returned unchanged, copied)."""
+    if isinstance(source, Mapping):
+        return dict(source)
+    values: Dict[str, int] = {}
+    for name, attribute in COUNTER_NAMES.items():
+        value = getattr(source, attribute, _MISSING)
+        if value is not _MISSING:
+            values[name] = value
+    return values
+
+
+def counter_diff(
+    before: CounterSource, after: CounterSource
+) -> Dict[str, int]:
+    """Per-counter deltas between two snapshots (zero deltas omitted).
+
+    Lets tests and benches assert *what an operation did* instead of
+    absolute totals: ``counter_diff(a, b) == {"swap.out.count": 1}``."""
+    before_values = counter_snapshot(before)
+    after_values = counter_snapshot(after)
+    deltas: Dict[str, int] = {}
+    for name in set(before_values) | set(after_values):
+        delta = after_values.get(name, 0) - before_values.get(name, 0)
+        if delta:
+            deltas[name] = delta
+    return deltas
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,182 @@
+"""Exporters: JSONL dump schema and Prometheus text format."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    check_dump,
+    load_dump,
+    parse_prometheus,
+    registry_from_dump,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("swap.out.count").inc(3)
+    registry.gauge("heap.used.bytes").set(1024)
+    histogram = registry.histogram("swap.out.latency_s", (0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    return registry
+
+
+# -- Prometheus --------------------------------------------------------------
+
+
+def test_render_counter_gets_total_suffix():
+    text = render_prometheus(_registry())
+    assert "repro_swap_out_count_total 3" in text
+    assert "# TYPE repro_swap_out_count_total counter" in text
+
+
+def test_render_gauge():
+    text = render_prometheus(_registry())
+    assert "repro_heap_used_bytes 1024" in text
+
+
+def test_render_histogram_buckets():
+    text = render_prometheus(_registry())
+    assert 'repro_swap_out_latency_s_bucket{le="0.1"} 1' in text
+    assert 'repro_swap_out_latency_s_bucket{le="1"} 2' in text
+    assert 'repro_swap_out_latency_s_bucket{le="+Inf"} 2' in text
+    assert "repro_swap_out_latency_s_count 2" in text
+
+
+def test_render_parses_back():
+    samples = parse_prometheus(render_prometheus(_registry()))
+    assert samples[("repro_swap_out_count_total", "")] == 3.0
+    assert samples[("repro_swap_out_latency_s_bucket", 'le="+Inf"')] == 2.0
+
+
+def test_prefix_configurable():
+    text = render_prometheus(_registry(), prefix="obi")
+    assert "obi_swap_out_count_total" in text
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_prometheus("}bad{ 1")
+    with pytest.raises(ValueError):
+        parse_prometheus("no_value_here")
+
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def _dump_records(space_cls=None):
+    """A real dump produced by a tiny swap cycle."""
+    from tests.helpers import build_chain, make_space
+
+    space = make_space("dump")
+    obs = space.manager.enable_observability()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    space.swap_in(2)
+    buffer = io.StringIO()
+    from repro.obs.export import write_dump
+
+    obs.refresh()
+    write_dump(obs, buffer, label="unit")
+    buffer.seek(0)
+    return load_dump(buffer)
+
+
+def test_dump_well_formed():
+    records = _dump_records()
+    assert check_dump(records) == []
+    kinds = {record["kind"] for record in records}
+    assert kinds == {"meta", "span", "metric"}
+
+
+def test_dump_meta_carries_label_and_version():
+    meta = [r for r in _dump_records() if r["kind"] == "meta"][0]
+    assert meta["label"] == "unit"
+    assert meta["version"] == 1
+    assert meta["space"] == "dump"
+
+
+def test_dump_is_json_lines():
+    records = _dump_records()
+    for record in records:
+        json.dumps(record)  # every record is JSON-clean
+
+
+def test_check_flags_missing_keys():
+    problems = check_dump([{"kind": "span", "trace": "t-000001"}])
+    assert any("missing keys" in problem for problem in problems)
+
+
+def test_check_flags_unknown_kind():
+    assert check_dump([{"kind": "mystery"}])
+
+
+def test_check_flags_missing_meta():
+    problems = check_dump(
+        [{"kind": "metric", "type": "counter", "name": "c", "value": 1}]
+    )
+    assert any("no meta" in problem for problem in problems)
+
+
+def test_check_flags_bad_histogram_shape():
+    records = [
+        {"kind": "meta", "version": 1, "space": "s", "clock_s": 0.0},
+        {
+            "kind": "metric", "type": "histogram", "name": "h",
+            "bounds": [1.0, 2.0], "counts": [1], "sum": 0.5, "count": 1,
+        },
+    ]
+    assert any("counts" in problem for problem in check_dump(records))
+
+
+def test_check_flags_inverted_span():
+    records = [
+        {"kind": "meta", "version": 1, "space": "s", "clock_s": 0.0},
+        {
+            "kind": "span", "trace": "t", "span": "s1", "parent": None,
+            "name": "x", "start_s": 2.0, "end_s": 1.0, "duration_s": -1.0,
+            "wall_s": 0.0, "status": "ok", "error": None, "tags": {},
+        },
+    ]
+    assert any("ends before" in problem for problem in check_dump(records))
+
+
+def test_registry_from_dump_merges_runs():
+    records = _dump_records() + _dump_records()
+    registry = registry_from_dump(records)
+    single = registry_from_dump(_dump_records())
+    assert (
+        registry.get("swap.out.count").value
+        == 2 * single.get("swap.out.count").value
+    )
+    merged = registry.get("swap.out.latency_s")
+    assert merged.count == 2 * single.get("swap.out.latency_s").count
+
+
+def test_load_dump_from_path(tmp_path):
+    target = tmp_path / "dump.jsonl"
+    from tests.helpers import build_chain, make_space
+
+    space = make_space("filed")
+    obs = space.manager.enable_observability()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    obs.export_jsonl(str(target), label="run-a")
+    obs.export_jsonl(str(target), label="run-b", append=True)
+    records = load_dump(str(target))
+    assert check_dump(records) == []
+    labels = [r["label"] for r in records if r["kind"] == "meta"]
+    assert labels == ["run-a", "run-b"]
+
+
+def test_load_dump_rejects_bad_json(tmp_path):
+    target = tmp_path / "bad.jsonl"
+    target.write_text('{"kind": "meta"\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="not JSON"):
+        load_dump(str(target))

@@ -1,0 +1,80 @@
+"""The profiling harness: spans fold into per-phase aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.obs.profile import PHASE_OF, PhaseProfiler, format_breakdown
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def wired():
+    clock = SimulatedClock()
+    tracer = Tracer(clock)
+    profiler = PhaseProfiler()
+    tracer.add_observer(profiler.record)
+    return clock, tracer, profiler
+
+
+def test_phase_attribution(wired):
+    clock, tracer, profiler = wired
+    with tracer.span("swap.out"):
+        with tracer.span("swap.out.encode"):
+            pass
+        with tracer.span("swap.out.store", device="s0"):
+            clock.advance(0.5)
+    breakdown = profiler.breakdown()
+    assert breakdown["encode"]["count"] == 1
+    assert breakdown["store"]["sim_s"] == pytest.approx(0.5)
+    # container spans are not phases: no double counting
+    assert "swap.out" not in breakdown
+
+
+def test_error_spans_counted(wired):
+    _, tracer, profiler = wired
+    with pytest.raises(RuntimeError):
+        with tracer.span("swap.in.fetch"):
+            raise RuntimeError("injected")
+    assert profiler.breakdown()["fetch"]["errors"] == 1
+
+
+def test_recorded_spans_profiled(wired):
+    _, tracer, profiler = wired
+    tracer.record_span("retry.backoff", start_s=1.0, end_s=1.4)
+    assert profiler.breakdown()["backoff"]["sim_s"] == pytest.approx(0.4)
+
+
+def test_probe_counts_as_store_phase(wired):
+    _, tracer, profiler = wired
+    with tracer.span("fastpath.probe", device="s0"):
+        pass
+    assert profiler.breakdown()["store"]["count"] == 1
+
+
+def test_every_mapped_span_has_a_phase():
+    # the mapping stays total over the span names the pipeline emits
+    for name in (
+        "swap.out.encode", "swap.out.store", "swap.out.journal",
+        "swap.in.fetch", "swap.in.verify", "swap.in.decode",
+        "link.transfer", "retry.backoff", "fastpath.probe",
+    ):
+        assert name in PHASE_OF
+
+
+def test_format_breakdown_tabulates(wired):
+    clock, tracer, profiler = wired
+    with tracer.span("link.transfer"):
+        clock.advance(0.25)
+    text = format_breakdown(profiler.breakdown())
+    assert "link" in text
+    assert "0.2500" in text
+
+
+def test_clear(wired):
+    _, tracer, profiler = wired
+    with tracer.span("swap.out.encode"):
+        pass
+    profiler.clear()
+    assert profiler.breakdown() == {}

@@ -1,0 +1,125 @@
+"""The acceptance scenario: a faulted swap-out under resilience yields ONE
+trace showing the failed attempt, the retry backoff, and the failover target,
+with bus events stamped with that trace ID."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.transport import bluetooth_link
+from repro.devices.store import XmlStoreDevice
+from repro.events import SwapFailoverEvent, SwapOutEvent, SwapRetryEvent
+from repro.faults.flaky import FaultInjector, FlakyStore
+from repro.faults.plan import FaultPlan
+from repro.obs import parse_prometheus
+from repro.resilience import ResilienceConfig, RetryPolicy
+from tests.helpers import build_chain, make_space
+
+
+@pytest.fixture
+def faulted():
+    """s0 always fails on store; s1 is healthy. Retries then failover."""
+    space = make_space("faulted", with_store=False)
+    injector = FaultInjector(
+        FaultPlan(seed=7, store_failure_rate=1.0), clock=space.clock
+    )
+    broken = FlakyStore(
+        XmlStoreDevice("s0", capacity=1 << 20, link=bluetooth_link(clock=space.clock)),
+        injector,
+    )
+    healthy = XmlStoreDevice(
+        "s1", capacity=1 << 20, link=bluetooth_link(clock=space.clock)
+    )
+    space.manager.add_store(broken)
+    space.manager.add_store(healthy)
+    space.manager.enable_resilience(
+        ResilienceConfig(retry=RetryPolicy(max_attempts=3, base_delay_s=0.1))
+    )
+    obs = space.manager.enable_observability()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    return space, obs
+
+
+def test_one_trace_for_the_whole_story(faulted):
+    space, obs = faulted
+    traces = obs.tracer.traces()
+    assert len(traces) == 1
+    (trace_id,) = traces
+
+
+def test_failed_attempt_recorded_as_error_span(faulted):
+    _, obs = faulted
+    stores = [s for s in obs.tracer.spans() if s.name == "swap.out.store"]
+    failed = [s for s in stores if s.status == "error"]
+    assert len(failed) == 1
+    assert failed[0].tags["device"] == "s0"
+    assert failed[0].tags["stage"] == "primary"
+    assert "injected" in failed[0].error
+
+
+def test_retry_backoff_spans_inside_the_failed_attempt(faulted):
+    _, obs = faulted
+    stores = {s.tags["device"]: s for s in obs.tracer.spans()
+              if s.name == "swap.out.store"}
+    backoffs = [s for s in obs.tracer.spans() if s.name == "retry.backoff"]
+    assert len(backoffs) == 2  # max_attempts=3 sleeps twice
+    for index, span in enumerate(backoffs, start=1):
+        assert span.parent_id == stores["s0"].span_id
+        assert span.tags["attempt"] == index
+        assert span.tags["device"] == "s0"
+        assert "injected" in span.tags["cause"]
+        assert span.duration_s == pytest.approx(span.tags["delay_s"])
+
+
+def test_failover_span_lands_on_the_healthy_store(faulted):
+    _, obs = faulted
+    stores = [s for s in obs.tracer.spans() if s.name == "swap.out.store"]
+    won = [s for s in stores if s.status == "ok"]
+    assert len(won) == 1
+    assert won[0].tags["device"] == "s1"
+    assert won[0].tags["stage"] == "failover"
+
+
+def test_events_stamped_with_the_trace(faulted):
+    space, obs = faulted
+    (trace_id,) = obs.tracer.traces()
+    for event_type in (SwapOutEvent, SwapRetryEvent, SwapFailoverEvent):
+        event = space.bus.last(event_type)
+        assert event is not None, event_type.__name__
+        assert event.trace_id == trace_id, event_type.__name__
+
+
+def test_retry_attempts_histogram(faulted):
+    _, obs = faulted
+    histogram = obs.metrics.get("swap.retry.attempts")
+    # the exhausted s0 operation observed 3 attempts; s1 took 1
+    assert histogram.count == 2
+    assert histogram.sum == 4
+
+
+def test_prometheus_snapshot_of_the_incident(faulted):
+    _, obs = faulted
+    obs.refresh()
+    samples = parse_prometheus(obs.prometheus())
+    assert samples[("repro_swap_retry_count_total", "")] == 2.0
+    assert samples[("repro_resilience_failover_count_total", "")] == 1.0
+    buckets = [
+        (labels, value)
+        for (name, labels), value in samples.items()
+        if name == "repro_swap_out_latency_s_bucket"
+    ]
+    assert buckets and any(value == 1.0 for _, value in buckets)
+
+
+def test_journal_spans_bracket_the_shipment(faulted):
+    _, obs = faulted
+    journal = [s for s in obs.tracer.spans() if s.name == "swap.out.journal"]
+    assert [s.tags["op"] for s in journal] == ["begin", "commit"]
+
+
+def test_format_report_tells_the_story(faulted):
+    _, obs = faulted
+    report = obs.format_report()
+    assert "retry.backoff" in report
+    assert "swap.out.store" in report

@@ -1,0 +1,107 @@
+"""Every Event subclass round-trips through its dict form.
+
+The JSONL/bench artifacts and the trace-correlation machinery both rely
+on ``Event.to_dict`` / ``event_from_dict`` being exact inverses for
+every event the system can emit — including classes added later (the
+subclass walk in ``event_types`` is live).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+import pytest
+
+from repro.events import Event, event_from_dict, event_types, topic_of
+
+#: Deterministic sample values per annotated field type.
+_SAMPLES = {
+    str: "sample",
+    int: 7,
+    float: 2.5,
+    bool: True,
+    tuple: (1, 2, 3),
+}
+
+
+def _build(cls: type) -> Event:
+    """Construct an instance with a sample value for every required field."""
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if (
+            f.default is not dataclasses.MISSING
+            or f.default_factory is not dataclasses.MISSING  # type: ignore[misc]
+        ):
+            continue  # defaults (incl. trace_id/span_id) round-trip anyway
+        hint = hints.get(f.name, str)
+        origin = typing.get_origin(hint) or hint
+        sample = _SAMPLES.get(origin)
+        if sample is None:
+            sample = _SAMPLES[str]
+        kwargs[f.name] = sample
+    return cls(**kwargs)
+
+
+ALL_EVENT_CLASSES = sorted(event_types().values(), key=lambda c: c.__name__)
+
+
+def test_event_registry_is_nonempty():
+    assert len(ALL_EVENT_CLASSES) >= 25
+
+
+@pytest.mark.parametrize(
+    "cls", ALL_EVENT_CLASSES, ids=lambda cls: cls.__name__
+)
+def test_round_trip(cls):
+    event = _build(cls)
+    data = event.to_dict()
+    # the dict is JSON-clean (tuples became lists, values are scalars)
+    rebuilt = event_from_dict(json.loads(json.dumps(data)))
+    assert rebuilt == event
+    assert type(rebuilt) is cls
+    assert topic_of(rebuilt) == topic_of(cls)
+
+
+@pytest.mark.parametrize(
+    "cls", ALL_EVENT_CLASSES, ids=lambda cls: cls.__name__
+)
+def test_dict_carries_class_and_topic(cls):
+    data = _build(cls).to_dict()
+    assert data["event"] == cls.__name__
+    assert data["topic"] == cls.topic
+
+
+def test_trace_context_round_trips():
+    cls = ALL_EVENT_CLASSES[0]
+    event = dataclasses.replace(
+        _build(cls), trace_id="t-000042", span_id="s-000099"
+    )
+    rebuilt = event_from_dict(event.to_dict())
+    assert rebuilt.trace_id == "t-000042"
+    assert rebuilt.span_id == "s-000099"
+
+
+def test_trace_fields_do_not_affect_equality():
+    event = _build(ALL_EVENT_CLASSES[0])
+    stamped = dataclasses.replace(event, trace_id="t-000001", span_id="s-1")
+    assert stamped == event
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(ValueError, match="unknown event class"):
+        event_from_dict({"event": "NoSuchEvent", "topic": "x"})
+
+
+def test_topic_mismatch_rejected():
+    data = _build(ALL_EVENT_CLASSES[0]).to_dict()
+    data["topic"] = "definitely.not.this"
+    with pytest.raises(ValueError, match="does not match"):
+        event_from_dict(data)
+
+
+def test_missing_class_name_rejected():
+    with pytest.raises(ValueError, match="no 'event' class name"):
+        event_from_dict({"topic": "swap.out"})

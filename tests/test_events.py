@@ -143,3 +143,88 @@ def test_events_are_frozen():
 def test_describe_mentions_fields():
     text = _swap_out(sid=7).describe()
     assert "sid=7" in text and "SwapOutEvent" in text
+
+
+# -- drain / dropped accounting (observability satellite) -------------------
+
+
+def test_drain_consumes_and_clears():
+    bus = EventBus()
+    bus.emit(_high())
+    bus.emit(_swap_out())
+    drained = bus.drain()
+    assert len(drained) == 2
+    assert bus.history == []
+    assert bus.drain() == []
+
+
+def test_dropped_count_tracks_evictions():
+    bus = EventBus(history=3)
+    for _ in range(5):
+        bus.emit(_high())
+    assert bus.dropped_count == 2
+    assert len(bus.history) == 3
+
+
+def test_drain_does_not_reset_dropped_count():
+    bus = EventBus(history=2)
+    for _ in range(4):
+        bus.emit(_high())
+    bus.drain()
+    assert bus.dropped_count == 2
+    bus.emit(_high())
+    assert bus.dropped_count == 2  # deque emptied: nothing evicted
+
+
+def test_no_drops_within_capacity():
+    bus = EventBus(history=10)
+    for _ in range(10):
+        bus.emit(_high())
+    assert bus.dropped_count == 0
+
+
+# -- trace-context stamping --------------------------------------------------
+
+
+def test_trace_provider_stamps_events():
+    bus = EventBus()
+    bus.set_trace_provider(lambda: ("t-000009", "s-000004"))
+    seen = []
+    bus.subscribe(MemoryHighEvent, seen.append)
+    bus.emit(_high())
+    assert seen[0].trace_id == "t-000009"
+    assert seen[0].span_id == "s-000004"
+    assert bus.history[0].trace_id == "t-000009"
+
+
+def test_trace_provider_none_context_leaves_event_unstamped():
+    bus = EventBus()
+    bus.set_trace_provider(lambda: None)
+    bus.emit(_high())
+    assert bus.history[0].trace_id is None
+
+
+def test_existing_trace_id_not_overwritten():
+    import dataclasses
+
+    bus = EventBus()
+    bus.set_trace_provider(lambda: ("t-000002", "s-000002"))
+    stamped = dataclasses.replace(_high(), trace_id="t-000001", span_id="s-1")
+    bus.emit(stamped)
+    assert bus.history[0].trace_id == "t-000001"
+
+
+def test_clearing_trace_provider_stops_stamping():
+    bus = EventBus()
+    bus.set_trace_provider(lambda: ("t-000001", "s-000001"))
+    bus.set_trace_provider(None)
+    bus.emit(_high())
+    assert bus.history[0].trace_id is None
+
+
+def test_stamped_event_still_equal_to_original():
+    bus = EventBus()
+    bus.set_trace_provider(lambda: ("t-000001", "s-000001"))
+    original = _high()
+    bus.emit(original)
+    assert bus.history[0] == original

@@ -62,3 +62,62 @@ def test_mirror_counters_surface(space):
     telemetry = snapshot(space)
     assert telemetry.mirror_writes == 1
     assert "mirrors" in format_report(telemetry)
+
+
+# -- unified counter naming (observability satellite) ------------------------
+
+
+def test_counter_snapshot_from_manager_stats(space):
+    from repro.stats import COUNTER_NAMES, counter_snapshot
+
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    counters = counter_snapshot(space.manager.stats)
+    assert counters["swap.out.count"] == 1
+    assert counters["swap.out.bytes"] > 0
+    assert counters["swap.in.count"] == 0
+    # ManagerStats carries every unified counter
+    assert set(counters) == set(COUNTER_NAMES)
+
+
+def test_counter_snapshot_from_telemetry(space):
+    from repro.stats import counter_snapshot
+
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    space.swap_out(2)
+    from_stats = counter_snapshot(space.manager.stats)
+    from_telemetry = counter_snapshot(snapshot(space))
+    # the two sources agree wherever the telemetry carries the counter
+    for name, value in from_telemetry.items():
+        assert from_stats[name] == value
+    assert from_telemetry["swap.out.count"] == 1
+
+
+def test_counter_snapshot_passes_mappings_through():
+    from repro.stats import counter_snapshot
+
+    source = {"swap.out.count": 3}
+    copied = counter_snapshot(source)
+    assert copied == source
+    assert copied is not source
+
+
+def test_counter_diff_reports_only_changes(space):
+    from repro.stats import counter_diff, counter_snapshot
+
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    before = counter_snapshot(space.manager.stats)
+    space.swap_out(2)
+    deltas = counter_diff(before, space.manager.stats)
+    assert deltas["swap.out.count"] == 1
+    assert deltas["swap.out.bytes"] > 0
+    assert "swap.in.count" not in deltas  # zero deltas omitted
+    chain_values(handle)  # forces the reload
+    deltas = counter_diff(before, space.manager.stats)
+    assert deltas["swap.in.count"] == 1
+
+
+def test_counter_diff_empty_when_nothing_happened(space):
+    from repro.stats import counter_diff
+
+    assert counter_diff(space.manager.stats, space.manager.stats) == {}

@@ -36,6 +36,12 @@ from repro.bench.hotpath import (
     run_hotpath,
     format_table as format_hotpath_table,
 )
+from repro.bench.delta import (
+    DeltaBenchConfig,
+    DeltaBenchReport,
+    run_delta_bench,
+    format_table as format_delta_table,
+)
 
 __all__ = [
     "BenchNode",
@@ -59,4 +65,8 @@ __all__ = [
     "HotPathReport",
     "run_hotpath",
     "format_hotpath_table",
+    "DeltaBenchConfig",
+    "DeltaBenchReport",
+    "run_delta_bench",
+    "format_delta_table",
 ]

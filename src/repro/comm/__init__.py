@@ -25,6 +25,7 @@ from repro.comm.transport import (
     FRAME_OVERHEAD_BYTES,
     SUPPORTED_COMPRESSIONS,
 )
+from repro.comm.pipeline import PipelineStats, TransferScheduler
 from repro.comm.discovery import Neighborhood, NeighborEntry
 from repro.comm.webservice import WebServiceEndpoint, WebServiceClient
 from repro.comm.messages import build_request, build_response, parse_request, parse_response
@@ -41,6 +42,8 @@ __all__ = [
     "BLUETOOTH_BPS",
     "FRAME_OVERHEAD_BYTES",
     "SUPPORTED_COMPRESSIONS",
+    "PipelineStats",
+    "TransferScheduler",
     "Neighborhood",
     "NeighborEntry",
     "WebServiceEndpoint",

@@ -89,32 +89,59 @@ class Link(Protocol):
     def is_up(self) -> bool: ...
 
 
-class LoopbackLink:
-    """Free, always-up link (same-process tests)."""
-
-    def __init__(self) -> None:
-        self.bytes_carried = 0
-
-    def transfer(self, nbytes: int) -> float:
-        self.bytes_carried += nbytes
-        return 0.0
-
-    def transfer_batch(self, sizes: Iterable[int]) -> float:
-        for nbytes in sizes:
-            self.bytes_carried += nbytes
-        return 0.0
-
-    @property
-    def is_up(self) -> bool:
-        return True
-
-
 @dataclass
 class LinkStats:
     transfers: int = 0
     frames: int = 0
     bytes_carried: int = 0
     seconds_charged: float = 0.0
+
+
+class LoopbackLink:
+    """Free, always-up link (same-process tests).
+
+    Keeps the same :class:`LinkStats` / ``on_transfer`` surface as
+    :class:`SimulatedLink` so per-link observability works in loopback
+    tests too.  The historical bare ``bytes_carried`` counter survives
+    as a property alias of ``stats.bytes_carried``.
+    """
+
+    def __init__(self) -> None:
+        self.stats = LinkStats()
+        #: Observability hook: called as ``(link, nbytes, elapsed_s)``
+        #: after every transfer (``repro.obs`` installs it).
+        self.on_transfer: Optional[
+            Callable[["LoopbackLink", int, float], None]
+        ] = None
+
+    @property
+    def bytes_carried(self) -> int:
+        """Deprecated alias of ``stats.bytes_carried``."""
+        return self.stats.bytes_carried
+
+    def transfer(self, nbytes: int) -> float:
+        self.stats.transfers += 1
+        self.stats.frames += 1
+        self.stats.bytes_carried += nbytes
+        if self.on_transfer is not None:
+            self.on_transfer(self, nbytes, 0.0)
+        return 0.0
+
+    def transfer_batch(self, sizes: Iterable[int]) -> float:
+        frame_sizes = list(sizes)
+        if not frame_sizes:
+            return 0.0
+        carried = sum(frame_sizes)
+        self.stats.transfers += 1
+        self.stats.frames += len(frame_sizes)
+        self.stats.bytes_carried += carried
+        if self.on_transfer is not None:
+            self.on_transfer(self, carried, 0.0)
+        return 0.0
+
+    @property
+    def is_up(self) -> bool:
+        return True
 
 
 class SimulatedLink:
@@ -167,8 +194,11 @@ class SimulatedLink:
         Latency is paid **once** for the whole batch (the radio round
         trip that dominates per-message cost on Bluetooth-class links);
         each frame adds :data:`FRAME_OVERHEAD_BYTES` of framing on top
-        of its payload.
+        of its payload.  An empty batch is free: no connection is opened,
+        so no latency is paid.
         """
+        if not sizes:
+            return 0.0
         total = sum(sizes) + FRAME_OVERHEAD_BYTES * len(sizes)
         return self.latency_s + (total * 8) / self.bandwidth_bps
 
@@ -182,6 +212,9 @@ class SimulatedLink:
         if not self.is_up:
             raise TransportError(f"link {self.name!r} is down")
         frame_sizes = list(sizes)
+        if not frame_sizes:
+            # nothing to ship: no connection, no latency, no stats
+            return 0.0
         elapsed = self.batch_transfer_time(frame_sizes)
         self.clock.advance(elapsed)
         carried = sum(frame_sizes) + FRAME_OVERHEAD_BYTES * len(frame_sizes)

@@ -17,7 +17,12 @@ Central concepts (paper, Sections 1 and 3):
   (:mod:`repro.core.space`).
 """
 
-from repro.core.fastpath import FastPathConfig, FastPathState, PayloadCache
+from repro.core.fastpath import (
+    DeltaChain,
+    FastPathConfig,
+    FastPathState,
+    PayloadCache,
+)
 from repro.core.interfaces import SwapStore, ISwapClusterProxy
 from repro.core.replacement import ReplacementObject, SwapLocation
 from repro.core.swap_cluster import SwapCluster, SwapClusterState
@@ -30,6 +35,7 @@ from repro.core.archive import SwapArchive, ArchivedEpoch
 from repro.core.hibernate import hibernate, restore
 
 __all__ = [
+    "DeltaChain",
     "FastPathConfig",
     "FastPathState",
     "PayloadCache",

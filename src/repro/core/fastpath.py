@@ -48,6 +48,21 @@ class FastPathConfig:
     compression: Tuple[str, ...] = ("zlib",)
     #: Frame size for chunked payload shipping (store_stream batches).
     frame_bytes: int = 2048
+    #: Ship object-granular deltas for clusters whose staleness is fully
+    #: attributed (see ``SwapCluster.delta_eligible``).  Off by default:
+    #: with ``delta=False`` nothing about the existing pipeline changes.
+    delta: bool = False
+    #: Compaction threshold: a swap-out that would make the delta chain
+    #: longer than this re-ships the full payload instead (and drops the
+    #: stale chain from the stores).
+    delta_max_chain: int = 8
+    #: Compaction threshold: cumulative delta bytes exceeding this
+    #: fraction of the base payload size also force a full rewrite.
+    delta_max_ratio: float = 1.0
+    #: Number of concurrent link channels for pipelined swap-out
+    #: (replica fan-out + encode/transfer overlap).  0 = serial
+    #: shipping exactly as before.
+    pipeline_channels: int = 0
 
 
 @dataclass
@@ -115,6 +130,26 @@ class PayloadCache:
 
 
 @dataclass
+class DeltaChain:
+    """Bookkeeping for one cluster's delta chain on its replica stores.
+
+    ``keys[0]`` is the last full payload's key, every later entry a
+    delta key; ``keys[-1]`` is the chain tip the replicas currently
+    resolve.  ``delta_bytes`` accumulates shipped delta sizes against
+    ``base_bytes`` for the byte-ratio compaction threshold.
+    """
+
+    keys: List[str] = field(default_factory=list)
+    delta_bytes: int = 0
+    base_bytes: int = 0
+
+    @property
+    def length(self) -> int:
+        """Number of delta links on top of the full base payload."""
+        return max(0, len(self.keys) - 1)
+
+
+@dataclass
 class FastPathState:
     """Per-space fast-path state owned by the SwappingManager."""
 
@@ -125,6 +160,11 @@ class FastPathState:
     retained: Dict[Sid, List[object]] = field(default_factory=dict)
     #: store device_id -> negotiated codec (cached negotiation results).
     negotiated: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: sid -> delta chain currently standing on the replica stores.
+    chains: Dict[Sid, DeltaChain] = field(default_factory=dict)
+    #: Pipelined transfer scheduler (set by the manager when
+    #: ``config.pipeline_channels > 0``; None = serial shipping).
+    scheduler: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.cache = PayloadCache(self.config.cache_budget_bytes)
@@ -144,5 +184,12 @@ class FastPathState:
         return self.negotiated[device_id]
 
     def forget_cluster(self, sid: Sid) -> List[object]:
-        """Drop retention bookkeeping for ``sid``; returns the old holders."""
+        """Drop retention bookkeeping for ``sid``; returns the old holders.
+
+        Also forgets the cluster's delta chain: with the retained-holder
+        record gone there is no store known to hold the chain tip, so a
+        later swap-out must never ship a delta against the stale base —
+        it falls back to the full path.
+        """
+        self.chains.pop(sid, None)
         return self.retained.pop(sid, [])

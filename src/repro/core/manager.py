@@ -27,11 +27,12 @@ protocol*:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
 from repro.comm.transport import compress_payload
-from repro.core.fastpath import FastPathConfig, FastPathState
+from repro.core.fastpath import DeltaChain, FastPathConfig, FastPathState
 from repro.core.interfaces import SwapStore
 from repro.core.replacement import ReplacementObject, SwapLocation
 from repro.core.swap_cluster import SwapCluster, SwapClusterState
@@ -65,7 +66,8 @@ from repro.events import (
 )
 from repro.ids import Sid, format_swap_key
 from repro.obs.trace import NULL_SPAN
-from repro.wire.canonical import verify_payload
+from repro.wire.canonical import digest_of_canonical, verify_payload
+from repro.wire.delta import apply_cluster_delta, encode_cluster_delta
 from repro.wire.xmlcodec import decode_cluster, encode_cluster_canonical
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -126,6 +128,12 @@ class ManagerStats:
     fastpath_noops: int = 0
     fastpath_reships: int = 0
     swapin_cache_hits: int = 0
+    # -- delta swap counters (all zero while ``config.delta`` is off) --
+    fastpath_delta_ships: int = 0
+    fastpath_delta_fallbacks: int = 0
+    fastpath_delta_compactions: int = 0
+    delta_bytes_shipped: int = 0
+    delta_bytes_saved: int = 0
 
 
 class SwappingManager:
@@ -193,16 +201,36 @@ class SwappingManager:
     # -- fast path ---------------------------------------------------------------
 
     def enable_fastpath(
-        self, config: Optional[FastPathConfig] = None
+        self,
+        config: Optional[FastPathConfig] = None,
+        *,
+        delta: Optional[bool] = None,
+        pipeline_channels: Optional[int] = None,
     ) -> FastPathState:
         """Turn on the swap fast path (see :mod:`repro.core.fastpath`).
 
         Calling again replaces the state (fresh cache and retention
-        tables) with the new ``config``.
+        tables) with the new ``config``.  The keyword shortcuts overlay
+        the config: ``enable_fastpath(delta=True)`` turns on
+        object-granular delta swap-out, ``pipeline_channels=n`` attaches
+        a :class:`~repro.comm.pipeline.TransferScheduler` so replica
+        fan-out and encode/transfer overlap on ``n`` link channels.
         """
-        self.fastpath = FastPathState(
-            config if config is not None else FastPathConfig()
-        )
+        config = config if config is not None else FastPathConfig()
+        overrides: Dict[str, Any] = {}
+        if delta is not None:
+            overrides["delta"] = delta
+        if pipeline_channels is not None:
+            overrides["pipeline_channels"] = pipeline_channels
+        if overrides:
+            config = replace(config, **overrides)
+        self.fastpath = FastPathState(config)
+        if config.pipeline_channels > 0:
+            from repro.comm.pipeline import TransferScheduler
+
+            self.fastpath.scheduler = TransferScheduler(
+                self._space.clock, config.pipeline_channels
+            )
         return self.fastpath
 
     def disable_fastpath(self) -> None:
@@ -366,6 +394,14 @@ class SwappingManager:
                 location = self._swap_out_clean(cluster, store)
                 if location is not None:
                     return location
+            if (
+                self.fastpath is not None
+                and self.fastpath.config.delta
+                and cluster.delta_eligible()
+            ):
+                location = self._swap_out_delta(cluster, store)
+                if location is not None:
+                    return location
             return self._swap_out_full(cluster, store)
 
     def _swap_out_clean(
@@ -438,7 +474,7 @@ class SwappingManager:
                     # record them AND bump the verified epoch so the
                     # scrubber does not re-fetch an unmodified cluster
                     placement = self.resilience.placement
-                    placement.record_swap_out(
+                    record = placement.record_swap_out(
                         sid,
                         key=key,
                         digest=digest,
@@ -446,6 +482,10 @@ class SwappingManager:
                         xml_bytes=cluster.clean_xml_bytes,
                         device_ids=[holder.device_id for holder in verified],
                     )
+                    for holder in verified:
+                        record.applied_epochs[holder.device_id] = (
+                            cluster.clean_epoch
+                        )
                     placement.record_verified(
                         sid, cluster.clean_epoch, space.clock.now()
                     )
@@ -490,6 +530,287 @@ class SwappingManager:
             # abort path just dropped from
             fastpath.retained.pop(sid, None)
             raise
+
+    def _swap_out_delta(
+        self, cluster: SwapCluster, chosen: SwapStore | None
+    ) -> Optional[SwapLocation]:
+        """Swap out a mutated cluster by shipping only its dirty objects.
+
+        Applies when every staleness source since the last payload is
+        attributed (:meth:`~repro.core.swap_cluster.SwapCluster.
+        delta_eligible`), the base payload text is still cached locally,
+        and at least one retained store holds the delta-chain tip.  Each
+        holder receives a ``<swap-delta>`` document via ``store_delta``;
+        holders without delta support — or diverged ones, whose held
+        base sits at a different epoch — transparently receive the full
+        payload instead.  Returns ``None`` when the delta path cannot
+        apply or would not pay (chain/byte compaction thresholds, a
+        delta bigger than the payload itself); the caller then falls
+        back to the classic full pipeline, which also rewrites the
+        stale chain.
+        """
+        fastpath = self.fastpath
+        config = fastpath.config
+        space = self._space
+        sid = cluster.sid
+        base_key = cluster.base_key
+        base_epoch = cluster.base_epoch
+        base_digest = cluster.base_digest
+
+        retained = fastpath.retained.get(sid)
+        if retained is None or retained[0] != base_key or not retained[1]:
+            return None  # no store known to hold the base: full path
+        base_text = fastpath.cache.get(base_digest)
+        if base_text is None:
+            return None  # cannot build/verify a delta without the base
+        chain = fastpath.chains.get(sid)
+        if chain is None or not chain.keys or chain.keys[-1] != base_key:
+            return None  # chain bookkeeping diverged from the cluster
+        if chain.length + 1 > config.delta_max_chain:
+            self.stats.fastpath_delta_compactions += 1
+            return None  # chain too long: a full rewrite compacts it
+
+        members = {
+            oid: space._objects[oid]
+            for oid in cluster.dirty_oids
+            if oid in cluster.oids
+        }
+        # Outbound indices must stay consistent with the base payload's
+        # replacement array: seed from the base order, append new proxies.
+        outbound: List[Any] = list(cluster.base_outbound or [])
+        index_by_proxy: Dict[int, int] = {
+            id(proxy): index for index, proxy in enumerate(outbound)
+        }
+
+        def outbound_index_of(proxy: Any) -> int:
+            marker = id(proxy)
+            index = index_by_proxy.get(marker)
+            if index is None:
+                index = len(outbound)
+                index_by_proxy[marker] = index
+                outbound.append(proxy)
+            return index
+
+        epoch = cluster.epoch + 1
+        with self._obs_span(
+            "swap.out.delta.encode", sid=sid, objects=len(members)
+        ):
+            delta_text, _ = encode_cluster_delta(
+                sid=sid,
+                space=space.name,
+                base_epoch=base_epoch,
+                epoch=epoch,
+                objects=members,
+                dead_oids=cluster.dead_oids,
+                member_oids=set(cluster.oids),
+                oid_of=lambda obj: obj._obi_oid,
+                outbound_index_of=outbound_index_of,
+            )
+        with self._obs_span("swap.out.delta.apply", sid=sid):
+            try:
+                applied_text = apply_cluster_delta(base_text, delta_text)
+            except CodecError:
+                return None  # our own delta must apply; be safe, not sorry
+        digest = digest_of_canonical(applied_text)
+        xml_bytes = len(applied_text.encode("utf-8"))
+        delta_nbytes = len(delta_text.encode("utf-8"))
+        if delta_nbytes >= xml_bytes:
+            return None  # the delta would cost more than the payload
+        if (
+            chain.base_bytes > 0
+            and chain.delta_bytes + delta_nbytes
+            > config.delta_max_ratio * chain.base_bytes
+        ):
+            self.stats.fastpath_delta_compactions += 1
+            return None  # accumulated deltas outweigh the base: compact
+
+        holders = (
+            list(retained[1])
+            if chosen is None
+            else [holder for holder in retained[1] if holder is chosen]
+        )
+        if not holders:
+            return None  # the caller-chosen store holds no base copy
+        key = format_swap_key(space.name, sid, epoch)
+        self._obs_tag("tier", "delta")
+        if self.obs is not None:
+            self.obs.observe_payload(delta_nbytes)
+
+        resilience = self.resilience
+        entry = None
+        if resilience is not None:
+            with self._obs_span("swap.out.journal", op="begin", sid=sid):
+                entry = resilience.journal.begin(
+                    sid,
+                    key,
+                    epoch,
+                    xml_bytes,
+                    digest=digest,
+                    base_epoch=base_epoch,
+                    delta=True,
+                )
+        record = (
+            resilience.placement.get(sid) if resilience is not None else None
+        )
+        stored_on: List[SwapStore] = []
+        delta_on: List[SwapStore] = []
+        try:
+            for holder in holders:
+                sink = getattr(holder, "store_delta", None)
+                diverged = False
+                if record is not None:
+                    applied = record.applied_epochs.get(holder.device_id)
+                    diverged = applied is not None and applied != base_epoch
+                shipped: Optional[str] = None
+                if sink is not None and not diverged:
+                    compression = fastpath.negotiate_for(holder)
+                    data = compress_payload(delta_text, compression)
+                    frame_bytes = config.frame_bytes
+                    frames = [
+                        data[offset : offset + frame_bytes]
+                        for offset in range(0, len(data), frame_bytes)
+                    ] or [b""]
+
+                    def ship(
+                        sink=sink, frames=frames, compression=compression
+                    ) -> None:
+                        sink(
+                            key,
+                            base_epoch,
+                            frames,
+                            base_key=base_key,
+                            compression=compression,
+                        )
+
+                    try:
+                        with self._obs_span(
+                            "swap.out.delta.store", device=holder.device_id
+                        ), self._channel(holder):
+                            if resilience is None:
+                                ship()
+                            else:
+                                resilience.run(
+                                    ship,
+                                    sid=sid,
+                                    device_id=holder.device_id,
+                                    op_name="store-delta",
+                                )
+                        shipped = "delta"
+                    except (
+                        CodecError,
+                        UnknownKeyError,
+                        StoreFullError,
+                        TransportError,
+                        RetryExhaustedError,
+                    ):
+                        shipped = None  # diverged/lost base: ship it whole
+                if shipped is None:
+                    try:
+                        with self._obs_span(
+                            "swap.out.store",
+                            device=holder.device_id,
+                            stage="delta-fallback",
+                        ), self._channel(holder):
+                            self._store_payload(holder, key, applied_text, sid)
+                        shipped = "full"
+                        self.stats.fastpath_delta_fallbacks += 1
+                    except (
+                        StoreFullError,
+                        TransportError,
+                        RetryExhaustedError,
+                    ):
+                        continue
+                stored_on.append(holder)
+                if shipped == "delta":
+                    delta_on.append(holder)
+                if entry is not None:
+                    resilience.journal.record_write(entry, holder.device_id)
+            if not stored_on:
+                # no retained holder reachable: the classic pipeline's
+                # failover/degrade machinery takes over
+                if entry is not None:
+                    resilience.journal.abort(entry)
+                return None
+        except BaseException:
+            if entry is not None:
+                for holder in stored_on:
+                    try:
+                        holder.drop(key)
+                    except (TransportError, UnknownKeyError):
+                        pass
+                resilience.journal.abort(entry)
+            raise
+
+        primary = stored_on[0]
+        self.stats.mirror_writes += max(0, len(stored_on) - 1)
+        location = SwapLocation(
+            device_id=primary.device_id,
+            key=key,
+            digest=digest,
+            xml_bytes=xml_bytes,
+            epoch=epoch,
+        )
+        object_count = len(cluster.oids)
+        bytes_freed = self._detach(cluster, outbound, location, stored_on)
+        cluster.epoch = epoch
+        if entry is not None:
+            with self._obs_span("swap.out.journal", op="commit", sid=sid):
+                resilience.journal.commit(entry)
+        if resilience is not None:
+            new_record = resilience.placement.record_swap_out(
+                sid,
+                key=key,
+                digest=digest,
+                epoch=epoch,
+                xml_bytes=xml_bytes,
+                device_ids=[holder.device_id for holder in stored_on],
+            )
+            for holder in stored_on:
+                new_record.applied_epochs[holder.device_id] = epoch
+            self._warn_if_under_replicated(sid, "delta swap-out placement short")
+        self.stats.swap_outs += 1
+        self.stats.fastpath_delta_ships += 1
+        self.stats.bytes_shipped += delta_nbytes if delta_on else xml_bytes
+        self.stats.delta_bytes_shipped += delta_nbytes * len(delta_on)
+        self.stats.delta_bytes_saved += (xml_bytes - delta_nbytes) * len(
+            delta_on
+        )
+
+        fastpath.cache.put(digest, applied_text)
+        cluster.mark_clean(
+            digest=digest,
+            key=key,
+            epoch=epoch,
+            xml_bytes=xml_bytes,
+            outbound=list(outbound),
+        )
+        fastpath.retained[sid] = (key, list(stored_on))
+        chain.keys.append(key)
+        chain.delta_bytes += delta_nbytes
+
+        space.bus.emit(
+            SwapFastPathEvent(space=space.name, sid=sid, tier="delta", key=key)
+        )
+        space.bus.emit(
+            SwapOutEvent(
+                space=space.name,
+                sid=sid,
+                device_id=primary.device_id,
+                key=key,
+                object_count=object_count,
+                bytes_freed=bytes_freed,
+                xml_bytes=delta_nbytes if delta_on else xml_bytes,
+            )
+        )
+        return location
+
+    def _channel(self, holder: Any):
+        """A scheduler channel for ``holder``'s link (no-op when serial)."""
+        fastpath = self.fastpath
+        scheduler = fastpath.scheduler if fastpath is not None else None
+        if scheduler is None:
+            return nullcontext()
+        return scheduler.channel(getattr(holder, "_link", None))
 
     def _swap_out_full(
         self, cluster: SwapCluster, chosen: SwapStore | None
@@ -603,7 +924,7 @@ class SwappingManager:
                         "swap.out.store",
                         device=holder.device_id,
                         stage="mirror" if stored_on else "primary",
-                    ):
+                    ), self._channel(holder):
                         self._store_payload(holder, key, xml_text, sid)
                 except StoreFullError:
                     # a caller-chosen store that refuses is the caller's
@@ -725,7 +1046,7 @@ class SwappingManager:
             with self._obs_span("swap.out.journal", op="commit", sid=sid):
                 resilience.journal.commit(entry)
         if resilience is not None:
-            resilience.placement.record_swap_out(
+            record = resilience.placement.record_swap_out(
                 sid,
                 key=key,
                 digest=digest,
@@ -733,6 +1054,8 @@ class SwappingManager:
                 xml_bytes=xml_bytes,
                 device_ids=[holder.device_id for holder in stored_on],
             )
+            for holder in stored_on:
+                record.applied_epochs[holder.device_id] = epoch
             self._warn_if_under_replicated(sid, "swap-out placement short")
         self.stats.swap_outs += 1
         self.stats.bytes_shipped += xml_bytes
@@ -741,13 +1064,22 @@ class SwappingManager:
         if fastpath is not None:
             previous = fastpath.retained.pop(sid, None)
             if previous is not None and previous[0] != key:
-                # the content changed: stale copies under the old key are
-                # dead weight on their stores
-                for holder in previous[1]:
-                    try:
-                        holder.drop(previous[0])
-                    except (TransportError, UnknownKeyError):
-                        pass
+                # the content changed: stale copies under the old keys —
+                # the whole delta chain, tip first — are dead weight
+                chain = fastpath.chains.pop(sid, None)
+                stale = (
+                    [old for old in reversed(chain.keys) if old != key]
+                    if chain is not None
+                    else []
+                )
+                if previous[0] not in stale:
+                    stale.insert(0, previous[0])
+                for stale_key in stale:
+                    for holder in previous[1]:
+                        try:
+                            holder.drop(stale_key)
+                        except (TransportError, UnknownKeyError):
+                            pass
             fastpath.cache.put(digest, xml_text)
             cluster.mark_clean(
                 digest=digest,
@@ -757,6 +1089,13 @@ class SwappingManager:
                 outbound=list(outbound),
             )
             fastpath.retained[sid] = (key, list(stored_on))
+            if fastpath.config.delta:
+                chain = fastpath.chains.get(sid)
+                if chain is None or not chain.keys or chain.keys[-1] != key:
+                    # this payload starts a fresh chain (full rewrite)
+                    fastpath.chains[sid] = DeltaChain(
+                        keys=[key], base_bytes=xml_bytes
+                    )
             if tier == "reship":
                 self.stats.fastpath_reships += 1
                 space.bus.emit(
@@ -836,6 +1175,10 @@ class SwappingManager:
             # open ones, then best history, then lowest link latency
             holders = self.resilience.rank_replicas(holders)
         fastpath = self.fastpath
+        if fastpath is not None and fastpath.scheduler is not None:
+            # simulated reality must catch up with every scheduled write
+            # before anything is read back from the stores
+            fastpath.scheduler.drain()
         cached: Optional[str] = None
         if fastpath is not None and fastpath.config.serve_swap_in_from_cache:
             # the canonical payload may still be held locally; its digest
@@ -992,14 +1335,29 @@ class SwappingManager:
             )
             if retain and holders:
                 # leave the copies in place: if the cluster comes back
-                # clean, the next swap-out is a metadata-only no-op
+                # clean, the next swap-out is a metadata-only no-op (and
+                # the delta chain stays valid for a later delta ship)
                 fastpath.retained[sid] = (location.key, list(holders))
-            elif not self.keep_swapped_copies:
-                for holder in holders:
-                    try:
-                        holder.drop(location.key)
-                    except (TransportError, UnknownKeyError):
-                        pass  # stale copies are harmless; epochs prevent reuse
+            else:
+                chain = (
+                    fastpath.chains.pop(sid, None)
+                    if fastpath is not None
+                    else None
+                )
+                if not self.keep_swapped_copies:
+                    stale = (
+                        list(reversed(chain.keys))
+                        if chain is not None
+                        else []
+                    )
+                    if location.key not in stale:
+                        stale.insert(0, location.key)
+                    for stale_key in stale:
+                        for holder in holders:
+                            try:
+                                holder.drop(stale_key)
+                            except (TransportError, UnknownKeyError):
+                                pass  # stale copies are harmless; epochs prevent reuse
             if fastpath is not None:
                 fastpath.cache.put(location.digest, xml_text)
                 # the replicas were just decoded from this payload: the
@@ -1388,13 +1746,24 @@ class SwappingManager:
                 except (TransportError, UnknownKeyError):
                     pass  # unreachable device: the copy is orphaned, by design
         if self.fastpath is not None:
+            chain = self.fastpath.chains.pop(cluster.sid, None)
             retained = self.fastpath.retained.pop(cluster.sid, None)
-            if retained is not None and (
-                location is None or retained[0] != location.key
-            ):
+            stale: List[str] = (
+                list(reversed(chain.keys)) if chain is not None else []
+            )
+            if retained is not None and retained[0] not in stale:
+                stale.insert(0, retained[0])
+            drop_from: List[SwapStore] = list(holders)
+            if retained is not None:
                 for holder in retained[1]:
+                    if holder not in drop_from:
+                        drop_from.append(holder)
+            for stale_key in stale:
+                if location is not None and stale_key == location.key:
+                    continue  # already dropped with the primary copies
+                for holder in drop_from:
                     try:
-                        holder.drop(retained[0])
+                        holder.drop(stale_key)
                     except (TransportError, UnknownKeyError):
                         pass
         if cluster.replacement is not None:
@@ -1423,15 +1792,20 @@ class SwappingManager:
         unreachable through any replacement-object, so drop them."""
         if event.space != self._space.name or self.fastpath is None:
             return
+        chain = self.fastpath.chains.pop(event.sid, None)
         retained = self.fastpath.retained.pop(event.sid, None)
         if retained is None:
             return
         key, holders = retained
-        for holder in holders:
-            try:
-                holder.drop(key)
-            except (TransportError, UnknownKeyError):
-                pass
+        stale = list(reversed(chain.keys)) if chain is not None else []
+        if key not in stale:
+            stale.insert(0, key)
+        for stale_key in stale:
+            for holder in holders:
+                try:
+                    holder.drop(stale_key)
+                except (TransportError, UnknownKeyError):
+                    pass
 
     def binding_for(self, sid: Sid) -> Optional[SwapStore]:
         """The primary store holding a swapped cluster (None if resident)."""

@@ -217,7 +217,7 @@ class Space:
         obj = self._objects.pop(oid, None)
         sid = self._sid_by_oid.pop(oid, None)
         if sid is not None:
-            self._clusters[sid].remove_member(oid)
+            self._clusters[sid].remove_member(oid, collected=True)
         if obj is not None:
             _object_setattr(obj, "_obi_space", None)
         return self.heap.free_oid(oid) if self.heap.holds(oid) else 0
@@ -482,7 +482,7 @@ class Space:
             # the receiver without any interceptable write: conservatively
             # invalidate the owning cluster's clean payload
             cluster = proxy._obi_cluster
-            if not cluster.dirty:
+            if not cluster.dirty_all:
                 cluster.mark_dirty()
         to_sid = proxy._obi_source_sid
         if getattr(cls, "_obi_managed", False):
@@ -639,7 +639,9 @@ class Space:
         _object_setattr(owner, field, self._translate(value, owner._obi_sid))
         owner_cluster = self._clusters.get(owner._obi_sid)
         if owner_cluster is not None:
-            owner_cluster.mark_dirty()
+            # the rewired field lives on ``owner`` alone, so the
+            # staleness is attributable to that single member
+            owner_cluster.mark_dirty(owner._obi_oid)
         self.heap.resize(owner._obi_oid, self.size_model.size_of(owner))
 
     # ------------------------------------------------------------------ swapping facade

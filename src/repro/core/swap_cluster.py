@@ -43,11 +43,19 @@ class SwapCluster:
         "swap_in_count",
         "created_tick",
         "dirty",
+        "dirty_all",
+        "dirty_oids",
+        "dead_oids",
         "clean_digest",
         "clean_key",
         "clean_epoch",
         "clean_xml_bytes",
         "clean_outbound",
+        "base_digest",
+        "base_key",
+        "base_epoch",
+        "base_xml_bytes",
+        "base_outbound",
     )
 
     def __init__(self, sid: Sid, created_tick: int = 0) -> None:
@@ -76,6 +84,19 @@ class SwapCluster:
         #: payload (``clean_digest``).  New clusters are dirty; the
         #: write barrier and the proxy layer flip the bit on mutation.
         self.dirty = True
+        #: True when the whole payload must be considered stale — set by
+        #: the conservative rules (container crossings, membership
+        #: rewires, non-readonly proxy invocations) that cannot name a
+        #: single culprit object.  New clusters start here.
+        self.dirty_all = True
+        #: Oids whose fields mutated since the last payload (the write
+        #: barrier names the culprit).  Meaningful only while
+        #: ``dirty_all`` is False.
+        self.dirty_oids: Set[Oid] = set()
+        #: Members collected (LGC) since the last payload — become
+        #: tombstones in a delta.  Meaningful only while ``dirty_all``
+        #: is False.
+        self.dead_oids: Set[Oid] = set()
         self.clean_digest: Optional[str] = None
         self.clean_key: Optional[str] = None
         self.clean_epoch: Optional[int] = None
@@ -84,6 +105,14 @@ class SwapCluster:
         #: so a clean swap-out can rebuild its replacement-object array
         #: without re-encoding.  Only populated when the fast path is on.
         self.clean_outbound: Optional[List] = None
+        #: The last payload this cluster was serialized to, surviving
+        #: subsequent mutation (unlike ``clean_*``) so the delta path can
+        #: encode against it.  Set by :meth:`mark_clean`.
+        self.base_digest: Optional[str] = None
+        self.base_key: Optional[str] = None
+        self.base_epoch: Optional[int] = None
+        self.base_xml_bytes: int = 0
+        self.base_outbound: Optional[List] = None
 
     # -- state predicates ----------------------------------------------------
 
@@ -114,8 +143,20 @@ class SwapCluster:
 
     # -- dirty tracking ---------------------------------------------------------
 
-    def mark_dirty(self) -> None:
-        """The serialized payload (if any) no longer matches the members."""
+    def mark_dirty(self, oid: Optional[Oid] = None) -> None:
+        """The serialized payload (if any) no longer matches the members.
+
+        With an ``oid`` the staleness is attributed to that one member
+        (field write caught by the barrier); without one the whole
+        payload is conservatively invalidated (``dirty_all``).
+        """
+        if oid is None:
+            self.dirty_all = True
+        else:
+            self.dirty_oids.add(oid)
+        self._trip_dirty()
+
+    def _trip_dirty(self) -> None:
         if self.dirty:
             return
         self.dirty = True
@@ -136,11 +177,34 @@ class SwapCluster:
     ) -> None:
         """Record that the members match the payload identified by ``digest``."""
         self.dirty = False
+        self.dirty_all = False
+        self.dirty_oids.clear()
+        self.dead_oids.clear()
         self.clean_digest = digest
         self.clean_key = key
         self.clean_epoch = epoch
         self.clean_xml_bytes = xml_bytes
         self.clean_outbound = outbound
+        self.base_digest = digest
+        self.base_key = key
+        self.base_epoch = epoch
+        self.base_xml_bytes = xml_bytes
+        self.base_outbound = outbound
+
+    def delta_eligible(self) -> bool:
+        """True when the mutation since the last payload is fully named.
+
+        The delta swap path applies only while every staleness source is
+        attributed — a known base payload plus a concrete set of dirty
+        and collected oids, with no conservative whole-cluster
+        invalidation in between.
+        """
+        return (
+            self.dirty
+            and not self.dirty_all
+            and self.base_digest is not None
+            and bool(self.dirty_oids or self.dead_oids)
+        )
 
     # -- membership ------------------------------------------------------------
 
@@ -149,8 +213,20 @@ class SwapCluster:
         self.oids.add(oid)
         self.class_name_by_oid[oid] = class_name
 
-    def remove_member(self, oid: Oid) -> None:
-        self.mark_dirty()
+    def remove_member(self, oid: Oid, *, collected: bool = False) -> None:
+        """Drop a member.
+
+        ``collected`` marks the local-GC path: the object became
+        unreachable and vanished without any other member being rewired,
+        so the removal stays delta-eligible as a tombstone instead of
+        invalidating the whole payload.
+        """
+        if collected:
+            self.dead_oids.add(oid)
+            self.dirty_oids.discard(oid)
+            self._trip_dirty()
+        else:
+            self.mark_dirty()
         self.oids.discard(oid)
         self.class_name_by_oid.pop(oid, None)
 

@@ -117,7 +117,7 @@ class SwapClusterProxyBase:
         cluster = self._obi_cluster
         cluster.crossings += 1
         cluster.last_crossing_tick = tick
-        if not cluster.dirty and not getattr(
+        if not cluster.dirty_all and not getattr(
             getattr(target.__class__, name, None), "_obi_readonly", False
         ):
             # conservative dirty-tracking: a non-@readonly method may
@@ -129,7 +129,7 @@ class SwapClusterProxyBase:
             for value in args if not kwargs else (*args, *kwargs.values()):
                 if value.__class__ in MUTABLE_CONTAINERS:
                     source = space._clusters.get(self._obi_source_sid)
-                    if source is not None and not source.dirty:
+                    if source is not None and not source.dirty_all:
                         source.mark_dirty()
                     break
         if args:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
+from xml.etree import ElementTree as ET
 
 from repro.comm.transport import (
     Link,
@@ -27,11 +28,24 @@ from repro.comm.transport import (
     decompress_payload,
 )
 from repro.comm.webservice import WebServiceEndpoint
-from repro.errors import StoreFullError, TransportError, UnknownKeyError
+from repro.errors import CodecError, StoreFullError, TransportError, UnknownKeyError
 from repro.wire.canonical import digest_of_canonical
+from repro.wire.delta import apply_cluster_delta
 
 #: Cost of a key-probe / drop round trip: a control message, not a payload.
 CONTROL_MESSAGE_BYTES = 64
+
+#: Hard cap on delta-chain depth a store will resolve; the manager's
+#: compaction thresholds keep real chains far shorter.
+MAX_DELTA_CHAIN = 64
+
+
+def _payload_epoch(xml_text: str) -> int:
+    """Epoch attribute of a stored ``<swap-cluster>`` document."""
+    try:
+        return int(ET.fromstring(xml_text).get("epoch", "0"))
+    except (ET.ParseError, ValueError) as exc:
+        raise CodecError(f"unreadable payload epoch: {exc}") from exc
 
 #: Digest returned by a digest probe when the stored payload cannot even
 #: be decoded (at-rest corruption of the compressed frames).  Never a
@@ -45,41 +59,96 @@ class InMemoryStore:
     def __init__(self, device_id: str = "memory-store") -> None:
         self._device_id = device_id
         self._data: Dict[str, str] = {}
+        #: key -> (delta text, base key); a key lives in exactly one of
+        #: ``_data`` / ``_deltas``
+        self._deltas: Dict[str, Tuple[str, str]] = {}
 
     @property
     def device_id(self) -> str:
         return self._device_id
 
     def store(self, key: str, xml_text: str) -> None:
+        self._deltas.pop(key, None)
         self._data[key] = xml_text
 
-    def fetch(self, key: str) -> str:
-        try:
+    def store_delta(
+        self,
+        key: str,
+        base_epoch: int,
+        frames: Iterable[bytes],
+        *,
+        base_key: str,
+        compression: Optional[str] = None,
+    ) -> None:
+        """Accept a delta document applying to the payload at ``base_key``.
+
+        Raises :class:`~repro.errors.UnknownKeyError` when the base is
+        not held, and :class:`~repro.errors.CodecError` when the held
+        base sits at a different epoch than ``base_epoch`` (diverged
+        replica — the sender must fall back to a full payload).
+        """
+        if key == base_key:
+            raise TransportError(
+                f"{self._device_id}: delta key {key!r} cannot be its own base"
+            )
+        data = b"".join(bytes(frame) for frame in frames)
+        text = decompress_payload(data, compression)
+        base_text = self._resolve_text(base_key)
+        held_epoch = _payload_epoch(base_text)
+        if held_epoch != base_epoch:
+            raise CodecError(
+                f"{self._device_id}: base {base_key!r} is at epoch "
+                f"{held_epoch}, delta expects {base_epoch}"
+            )
+        self._data.pop(key, None)
+        self._deltas[key] = (text, base_key)
+
+    def _resolve_text(self, key: str, depth: int = 0) -> str:
+        if key in self._data:
             return self._data[key]
-        except KeyError:
+        entry = self._deltas.get(key)
+        if entry is None:
             raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+        if depth >= MAX_DELTA_CHAIN:
+            raise CodecError(f"{self._device_id}: delta chain too deep at {key!r}")
+        delta_text, base_key = entry
+        return apply_cluster_delta(
+            self._resolve_text(base_key, depth + 1), delta_text
+        )
+
+    def fetch(self, key: str) -> str:
+        return self._resolve_text(key)
 
     def drop(self, key: str) -> None:
+        # a delta depending on the dropped key must survive it: collapse
+        # direct dependents to full payloads first
+        for child, (_text, base_key) in list(self._deltas.items()):
+            if base_key == key and child != key:
+                self._data[child] = self._resolve_text(child)
+                self._deltas.pop(child, None)
         self._data.pop(key, None)
+        self._deltas.pop(key, None)
 
     def contains(self, key: str) -> bool:
-        return key in self._data
+        return key in self._data or key in self._deltas
 
     def digest(self, key: str) -> str:
         """Digest probe: hash of the payload as held *right now*."""
-        try:
-            return digest_of_canonical(self._data[key])
-        except KeyError:
+        if key not in self._data and key not in self._deltas:
             raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+        try:
+            return digest_of_canonical(self._resolve_text(key))
+        except Exception:
+            return UNREADABLE_DIGEST
 
     def has_room(self, nbytes: int) -> bool:
         return True
 
     def keys(self) -> List[str]:
-        return list(self._data)
+        return list(self._data) + list(self._deltas)
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._data) + len(self._deltas)
 
 
 class XmlStoreDevice:
@@ -111,6 +180,10 @@ class XmlStoreDevice:
         self.placement_group = placement_group
         #: key -> (stored bytes, compression codec or None)
         self._data: Dict[str, Tuple[bytes, Optional[str]]] = {}
+        #: key -> (delta bytes, compression, base key); a key lives in
+        #: exactly one of ``_data`` / ``_deltas``.  Delta bytes count
+        #: toward capacity like any other stored bytes.
+        self._deltas: Dict[str, Tuple[bytes, Optional[str], str]] = {}
         self._used = 0
 
     # -- SwapStore protocol ----------------------------------------------------
@@ -151,19 +224,91 @@ class XmlStoreDevice:
             )
         self._put(key, data, compression)
 
-    def fetch(self, key: str) -> str:
-        try:
-            data, compression = self._data[key]
-        except KeyError:
-            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
-        self._carry(len(data))
-        return decompress_payload(data, compression)
+    def store_delta(
+        self,
+        key: str,
+        base_epoch: int,
+        frames: Iterable[bytes],
+        *,
+        base_key: str,
+        compression: Optional[str] = None,
+    ) -> None:
+        """Receive a delta applying to the payload held at ``base_key``.
 
-    def drop(self, key: str) -> None:
-        self._carry(CONTROL_MESSAGE_BYTES)
+        The store keeps the delta as-is (capacity-accounted like any
+        payload); fetch/digest of the chain tip resolve base + deltas to
+        the full document server-side.  Raises
+        :class:`~repro.errors.UnknownKeyError` when the base is missing
+        and :class:`~repro.errors.CodecError` when the held base sits at
+        a different epoch than ``base_epoch`` — the diverged-replica
+        signal that tells the sender to fall back to a full payload.
+        """
+        if key == base_key:
+            raise TransportError(
+                f"{self._device_id}: delta key {key!r} cannot be its own base"
+            )
+        frame_list = [bytes(frame) for frame in frames]
+        if self._link is not None:
+            batch = getattr(self._link, "transfer_batch", None)
+            if batch is not None:
+                batch([len(frame) for frame in frame_list])
+            else:
+                for frame in frame_list:
+                    self._link.transfer(len(frame))
+        data = b"".join(frame_list)
+        if compression is not None and compression not in self.supported_compressions:
+            raise TransportError(
+                f"{self._device_id}: unsupported compression {compression!r}"
+            )
+        base_text = self._resolve_text(base_key)
+        held_epoch = _payload_epoch(base_text)
+        if held_epoch != base_epoch:
+            raise CodecError(
+                f"{self._device_id}: base {base_key!r} is at epoch "
+                f"{held_epoch}, delta expects {base_epoch}"
+            )
+        previous = self._data.get(key) or self._deltas.get(key)
+        delta = len(data) - (len(previous[0]) if previous else 0)
+        if self._used + delta > self.capacity:
+            raise StoreFullError(
+                f"{self._device_id}: {len(data)} delta bytes exceed free "
+                f"space ({self.capacity - self._used} of {self.capacity})"
+            )
         entry = self._data.pop(key, None)
         if entry is not None:
             self._used -= len(entry[0])
+            delta += len(entry[0])
+        self._deltas[key] = (data, compression, base_key)
+        self._used += delta
+
+    def _resolve_text(self, key: str, depth: int = 0) -> str:
+        """Full document under ``key``, applying any delta chain (no link)."""
+        entry = self._data.get(key)
+        if entry is not None:
+            return decompress_payload(entry[0], entry[1])
+        delta_entry = self._deltas.get(key)
+        if delta_entry is None:
+            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
+        if depth >= MAX_DELTA_CHAIN:
+            raise CodecError(f"{self._device_id}: delta chain too deep at {key!r}")
+        data, compression, base_key = delta_entry
+        delta_text = decompress_payload(data, compression)
+        base_text = self._resolve_text(base_key, depth + 1)
+        return apply_cluster_delta(base_text, delta_text)
+
+    def fetch(self, key: str) -> str:
+        entry = self._data.get(key)
+        if entry is not None:
+            self._carry(len(entry[0]))
+            return decompress_payload(entry[0], entry[1])
+        # chain tip: the applied document is what travels back
+        text = self._resolve_text(key)
+        self._carry(len(text.encode("utf-8")))
+        return text
+
+    def drop(self, key: str) -> None:
+        self._carry(CONTROL_MESSAGE_BYTES)
+        self._drop_direct(key)
 
     def contains(self, key: str) -> bool:
         """Key probe: a cheap control round trip, no payload on the link.
@@ -173,24 +318,23 @@ class XmlStoreDevice:
         without shipping it again.
         """
         self._carry(CONTROL_MESSAGE_BYTES)
-        return key in self._data
+        return key in self._data or key in self._deltas
 
     def digest(self, key: str) -> str:
         """Digest probe: hash what is *actually at rest* under ``key``.
 
         The scrubber's cheap integrity check — one control round trip
         instead of a payload fetch.  The digest is computed over the
-        stored bytes at probe time, so silent at-rest corruption shows
-        up as a mismatch (or :data:`UNREADABLE_DIGEST` when the frames
-        no longer even decompress).
+        stored bytes at probe time — for a delta-chain tip, over the
+        chain as it applies right now — so silent at-rest corruption of
+        any link in the chain shows up as a mismatch (or
+        :data:`UNREADABLE_DIGEST` when it no longer even resolves).
         """
-        try:
-            data, compression = self._data[key]
-        except KeyError:
+        if key not in self._data and key not in self._deltas:
             raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
         self._carry(CONTROL_MESSAGE_BYTES)
         try:
-            return digest_of_canonical(decompress_payload(data, compression))
+            return digest_of_canonical(self._resolve_text(key))
         except Exception:
             return UNREADABLE_DIGEST
 
@@ -200,13 +344,15 @@ class XmlStoreDevice:
         return self._used + nbytes <= self.capacity
 
     def _put(self, key: str, data: bytes, compression: Optional[str]) -> None:
-        previous = self._data.get(key)
+        previous = self._data.get(key) or self._deltas.get(key)
         delta = len(data) - (len(previous[0]) if previous else 0)
         if self._used + delta > self.capacity:
             raise StoreFullError(
                 f"{self._device_id}: {len(data)} bytes exceed free space "
                 f"({self.capacity - self._used} of {self.capacity})"
             )
+        # a full payload arriving under a key held as a delta replaces it
+        self._deltas.pop(key, None)
         self._data[key] = (data, compression)
         self._used += delta
 
@@ -234,7 +380,7 @@ class XmlStoreDevice:
         return self.capacity - self._used
 
     def keys(self) -> List[str]:
-        return list(self._data)
+        return list(self._data) + list(self._deltas)
 
     def as_endpoint(self) -> WebServiceEndpoint:
         """Expose the store contract as web-service operations."""
@@ -246,7 +392,9 @@ class XmlStoreDevice:
         endpoint.register(
             "has_room", lambda nbytes: self._used + nbytes <= self.capacity
         )
-        endpoint.register("contains", lambda key: key in self._data)
+        endpoint.register(
+            "contains", lambda key: key in self._data or key in self._deltas
+        )
         endpoint.register("digest", lambda key: self._digest_direct(key))
         return endpoint
 
@@ -255,24 +403,36 @@ class XmlStoreDevice:
         self._put(key, text.encode("utf-8"), None)
 
     def _fetch_direct(self, key: str) -> str:
-        try:
-            data, compression = self._data[key]
-        except KeyError:
-            raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
-        return decompress_payload(data, compression)
+        return self._resolve_text(key)
 
     def _drop_direct(self, key: str) -> None:
+        # deltas depending on the dropped key must survive it: collapse
+        # direct dependents to full payloads first (allowed to overshoot
+        # capacity transiently — a drop must never fail for lack of room)
+        for child, (_data, _compression, base_key) in list(self._deltas.items()):
+            if base_key == key and child != key:
+                self._materialize(child)
         entry = self._data.pop(key, None)
         if entry is not None:
             self._used -= len(entry[0])
+        delta_entry = self._deltas.pop(key, None)
+        if delta_entry is not None:
+            self._used -= len(delta_entry[0])
+
+    def _materialize(self, key: str) -> None:
+        """Collapse a delta entry to the full payload it resolves to."""
+        text = self._resolve_text(key)
+        data, compression, _base_key = self._deltas.pop(key)
+        self._used -= len(data)
+        full = compress_payload(text, compression)
+        self._data[key] = (full, compression)
+        self._used += len(full)
 
     def _digest_direct(self, key: str) -> str:
-        try:
-            data, compression = self._data[key]
-        except KeyError:
+        if key not in self._data and key not in self._deltas:
             raise UnknownKeyError(f"{self._device_id}: no key {key!r}") from None
         try:
-            return digest_of_canonical(decompress_payload(data, compression))
+            return digest_of_canonical(self._resolve_text(key))
         except Exception:
             return UNREADABLE_DIGEST
 
@@ -281,7 +441,7 @@ class XmlStoreDevice:
             self._link.transfer(nbytes)
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._data) + len(self._deltas)
 
 
 def _safe_filename(key: str) -> str:

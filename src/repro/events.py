@@ -161,11 +161,13 @@ class SwapOutEvent(Event):
 
 @dataclass(frozen=True)
 class SwapFastPathEvent(Event):
-    """A clean cluster took the swap fast path instead of a full encode.
+    """A cluster took the swap fast path instead of a full encode.
 
     ``tier`` is ``"noop"`` (a retained store copy was verified with a
-    key probe; nothing shipped) or ``"reship"`` (the cached canonical
-    payload was shipped without re-encoding).
+    key probe; nothing shipped), ``"reship"`` (the cached canonical
+    payload was shipped without re-encoding), or ``"delta"`` (only the
+    dirty objects travelled, as a ``<swap-delta>`` document applied
+    server-side to the retained base payload).
     """
 
     topic = "swap.fastpath"

@@ -139,6 +139,25 @@ class FlakyStore:
             raise TransportError(f"injected: {self.device_id} probe failed")
         return self._inner.has_room(nbytes)
 
+    def _deliver_stream(self, key: str, frame_list: Any, compression: Any) -> None:
+        # a streaming-capable inner store takes the batch as-is; a plain
+        # store (InMemoryStore et al.) gets the reassembled document so
+        # wrapping never widens the inner store's protocol
+        stream = getattr(self._inner, "store_stream", None)
+        if stream is not None:
+            stream(key, frame_list, compression)
+            return
+        from repro.comm.transport import decompress_payload
+
+        data = b"".join(frame_list)
+        try:
+            text = decompress_payload(data, compression)
+        except TransportError:
+            # rotted/truncated frames: land the damage as visibly-broken
+            # text so digest sampling and swap-in verification catch it
+            text = data.decode("utf-8", errors="replace")
+        self._inner.store(key, text)
+
     def store_stream(self, key: str, frames: Any, compression: Any = None) -> None:
         # same fault surface as store(): down window, mid-payload
         # interruption (a truncated batch lands), transient failure
@@ -150,7 +169,7 @@ class FlakyStore:
             injector.stats.interruptions += 1
             truncated = frame_list[: max(1, len(frame_list) // 2)]
             try:
-                self._inner.store_stream(key, truncated, compression)
+                self._deliver_stream(key, truncated, compression)
             except Exception:
                 pass  # the partial batch may itself be undecodable
             raise TransportError(
@@ -163,7 +182,58 @@ class FlakyStore:
             injector.stats.at_rest_corruptions += 1
             frame_list = list(frame_list)
             frame_list[-1] = frame_list[-1][: max(0, len(frame_list[-1]) - 4)] + b"\x00rot"
-        self._inner.store_stream(key, frame_list, compression)
+        self._deliver_stream(key, frame_list, compression)
+
+    def store_delta(
+        self,
+        key: str,
+        base_epoch: int,
+        frames: Any,
+        *,
+        base_key: str,
+        compression: Any = None,
+    ) -> None:
+        # defined explicitly (not via __getattr__) so delta ships face
+        # the same gates as full ones: down window, death, mid-batch
+        # interruption, transient failure, at-rest rot
+        if getattr(self._inner, "store_delta", None) is None:
+            raise TransportError(
+                f"{self.device_id}: store has no delta support"
+            )
+        injector = self._injector
+        self._gate()
+        injector.charge_latency()
+        frame_list = [bytes(frame) for frame in frames]
+        if injector.roll(injector.plan.interruption_rate):
+            injector.stats.interruptions += 1
+            truncated = frame_list[: max(1, len(frame_list) // 2)]
+            try:
+                self._inner.store_delta(
+                    key,
+                    base_epoch,
+                    truncated,
+                    base_key=base_key,
+                    compression=compression,
+                )
+            except Exception:
+                pass  # the partial batch may itself be undecodable
+            raise TransportError(
+                f"injected: delta to {self.device_id} interrupted mid-batch"
+            )
+        if injector.roll(injector.plan.store_failure_rate):
+            injector.stats.store_faults += 1
+            raise TransportError(f"injected: store to {self.device_id} failed")
+        if injector.roll(injector.plan.at_rest_corruption_rate) and frame_list:
+            injector.stats.at_rest_corruptions += 1
+            frame_list = list(frame_list)
+            frame_list[-1] = frame_list[-1][: max(0, len(frame_list[-1]) - 4)] + b"\x00rot"
+        self._inner.store_delta(
+            key,
+            base_epoch,
+            frame_list,
+            base_key=base_key,
+            compression=compression,
+        )
 
     def contains(self, key: str) -> bool:
         injector = self._injector

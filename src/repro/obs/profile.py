@@ -23,7 +23,10 @@ from typing import Any, Dict, Optional
 #: are deliberately absent: aggregating them would double-count children.
 PHASE_OF: Dict[str, str] = {
     "swap.out.encode": "encode",
+    "swap.out.delta.encode": "encode",
+    "swap.out.delta.apply": "encode",
     "swap.out.store": "store",
+    "swap.out.delta.store": "store",
     "swap.out.journal": "journal",
     "fastpath.probe": "store",
     "swap.in.fetch": "fetch",

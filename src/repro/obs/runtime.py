@@ -220,6 +220,24 @@ class Observability:
             self.metrics.gauge("fastpath.cache.hit_ratio").set(
                 hits / stats.swap_outs
             )
+        scheduler = getattr(fastpath, "scheduler", None)
+        if scheduler is not None:
+            pipeline = scheduler.stats
+            self.metrics.counter("link.pipeline.transfers").set_to(
+                pipeline.transfers
+            )
+            self.metrics.counter("link.pipeline.barriers").set_to(
+                pipeline.barriers
+            )
+            self.metrics.gauge("link.pipeline.serial_s").set(
+                pipeline.serial_s
+            )
+            self.metrics.gauge("link.pipeline.pipelined_s").set(
+                pipeline.pipelined_s
+            )
+            self.metrics.gauge("link.pipeline.saved_s").set(
+                pipeline.saved_s
+            )
         self.metrics.counter("trace.spans.dropped").set_to(
             self.tracer.dropped_spans
         )

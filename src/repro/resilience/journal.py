@@ -41,6 +41,13 @@ class JournalEntry:
     #: Canonical payload digest — what placement recovery verifies
     #: inventory copies against.  Empty for pre-digest entries.
     digest: str = ""
+    #: True when the hand-off shipped a ``<swap-delta>`` document; the
+    #: entry's ``digest``/``xml_bytes`` still describe the *applied*
+    #: full payload, so recovery and placement verify exactly as for a
+    #: full ship (stores resolve the chain server-side).
+    delta: bool = False
+    #: Epoch of the base payload the delta applies to (delta entries only).
+    base_epoch: Optional[int] = None
     state: JournalEntryState = JournalEntryState.PENDING
     #: Device ids that acknowledged the payload, in ack order.
     writes: List[str] = field(default_factory=list)
@@ -79,7 +86,14 @@ class SwapJournal:
         self.stats = JournalStats()
 
     def begin(
-        self, sid: int, key: str, epoch: int, xml_bytes: int, digest: str = ""
+        self,
+        sid: int,
+        key: str,
+        epoch: int,
+        xml_bytes: int,
+        digest: str = "",
+        base_epoch: Optional[int] = None,
+        delta: bool = False,
     ) -> JournalEntry:
         """Record the intent to ship ``sid``'s payload under ``key``."""
         self._sequence += 1
@@ -90,6 +104,8 @@ class SwapJournal:
             epoch=epoch,
             xml_bytes=xml_bytes,
             digest=digest,
+            delta=delta,
+            base_epoch=base_epoch,
         )
         self._pending.append(entry)
         self.stats.begins += 1

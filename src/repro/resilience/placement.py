@@ -49,6 +49,12 @@ class PlacementRecord:
     xml_bytes: int
     #: device_id -> replica state.
     replicas: Dict[str, ReplicaState] = field(default_factory=dict)
+    #: device_id -> epoch whose *content* the replica resolves to.  For
+    #: full payloads this equals ``epoch``; for delta chains it is the
+    #: epoch of the last document the store acknowledged — the delta
+    #: path pre-checks it and ships a full payload to any replica whose
+    #: applied epoch diverged from the delta's base.
+    applied_epochs: Dict[str, int] = field(default_factory=dict)
     #: Last epoch whose replicas passed an end-to-end verification
     #: (scrub probe, fetch+digest, or a clean fast-path ``contains``).
     verified_epoch: int = -1

@@ -371,6 +371,9 @@ class Scrubber:
             ):
                 continue
             self._placement.add_replica(record.sid, store.device_id)
+            # the repair shipped the full current payload, so this
+            # replica resolves the record's own epoch
+            record.applied_epochs[store.device_id] = record.epoch
             self._sync_binding(record.sid, store.device_id, store, present=True)
             shipped += 1
             report.repaired_replicas += 1
@@ -453,6 +456,10 @@ class Scrubber:
         fastpath = self._manager.fastpath
         if fastpath is not None:
             keep.update(key for key, _ in fastpath.retained.values())
+            # delta-chain bases: collecting one would orphan every delta
+            # standing on it
+            for chain in fastpath.chains.values():
+                keep.update(chain.keys)
         journal = self._resilience.journal
         keep.update(entry.key for entry in journal.pending())
         return keep

@@ -11,10 +11,12 @@ swap-in rebuilds and boundary rewrites never dirty a cluster).
 
 :func:`install_write_barrier` is applied by :func:`repro.runtime.obicomp.
 managed` at decoration time.  The installed ``__setattr__`` performs the
-write first, then — only for adopted instances — flips the owning
-swap-cluster's dirty bit.  The barrier costs one dict lookup per write
-on unadopted instances and one extra bool check once a cluster is
-already dirty, so it is safe to keep always-on.
+write first, then — only for adopted instances — records the writing
+object's oid in the owning swap-cluster's *dirty object set* (the delta
+swap path re-ships only those members; see ``SwapCluster.dirty_oids``).
+The barrier costs one dict lookup per write on unadopted instances and
+one set-membership check once an object is already recorded, so it is
+safe to keep always-on.
 
 Field writes are not the only mutations.  Containers (lists, dicts,
 sets, bytearrays) mutate in place without any attribute write, so the
@@ -64,8 +66,10 @@ def mark_instance_dirty(obj: Any) -> None:
     if space is None:
         return
     cluster = space._clusters.get(instance_dict.get("_obi_sid"))
-    if cluster is not None and not cluster.dirty:
-        cluster.mark_dirty()
+    if cluster is not None and not cluster.dirty_all:
+        oid = instance_dict.get("_obi_oid")
+        if oid not in cluster.dirty_oids:
+            cluster.mark_dirty(oid)
 
 
 def install_write_barrier(cls: Type[Any]) -> Type[Any]:
@@ -96,8 +100,10 @@ def install_write_barrier(cls: Type[Any]) -> Type[Any]:
             space = instance_dict.get("_obi_space")
             if space is not None:
                 cluster = space._clusters.get(instance_dict.get("_obi_sid"))
-                if cluster is not None and not cluster.dirty:
-                    cluster.mark_dirty()
+                if cluster is not None and not cluster.dirty_all:
+                    oid = instance_dict.get("_obi_oid")
+                    if oid not in cluster.dirty_oids:
+                        cluster.mark_dirty(oid)
 
     else:
         wrapped = inherited
@@ -112,8 +118,10 @@ def install_write_barrier(cls: Type[Any]) -> Type[Any]:
             space = instance_dict.get("_obi_space")
             if space is not None:
                 cluster = space._clusters.get(instance_dict.get("_obi_sid"))
-                if cluster is not None and not cluster.dirty:
-                    cluster.mark_dirty()
+                if cluster is not None and not cluster.dirty_all:
+                    oid = instance_dict.get("_obi_oid")
+                    if oid not in cluster.dirty_oids:
+                        cluster.mark_dirty(oid)
 
     __setattr__._obi_write_barrier = True  # type: ignore[attr-defined]
     cls.__setattr__ = __setattr__  # type: ignore[assignment]

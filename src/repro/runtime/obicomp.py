@@ -171,7 +171,7 @@ _ARG_TRANSLATION = (
     "    if {arg}.__class__ not in _ATOMIC:\n"
     "        if {arg}.__class__ in _MUTABLE:\n"
     "            _src = _space._clusters.get(self._obi_source_sid)\n"
-    "            if _src is not None and not _src.dirty:\n"
+    "            if _src is not None and not _src.dirty_all:\n"
     "                _src.mark_dirty()\n"
     "        {arg} = _space._translate({arg}, self._obi_target_sid)\n"
 )
@@ -180,7 +180,7 @@ _ARG_TRANSLATION = (
 # target cluster; the write barrier catches field writes, this catches
 # in-place container mutation the barrier cannot see.
 _MARK_DIRTY = (
-    "    if not _cluster.dirty:\n"
+    "    if not _cluster.dirty_all:\n"
     "        _cluster.mark_dirty()\n"
 )
 

@@ -46,6 +46,11 @@ COUNTER_NAMES: Dict[str, str] = {
     "fastpath.noop.count": "fastpath_noops",
     "fastpath.reship.count": "fastpath_reships",
     "fastpath.swapin.cache_hits": "swapin_cache_hits",
+    "fastpath.delta.ships": "fastpath_delta_ships",
+    "fastpath.delta.fallbacks": "fastpath_delta_fallbacks",
+    "fastpath.delta.compactions": "fastpath_delta_compactions",
+    "fastpath.delta.bytes_shipped": "delta_bytes_shipped",
+    "fastpath.delta.bytes_saved": "delta_bytes_saved",
 }
 
 _MISSING = object()
@@ -143,6 +148,12 @@ class SpaceTelemetry:
     fastpath_reships: int = 0
     swapin_cache_hits: int = 0
     payload_cache_bytes: int = 0
+    # -- delta swap counters (zero while config.delta is off) --
+    fastpath_delta_ships: int = 0
+    fastpath_delta_fallbacks: int = 0
+    fastpath_delta_compactions: int = 0
+    delta_bytes_shipped: int = 0
+    delta_bytes_saved: int = 0
 
     def resident_clusters(self) -> List[ClusterTelemetry]:
         return [record for record in self.clusters if record.state == "resident"]
@@ -218,6 +229,11 @@ def snapshot(space: Any) -> SpaceTelemetry:
         fastpath_noops=stats.fastpath_noops,
         fastpath_reships=stats.fastpath_reships,
         swapin_cache_hits=stats.swapin_cache_hits,
+        fastpath_delta_ships=stats.fastpath_delta_ships,
+        fastpath_delta_fallbacks=stats.fastpath_delta_fallbacks,
+        fastpath_delta_compactions=stats.fastpath_delta_compactions,
+        delta_bytes_shipped=stats.delta_bytes_shipped,
+        delta_bytes_saved=stats.delta_bytes_saved,
         payload_cache_bytes=(
             manager.fastpath.cache.used_bytes
             if getattr(manager, "fastpath", None) is not None
@@ -286,6 +302,14 @@ def format_report(telemetry: SpaceTelemetry) -> str:
             f"{telemetry.swapin_cache_hits} cached reloads; "
             f"{telemetry.encode_calls} encodes, "
             f"cache {telemetry.payload_cache_bytes} B"
+        )
+    if telemetry.fastpath_delta_ships or telemetry.fastpath_delta_compactions:
+        lines.append(
+            f"  delta: {telemetry.fastpath_delta_ships} ships, "
+            f"{telemetry.fastpath_delta_fallbacks} fallbacks, "
+            f"{telemetry.fastpath_delta_compactions} compactions; "
+            f"shipped {telemetry.delta_bytes_shipped} B, "
+            f"saved {telemetry.delta_bytes_saved} B"
         )
     for record in telemetry.clusters:
         label = "sc-0 (roots)" if record.sid == ROOT_SID else f"sc-{record.sid}"

@@ -22,6 +22,11 @@ from repro.wire.xmlcodec import (
     encode_cluster_stream,
     decode_cluster,
 )
+from repro.wire.delta import (
+    apply_cluster_delta,
+    encode_cluster_delta,
+    encode_cluster_delta_stream,
+)
 from repro.wire.wrappers import encode_value, decode_value
 from repro.wire.canonical import (
     canonical_text,
@@ -44,6 +49,9 @@ __all__ = [
     "encode_cluster_canonical",
     "encode_cluster_stream",
     "decode_cluster",
+    "encode_cluster_delta",
+    "encode_cluster_delta_stream",
+    "apply_cluster_delta",
     "encode_value",
     "decode_value",
     "canonical_text",

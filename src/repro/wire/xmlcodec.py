@@ -124,24 +124,22 @@ def encode_cluster_canonical(
     return "".join(parts), hasher.hexdigest()
 
 
-def encode_cluster_stream(
+def make_classifier(
     *,
     sid: int,
-    space: str,
-    epoch: int,
-    objects: Dict[int, Any],
+    member_ids: set,
     oid_of: Callable[[Any], int],
     outbound_index_of: Callable[[Any], int],
     foreign_index_of: Callable[[Any], int] | None = None,
-) -> Iterator[str]:
-    """Yield the canonical document in chunks: root open tag, one chunk
-    per member object, closing tag.
+) -> Callable[[Any], tuple | None]:
+    """Build the reference classifier the value encoder consults.
 
-    Chunks concatenate to exactly :func:`encode_cluster`'s output, so a
-    transport can frame/ship them without ever materializing the whole
-    document alongside a second serialized copy.
+    ``member_ids`` is the full set of oids that serialize as intra-
+    cluster ``<ref>``s — for a delta document this is the *cluster's*
+    membership, not just the objects present in the document, so
+    references from a re-shipped object to an unchanged member stay
+    local.
     """
-    member_ids = set(objects)
 
     def classify(value: Any) -> tuple | None:
         if is_proxy(value):
@@ -164,6 +162,50 @@ def encode_cluster_stream(
             return ("local", oid)
         return None
 
+    return classify
+
+
+def encode_object_element(
+    oid: int, obj: Any, classify: Callable[[Any], tuple | None]
+) -> str:
+    """Canonical ``<object>`` element for one managed instance."""
+    schema = getattr(type(obj), "_obi_schema", None)
+    if schema is None:
+        raise CodecError(
+            f"object oid={oid} of type {type(obj).__name__} is not @managed"
+        )
+    obj_el = ET.Element("object", {"oid": str(oid), "class": schema.name})
+    for name, value in instance_fields(obj).items():
+        field_el = ET.SubElement(obj_el, "field", {"name": name})
+        field_el.append(encode_value(value, classify))
+    return serialize_element(obj_el)
+
+
+def encode_cluster_stream(
+    *,
+    sid: int,
+    space: str,
+    epoch: int,
+    objects: Dict[int, Any],
+    oid_of: Callable[[Any], int],
+    outbound_index_of: Callable[[Any], int],
+    foreign_index_of: Callable[[Any], int] | None = None,
+) -> Iterator[str]:
+    """Yield the canonical document in chunks: root open tag, one chunk
+    per member object, closing tag.
+
+    Chunks concatenate to exactly :func:`encode_cluster`'s output, so a
+    transport can frame/ship them without ever materializing the whole
+    document alongside a second serialized copy.
+    """
+    classify = make_classifier(
+        sid=sid,
+        member_ids=set(objects),
+        oid_of=oid_of,
+        outbound_index_of=outbound_index_of,
+        foreign_index_of=foreign_index_of,
+    )
+
     attrib = {
         "sid": str(sid),
         "space": space,
@@ -176,17 +218,7 @@ def encode_cluster_stream(
         return
     yield canonical_open_tag("swap-cluster", attrib)
     for oid in sorted(objects):
-        obj = objects[oid]
-        schema = getattr(type(obj), "_obi_schema", None)
-        if schema is None:
-            raise CodecError(
-                f"object oid={oid} of type {type(obj).__name__} is not @managed"
-            )
-        obj_el = ET.Element("object", {"oid": str(oid), "class": schema.name})
-        for name, value in instance_fields(obj).items():
-            field_el = ET.SubElement(obj_el, "field", {"name": name})
-            field_el.append(encode_value(value, classify))
-        yield serialize_element(obj_el)
+        yield encode_object_element(oid, objects[oid], classify)
     yield "</swap-cluster>"
 
 

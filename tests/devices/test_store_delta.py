@@ -1,0 +1,224 @@
+"""The store-side delta protocol: chains, resolution, divergence, drops."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import bluetooth_link, compress_payload
+from repro.devices import InMemoryStore
+from repro.devices.store import XmlStoreDevice
+from repro.errors import (
+    CodecError,
+    StoreFullError,
+    TransportError,
+    UnknownKeyError,
+)
+from repro.wire.canonical import digest_of_canonical
+from repro.wire.delta import encode_cluster_delta
+from repro.wire.xmlcodec import encode_cluster_canonical
+from tests.helpers import Node
+
+
+def _oid_of(obj):
+    return obj._test_oid
+
+
+def _members(n=3):
+    members = {}
+    previous = None
+    for oid in range(1, n + 1):
+        node = Node(oid)
+        object.__setattr__(node, "_test_oid", oid)
+        if previous is not None:
+            previous.next = node
+        members[oid] = node
+        previous = node
+    return members
+
+
+def _outbound():
+    collected = []
+
+    def index_of(proxy):
+        if proxy not in collected:
+            collected.append(proxy)
+        return collected.index(proxy)
+
+    return index_of
+
+
+def _full(members, epoch):
+    text, _ = encode_cluster_canonical(
+        sid=1,
+        space="t",
+        epoch=epoch,
+        objects=members,
+        oid_of=_oid_of,
+        outbound_index_of=_outbound(),
+    )
+    return text
+
+
+def _delta(members, dirty, base_epoch, epoch):
+    text, _ = encode_cluster_delta(
+        sid=1,
+        space="t",
+        base_epoch=base_epoch,
+        epoch=epoch,
+        objects={oid: members[oid] for oid in dirty},
+        dead_oids=set(),
+        member_oids=set(members),
+        oid_of=_oid_of,
+        outbound_index_of=_outbound(),
+    )
+    return text
+
+
+@pytest.fixture(params=["memory", "xml"])
+def store(request):
+    if request.param == "memory":
+        return InMemoryStore("s")
+    return XmlStoreDevice("s", capacity=1 << 20)
+
+
+def test_delta_chain_resolves_on_fetch(store):
+    members = _members()
+    store.store("k/e1", _full(members, epoch=1))
+    members[2].value = 20
+    store.store_delta(
+        "k/e2", 1, [_delta(members, [2], 1, 2).encode()], base_key="k/e1"
+    )
+    members[3].value = 30
+    store.store_delta(
+        "k/e3", 2, [_delta(members, [3], 2, 3).encode()], base_key="k/e2"
+    )
+
+    resolved = store.fetch("k/e3")
+    assert resolved == _full(members, epoch=3)
+    # the chain's intermediate hop resolves too, to the e2 document
+    assert 'epoch="2"' in store.fetch("k/e2")
+
+
+def test_chain_tip_digest_and_contains_are_chain_aware(store):
+    members = _members()
+    store.store("k/e1", _full(members, epoch=1))
+    members[1].value = 10
+    store.store_delta(
+        "k/e2", 1, [_delta(members, [1], 1, 2).encode()], base_key="k/e1"
+    )
+    assert store.contains("k/e2")
+    assert "k/e2" in store.keys()
+    assert len(store) == 2
+    assert store.digest("k/e2") == digest_of_canonical(_full(members, epoch=2))
+
+
+def test_epoch_mismatch_is_the_divergence_signal(store):
+    members = _members()
+    store.store("k/e1", _full(members, epoch=1))
+    members[1].value = 10
+    stale = _delta(members, [1], 4, 5)  # claims a base this store never saw
+    with pytest.raises(CodecError, match="delta expects"):
+        store.store_delta("k/e5", 4, [stale.encode()], base_key="k/e1")
+    assert not store.contains("k/e5")
+
+
+def test_missing_base_raises_unknown_key(store):
+    members = _members()
+    with pytest.raises(UnknownKeyError):
+        store.store_delta(
+            "k/e2",
+            1,
+            [_delta(members, [1], 1, 2).encode()],
+            base_key="k/e1",
+        )
+
+
+def test_a_delta_cannot_be_its_own_base(store):
+    members = _members()
+    store.store("k/e1", _full(members, epoch=1))
+    with pytest.raises(TransportError):
+        store.store_delta(
+            "k/e1", 1, [_delta(members, [1], 1, 2).encode()], base_key="k/e1"
+        )
+
+
+def test_dropping_the_base_collapses_dependents(store):
+    members = _members()
+    store.store("k/e1", _full(members, epoch=1))
+    members[2].value = 20
+    expected = _full(members, epoch=2)
+    store.store_delta(
+        "k/e2", 1, [_delta(members, [2], 1, 2).encode()], base_key="k/e1"
+    )
+
+    store.drop("k/e1")
+
+    assert not store.contains("k/e1")
+    assert store.fetch("k/e2") == expected  # survived as a full payload
+    assert store.digest("k/e2") == digest_of_canonical(expected)
+
+
+def test_full_payload_arriving_over_a_delta_key_replaces_it(store):
+    members = _members()
+    store.store("k/e1", _full(members, epoch=1))
+    members[1].value = 10
+    store.store_delta(
+        "k/e2", 1, [_delta(members, [1], 1, 2).encode()], base_key="k/e1"
+    )
+    rewrite = _full(members, epoch=2)
+    store.store("k/e2", rewrite)
+    store.drop("k/e1")  # must not disturb the now-independent e2
+    assert store.fetch("k/e2") == rewrite
+
+
+def test_xml_store_capacity_accounts_delta_bytes():
+    members = _members()
+    store = XmlStoreDevice("s", capacity=1 << 20)
+    store.store("k/e1", _full(members, epoch=1))
+    before = store.used
+    members[1].value = 10
+    delta_bytes = _delta(members, [1], 1, 2).encode()
+    store.store_delta("k/e2", 1, [delta_bytes], base_key="k/e1")
+    assert store.used == before + len(delta_bytes)  # the delta, not the doc
+
+
+def test_xml_store_rejects_delta_past_capacity():
+    members = _members()
+    full_text = _full(members, epoch=1)
+    store = XmlStoreDevice("s", capacity=len(full_text.encode()) + 8)
+    store.store("k/e1", full_text)
+    members[1].value = 10
+    with pytest.raises(StoreFullError):
+        store.store_delta(
+            "k/e2", 1, [_delta(members, [1], 1, 2).encode()], base_key="k/e1"
+        )
+
+
+def test_xml_store_ships_compressed_delta_frames_over_the_link():
+    members = _members()
+    clock = SimulatedClock()
+    link = bluetooth_link(clock)
+    store = XmlStoreDevice("s", capacity=1 << 20, link=link)
+    store.store("k/e1", _full(members, epoch=1))
+    members[1].value = 10
+    data = compress_payload(_delta(members, [1], 1, 2), "zlib")
+    carried = link.stats.bytes_carried
+    store.store_delta("k/e2", 1, [data], base_key="k/e1", compression="zlib")
+    # only the compressed delta (plus per-frame overhead) travelled,
+    # and the chain still resolves
+    travelled = link.stats.bytes_carried - carried
+    assert len(data) <= travelled <= len(data) + 64
+    assert store.fetch("k/e2") == _full(members, epoch=2)
+
+
+def test_xml_store_rejects_unknown_compression():
+    members = _members()
+    store = XmlStoreDevice("s", capacity=1 << 20)
+    store.store("k/e1", _full(members, epoch=1))
+    with pytest.raises(TransportError, match="compression"):
+        store.store_delta(
+            "k/e2",
+            1,
+            [_delta(members, [1], 1, 2).encode()],
+            base_key="k/e1",
+            compression="lz-nope",
+        )

@@ -1,0 +1,65 @@
+"""``python -m repro obs report --compare``: bench-report diffing."""
+
+import json
+
+from repro.obs.cli import main
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+def _report(link_bytes, cost, ratio):
+    return {
+        "benchmark": "delta_swap",
+        "scenarios": {
+            "delta": {
+                "bytes_on_link": link_bytes,
+                "swap_out_phase_mean_s": cost,
+                "phases": {"encode": {"sim_s": 0.5}},
+            }
+        },
+        "reductions": {"link_bytes": ratio},
+    }
+
+
+def test_compare_identical_reports_exits_zero(tmp_path, capsys):
+    a = _write(tmp_path, "a.json", _report(1000, 2.0, 4.0))
+    b = _write(tmp_path, "b.json", _report(1000, 2.0, 4.0))
+    assert main(["report", a, "--compare", b]) == 0
+    out = capsys.readouterr().out
+    assert "benchmark 'delta_swap'" in out
+    assert "scenario 'delta':" in out
+    assert "+0.0%" in out
+    assert "*" not in out  # nothing changed: no starred rows
+
+
+def test_compare_marks_changed_leaves(tmp_path, capsys):
+    new = _write(tmp_path, "new.json", _report(500, 1.0, 8.0))
+    old = _write(tmp_path, "old.json", _report(1000, 2.0, 4.0))
+    assert main(["report", new, "--compare", old]) == 0
+    out = capsys.readouterr().out
+    assert "-50.0%" in out  # bytes_on_link halved
+    assert "+100.0%" in out  # the reduction ratio doubled
+    assert "phases.encode.sim_s" in out  # nested leaves flattened
+    assert out.count("*") >= 3
+
+
+def test_compare_rejects_mismatched_benchmarks(tmp_path, capsys):
+    delta = _write(tmp_path, "delta.json", _report(1, 1.0, 1.0))
+    other = _write(
+        tmp_path, "other.json", {"benchmark": "swap_hotpath", "scenarios": {}}
+    )
+    assert main(["report", delta, "--compare", other]) == 1
+    assert "different benchmarks" in capsys.readouterr().out
+
+
+def test_compare_rejects_non_bench_files(tmp_path, capsys):
+    bench = _write(tmp_path, "bench.json", _report(1, 1.0, 1.0))
+    junk = _write(tmp_path, "junk.json", {"no": "benchmark key"})
+    assert main(["report", bench, "--compare", junk]) == 1
+    assert "not a bench report" in capsys.readouterr().out
+    missing = str(tmp_path / "missing.json")
+    assert main(["report", bench, "--compare", missing]) == 1

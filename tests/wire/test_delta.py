@@ -1,0 +1,184 @@
+"""Object-granular delta documents: encode, apply, divergence guards."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.wire.canonical import digest_of_canonical, verify_payload
+from repro.wire.delta import (
+    apply_cluster_delta,
+    encode_cluster_delta,
+    encode_cluster_delta_stream,
+)
+from repro.wire.xmlcodec import encode_cluster_canonical
+from tests.helpers import Node
+
+
+def _oid_of(obj):
+    return obj._test_oid
+
+
+def _chain(n):
+    members = {}
+    previous = None
+    for oid in range(1, n + 1):
+        node = Node(oid * 10)
+        object.__setattr__(node, "_test_oid", oid)
+        if previous is not None:
+            previous.next = node
+        members[oid] = node
+        previous = node
+    return members
+
+
+def _full_args(members, epoch):
+    outbound = []
+
+    def outbound_index_of(proxy):
+        if proxy not in outbound:
+            outbound.append(proxy)
+        return outbound.index(proxy)
+
+    return dict(
+        sid=3,
+        space="pda",
+        epoch=epoch,
+        objects=members,
+        oid_of=_oid_of,
+        outbound_index_of=outbound_index_of,
+    )
+
+
+def _delta_args(members, dirty, dead=(), base_epoch=1, epoch=2, **overrides):
+    outbound = []
+
+    def outbound_index_of(proxy):
+        if proxy not in outbound:
+            outbound.append(proxy)
+        return outbound.index(proxy)
+
+    args = dict(
+        sid=3,
+        space="pda",
+        base_epoch=base_epoch,
+        epoch=epoch,
+        objects={oid: members[oid] for oid in dirty},
+        dead_oids=set(dead),
+        member_oids=set(members) - set(dead),
+        oid_of=_oid_of,
+        outbound_index_of=outbound_index_of,
+    )
+    args.update(overrides)
+    return args
+
+
+def test_apply_matches_a_full_reencode_byte_for_byte():
+    members = _chain(5)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=1))
+
+    members[2].value = 999  # mutate one member
+    delta_text, delta_digest = encode_cluster_delta(
+        **_delta_args(members, dirty=[2])
+    )
+    applied = apply_cluster_delta(base_text, delta_text)
+
+    full_text, full_digest = encode_cluster_canonical(
+        **_full_args(members, epoch=2)
+    )
+    assert applied == full_text
+    assert digest_of_canonical(applied) == full_digest
+    assert delta_digest == digest_of_canonical(delta_text)
+
+
+def test_applied_document_passes_verify_payload():
+    members = _chain(4)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=1))
+    members[1].value = -1
+    delta_text, _ = encode_cluster_delta(**_delta_args(members, dirty=[1]))
+    applied = apply_cluster_delta(base_text, delta_text)
+    verify_payload(applied, digest_of_canonical(applied))
+
+
+def test_tombstones_remove_members():
+    members = _chain(4)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=1))
+    members[3].next = None  # cut the collected tail out of the graph
+    removed = members.pop(4)
+    assert removed is not None
+    delta_text, _ = encode_cluster_delta(
+        **_delta_args({**members, 4: removed}, dirty=[3], dead=[4])
+    )
+    applied = apply_cluster_delta(base_text, delta_text)
+    assert 'oid="4"' not in applied
+    assert applied == encode_cluster_canonical(**_full_args(members, epoch=2))[0]
+
+
+def test_tombstone_for_a_member_the_base_never_had_is_legal():
+    members = _chain(2)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=1))
+    delta_text, _ = encode_cluster_delta(
+        **_delta_args(members, dirty=[], dead=[99])
+    )
+    applied = apply_cluster_delta(base_text, delta_text)
+    assert 'count="2"' in applied
+
+
+def test_empty_delta_is_self_closing_and_applies():
+    members = _chain(2)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=1))
+    delta_text, _ = encode_cluster_delta(**_delta_args(members, dirty=[]))
+    assert delta_text.endswith("/>")
+    applied = apply_cluster_delta(base_text, delta_text)
+    assert applied == encode_cluster_canonical(**_full_args(members, epoch=2))[0]
+
+
+def test_stream_chunks_concatenate_to_the_one_shot_encode():
+    members = _chain(3)
+    members[2].value = 7
+    args = _delta_args(members, dirty=[2], dead=[])
+    streamed = "".join(encode_cluster_delta_stream(**args))
+    text, _ = encode_cluster_delta(**_delta_args(members, dirty=[2], dead=[]))
+    assert streamed == text
+
+
+def test_wrong_sid_or_space_is_rejected():
+    members = _chain(2)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=1))
+    wrong_sid, _ = encode_cluster_delta(**_delta_args(members, dirty=[1], sid=4))
+    with pytest.raises(CodecError, match="does not belong"):
+        apply_cluster_delta(base_text, wrong_sid)
+    wrong_space, _ = encode_cluster_delta(
+        **_delta_args(members, dirty=[1], space="other")
+    )
+    with pytest.raises(CodecError, match="does not belong"):
+        apply_cluster_delta(base_text, wrong_space)
+
+
+def test_base_epoch_mismatch_signals_divergence():
+    members = _chain(2)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=5))
+    stale, _ = encode_cluster_delta(
+        **_delta_args(members, dirty=[1], base_epoch=4, epoch=6)
+    )
+    with pytest.raises(CodecError, match="full payload required"):
+        apply_cluster_delta(base_text, stale)
+
+
+def test_malformed_documents_are_rejected():
+    members = _chain(2)
+    base_text, _ = encode_cluster_canonical(**_full_args(members, epoch=1))
+    delta_text, _ = encode_cluster_delta(**_delta_args(members, dirty=[1]))
+    with pytest.raises(CodecError):
+        apply_cluster_delta(base_text, "<oops")
+    with pytest.raises(CodecError):
+        apply_cluster_delta("<not-a-cluster/>", delta_text)
+    with pytest.raises(CodecError):  # count attribute must match content
+        apply_cluster_delta(
+            base_text, delta_text.replace('count="1"', 'count="3"')
+        )
+
+
+def test_intra_cluster_refs_from_dirty_objects_stay_refs():
+    members = _chain(3)
+    members[1].value = 0  # dirty the head; its next points at clean oid 2
+    delta_text, _ = encode_cluster_delta(**_delta_args(members, dirty=[1]))
+    assert '<ref oid="2"/>' in delta_text

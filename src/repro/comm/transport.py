@@ -164,6 +164,10 @@ class SimulatedLink:
         self.name = name
         self._up = True
         self._down_until: Optional[float] = None
+        # brownout: the link stays *up* but every transfer costs more —
+        # distinct from fail/fail_for, which make it unreachable
+        self._latency_factor = 1.0
+        self._bandwidth_factor = 1.0
         self.stats = LinkStats()
         #: Observability hook: called as ``(link, nbytes, elapsed_s)``
         #: after every successful transfer (``repro.obs`` installs it).
@@ -171,9 +175,34 @@ class SimulatedLink:
             Callable[["SimulatedLink", int, float], None]
         ] = None
 
+    def brownout(
+        self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0
+    ) -> None:
+        """Degrade the link without taking it down.
+
+        ``latency_factor`` multiplies the per-connection latency;
+        ``bandwidth_factor`` scales the usable bandwidth (0.5 = half
+        speed).  Models congestion, interference, or a saturated access
+        point: requests still succeed, they just crawl.
+        """
+        if latency_factor <= 0 or bandwidth_factor <= 0:
+            raise ValueError("brownout factors must be positive")
+        self._latency_factor = float(latency_factor)
+        self._bandwidth_factor = float(bandwidth_factor)
+
+    def clear_brownout(self) -> None:
+        self._latency_factor = 1.0
+        self._bandwidth_factor = 1.0
+
+    @property
+    def in_brownout(self) -> bool:
+        return self._latency_factor != 1.0 or self._bandwidth_factor != 1.0
+
     def transfer_time(self, nbytes: int) -> float:
         """Cost model only — no state change."""
-        return self.latency_s + (nbytes * 8) / self.bandwidth_bps
+        return self.latency_s * self._latency_factor + (nbytes * 8) / (
+            self.bandwidth_bps * self._bandwidth_factor
+        )
 
     def transfer(self, nbytes: int) -> float:
         if not self.is_up:
@@ -200,7 +229,9 @@ class SimulatedLink:
         if not sizes:
             return 0.0
         total = sum(sizes) + FRAME_OVERHEAD_BYTES * len(sizes)
-        return self.latency_s + (total * 8) / self.bandwidth_bps
+        return self.latency_s * self._latency_factor + (total * 8) / (
+            self.bandwidth_bps * self._bandwidth_factor
+        )
 
     def transfer_batch(self, sizes: Iterable[int]) -> float:
         """Carry a batch of frames; charge and return the elapsed seconds.

@@ -52,6 +52,7 @@ from repro.errors import (
 )
 from repro.events import (
     ClusterCollectedEvent,
+    ClusterOomKilledEvent,
     ClusterReplicatedEvent,
     ClusterUnderReplicatedEvent,
     ReplicaCorruptEvent,
@@ -82,6 +83,11 @@ class CorruptPayloadError(CodecError):
 
 #: Picks a swap victim; returns a sid or None when nothing is swappable.
 VictimSelector = Callable[["Any"], Optional[Sid]]
+
+#: ``SwapCluster.priority`` value the emergency rung must not kill
+#: (``repro.policy.priority.Priority.FOREGROUND`` as a plain int — core
+#: deliberately does not import the policy package at module level).
+FOREGROUND_PRIORITY = 2
 
 
 def lru_victim(space: Any) -> Optional[Sid]:
@@ -134,6 +140,13 @@ class ManagerStats:
     fastpath_delta_compactions: int = 0
     delta_bytes_shipped: int = 0
     delta_bytes_saved: int = 0
+    # -- degrade-ladder counters (all zero while the ladder is off) --
+    ladder_escalations: int = 0
+    ladder_deescalations: int = 0
+    ladder_compress_local: int = 0
+    ladder_drop_clean: int = 0
+    oom_kills: int = 0
+    oom_kills_foreground: int = 0
 
 
 class SwappingManager:
@@ -174,6 +187,12 @@ class SwappingManager:
         #: Optional observability runtime (tracing + metrics + profiling).
         #: ``None`` = every span site costs one attribute test.
         self.obs: Optional["Observability"] = None
+        #: Optional degrade ladder (see :mod:`repro.core.degrade`).
+        #: ``None`` = no pressure assessment anywhere on the hot path.
+        self.ladder: Optional[Any] = None
+        #: Temporary replication-target override (the COMPRESS_LOCAL
+        #: rung hibernates exactly one copy into the pool).
+        self._replicas_override: Optional[int] = None
         space.bus.subscribe(ClusterReplicatedEvent, self._on_cluster_replicated)
         space.bus.subscribe(ClusterCollectedEvent, self._on_cluster_collected)
 
@@ -240,6 +259,38 @@ class SwappingManager:
         ``None``, so this is safe at any point.
         """
         self.fastpath = None
+
+    # -- degrade ladder ----------------------------------------------------------
+
+    def enable_degrade_ladder(self, config: Optional[Any] = None) -> Any:
+        """Turn on the pressure-tiered degrade ladder (see
+        :mod:`repro.core.degrade`).
+
+        Unless ``config.install_selector`` is off, this also installs
+        the ``responsiveness`` victim strategy so eviction order and
+        the emergency rung agree about priorities.  Calling again
+        replaces the ladder (fresh pressure/SLO state) with the new
+        config.
+        """
+        from repro.core.degrade import DegradeLadder, DegradeLadderConfig
+
+        config = config if config is not None else DegradeLadderConfig()
+        self.ladder = DegradeLadder(self, config)
+        if config.install_selector:
+            from repro.policy.victims import make_selector
+
+            self.victim_selector = make_selector(config.victim_strategy)
+        return self.ladder
+
+    def disable_degrade_ladder(self) -> None:
+        """Drop the ladder; swap-outs route exactly as before it existed.
+
+        The victim selector falls back to the default LRU policy when
+        the ladder had installed its own.
+        """
+        if self.ladder is not None and self.ladder.config.install_selector:
+            self.victim_selector = lru_victim
+        self.ladder = None
 
     # -- observability -----------------------------------------------------------
 
@@ -364,6 +415,8 @@ class SwappingManager:
 
     def target_replicas(self) -> int:
         """How many distinct stores should hold each swapped cluster."""
+        if self._replicas_override is not None:
+            return self._replicas_override
         factor = max(1, self.replication_factor)
         if self.resilience is not None:
             factor = max(factor, self.resilience.config.replication_factor)
@@ -385,19 +438,32 @@ class SwappingManager:
             raise SwapError(f"swap-cluster {sid} is being loaded; cannot swap out")
 
         with self._obs_span("swap.out", sid=sid):
+            ladder = self.ladder
+            rung = ladder.update() if ladder is not None else None
             if (
                 self.fastpath is not None
                 and not cluster.dirty
                 and cluster.clean_digest is not None
                 and cluster.clean_outbound is not None
             ):
-                location = self._swap_out_clean(cluster, store)
+                location = self._swap_out_clean(
+                    cluster,
+                    store,
+                    trust_ledger=rung is not None and rung >= 2,  # DROP_CLEAN
+                )
+                if location is not None:
+                    return location
+            if rung is not None and rung >= 1 and store is None:
+                # COMPRESS_LOCAL and above: hibernate into the local
+                # pool first; remote shipping is the fallback
+                location = self._swap_out_local(cluster)
                 if location is not None:
                     return location
             if (
                 self.fastpath is not None
                 and self.fastpath.config.delta
                 and cluster.delta_eligible()
+                and (rung is None or rung == 0)
             ):
                 location = self._swap_out_delta(cluster, store)
                 if location is not None:
@@ -405,7 +471,11 @@ class SwappingManager:
             return self._swap_out_full(cluster, store)
 
     def _swap_out_clean(
-        self, cluster: SwapCluster, chosen: SwapStore | None
+        self,
+        cluster: SwapCluster,
+        chosen: SwapStore | None,
+        *,
+        trust_ledger: bool = False,
     ) -> Optional[SwapLocation]:
         """Swap out a clean cluster without re-encoding it.
 
@@ -415,6 +485,12 @@ class SwappingManager:
         cached canonical text is shipped as-is.  Returns ``None`` when
         neither tier applies (cache evicted, no retained copy); the
         caller falls back to the full pipeline.
+
+        ``trust_ledger`` is the degrade ladder's DROP_CLEAN rung: the
+        retained copies are taken at the ledger's word — no probes at
+        all, zero link traffic — and the scrubber re-verifies them once
+        pressure subsides (the verified epoch is deliberately *not*
+        refreshed here).
         """
         fastpath = self.fastpath
         space = self._space
@@ -433,25 +509,35 @@ class SwappingManager:
             want = self.target_replicas() if chosen is None else 1
             verified: List[SwapStore] = []
             lost: List[SwapStore] = []
-            for holder in candidates:
-                probe = getattr(holder, "contains", None)
-                if probe is None:
-                    continue  # legacy store: cannot answer key probes
-                probe_span = self._obs_span(
-                    "fastpath.probe", device=holder.device_id
-                )
-                try:
-                    with probe_span:
-                        if probe(key):
-                            probe_span.set_tag("hit", True)
-                            verified.append(holder)
-                        else:
-                            probe_span.set_tag("hit", False)
-                            lost.append(holder)  # evicted behind our back
-                except (TransportError, RetryExhaustedError):
-                    lost.append(holder)
-                if len(verified) >= want:
-                    break
+            if trust_ledger:
+                # DROP_CLEAN: evict on the strength of the ledger alone.
+                # No contains probes — zero control traffic toward a
+                # neighborhood the pressure signal says is struggling.
+                verified = [
+                    holder
+                    for holder in candidates
+                    if not getattr(holder, "is_dead", False)
+                ][:want]
+            else:
+                for holder in candidates:
+                    probe = getattr(holder, "contains", None)
+                    if probe is None:
+                        continue  # legacy store: cannot answer key probes
+                    probe_span = self._obs_span(
+                        "fastpath.probe", device=holder.device_id
+                    )
+                    try:
+                        with probe_span:
+                            if probe(key):
+                                probe_span.set_tag("hit", True)
+                                verified.append(holder)
+                            else:
+                                probe_span.set_tag("hit", False)
+                                lost.append(holder)  # evicted behind our back
+                    except (TransportError, RetryExhaustedError):
+                        lost.append(holder)
+                    if len(verified) >= want:
+                        break
             if lost:
                 fastpath.retained[sid] = (
                     key,
@@ -470,9 +556,6 @@ class SwappingManager:
                 # content unchanged -> same epoch, same key, same digest
                 cluster.epoch = cluster.clean_epoch
                 if self.resilience is not None:
-                    # the contains probes just re-verified these copies:
-                    # record them AND bump the verified epoch so the
-                    # scrubber does not re-fetch an unmodified cluster
                     placement = self.resilience.placement
                     record = placement.record_swap_out(
                         sid,
@@ -486,16 +569,27 @@ class SwappingManager:
                         record.applied_epochs[holder.device_id] = (
                             cluster.clean_epoch
                         )
-                    placement.record_verified(
-                        sid, cluster.clean_epoch, space.clock.now()
-                    )
+                    if not trust_ledger:
+                        # the contains probes just re-verified these
+                        # copies: bump the verified epoch so the scrubber
+                        # does not re-fetch an unmodified cluster.  The
+                        # trust-ledger path skipped the probes, so the
+                        # verified epoch stays stale on purpose and the
+                        # scrubber re-checks once pressure subsides.
+                        placement.record_verified(
+                            sid, cluster.clean_epoch, space.clock.now()
+                        )
                     self._warn_if_under_replicated(sid, "clean swap-out")
                 self.stats.swap_outs += 1
-                self.stats.fastpath_noops += 1
-                self._obs_tag("tier", "noop")
+                if trust_ledger:
+                    self.stats.ladder_drop_clean += 1
+                else:
+                    self.stats.fastpath_noops += 1
+                tier = "dropclean" if trust_ledger else "noop"
+                self._obs_tag("tier", tier)
                 space.bus.emit(
                     SwapFastPathEvent(
-                        space=space.name, sid=sid, tier="noop", key=key
+                        space=space.name, sid=sid, tier=tier, key=key
                     )
                 )
                 space.bus.emit(
@@ -530,6 +624,59 @@ class SwappingManager:
             # abort path just dropped from
             fastpath.retained.pop(sid, None)
             raise
+
+    def _swap_out_local(self, cluster: SwapCluster) -> Optional[SwapLocation]:
+        """COMPRESS_LOCAL rung: hibernate into the local compressed pool.
+
+        Reuses the full pipeline (journal, placement, chain bookkeeping)
+        with the pool as the chosen store and replication pinned to one
+        copy — mirroring a CPU-only hibernation onto remote stores would
+        defeat the point of the rung.  Returns ``None`` when the pool is
+        full or the heap cannot even hold the compressed payload; the
+        caller falls through to remote shipping.
+        """
+        space = self._space
+        heap = space.heap
+        fallback = self.ladder.fallback_store()
+        # the pool compresses into the SAME heap; freeze the victim loop
+        # so a tight heap cannot recurse into us, and pin replication so
+        # no remote mirrors ride along
+        previous_auto = self.auto_swap
+        previous_override = self._replicas_override
+        self.auto_swap = False
+        self._replicas_override = 1
+        # Displacement (the zswap trick): the victim's own bytes are
+        # about to be freed by the detach, so let the compressed copy
+        # occupy them now — otherwise the pool could never grow at
+        # exactly the moment it exists for, a full heap.  The accounting
+        # is released up front (the objects stay live for the
+        # serializer) and restored if the hibernation fails.
+        displaced = {
+            oid: heap.size_of(oid)
+            for oid in cluster.oids
+            if heap.holds(oid)
+        }
+        for oid in displaced:
+            heap.free_oid(oid)
+        try:
+            location = self._swap_out_full(cluster, fallback)
+        except (StoreFullError, HeapExhaustedError):
+            for oid, size in displaced.items():
+                heap.allocate(oid, size)
+            return None
+        finally:
+            self.auto_swap = previous_auto
+            self._replicas_override = previous_override
+        self.stats.ladder_compress_local += 1
+        space.bus.emit(
+            SwapDegradedEvent(
+                space=space.name,
+                sid=cluster.sid,
+                fallback_device_id=fallback.device_id,
+                reason="degrade ladder: compress-local",
+            )
+        )
+        return location
 
     def _swap_out_delta(
         self, cluster: SwapCluster, chosen: SwapStore | None
@@ -1137,9 +1284,12 @@ class SwappingManager:
                 proxy._obi_detach(replacement)
 
         # Release the members; they become eligible for local collection.
+        # (compress-local pre-releases the accounting so the pool can
+        # displace the victim's own bytes — hence the ``holds`` guard)
         bytes_freed = 0
         for oid in cluster.oids:
-            bytes_freed += space.heap.free_oid(oid)
+            if space.heap.holds(oid):
+                bytes_freed += space.heap.free_oid(oid)
             del space._objects[oid]
         space.heap.allocate(
             replacement_oid, space.size_model.replacement_size(len(outbound))
@@ -1193,6 +1343,7 @@ class SwappingManager:
         root_span = self._obs_span("swap.in", sid=sid)
         self._loading.add(sid)
         cluster.pins += 1
+        stall_started = space.clock.now()
         try:
             resilience = self.resilience
             xml_text: Optional[str] = None
@@ -1379,6 +1530,12 @@ class SwappingManager:
                     bytes_restored=total,
                 )
             )
+            if self.ladder is not None:
+                # the simulated seconds this access spent blocked on the
+                # reload — the headline responsiveness SLO sample
+                self.ladder.record_fault_stall(
+                    space.clock.now() - stall_started, cluster.priority
+                )
             return total
         except BaseException as exc:
             root_span.fail(exc)
@@ -1707,6 +1864,10 @@ class SwappingManager:
         with :class:`HeapExhaustedError`.
         """
         space = self._space
+        ladder = self.ladder
+        started = space.clock.now()
+        if ladder is not None:
+            ladder.update()
         freed = 0
         while not space.heap.would_fit(need_bytes):
             victim = self.victim_selector(space)
@@ -1718,6 +1879,113 @@ class SwappingManager:
             except (NoSwapDeviceError, SwapStoreUnavailableError):
                 break
             freed += before - space.heap.used
+        if ladder is not None and not space.heap.would_fit(need_bytes):
+            # the victim loop could not make room — the moment a real
+            # OOM killer fires, whatever the signal estimated
+            ladder.force_emergency(
+                f"reclaim failed: {need_bytes} bytes still needed"
+            )
+            freed += self._emergency_evict(need_bytes)
+        if ladder is not None:
+            ladder.record_alloc_stall(space.clock.now() - started)
+        return freed
+
+    def _emergency_evict(self, need_bytes: int) -> int:
+        """EMERGENCY rung: OOM-kill clusters until the bytes fit.
+
+        Victims are taken lowest-priority-first (idle before background),
+        least-recently-crossed within a priority band.  Two kinds of
+        cluster are killable: resident swappable ones (their members are
+        evicted outright) and clusters hibernating in the local
+        compressed pool (their pool bytes live in this same heap, so
+        dropping them is reclamation too).  Foreground clusters are
+        exempt while ``protect_foreground`` holds and any lower-priority
+        candidate remains — under that policy a space whose remaining
+        candidates are all foreground simply stays full and the
+        allocation fails, which the benchmark counts as an SLO breach
+        rather than a kill.
+        """
+        space = self._space
+        ladder = self.ladder
+        protect = ladder is not None and ladder.config.protect_foreground
+        pool_device = None
+        if ladder is not None and ladder.has_fallback():
+            pool_device = ladder.fallback_store().device_id
+        freed = 0
+        while not space.heap.would_fit(need_bytes):
+            candidates = [
+                cluster
+                for cluster in space._clusters.values()
+                if cluster.sid not in self._loading  # never the one being reloaded
+                and (
+                    cluster.swappable()
+                    or (
+                        cluster.is_swapped
+                        and pool_device is not None
+                        and any(
+                            holder.device_id == pool_device
+                            for holder in self._bindings.get(cluster.sid, [])
+                        )
+                    )
+                )
+            ]
+            if protect:
+                spared = [
+                    cluster
+                    for cluster in candidates
+                    if cluster.priority < FOREGROUND_PRIORITY
+                ]
+                if spared:
+                    candidates = spared
+                elif candidates:
+                    break  # only foreground left: refuse to kill it
+            if not candidates:
+                break
+            victim = min(
+                candidates,
+                key=lambda c: (c.priority, c.last_crossing_tick, c.sid),
+            )
+            freed += self._oom_kill(victim)
+        return freed
+
+    def _oom_kill(self, cluster: SwapCluster) -> int:
+        """Discard a cluster outright — no encode, no ship.
+
+        The nuclear option: a resident victim has every member evicted
+        from the heap; a pool-hibernated one has its stored copies (and
+        their compressed heap bytes) dropped.  Either way the cluster
+        record goes, tombstoning any proxies that still point at it
+        (later access raises ``IntegrityError``).  Returns the heap
+        bytes freed.
+        """
+        space = self._space
+        sid = cluster.sid
+        priority = cluster.priority
+        object_count = len(cluster.oids)
+        freed = 0
+        if cluster.is_swapped:
+            # pool-hibernated victim: dropping the stored copies frees
+            # their compressed bytes from this same heap
+            before = space.heap.used
+            self.drop_swapped(cluster)
+            freed += before - space.heap.used
+        else:
+            for oid in list(cluster.oids):
+                freed += space._evict_object(oid)
+        # drops retained store copies too, via _on_cluster_collected
+        space._drop_cluster_record(sid)
+        self.stats.oom_kills += 1
+        if priority >= FOREGROUND_PRIORITY:
+            self.stats.oom_kills_foreground += 1
+        space.bus.emit(
+            ClusterOomKilledEvent(
+                space=space.name,
+                sid=sid,
+                priority=priority,
+                object_count=object_count,
+                bytes_freed=freed,
+            )
+        )
         return freed
 
     def on_heap_exhausted(self, heap: Any, need_bytes: int) -> None:

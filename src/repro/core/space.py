@@ -661,6 +661,21 @@ class Space:
 
         return self._sid_by_oid[SwapClusterUtils.oid_of(handle)]
 
+    def set_priority(self, target: Any, priority: int) -> None:
+        """Set a swap-cluster's responsiveness priority.
+
+        ``target`` may be a sid, a managed object, or a proxy;
+        ``priority`` is an int (``repro.policy.priority.Priority``
+        values: 0 idle, 1 background, 2 foreground).  The
+        ``responsiveness`` victim strategy evicts lower priorities
+        first, and the degrade ladder's emergency rung never OOM-kills
+        foreground clusters while any other candidate exists.
+        """
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise TypeError(f"priority must be an int, got {priority!r}")
+        sid = target if isinstance(target, int) else self.sid_of(target)
+        self._cluster(sid).priority = priority
+
     @contextmanager
     def pin(self, target: Any) -> Iterator[SwapCluster]:
         """Keep a swap-cluster resident for the duration of a block.

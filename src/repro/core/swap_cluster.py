@@ -42,6 +42,7 @@ class SwapCluster:
         "swap_out_count",
         "swap_in_count",
         "created_tick",
+        "priority",
         "dirty",
         "dirty_all",
         "dirty_oids",
@@ -79,6 +80,12 @@ class SwapCluster:
         self.swap_out_count = 0
         self.swap_in_count = 0
         self.created_tick = created_tick
+        #: Responsiveness priority (``repro.policy.priority.Priority``
+        #: values, stored as a plain int so core stays policy-free):
+        #: 0 idle, 1 background (the default), 2 foreground.  Read by
+        #: the ``responsiveness`` victim strategy and the degrade
+        #: ladder's emergency-evict rung.
+        self.priority = 1
         #: Dirty-tracking for the swap fast path: a cluster is *clean*
         #: when its members are byte-identical to the last serialized
         #: payload (``clean_digest``).  New clusters are dirty; the

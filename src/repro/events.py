@@ -387,6 +387,51 @@ class JournalTruncatedEvent(Event):
 
 
 # ---------------------------------------------------------------------------
+# Degrade-ladder events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PressureChangedEvent(Event):
+    """The pressure signal crossed into a different level (see
+    :mod:`repro.policy.pressure`)."""
+
+    topic = "policy.pressure"
+    space: str
+    level: int
+    previous_level: int
+    heap_headroom: float
+    store_health: float
+    link_saturation: float
+
+
+@dataclass(frozen=True)
+class DegradeRungChangedEvent(Event):
+    """The degrade ladder moved to a different rung (escalation is
+    immediate; de-escalation steps down one rung per hold period)."""
+
+    topic = "policy.ladder.rung"
+    space: str
+    rung: int
+    previous_rung: int
+    level: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ClusterOomKilledEvent(Event):
+    """The emergency rung reclaimed a resident cluster outright — its
+    objects are gone, not swapped; stale proxies raise on access."""
+
+    topic = "policy.ladder.oom_kill"
+    space: str
+    sid: int
+    priority: int
+    object_count: int
+    bytes_freed: int
+
+
+# ---------------------------------------------------------------------------
 # GC events
 # ---------------------------------------------------------------------------
 

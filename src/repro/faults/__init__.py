@@ -20,6 +20,7 @@ time.
 from repro.faults.plan import FaultPlan, FaultInjector, FaultStats, mangle_payload
 from repro.faults.flaky import FlakyLink, FlakyStore
 from repro.faults.churn import ChurnEvent, ChurnInjector, ChurnPlan
+from repro.faults.scenarios import SCENARIOS, ScenarioPhase, ScenarioSpec
 
 __all__ = [
     "FaultPlan",
@@ -30,5 +31,8 @@ __all__ = [
     "ChurnEvent",
     "ChurnInjector",
     "ChurnPlan",
+    "SCENARIOS",
+    "ScenarioPhase",
+    "ScenarioSpec",
     "mangle_payload",
 ]

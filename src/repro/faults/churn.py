@@ -21,7 +21,7 @@ from repro.clock import Clock
 from repro.faults.flaky import FlakyStore
 
 #: Actions a churn event may take against its target store.
-CHURN_ACTIONS = ("kill", "revive", "corrupt")
+CHURN_ACTIONS = ("kill", "revive", "corrupt", "brownout", "recover")
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,13 @@ class ChurnEvent:
     lose_data: bool = False
     #: ``corrupt`` only — which key to rot (lowest key when ``None``).
     key: Optional[str] = None
+    #: ``brownout`` only — how degraded the window is: latency is
+    #: multiplied, bandwidth divided, and the admitted capacity scaled
+    #: (see :meth:`~repro.faults.flaky.FlakyStore.set_brownout`).  The
+    #: window ends at the matching ``recover`` event.
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    capacity_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.action not in CHURN_ACTIONS:
@@ -44,6 +51,10 @@ class ChurnEvent:
             )
         if self.at_s < 0:
             raise ValueError(f"churn event at negative time {self.at_s!r}")
+        if self.latency_factor <= 0 or self.bandwidth_factor <= 0:
+            raise ValueError("brownout factors must be positive")
+        if not 0 < self.capacity_factor <= 1:
+            raise ValueError("capacity factor must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -99,3 +110,11 @@ class ChurnInjector:
             store.revive()
         elif event.action == "corrupt":
             store.corrupt_at_rest(event.key)
+        elif event.action == "brownout":
+            store.set_brownout(
+                latency_factor=event.latency_factor,
+                bandwidth_factor=event.bandwidth_factor,
+                capacity_factor=event.capacity_factor,
+            )
+        elif event.action == "recover":
+            store.clear_brownout()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from repro.errors import TransportError
+from repro.errors import StoreFullError, TransportError
 from repro.faults.plan import FaultInjector, mangle_payload
 
 
@@ -83,6 +83,9 @@ class FlakyStore:
         self._inner = inner
         self._injector = injector
         self._dead = False
+        #: ``(latency_factor, bandwidth_factor, capacity_factor)`` while
+        #: browned out, ``None`` otherwise.
+        self._brownout: Optional[tuple] = None
 
     # -- SwapStore protocol ------------------------------------------------
 
@@ -93,6 +96,7 @@ class FlakyStore:
     def store(self, key: str, xml_text: str) -> None:
         injector = self._injector
         self._gate()
+        self._squeeze_gate(len(xml_text.encode("utf-8")))
         injector.charge_latency()
         if injector.roll(injector.plan.interruption_rate):
             injector.stats.interruptions += 1
@@ -137,6 +141,11 @@ class FlakyStore:
         if injector.roll(injector.plan.probe_failure_rate):
             injector.stats.probe_faults += 1
             raise TransportError(f"injected: {self.device_id} probe failed")
+        if self._brownout is not None and self._brownout[2] < 1.0:
+            try:
+                self._squeeze_gate(nbytes)
+            except StoreFullError:
+                return False
         return self._inner.has_room(nbytes)
 
     def _deliver_stream(self, key: str, frame_list: Any, compression: Any) -> None:
@@ -165,6 +174,7 @@ class FlakyStore:
         self._gate()
         injector.charge_latency()
         frame_list = [bytes(frame) for frame in frames]
+        self._squeeze_gate(sum(len(frame) for frame in frame_list))
         if injector.roll(injector.plan.interruption_rate):
             injector.stats.interruptions += 1
             truncated = frame_list[: max(1, len(frame_list) // 2)]
@@ -204,6 +214,7 @@ class FlakyStore:
         self._gate()
         injector.charge_latency()
         frame_list = [bytes(frame) for frame in frames]
+        self._squeeze_gate(sum(len(frame) for frame in frame_list))
         if injector.roll(injector.plan.interruption_rate):
             injector.stats.interruptions += 1
             truncated = frame_list[: max(1, len(frame_list) // 2)]
@@ -295,6 +306,67 @@ class FlakyStore:
 
     def revive(self) -> None:
         self._dead = False
+
+    # -- brownout ----------------------------------------------------------
+
+    def set_brownout(
+        self,
+        latency_factor: float = 1.0,
+        bandwidth_factor: float = 1.0,
+        capacity_factor: float = 1.0,
+    ) -> None:
+        """Degrade the store without killing it.
+
+        Distinct from :meth:`kill`/:meth:`revive` — a browned-out store
+        still answers, it just crawls (``latency_factor`` /
+        ``bandwidth_factor`` are pushed onto the inner simulated link)
+        and may refuse new payloads early (``capacity_factor`` scales
+        the capacity it admits writes against; 0.25 = only a quarter of
+        the device is usable — flash nearly full, host throttling).
+        Reads of existing keys are never refused by the squeeze.
+        """
+        if latency_factor <= 0 or bandwidth_factor <= 0:
+            raise ValueError("brownout factors must be positive")
+        if not 0 < capacity_factor <= 1:
+            raise ValueError("capacity factor must be in (0, 1]")
+        self._brownout = (latency_factor, bandwidth_factor, capacity_factor)
+        link = self._simulated_link()
+        if link is not None:
+            link.brownout(latency_factor, bandwidth_factor)
+
+    def clear_brownout(self) -> None:
+        self._brownout = None
+        link = self._simulated_link()
+        if link is not None:
+            link.clear_brownout()
+
+    @property
+    def in_brownout(self) -> bool:
+        return self._brownout is not None
+
+    def _simulated_link(self) -> Optional[Any]:
+        """The innermost link with a ``brownout`` method, if any."""
+        link = getattr(self._inner, "_link", None)
+        while link is not None and not hasattr(link, "brownout"):
+            link = getattr(link, "_inner", None)
+        return link
+
+    def _squeeze_gate(self, nbytes: int) -> None:
+        """Refuse a write that would exceed the squeezed capacity."""
+        if self._brownout is None:
+            return
+        capacity_factor = self._brownout[2]
+        if capacity_factor >= 1.0:
+            return
+        capacity = getattr(self._inner, "capacity", None)
+        used = getattr(self._inner, "used", None)
+        if capacity is None or used is None:
+            return
+        if used + nbytes > capacity * capacity_factor:
+            raise StoreFullError(
+                f"{self.device_id}: brownout capacity squeeze "
+                f"({nbytes} B over {int(capacity * capacity_factor)} B usable)"
+            )
 
     def corrupt_at_rest(self, key: Optional[str] = None) -> Optional[str]:
         """Silently rot one landed payload on the inner store.

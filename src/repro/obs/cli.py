@@ -174,6 +174,51 @@ def _load_bench(path: str) -> Dict[str, Any]:
     return payload
 
 
+def _schema_kind(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, dict):
+        return "mapping"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, (int, float)):
+        return "number"
+    if value is None:
+        return "null"
+    return "string"
+
+
+def _schema_mismatches(current: Any, baseline: Any) -> List[str]:
+    """Structural conflicts that make a field-by-field diff meaningless.
+
+    Two reports disagree on schema when a path holds different *kinds*
+    of value (a mapping in one, a number in the other) at any depth, or
+    when the top-level keys themselves differ.  Nested keys missing on
+    one side are ordinary drift — the diff shows them as ``(new)`` /
+    ``(gone)`` — not a schema break.
+    """
+    problems: List[str] = []
+
+    def walk(cur: Any, base: Any, path: str) -> None:
+        kind_cur, kind_base = _schema_kind(cur), _schema_kind(base)
+        if kind_cur != kind_base:
+            problems.append(
+                f"{path or '(top level)'}: baseline has {kind_base}, "
+                f"current has {kind_cur}"
+            )
+            return
+        if isinstance(cur, dict) and isinstance(base, dict):
+            if not path:  # top level: the key set is part of the schema
+                for key in sorted(set(cur) ^ set(base)):
+                    side = "current" if key in cur else "baseline"
+                    problems.append(f"{key}: only in {side}")
+            for key in sorted(set(cur) & set(base)):
+                walk(cur[key], base[key], f"{path}.{key}" if path else key)
+
+    walk(current, baseline, "")
+    return problems
+
+
 def _numeric_leaves(value: Any, prefix: str = "") -> Dict[str, float]:
     """Flatten nested dicts to dotted-path -> numeric leaf."""
     leaves: Dict[str, float] = {}
@@ -228,6 +273,14 @@ def _cmd_compare(path: str, baseline_path: str) -> int:
             f"compare: different benchmarks — {path} is {name!r}, "
             f"{baseline_path} is {baseline.get('benchmark')!r}"
         )
+        return 1
+    mismatches = _schema_mismatches(current, baseline)
+    if mismatches:
+        print(f"compare: schema mismatch between {path} and {baseline_path}:")
+        for line in mismatches[:20]:
+            print(f"  {line}")
+        if len(mismatches) > 20:
+            print(f"  ... and {len(mismatches) - 20} more")
         return 1
     print(f"benchmark {name!r}: {baseline_path} -> {path}")
 

@@ -238,6 +238,34 @@ class Observability:
             self.metrics.gauge("link.pipeline.saved_s").set(
                 pipeline.saved_s
             )
+        ladder = getattr(self._manager, "ladder", None)
+        if ladder is not None:
+            signal = ladder.signal
+            if signal is not None:
+                self.metrics.gauge("policy.pressure.level").set(
+                    int(signal.level)
+                )
+                self.metrics.gauge("policy.pressure.heap_headroom").set(
+                    signal.heap_headroom
+                )
+                self.metrics.gauge("policy.pressure.store_health").set(
+                    signal.store_health
+                )
+                self.metrics.gauge("policy.pressure.link_saturation").set(
+                    signal.link_saturation
+                )
+            self.metrics.gauge("policy.ladder.rung").set(int(ladder.rung))
+            faults = ladder.fault_stalls
+            self.metrics.counter("slo.fault_stall.count").set_to(faults.count)
+            self.metrics.gauge("slo.fault_stall.p95_s").set(faults.p95())
+            self.metrics.gauge("slo.fault_stall.max_s").set(faults.max_s)
+            self.metrics.gauge("slo.fault_stall.total_s").set(faults.total_s)
+            self.metrics.gauge("slo.fault_stall.foreground_p95_s").set(
+                faults.p95(min_priority=2)
+            )
+            allocs = ladder.alloc_stalls
+            self.metrics.counter("slo.alloc_stall.count").set_to(allocs.count)
+            self.metrics.gauge("slo.alloc_stall.p95_s").set(allocs.p95())
         self.metrics.counter("trace.spans.dropped").set_to(
             self.tracer.dropped_spans
         )

@@ -1,0 +1,175 @@
+"""Pressure signals: how squeezed is the swapping runtime right now?
+
+The degrade ladder (:mod:`repro.core.degrade`) escalates per swap-out
+under rising pressure; this module defines what "pressure" *is*.  A
+:class:`PressureSignal` is an explicit, inspectable reading of three
+inputs —
+
+* **heap headroom** — free heap as a fraction of capacity; the direct
+  memory-pressure input (SWAM frames responsiveness policy around
+  exactly this margin);
+* **store health** — the fraction of the swap neighborhood that is
+  actually usable: dead stores count zero, browned-out stores count
+  half, and the :class:`~repro.resilience.placement.PlacementMap`'s
+  active-replica fraction caps the figure (replicas marked SUSPECT or
+  QUARANTINED mean the ledger itself doubts the neighborhood);
+* **link saturation** — the fraction of recent simulated time the
+  links spent carrying bytes (from ``LinkStats.seconds_charged``).
+
+:func:`classify` folds the three into a :class:`PressureLevel`.  The
+heap sets the base level; degraded stores and saturated links each bump
+it one step, because shipping payloads out of a tight heap over a sick
+neighborhood is strictly worse than either problem alone.
+
+Everything here is pure and deterministic: same inputs, same level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+
+class PressureLevel(enum.IntEnum):
+    """How hard the runtime should be defending responsiveness."""
+
+    NOMINAL = 0
+    ELEVATED = 1
+    HIGH = 2
+    CRITICAL = 3
+
+
+@dataclass(frozen=True)
+class PressureThresholds:
+    """Cut points turning raw readings into a :class:`PressureLevel`."""
+
+    #: Heap headroom at or below this fraction is ELEVATED.
+    elevated_headroom: float = 0.30
+    #: ... HIGH.
+    high_headroom: float = 0.15
+    #: ... CRITICAL.
+    critical_headroom: float = 0.05
+    #: Store health strictly below this bumps the level one step.  The
+    #: default is chosen so a fully browned-out fleet (health 0.5) and a
+    #: mostly-degraded one both bump, while a single dead store out of
+    #: four (health 0.75 — replication's everyday case) does not.
+    degraded_store_health: float = 0.7
+    #: Link saturation at or above this bumps the level one step.
+    saturated_link: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not (
+            0.0
+            <= self.critical_headroom
+            <= self.high_headroom
+            <= self.elevated_headroom
+            <= 1.0
+        ):
+            raise ValueError(
+                "headroom thresholds must satisfy 0 <= critical <= high "
+                f"<= elevated <= 1, got {self.critical_headroom}/"
+                f"{self.high_headroom}/{self.elevated_headroom}"
+            )
+
+
+@dataclass(frozen=True)
+class PressureSignal:
+    """One explicit pressure reading; drives ladder rung transitions."""
+
+    heap_headroom: float
+    store_health: float
+    link_saturation: float
+    level: PressureLevel
+
+    def describe(self) -> str:
+        return (
+            f"{self.level.name.lower()} (headroom {self.heap_headroom:.0%}, "
+            f"stores {self.store_health:.0%}, link {self.link_saturation:.0%})"
+        )
+
+
+def classify(
+    heap_headroom: float,
+    store_health: float,
+    link_saturation: float,
+    thresholds: Optional[PressureThresholds] = None,
+) -> PressureSignal:
+    """Fold three raw readings into a :class:`PressureSignal`.
+
+    The heap sets the base level; an unhealthy neighborhood and a
+    saturated link each bump it one step (capped at CRITICAL).
+    """
+    t = thresholds if thresholds is not None else PressureThresholds()
+    if heap_headroom <= t.critical_headroom:
+        level = PressureLevel.CRITICAL
+    elif heap_headroom <= t.high_headroom:
+        level = PressureLevel.HIGH
+    elif heap_headroom <= t.elevated_headroom:
+        level = PressureLevel.ELEVATED
+    else:
+        level = PressureLevel.NOMINAL
+    bumps = 0
+    if store_health < t.degraded_store_health:
+        bumps += 1
+    if link_saturation >= t.saturated_link:
+        bumps += 1
+    level = PressureLevel(min(int(PressureLevel.CRITICAL), int(level) + bumps))
+    return PressureSignal(
+        heap_headroom=heap_headroom,
+        store_health=store_health,
+        link_saturation=link_saturation,
+        level=level,
+    )
+
+
+def store_health_of(stores: Iterable[Any], placement: Any = None) -> float:
+    """The usable fraction of the swap neighborhood, in ``[0, 1]``.
+
+    Each store contributes a weight: 0 when dead, 0.5 while browned out
+    (reachable, but slow and squeezed — see :meth:`repro.faults.flaky.
+    FlakyStore.set_brownout`), 1 otherwise.  When a ``placement`` map is
+    given, the figure is additionally capped by its active-replica
+    fraction: SUSPECT/QUARANTINED replicas mean the ledger itself does
+    not trust the neighborhood, whatever the stores claim.
+
+    An empty neighborhood reads as perfectly healthy (health measures
+    degradation of what exists; absence is :class:`~repro.errors.
+    NoSwapDeviceError`'s problem).
+    """
+    if hasattr(stores, "values"):  # accept device_id -> store mappings
+        stores = stores.values()
+    weights = []
+    for store in stores:
+        if getattr(store, "is_dead", False):
+            weights.append(0.0)
+        elif getattr(store, "in_brownout", False):
+            weights.append(0.5)
+        else:
+            weights.append(1.0)
+    health = sum(weights) / len(weights) if weights else 1.0
+    if placement is not None and len(placement):
+        slots = 0
+        live = 0
+        for record in placement.records().values():
+            slots += len(record.replicas)
+            live += record.live_count
+        if slots:
+            health = min(health, live / slots)
+    return health
+
+
+def links_busy_seconds(stores: Iterable[Any]) -> float:
+    """Total simulated seconds the stores' links have spent transferring.
+
+    Deltas of this figure over elapsed simulated time are the link-
+    saturation input to :func:`classify`.  Stores without a link (the
+    compressed pool, loopback test doubles) contribute nothing.
+    """
+    busy = 0.0
+    for store in stores:
+        link = getattr(store, "link", None)
+        stats = getattr(link, "stats", None)
+        if stats is not None:
+            busy += getattr(stats, "seconds_charged", 0.0)
+    return busy

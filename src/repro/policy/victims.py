@@ -11,7 +11,10 @@ Strategies (each maps a space to a ranked list of swappable sids):
 * ``largest`` — biggest heap footprint first (frees most per swap);
 * ``smallest``— smallest first (cheapest to reload);
 * ``hybrid``  — footprint / (1 + recent use) score, preferring big idle
-  clusters.
+  clusters;
+* ``responsiveness`` — priority- and working-set-aware (see
+  :mod:`repro.policy.priority`): idle before background before
+  foreground, cold before hot.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import PolicyError
+from repro.policy.priority import rank_responsiveness
 
 RankFn = Callable[[Any], List[int]]
 
@@ -77,6 +81,7 @@ VICTIM_STRATEGIES: Dict[str, RankFn] = {
     "largest": rank_largest,
     "smallest": rank_smallest,
     "hybrid": rank_hybrid,
+    "responsiveness": rank_responsiveness,
 }
 
 

@@ -51,6 +51,12 @@ COUNTER_NAMES: Dict[str, str] = {
     "fastpath.delta.compactions": "fastpath_delta_compactions",
     "fastpath.delta.bytes_shipped": "delta_bytes_shipped",
     "fastpath.delta.bytes_saved": "delta_bytes_saved",
+    "policy.ladder.escalations": "ladder_escalations",
+    "policy.ladder.deescalations": "ladder_deescalations",
+    "policy.ladder.compress_local": "ladder_compress_local",
+    "policy.ladder.drop_clean": "ladder_drop_clean",
+    "policy.oom.kills": "oom_kills",
+    "policy.oom.kills_foreground": "oom_kills_foreground",
 }
 
 _MISSING = object()
@@ -154,6 +160,13 @@ class SpaceTelemetry:
     fastpath_delta_compactions: int = 0
     delta_bytes_shipped: int = 0
     delta_bytes_saved: int = 0
+    # -- degrade-ladder counters (zero while the ladder is disabled) --
+    ladder_escalations: int = 0
+    ladder_deescalations: int = 0
+    ladder_compress_local: int = 0
+    ladder_drop_clean: int = 0
+    oom_kills: int = 0
+    oom_kills_foreground: int = 0
 
     def resident_clusters(self) -> List[ClusterTelemetry]:
         return [record for record in self.clusters if record.state == "resident"]
@@ -234,6 +247,12 @@ def snapshot(space: Any) -> SpaceTelemetry:
         fastpath_delta_compactions=stats.fastpath_delta_compactions,
         delta_bytes_shipped=stats.delta_bytes_shipped,
         delta_bytes_saved=stats.delta_bytes_saved,
+        ladder_escalations=stats.ladder_escalations,
+        ladder_deescalations=stats.ladder_deescalations,
+        ladder_compress_local=stats.ladder_compress_local,
+        ladder_drop_clean=stats.ladder_drop_clean,
+        oom_kills=stats.oom_kills,
+        oom_kills_foreground=stats.oom_kills_foreground,
         payload_cache_bytes=(
             manager.fastpath.cache.used_bytes
             if getattr(manager, "fastpath", None) is not None
@@ -310,6 +329,20 @@ def format_report(telemetry: SpaceTelemetry) -> str:
             f"{telemetry.fastpath_delta_compactions} compactions; "
             f"shipped {telemetry.delta_bytes_shipped} B, "
             f"saved {telemetry.delta_bytes_saved} B"
+        )
+    if (
+        telemetry.ladder_escalations
+        or telemetry.ladder_compress_local
+        or telemetry.ladder_drop_clean
+        or telemetry.oom_kills
+    ):
+        lines.append(
+            f"  ladder: {telemetry.ladder_escalations} escalations / "
+            f"{telemetry.ladder_deescalations} de-escalations; "
+            f"{telemetry.ladder_compress_local} compress-local, "
+            f"{telemetry.ladder_drop_clean} drop-clean, "
+            f"{telemetry.oom_kills} OOM kills "
+            f"({telemetry.oom_kills_foreground} foreground)"
         )
     for record in telemetry.clusters:
         label = "sc-0 (roots)" if record.sid == ROOT_SID else f"sc-{record.sid}"

@@ -1,0 +1,158 @@
+"""Brownout: degraded-but-up links, squeezed stores, churn dispatch."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import FRAME_OVERHEAD_BYTES, SimulatedLink
+from repro.devices import XmlStoreDevice
+from repro.errors import StoreFullError
+from repro.faults import (
+    ChurnEvent,
+    ChurnInjector,
+    ChurnPlan,
+    FaultInjector,
+    FaultPlan,
+    FlakyStore,
+)
+
+
+def _link(clock=None):
+    return SimulatedLink(
+        1000.0, latency_s=0.1, clock=clock or SimulatedClock(), name="bt"
+    )
+
+
+# -- SimulatedLink ---------------------------------------------------------
+
+
+def test_brownout_multiplies_latency_and_divides_bandwidth():
+    link = _link()
+    assert link.transfer_time(100) == pytest.approx(0.1 + 800 / 1000)
+    link.brownout(latency_factor=2.0, bandwidth_factor=0.5)
+    assert link.in_brownout
+    assert link.transfer_time(100) == pytest.approx(0.2 + 800 / 500)
+
+
+def test_brownout_batches_pay_the_degraded_latency_once():
+    link = _link()
+    link.brownout(latency_factor=2.0, bandwidth_factor=0.5)
+    total = (100 + FRAME_OVERHEAD_BYTES) * 2
+    assert link.batch_transfer_time([100, 100]) == pytest.approx(
+        0.2 + total * 8 / 500
+    )
+
+
+def test_brownout_link_stays_up_and_charges_the_clock():
+    link = _link()
+    link.brownout(latency_factor=10.0)
+    assert link.is_up  # degraded is not down
+    elapsed = link.transfer(100)
+    assert elapsed == pytest.approx(1.0 + 800 / 1000)
+    assert link.stats.seconds_charged == pytest.approx(elapsed)
+    assert link.clock.now() == pytest.approx(elapsed)
+
+
+def test_clear_brownout_restores_the_cost_model():
+    link = _link()
+    healthy = link.transfer_time(100)
+    link.brownout(latency_factor=5.0, bandwidth_factor=0.1)
+    link.clear_brownout()
+    assert not link.in_brownout
+    assert link.transfer_time(100) == pytest.approx(healthy)
+
+
+def test_link_brownout_rejects_nonpositive_factors():
+    link = _link()
+    with pytest.raises(ValueError):
+        link.brownout(latency_factor=0.0)
+    with pytest.raises(ValueError):
+        link.brownout(bandwidth_factor=-1.0)
+
+
+# -- FlakyStore ------------------------------------------------------------
+
+
+def _flaky(capacity=1000, clock=None):
+    clock = clock or SimulatedClock()
+    link = _link(clock)
+    inner = XmlStoreDevice("dev", capacity=capacity, link=link)
+    injector = FaultInjector(FaultPlan.empty(), clock)
+    return FlakyStore(inner, injector), link
+
+
+def test_set_brownout_reaches_the_inner_link():
+    flaky, link = _flaky()
+    flaky.set_brownout(latency_factor=3.0, bandwidth_factor=0.5)
+    assert flaky.in_brownout
+    assert link.in_brownout
+    flaky.clear_brownout()
+    assert not flaky.in_brownout
+    assert not link.in_brownout
+
+
+def test_set_brownout_validates_factors():
+    flaky, _ = _flaky()
+    with pytest.raises(ValueError):
+        flaky.set_brownout(latency_factor=0.0)
+    with pytest.raises(ValueError):
+        flaky.set_brownout(capacity_factor=0.0)
+    with pytest.raises(ValueError):
+        flaky.set_brownout(capacity_factor=1.5)
+
+
+def test_capacity_squeeze_refuses_writes_but_never_reads():
+    flaky, _ = _flaky(capacity=1000)
+    flaky.store("k0", "x" * 300)
+    flaky.set_brownout(capacity_factor=0.5)  # 500 B usable, 300 used
+    with pytest.raises(StoreFullError):
+        flaky.store("k1", "y" * 300)
+    assert flaky.fetch("k0") == "x" * 300  # reads are never refused
+    flaky.store("k2", "z" * 100)  # still fits under the squeeze
+
+
+def test_has_room_reflects_the_squeeze():
+    flaky, _ = _flaky(capacity=1000)
+    flaky.store("k0", "x" * 300)
+    flaky.set_brownout(capacity_factor=0.5)
+    assert not flaky.has_room(300)
+    assert flaky.has_room(100)
+    flaky.clear_brownout()
+    assert flaky.has_room(300)
+
+
+# -- churn dispatch --------------------------------------------------------
+
+
+def test_churn_brownout_and_recover_round_trip():
+    clock = SimulatedClock()
+    flaky, link = _flaky(clock=clock)
+    plan = ChurnPlan(events=(
+        ChurnEvent(at_s=10.0, device_id="dev", action="brownout",
+                   latency_factor=20.0, bandwidth_factor=1 / 30,
+                   capacity_factor=0.05),
+        ChurnEvent(at_s=50.0, device_id="dev", action="recover"),
+    ))
+    churn = ChurnInjector(plan, clock)
+
+    assert churn.apply({"dev": flaky}) == []  # nothing due yet
+    clock.advance(10.0)
+    fired = churn.apply({"dev": flaky})
+    assert [event.action for event in fired] == ["brownout"]
+    assert flaky.in_brownout and link.in_brownout
+
+    clock.advance(40.0)
+    churn.apply({"dev": flaky})
+    assert not flaky.in_brownout
+    assert churn.exhausted
+
+
+def test_churn_event_validates_brownout_factors():
+    with pytest.raises(ValueError):
+        ChurnEvent(at_s=0.0, device_id="d", action="brownout",
+                   latency_factor=0.0)
+    with pytest.raises(ValueError):
+        ChurnEvent(at_s=0.0, device_id="d", action="brownout",
+                   capacity_factor=0.0)
+    with pytest.raises(ValueError):
+        ChurnEvent(at_s=0.0, device_id="d", action="brownout",
+                   capacity_factor=2.0)

@@ -1,0 +1,93 @@
+"""Scenario specs: validation, the registry, scripted-churn invariants."""
+
+import pytest
+
+from repro.faults.scenarios import (
+    SCENARIOS,
+    ScenarioPhase,
+    ScenarioSpec,
+    device_name,
+)
+
+
+def test_phase_rejects_negative_steps_and_durations():
+    with pytest.raises(ValueError):
+        ScenarioPhase(name="p", steps=-1)
+    with pytest.raises(ValueError):
+        ScenarioPhase(name="p", steps=1, step_s=-0.5)
+
+
+def test_phase_rejects_unknown_patterns():
+    with pytest.raises(ValueError):
+        ScenarioPhase(name="p", steps=1, pattern="zipfian")
+
+
+def test_phase_named_raises_on_unknown_phase():
+    spec = SCENARIOS["memory_spike"]()
+    with pytest.raises(KeyError):
+        spec.phase_named("no-such-phase")
+
+
+def test_registry_builds_well_formed_specs():
+    assert set(SCENARIOS) == {
+        "app_switch_storm",
+        "memory_spike",
+        "flash_crowd",
+        "long_idle_then_burst",
+        "store_fleet_brownout",
+    }
+    for name, factory in SCENARIOS.items():
+        spec = factory()
+        assert spec.name == name
+        assert spec.phases  # every scenario actually does something
+        assert spec.slo_p95_stall_s > 0
+        assert spec.tasks > 0 and spec.objects_per_task > 0
+        # churn only ever names devices the harness will build
+        devices = {device_name(i) for i in range(spec.store_count)}
+        for event in spec.churn.ordered():
+            assert event.device_id in devices, (
+                f"{name}: churn names unknown {event.device_id!r}"
+            )
+
+
+def test_every_scenario_pressures_the_heap():
+    # a working set that fits in heap never swaps, and a scenario that
+    # never swaps measures nothing
+    for factory in SCENARIOS.values():
+        spec = factory()
+        objects = spec.tasks * spec.objects_per_task
+        objects += max(
+            (phase.spike_objects for phase in spec.phases), default=0
+        )
+        objects += sum(
+            phase.steps * phase.arrivals_per_step * phase.arrival_objects
+            for phase in spec.phases
+        )
+        # the accounted per-object size exceeds payload_bytes, so
+        # matching the capacity already means the heap cannot hold all
+        assert objects * spec.payload_bytes >= spec.heap_capacity
+
+
+def test_store_fleet_brownout_never_recovers_in_run():
+    # stall time is charged to the simulated clock, so a time-based
+    # recovery would fire after a different number of workload steps in
+    # the slow (baseline) run than in the fast (ladder) run — the
+    # brownout must outlast the scripted window to keep them comparable
+    spec = SCENARIOS["store_fleet_brownout"]()
+    actions = [event.action for event in spec.churn.ordered()]
+    assert "brownout" in actions
+    assert "recover" not in actions
+    assert all(event.capacity_factor <= 1.0 for event in spec.churn.ordered())
+
+
+def test_memory_spike_has_a_spiking_phase():
+    spec = SCENARIOS["memory_spike"]()
+    assert any(phase.spike_objects > 0 for phase in spec.phases)
+
+
+def test_flash_crowd_has_arrivals():
+    spec = SCENARIOS["flash_crowd"]()
+    assert any(
+        phase.arrivals_per_step > 0 and phase.arrival_objects > 0
+        for phase in spec.phases
+    )

@@ -63,3 +63,62 @@ def test_compare_rejects_non_bench_files(tmp_path, capsys):
     assert "not a bench report" in capsys.readouterr().out
     missing = str(tmp_path / "missing.json")
     assert main(["report", bench, "--compare", missing]) == 1
+
+
+def test_compare_schema_mismatch_exits_nonzero_with_diff(tmp_path, capsys):
+    """A structural conflict must produce a readable diff, not a traceback."""
+    good = _write(tmp_path, "good.json", _report(1000, 2.0, 4.0))
+    # same benchmark name, but 'scenarios' is an array: indexing it with
+    # a scenario name used to raise TypeError straight to the user
+    broken = _write(
+        tmp_path,
+        "broken.json",
+        {"benchmark": "delta_swap", "scenarios": [1, 2, 3]},
+    )
+    assert main(["report", good, "--compare", broken]) == 1
+    out = capsys.readouterr().out
+    assert "schema mismatch" in out
+    assert "scenarios" in out
+    assert "mapping" in out and "array" in out
+    assert "Traceback" not in out
+
+
+def test_compare_schema_mismatch_reports_top_level_keys(tmp_path, capsys):
+    current = _write(tmp_path, "cur.json", _report(1, 1.0, 1.0))
+    baseline = _write(
+        tmp_path,
+        "base.json",
+        {
+            "benchmark": "delta_swap",
+            "scenarios": {},
+            "reductions": {},
+            "extra_section": {"x": 1},
+        },
+    )
+    assert main(["report", current, "--compare", baseline]) == 1
+    out = capsys.readouterr().out
+    assert "schema mismatch" in out
+    assert "extra_section: only in baseline" in out
+
+
+def test_compare_nested_type_conflict_is_fatal(tmp_path, capsys):
+    current = _write(tmp_path, "c.json", _report(1000, 2.0, 4.0))
+    conflicted = _report(1000, 2.0, 4.0)
+    conflicted["scenarios"]["delta"]["phases"] = 7  # was a mapping
+    baseline = _write(tmp_path, "b.json", conflicted)
+    assert main(["report", current, "--compare", baseline]) == 1
+    out = capsys.readouterr().out
+    assert "schema mismatch" in out
+    assert "scenarios.delta.phases" in out
+
+
+def test_compare_missing_nested_keys_stay_nonfatal(tmp_path, capsys):
+    """Leaf drift (new or vanished metrics) is a diff, not a schema break."""
+    current = _report(1000, 2.0, 4.0)
+    current["scenarios"]["delta"]["new_metric"] = 5
+    a = _write(tmp_path, "a.json", current)
+    b = _write(tmp_path, "b.json", _report(1000, 2.0, 4.0))
+    assert main(["report", a, "--compare", b]) == 0
+    out = capsys.readouterr().out
+    assert "new_metric" in out
+    assert "(new)" in out

@@ -1,0 +1,96 @@
+"""Pressure signals: classification, thresholds, store-health math."""
+
+import pytest
+
+from repro.devices import InMemoryStore
+from repro.faults import FaultInjector, FaultPlan, FlakyStore
+from repro.policy.pressure import (
+    PressureLevel,
+    PressureThresholds,
+    classify,
+    store_health_of,
+)
+from repro.clock import SimulatedClock
+
+
+def test_levels_mirror_ladder_rungs():
+    assert [int(level) for level in PressureLevel] == [0, 1, 2, 3]
+
+
+def test_thresholds_validate_ordering():
+    with pytest.raises(ValueError):
+        PressureThresholds(
+            elevated_headroom=0.1, high_headroom=0.2, critical_headroom=0.3
+        )
+
+
+def test_headroom_sets_the_base_level():
+    assert classify(0.9, 1.0, 0.0).level is PressureLevel.NOMINAL
+    assert classify(0.25, 1.0, 0.0).level is PressureLevel.ELEVATED
+    assert classify(0.10, 1.0, 0.0).level is PressureLevel.HIGH
+    assert classify(0.01, 1.0, 0.0).level is PressureLevel.CRITICAL
+
+
+def test_sick_fleet_bumps_one_level():
+    healthy = classify(0.9, 1.0, 0.0)
+    sick = classify(0.9, 0.5, 0.0)
+    assert sick.level == healthy.level + 1
+
+
+def test_saturated_link_bumps_one_level():
+    assert classify(0.9, 1.0, 0.9).level is PressureLevel.ELEVATED
+
+
+def test_bumps_stack_and_cap_at_critical():
+    assert classify(0.10, 0.4, 0.9).level is PressureLevel.CRITICAL
+    assert classify(0.01, 0.4, 0.9).level is PressureLevel.CRITICAL
+
+
+def test_all_brownout_fleet_counts_as_degraded():
+    """Brownout weights 0.5 per store; the default threshold (0.7) must
+    treat a fully browned-out fleet as degraded."""
+    thresholds = PressureThresholds()
+    assert 0.5 < thresholds.degraded_store_health
+
+
+def test_one_dead_store_of_four_is_not_degraded():
+    thresholds = PressureThresholds()
+    assert 0.75 >= thresholds.degraded_store_health
+
+
+def _stores(count):
+    clock = SimulatedClock()
+    injector = FaultInjector(FaultPlan.empty(), clock)
+    return {
+        f"s{i}": FlakyStore(InMemoryStore(f"s{i}"), injector)
+        for i in range(count)
+    }
+
+
+def test_store_health_all_healthy():
+    assert store_health_of(_stores(4), None) == 1.0
+
+
+def test_store_health_counts_dead_as_zero():
+    stores = _stores(4)
+    stores["s0"].kill()
+    assert store_health_of(stores, None) == pytest.approx(0.75)
+
+
+def test_store_health_counts_brownout_as_half():
+    stores = _stores(2)
+    stores["s0"].set_brownout(latency_factor=10.0)
+    assert store_health_of(stores, None) == pytest.approx(0.75)
+
+
+def test_store_health_empty_fleet_reads_healthy():
+    # health measures degradation of what exists; an empty neighborhood
+    # is NoSwapDeviceError's problem, not a pressure signal
+    assert store_health_of([], None) == 1.0
+
+
+def test_signal_describe_is_readable():
+    signal = classify(0.12, 0.5, 0.9)
+    text = signal.describe()
+    assert "headroom" in text
+    assert signal.level.name.lower() in text.lower()

@@ -1,0 +1,158 @@
+"""Store churn while delta chains are in flight.
+
+``detach_store`` / ``attach_store`` arrive between a chain's base ship
+and its next delta: the manager must not delta-ship against a base the
+neighborhood no longer holds.  Losing the base mid-chain falls back to
+a full payload on a surviving store, and the placement ledger stays
+consistent with what the devices actually hold throughout.
+"""
+
+from repro.core.fastpath import FastPathConfig
+from repro.core.space import Space
+from repro.devices import InMemoryStore
+from repro.faults import FaultInjector, FaultPlan, FlakyStore
+from repro.resilience import ResilienceConfig
+from tests.helpers import build_chain, chain_values
+
+
+def _space(n_stores=3, factor=1):
+    space = Space("chain-churn", heap_capacity=1 << 20)
+    injector = FaultInjector(FaultPlan.empty(), clock=space.clock)
+    stores = [
+        FlakyStore(InMemoryStore(f"s{i}"), injector) for i in range(n_stores)
+    ]
+    for store in stores:
+        space.manager.add_store(store)
+    space.manager.enable_resilience(
+        ResilienceConfig(replication_factor=factor)
+    )
+    space.manager.enable_fastpath(
+        FastPathConfig(delta=True, delta_max_ratio=8.0)
+    )
+    return space, stores
+
+
+def _mutate(space, sid, bump=100):
+    cluster = space.clusters()[sid]
+    oid = sorted(cluster.oids)[0]
+    space._objects[oid].value += bump
+
+
+def _start_chain(space, sid):
+    """Base ship + one delta: the chain is now genuinely in flight."""
+    space.swap_out(sid)
+    space.swap_in(sid)
+    _mutate(space, sid)
+    space.swap_out(sid)
+    assert space.manager.stats.fastpath_delta_ships == 1
+    space.swap_in(sid)
+
+
+def _base_holder(space, stores, sid):
+    # the cluster is resident (chain in flight): the store expected to
+    # hold the chain tip is the fast path's retained holder
+    _key, retained = space.manager.fastpath.retained[sid]
+    return retained[0]
+
+
+def test_detaching_the_base_holder_mid_chain_forces_a_full_ship():
+    space, stores = _space()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    holder = _base_holder(space, stores, 2)
+
+    space.manager.detach_store(holder, dead=True)
+
+    _mutate(space, 2)
+    space.swap_out(2)
+    # no surviving store holds the chain tip: the delta path must not
+    # apply — the payload went out whole, to a different device
+    assert space.manager.stats.fastpath_delta_ships == 1
+    record = space.manager.resilience.placement.get(2)
+    assert holder.device_id not in record.active()
+    assert record.live_count == 1
+
+    space.swap_in(2)  # both mutations survived the churn
+    assert sorted(v % 100 for v in chain_values(handle)) == list(range(10))
+    assert max(chain_values(handle)) >= 200
+    space.verify_integrity()
+
+
+def test_planned_departure_mid_chain_marks_suspect_and_reships_full():
+    space, stores = _space()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    holder = _base_holder(space, stores, 2)
+
+    space.manager.detach_store(holder, dead=False)
+
+    placement = space.manager.resilience.placement
+    _mutate(space, 2)
+    space.swap_out(2)
+    assert space.manager.stats.fastpath_delta_ships == 1  # full, not delta
+    record = placement.get(2)
+    assert record.live_count >= 1
+    assert all(device != holder.device_id for device in record.active())
+    space.swap_in(2)
+    space.verify_integrity()
+
+
+def test_rejoin_after_departure_does_not_resurrect_the_stale_base():
+    space, stores = _space()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    holder = _base_holder(space, stores, 2)
+
+    space.manager.detach_store(holder, dead=False)
+    _mutate(space, 2)
+    space.swap_out(2)  # full ship to a survivor while the holder is away
+    space.swap_in(2)
+
+    space.manager.attach_store(holder)  # the device walks back in
+
+    # the rejoined store's copy is one epoch behind; the ledger must not
+    # route the next swap-in (or a delta) through it blindly
+    _mutate(space, 2)
+    space.swap_out(2)
+    space.swap_in(2)
+    assert max(chain_values(handle)) >= 300
+    assert sorted(v % 100 for v in chain_values(handle)) == list(range(10))
+    space.verify_integrity()
+
+
+def test_chain_survives_losing_every_holder_but_one_with_mirrors():
+    space, stores = _space(n_stores=4, factor=3)
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+
+    _key, retained = space.manager.fastpath.retained[2]
+    for gone in retained[1:]:
+        space.manager.detach_store(gone, dead=True)
+
+    _mutate(space, 2)
+    space.swap_out(2)
+    record = space.manager.resilience.placement.get(2)
+    assert record.live_count >= 1
+    space.swap_in(2)
+    assert max(chain_values(handle)) >= 200
+    space.verify_integrity()
+
+
+def test_ledger_applied_epochs_track_full_fallback_after_churn():
+    space, stores = _space()
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    holder = _base_holder(space, stores, 2)
+    space.manager.detach_store(holder, dead=True)
+
+    _mutate(space, 2)
+    space.swap_out(2)
+    record = space.manager.resilience.placement.get(2)
+    cluster = space.clusters()[2]
+    for device_id in record.active():
+        # every live copy the ledger claims must sit at the new epoch —
+        # a stale applied_epoch would invite a delta against a base the
+        # fleet no longer agrees on
+        assert record.applied_epochs[device_id] == cluster.epoch
+    space.swap_in(2)
+    space.verify_integrity()

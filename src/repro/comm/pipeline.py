@@ -21,6 +21,21 @@ synchronization point before anything *reads* from the stores.
 Two operations on the *same* physical link never overlap: per-link busy
 times serialize them even across different channels, so the model never
 pretends one radio can transmit two payloads at once.
+
+Every ``channel`` context yields a :class:`ChannelSlot` describing the
+window the operation occupied ([start_s, end_s] on the simulated
+timeline, plus a failure flag).  Callers that do not care simply ignore
+the yield; the async swap scheduler (:mod:`repro.core.sched`) reads it
+to place op completions on its clock-ordered queue.
+
+A transfer that *fails* mid-flight (the body raises out of the channel
+context) still blocks its channel and physical link until the moment of
+failure — the radio really was busy — but the window is accounted as
+``failed_s``/``failed_transfers`` rather than useful ``serial_s``, and
+the seconds it charged to the link are mirrored into
+``LinkStats.seconds_failed`` so the pressure classifier's
+link-saturation input can exclude them (see
+:func:`repro.policy.pressure.links_busy_seconds`).
 """
 
 from __future__ import annotations
@@ -37,20 +52,47 @@ from repro.comm.transport import SimulatedLink
 class PipelineStats:
     """What pipelining did, in simulated seconds."""
 
-    #: link operations run on a channel
+    #: link operations run on a channel (successful or failed)
     transfers: int = 0
     #: :meth:`TransferScheduler.drain` calls that had in-flight work
     barriers: int = 0
-    #: total channel occupancy — what a serial schedule would have
-    #: charged to the global clock
+    #: total channel occupancy of *successful* operations — what a
+    #: serial schedule would have charged to the global clock
     serial_s: float = 0.0
     #: what the drains actually advanced the global clock by
     pipelined_s: float = 0.0
+    #: channel operations whose body raised (interrupted ships)
+    failed_transfers: int = 0
+    #: channel occupancy of those failed operations — busy radio time
+    #: that bought nothing durable
+    failed_s: float = 0.0
+    #: bookings whose unelapsed tail was reclaimed mid-flight (a demand
+    #: transfer preempted a speculative one on the same radio)
+    cancelled_transfers: int = 0
+    #: simulated seconds those cancellations gave back to their links
+    cancelled_s: float = 0.0
 
     @property
     def saved_s(self) -> float:
         """Simulated seconds the overlap removed from the critical path."""
         return max(0.0, self.serial_s - self.pipelined_s)
+
+
+@dataclass
+class ChannelSlot:
+    """The simulated-time window one channel operation occupied."""
+
+    start_s: float = 0.0
+    end_s: float = 0.0
+    #: True when the operation raised out of the channel context.
+    failed: bool = False
+    #: which channel carried the window (None when the operation ran
+    #: inline, outside the scheduler) — needed to cancel its remainder
+    channel_index: Optional[int] = None
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
 
 
 class TransferScheduler:
@@ -81,40 +123,126 @@ class TransferScheduler:
                 return None
         return link if isinstance(link, SimulatedLink) else None
 
+    def link_free_at(self, link: Any) -> float:
+        """When ``link``'s physical radio is next idle (simulated seconds).
+
+        Unknown/unschedulable links read as free immediately.
+        """
+        target = self._underlying(link)
+        if target is None:
+            return self.clock.now()
+        return max(self.clock.now(), self._link_free.get(id(target), 0.0))
+
+    def idle_channel_at(self, when: float) -> bool:
+        """True when some channel is free at simulated time ``when``."""
+        return any(free <= when for free in self._channel_free)
+
+    def next_channel_free(self) -> float:
+        """Earliest simulated time any channel is idle (= now when one
+        already is) — the admission point for backpressure pacing."""
+        return max(self.clock.now(), min(self._channel_free))
+
     @contextmanager
-    def channel(self, link: Any) -> Iterator[None]:
+    def channel(
+        self, link: Any, not_before: float = 0.0
+    ) -> Iterator[ChannelSlot]:
         """Run the enclosed link operations concurrently on a free channel.
 
         The operations execute immediately (results and failures are
         synchronous as ever); only their *time* is scheduled onto the
         channel instead of the global clock.  Links the scheduler cannot
-        model (loopback, no link at all) simply run inline.
+        model (loopback, no link at all) simply run inline.  The yielded
+        :class:`ChannelSlot` carries the operation's scheduled window;
+        ``not_before`` delays the window start (sequencing failover
+        attempts of one logical op across different links).
         """
+        slot = ChannelSlot()
         target = self._underlying(link)
         if target is None or target.clock is not self.clock:
             # unknown link, or one already running on a shadow clock
             # (nested channel) — run inline rather than double-schedule
-            yield
+            slot.start_s = self.clock.now()
+            try:
+                yield slot
+            except BaseException:
+                slot.end_s = self.clock.now()
+                slot.failed = True
+                raise
+            slot.end_s = self.clock.now()
             return
         index = min(
             range(self.channels), key=lambda i: self._channel_free[i]
         )
+        slot.channel_index = index
         start = max(
             self.clock.now(),
+            not_before,
             self._channel_free[index],
             self._link_free.get(id(target), 0.0),
         )
         shadow = SimulatedClock(start)
         target.clock = shadow
+        slot.start_s = start
+        charged_before = target.stats.seconds_charged
+        failed = False
         try:
-            yield
+            yield slot
+        except BaseException:
+            failed = True
+            raise
         finally:
             target.clock = self.clock
             end = shadow.now()
+            slot.end_s = end
+            slot.failed = failed
             self.stats.transfers += 1
-            self.stats.serial_s += end - start
             self._channel_free[index] = end
             self._link_free[id(target)] = end
+            if failed:
+                # the radio was busy until the failure, but the window
+                # is waste, not useful serial work: account it apart and
+                # mirror the charged seconds so saturation readings can
+                # exclude them
+                self.stats.failed_transfers += 1
+                self.stats.failed_s += end - start
+                target.stats.seconds_failed += (
+                    target.stats.seconds_charged - charged_before
+                )
+            else:
+                self.stats.serial_s += end - start
+
+    def cancel_remainder(self, link: Any, slot: ChannelSlot, at: float) -> float:
+        """Abort the unelapsed tail of a booked window at time ``at``.
+
+        A radio can stop transmitting: when a demand transfer needs a
+        link still booked by a speculative one, the speculation's
+        remaining window is given back.  The head of the window (radio
+        time already spent before ``at``) stays burnt — bytes cannot be
+        unsent — and is reclassified like an interrupted ship so
+        saturation readings exclude it.  Returns the seconds refunded;
+        0.0 when the transfer already finished or later traffic stacked
+        behind it (the window can no longer be reclaimed).
+        """
+        target = self._underlying(link)
+        if target is None or slot.channel_index is None:
+            return 0.0
+        cut = max(at, slot.start_s)
+        refund = slot.end_s - cut
+        if refund <= 0.0:
+            return 0.0
+        if self._link_free.get(id(target)) != slot.end_s:
+            return 0.0  # a later booking stacked on the radio: too late
+        if self._channel_free[slot.channel_index] != slot.end_s:
+            return 0.0  # the channel was rebooked past this window
+        self._link_free[id(target)] = cut
+        self._channel_free[slot.channel_index] = cut
+        window = slot.end_s - slot.start_s
+        self.stats.cancelled_transfers += 1
+        self.stats.cancelled_s += refund
+        self.stats.serial_s -= window
+        self.stats.failed_s += cut - slot.start_s
+        target.stats.seconds_failed += window
+        return refund
 
     def in_flight(self) -> bool:
         """True when some scheduled transfer ends after the global now."""

@@ -95,6 +95,12 @@ class LinkStats:
     frames: int = 0
     bytes_carried: int = 0
     seconds_charged: float = 0.0
+    #: Seconds charged inside channel windows whose operation ultimately
+    #: failed (a ship interrupted mid-payload).  The radio was busy, but
+    #: the time bought nothing durable — pressure's link-saturation input
+    #: (:func:`repro.policy.pressure.links_busy_seconds`) excludes it so
+    #: retried ships do not double-count into permanent saturation.
+    seconds_failed: float = 0.0
 
 
 class LoopbackLink:

@@ -190,6 +190,10 @@ class SwappingManager:
         #: Optional degrade ladder (see :mod:`repro.core.degrade`).
         #: ``None`` = no pressure assessment anywhere on the hot path.
         self.ladder: Optional[Any] = None
+        #: Optional event-driven swap scheduler (see
+        #: :mod:`repro.core.sched`).  ``None`` = the classic blocking
+        #: fault path.
+        self.sched: Optional[Any] = None
         #: Temporary replication-target override (the COMPRESS_LOCAL
         #: rung hibernates exactly one copy into the pool).
         self._replicas_override: Optional[int] = None
@@ -291,6 +295,53 @@ class SwappingManager:
         if self.ladder is not None and self.ladder.config.install_selector:
             self.victim_selector = lru_victim
         self.ladder = None
+
+    # -- async scheduler ---------------------------------------------------------
+
+    def enable_async_scheduler(
+        self,
+        config: Optional[Any] = None,
+        *,
+        channels: Optional[int] = None,
+        prefetch: Optional[bool] = None,
+        prefetch_depth: Optional[int] = None,
+    ) -> Any:
+        """Turn on event-driven asynchronous swap scheduling (see
+        :mod:`repro.core.sched`): demand fetches, speculative prefetches
+        and victim write-back become scheduled ops on transfer channels,
+        and the fault path stalls only for time not hidden behind other
+        in-flight work.
+
+        The keyword shortcuts overlay the config:
+        ``enable_async_scheduler(channels=1, prefetch=False)`` is the
+        serial mode that is bit-identical to the legacy blocking path.
+        Calling again replaces the scheduler (fresh op ledger and
+        prefetch history) with the new config.
+        """
+        from repro.core.sched import AsyncSchedConfig, AsyncSwapScheduler
+
+        config = config if config is not None else AsyncSchedConfig()
+        overrides: Dict[str, Any] = {}
+        if channels is not None:
+            overrides["channels"] = channels
+        if prefetch is not None:
+            overrides["prefetch"] = prefetch
+        if prefetch_depth is not None:
+            overrides["prefetch_depth"] = prefetch_depth
+        if overrides:
+            config = replace(config, **overrides)
+        self.sched = AsyncSwapScheduler(self, config)
+        return self.sched
+
+    def disable_async_scheduler(self) -> None:
+        """Back to the blocking fault path.
+
+        In-flight op windows are drained first, so simulated reality
+        owes nothing when the scheduler goes away.
+        """
+        if self.sched is not None:
+            self.sched.drain()
+            self.sched = None
 
     # -- observability -----------------------------------------------------------
 
@@ -832,7 +883,7 @@ class SwappingManager:
                     try:
                         with self._obs_span(
                             "swap.out.delta.store", device=holder.device_id
-                        ), self._channel(holder):
+                        ), self._channel(holder, kind="delta"):
                             if resilience is None:
                                 ship()
                             else:
@@ -951,8 +1002,16 @@ class SwappingManager:
         )
         return location
 
-    def _channel(self, holder: Any):
-        """A scheduler channel for ``holder``'s link (no-op when serial)."""
+    def _channel(self, holder: Any, kind: str = "ship"):
+        """A scheduler channel for ``holder``'s link (no-op when serial).
+
+        With the async scheduler active the ship rides its channel pool
+        as a SHIP/DELTA-SHIP op (and, in serial mode, delegates back to
+        exactly the legacy behavior); otherwise the fast path's own
+        pipeline scheduler — or plain inline execution — applies.
+        """
+        if self.sched is not None:
+            return self.sched.ship_channel(holder, kind)
         fastpath = self.fastpath
         scheduler = fastpath.scheduler if fastpath is not None else None
         if scheduler is None:
@@ -1300,6 +1359,10 @@ class SwappingManager:
         cluster.replacement = replacement
         cluster.swap_out_count += 1
         self._bindings[sid] = stored_on
+        if self.sched is not None:
+            # any speculative payload buffered for this cluster predates
+            # the epoch that just shipped: it can never be consumed
+            self.sched.invalidate(sid, "swap-out")
         return bytes_freed
 
     # -- swap-in ---------------------------------------------------------------------
@@ -1354,51 +1417,39 @@ class SwappingManager:
                 xml_text = cached
                 self.stats.swapin_cache_hits += 1
                 root_span.set_tag("source", "cache")
-            for attempt_index, holder in enumerate(
-                holders if xml_text is None else []
-            ):
-                fetch_span = self._obs_span(
-                    "swap.in.fetch", device=holder.device_id
-                )
-                try:
-                    with fetch_span:
-                        candidate = self._fetch_verified(holder, location, sid)
-                except CorruptPayloadError as exc:
-                    corrupt = CodecError(str(exc))
-                    fetch_errors.append(f"{holder.device_id}: digest mismatch")
-                    corrupt_holders.append(holder)
-                    self._quarantine_corrupt(sid, holder, location)
-                    continue
-                except RetryExhaustedError as exc:
-                    if isinstance(exc.__cause__, CorruptPayloadError):
-                        corrupt = CodecError(str(exc.__cause__))
-                        fetch_errors.append(
-                            f"{holder.device_id}: digest mismatch"
-                        )
-                        corrupt_holders.append(holder)
-                        self._quarantine_corrupt(sid, holder, location)
-                    else:
-                        fetch_errors.append(f"{holder.device_id}: {exc}")
-                    continue
-                except (TransportError, UnknownKeyError) as exc:
-                    fetch_errors.append(f"{holder.device_id}: {exc}")
-                    continue
-                xml_text = candidate
-                root_span.set_tag("source", holder.device_id)
-                if attempt_index > 0:
-                    root_span.set_tag("failover", True)
-                    self.stats.mirror_failovers += 1
-                    if resilience is not None:
-                        space.bus.emit(
-                            SwapFailoverEvent(
-                                space=space.name,
-                                sid=sid,
-                                operation="swap-in",
-                                from_device=holders[0].device_id,
-                                to_device=holder.device_id,
-                            )
-                        )
-                break
+            if xml_text is None and self.sched is not None:
+                (
+                    xml_text,
+                    source_device,
+                    attempt_index,
+                    fetch_errors,
+                    corrupt,
+                    corrupt_holders,
+                ) = self.sched.acquire(sid, location, holders, root_span)
+                if xml_text is not None:
+                    self._note_swapin_source(
+                        sid, holders, source_device, attempt_index, root_span
+                    )
+            elif xml_text is None:
+                for attempt_index, holder in enumerate(holders):
+                    candidate, error, corrupt_exc = self._fetch_one(
+                        holder, location, sid
+                    )
+                    if candidate is None:
+                        fetch_errors.append(error)
+                        if corrupt_exc is not None:
+                            corrupt = corrupt_exc
+                            corrupt_holders.append(holder)
+                        continue
+                    xml_text = candidate
+                    self._note_swapin_source(
+                        sid,
+                        holders,
+                        holder.device_id,
+                        attempt_index,
+                        root_span,
+                    )
+                    break
             if xml_text is None:
                 if corrupt is not None and all(
                     "digest" in message for message in fetch_errors
@@ -1465,6 +1516,10 @@ class SwappingManager:
             cluster.swap_in_count += 1
             self.stats.swap_ins += 1
             self.stats.bytes_restored += total
+            if self.sched is not None:
+                # decode + install + proxy patch is the RELOAD-VERIFY
+                # stage of the op — pure CPU, completes at the instant
+                self.sched.note_reload(sid)
 
             if corrupt_holders:
                 # a corrupt copy must never be retained for fast-path
@@ -1503,12 +1558,17 @@ class SwappingManager:
                     )
                     if location.key not in stale:
                         stale.insert(0, location.key)
-                    for stale_key in stale:
-                        for holder in holders:
-                            try:
-                                holder.drop(stale_key)
-                            except (TransportError, UnknownKeyError):
-                                pass  # stale copies are harmless; epochs prevent reuse
+                    if self.sched is not None and self.sched.defer_drops(
+                        sid, stale, list(holders)
+                    ):
+                        pass  # invalidations ride the transfer channels
+                    else:
+                        for stale_key in stale:
+                            for holder in holders:
+                                try:
+                                    holder.drop(stale_key)
+                                except (TransportError, UnknownKeyError):
+                                    pass  # stale copies are harmless; epochs prevent reuse
             if fastpath is not None:
                 fastpath.cache.put(location.digest, xml_text)
                 # the replicas were just decoded from this payload: the
@@ -1614,6 +1674,66 @@ class SwappingManager:
             op_name="fetch",
             retry_on=(TransportError, CorruptPayloadError),
         )
+
+    def _fetch_one(
+        self, holder: SwapStore, location: SwapLocation, sid: Sid
+    ) -> tuple[Optional[str], Optional[str], Optional[CodecError]]:
+        """One demand-fetch attempt against one holder.
+
+        Wraps :meth:`_fetch_verified` with the per-attempt span, the
+        corrupt-copy quarantine, and the error-message formatting shared
+        by the legacy blocking loop and the async scheduler's FETCH ops.
+        Returns ``(text, error, corrupt)``: exactly one of ``text`` /
+        ``error`` is set; ``corrupt`` carries the digest-mismatch
+        exception when that is what failed the attempt.
+        """
+        fetch_span = self._obs_span("swap.in.fetch", device=holder.device_id)
+        try:
+            with fetch_span:
+                return self._fetch_verified(holder, location, sid), None, None
+        except CorruptPayloadError as exc:
+            self._quarantine_corrupt(sid, holder, location)
+            return (
+                None,
+                f"{holder.device_id}: digest mismatch",
+                CodecError(str(exc)),
+            )
+        except RetryExhaustedError as exc:
+            if isinstance(exc.__cause__, CorruptPayloadError):
+                self._quarantine_corrupt(sid, holder, location)
+                return (
+                    None,
+                    f"{holder.device_id}: digest mismatch",
+                    CodecError(str(exc.__cause__)),
+                )
+            return None, f"{holder.device_id}: {exc}", None
+        except (TransportError, UnknownKeyError) as exc:
+            return None, f"{holder.device_id}: {exc}", None
+
+    def _note_swapin_source(
+        self,
+        sid: Sid,
+        holders: List[SwapStore],
+        device_id: str,
+        attempt_index: int,
+        root_span: Any,
+    ) -> None:
+        """Record where a swap-in payload came from (failover included)."""
+        root_span.set_tag("source", device_id)
+        if attempt_index > 0:
+            root_span.set_tag("failover", True)
+            self.stats.mirror_failovers += 1
+            if self.resilience is not None:
+                space = self._space
+                space.bus.emit(
+                    SwapFailoverEvent(
+                        space=space.name,
+                        sid=sid,
+                        operation="swap-in",
+                        from_device=holders[0].device_id,
+                        to_device=device_id,
+                    )
+                )
 
     def recover_journal(self) -> int:
         """Clean up after interrupted swap-outs; returns entries recovered.
@@ -1867,7 +1987,10 @@ class SwappingManager:
         ladder = self.ladder
         started = space.clock.now()
         if ladder is not None:
-            ladder.update()
+            rung = ladder.update()
+            if self.sched is not None:
+                # rising pressure reclaims speculative buffers first
+                self.sched.on_pressure(int(rung))
         freed = 0
         while not space.heap.would_fit(need_bytes):
             victim = self.victim_selector(space)
@@ -2005,6 +2128,8 @@ class SwappingManager:
         space = self._space
         location = cluster.location
         holders = self._bindings.pop(cluster.sid, [])
+        if self.sched is not None:
+            self.sched.invalidate(cluster.sid, "dropped")
         if self.resilience is not None:
             self.resilience.placement.forget(cluster.sid)
         if location is not None:

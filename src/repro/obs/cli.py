@@ -235,6 +235,8 @@ def _numeric_leaves(value: Any, prefix: str = "") -> Dict[str, float]:
 
 def _print_diff(current: Dict[str, float], baseline: Dict[str, float],
                 indent: str = "  ") -> None:
+    from repro.bench.report import is_wall_path, within_wall_jitter
+
     for path in sorted(set(current) | set(baseline)):
         new = current.get(path)
         old = baseline.get(path)
@@ -247,7 +249,14 @@ def _print_diff(current: Dict[str, float], baseline: Dict[str, float],
                 change = f"{(new - old) / abs(old) * 100.0:+.1f}%"
             else:
                 change = "+0.0%" if new == old else "(was 0)"
-            marker = "" if new == old else "  *"
+            if new == old:
+                marker = ""
+            elif is_wall_path(path) and within_wall_jitter(old, new):
+                # real-time readings jitter with the host; inside the
+                # tolerance the change is noise, not a regression
+                marker = "  ~"
+            else:
+                marker = "  *"
             print(
                 f"{indent}{path:<28} {old:>14.4g} -> {new:<14.4g} "
                 f"{change}{marker}"

@@ -238,6 +238,57 @@ class Observability:
             self.metrics.gauge("link.pipeline.saved_s").set(
                 pipeline.saved_s
             )
+        sched = getattr(self._manager, "sched", None)
+        if sched is not None:
+            sstats = sched.stats
+            self.metrics.gauge("sched.queue.depth").set(len(sched.queue))
+            self.metrics.counter("sched.queue.max_depth").set_to(
+                sstats.max_queue_depth
+            )
+            self.metrics.counter("sched.ops.issued").set_to(sstats.ops_issued)
+            self.metrics.counter("sched.fetch.demand").set_to(
+                sstats.demand_fetches
+            )
+            self.metrics.gauge("sched.inflight.fetches").set(
+                sched.in_flight_fetches()
+            )
+            self.metrics.counter("sched.writeback.ships").set_to(
+                sstats.writebacks
+            )
+            self.metrics.counter("sched.drops.stale").set_to(
+                sstats.stale_drops
+            )
+            self.metrics.counter("sched.prefetch.issued").set_to(
+                sstats.prefetch_issued
+            )
+            self.metrics.counter("sched.prefetch.hits").set_to(
+                sstats.prefetch_hits
+            )
+            self.metrics.counter("sched.prefetch.waste").set_to(
+                sstats.prefetch_waste
+            )
+            self.metrics.counter("sched.prefetch.cancelled").set_to(
+                sstats.prefetch_cancelled
+            )
+            self.metrics.counter("sched.prefetch.preempted").set_to(
+                sstats.prefetch_preempted
+            )
+            self.metrics.counter("sched.prefetch.demoted").set_to(
+                sstats.prefetch_demoted
+            )
+            self.metrics.gauge("sched.stall.demand_s").set(
+                sstats.demand_stall_s
+            )
+            self.metrics.gauge("sched.stall.hit_s").set(sstats.hit_stall_s)
+            self.metrics.gauge("sched.stall.backpressure_s").set(
+                sstats.backpressure_stall_s
+            )
+            self.metrics.gauge("sched.stall.saved_s").set(
+                sstats.stall_saved_s
+            )
+            self.metrics.gauge("sched.overlap.ratio").set(
+                sched.overlap_ratio()
+            )
         ladder = getattr(self._manager, "ladder", None)
         if ladder is not None:
             signal = ladder.signal

@@ -160,16 +160,26 @@ def store_health_of(stores: Iterable[Any], placement: Any = None) -> float:
 
 
 def links_busy_seconds(stores: Iterable[Any]) -> float:
-    """Total simulated seconds the stores' links have spent transferring.
+    """Total simulated seconds the stores' links have spent transferring
+    *usefully*.
 
     Deltas of this figure over elapsed simulated time are the link-
     saturation input to :func:`classify`.  Stores without a link (the
-    compressed pool, loopback test doubles) contribute nothing.
+    compressed pool, loopback test doubles) contribute nothing.  Seconds
+    charged by channel transfers that failed mid-flight
+    (``LinkStats.seconds_failed``) are excluded: a ship that dies
+    half-way gets retried, and counting both the doomed window and the
+    retry would permanently over-report saturation for work the link
+    never completed.
     """
     busy = 0.0
     for store in stores:
         link = getattr(store, "link", None)
         stats = getattr(link, "stats", None)
         if stats is not None:
-            busy += getattr(stats, "seconds_charged", 0.0)
+            busy += max(
+                0.0,
+                getattr(stats, "seconds_charged", 0.0)
+                - getattr(stats, "seconds_failed", 0.0),
+            )
     return busy

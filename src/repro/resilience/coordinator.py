@@ -153,10 +153,14 @@ class Resilience:
             record = self.health.of(device_id)
             link = getattr(holder, "link", None)
             latency = getattr(link, "latency_s", 0.0) if link is not None else 0.0
+            observed = record.total_failures + record.total_successes
+            # failure *rate*, matching plan_placement: a net-success
+            # score would rank busy stores above quiet healthy ones and
+            # scramble the stable holder order the bindings establish
             return (
                 0 if record.admits(now) else 1,
                 record.consecutive_failures,
-                record.total_failures - record.total_successes,
+                record.total_failures / observed if observed else 0.0,
                 latency,
             )
 

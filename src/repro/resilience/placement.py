@@ -274,12 +274,17 @@ def plan_placement(
             continue
         if health is not None:
             record = health.of(device_id)
+            observed = record.total_failures + record.total_successes
+            # rank by failure *rate*, not net count: a net-success score
+            # makes the first stores ever used outrank idle ones forever
+            # (rich-get-richer), funnelling every replica onto the same
+            # few radios while the rest of the fleet sits dark
             rank = (
                 record.consecutive_failures,
-                record.total_failures - record.total_successes,
+                record.total_failures / observed if observed else 0.0,
             )
         else:
-            rank = (0, 0)
+            rank = (0, 0.0)
         free = getattr(store, "free", None)
         admitted.append(((rank, -(free if free is not None else 1 << 62)), store))
     admitted.sort(key=lambda item: item[0])

@@ -177,3 +177,113 @@ def test_loopback_link_matches_the_simulated_link_protocol():
     assert link.stats.bytes_carried == 200
     assert link.bytes_carried == 200  # historical alias still works
     assert seen == [(100, 0.0), (100, 0.0)]
+
+
+# -- mid-flight failure accounting -----------------------------------------
+
+
+def test_failed_transfer_blocks_the_radio_but_counts_as_waste():
+    clock = SimulatedClock()
+    scheduler = TransferScheduler(clock, channels=2)
+    link = _link(clock)
+
+    with pytest.raises(RuntimeError):
+        with scheduler.channel(link) as slot:
+            link.transfer(1000)  # 1s of radio time spent before the crash
+            raise RuntimeError("mid-flight failure")
+
+    assert slot.failed
+    assert slot.duration_s == pytest.approx(1.0)
+    assert scheduler.stats.failed_transfers == 1
+    assert scheduler.stats.failed_s == pytest.approx(1.0)
+    assert scheduler.stats.serial_s == 0.0  # waste is not useful work
+    # the radio really was busy: the next transfer on the same link
+    # queues behind the doomed window
+    with scheduler.channel(link):
+        link.transfer(1000)
+    assert scheduler.drain() == pytest.approx(2.0)
+
+
+def test_failed_seconds_are_mirrored_and_excluded_from_saturation():
+    from repro.policy.pressure import links_busy_seconds
+
+    class _Store:
+        def __init__(self, link):
+            self.link = link
+
+    clock = SimulatedClock()
+    scheduler = TransferScheduler(clock, channels=2)
+    link = _link(clock)
+    store = _Store(link)
+
+    with scheduler.channel(link):
+        link.transfer(1000)  # 1s useful
+    with pytest.raises(RuntimeError):
+        with scheduler.channel(link):
+            link.transfer(2000)  # 2s doomed
+            raise RuntimeError("interrupted ship")
+
+    assert link.stats.seconds_charged == pytest.approx(3.0)
+    assert link.stats.seconds_failed == pytest.approx(2.0)
+    # the saturation input sees only the useful second: counting the
+    # doomed window and its retry would double-charge the link
+    assert links_busy_seconds([store]) == pytest.approx(1.0)
+
+
+# -- mid-flight cancellation (demand preempting speculation) ---------------
+
+
+def test_cancel_remainder_refunds_the_unelapsed_tail():
+    clock = SimulatedClock()
+    scheduler = TransferScheduler(clock, channels=2)
+    link = _link(clock)
+
+    with scheduler.channel(link) as slot:
+        link.transfer(4000)  # books [0, 4] on the radio
+    refund = scheduler.cancel_remainder(link, slot, at=1.0)
+
+    assert refund == pytest.approx(3.0)
+    # the head of the window stays burnt (bytes cannot be unsent), the
+    # tail goes back: the radio frees at the cut
+    assert scheduler.link_free_at(link) == pytest.approx(1.0)
+    assert scheduler.stats.cancelled_transfers == 1
+    assert scheduler.stats.cancelled_s == pytest.approx(3.0)
+    assert scheduler.stats.serial_s == pytest.approx(0.0)
+    assert scheduler.stats.failed_s == pytest.approx(1.0)
+    # burnt seconds read as failed on the link, so saturation inputs
+    # exclude them like any interrupted ship
+    assert link.stats.seconds_failed == pytest.approx(4.0)
+
+
+def test_cancel_remainder_refuses_completed_windows():
+    clock = SimulatedClock()
+    scheduler = TransferScheduler(clock, channels=2)
+    link = _link(clock)
+    with scheduler.channel(link) as slot:
+        link.transfer(1000)
+    scheduler.drain()  # the transfer has fully elapsed
+    assert scheduler.cancel_remainder(link, slot, at=clock.now()) == 0.0
+    assert scheduler.stats.cancelled_transfers == 0
+
+
+def test_cancel_remainder_refuses_windows_with_traffic_stacked_behind():
+    clock = SimulatedClock()
+    scheduler = TransferScheduler(clock, channels=1)
+    link = _link(clock)
+    with scheduler.channel(link) as first:
+        link.transfer(2000)
+    with scheduler.channel(link):
+        link.transfer(2000)  # stacks behind the first on radio + channel
+    # the first window can no longer be reclaimed: a later booking
+    # already extends past its end
+    assert scheduler.cancel_remainder(link, first, at=0.5) == 0.0
+    assert scheduler.drain() == pytest.approx(4.0)
+
+
+def test_cancel_remainder_ignores_unschedulable_links():
+    clock = SimulatedClock()
+    scheduler = TransferScheduler(clock, channels=2)
+    loopback = LoopbackLink()
+    with scheduler.channel(loopback) as slot:
+        loopback.transfer(100)
+    assert scheduler.cancel_remainder(loopback, slot, at=0.0) == 0.0

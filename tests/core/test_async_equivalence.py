@@ -1,0 +1,137 @@
+"""Serial-mode equivalence: the scheduler must be invisible at channels=1.
+
+``enable_async_scheduler(channels=1, prefetch=False)`` routes every op
+through exactly the legacy blocking code path.  These property-style
+tests run the same seeded workload twice — once bare, once under the
+serial scheduler — and require byte-identical outcomes: every unified
+counter, the simulated clock, cluster epochs, heap occupancy, and the
+emitted event stream.  Any divergence means the scheduler leaked
+behavior into a mode that promises none.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.comm.transport import bluetooth_link
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+from repro.stats import counter_snapshot
+from tests.helpers import build_chain, chain_values
+
+
+def _run_workload(
+    *,
+    serial_sched: bool,
+    nodes: int = 30,
+    cluster_size: int = 5,
+    stores: int = 3,
+    clamp: int = 0,
+    resilience: bool = False,
+    replication: int = 1,
+    mutate_seed: int = 0,
+):
+    """One seeded walk; returns the full observable state fingerprint."""
+    clock = SimulatedClock()
+    space = Space("equiv", heap_capacity=1 << 20, clock=clock)
+    manager = space.manager
+    if resilience:
+        manager.enable_resilience()
+        manager.replication_factor = replication
+    for index in range(stores):
+        link = bluetooth_link(clock, name=f"bt-{index}")
+        manager.add_store(
+            XmlStoreDevice(f"p-{index}", capacity=1 << 20, link=link)
+        )
+    events = []
+    space.bus.subscribe_all(
+        lambda event: events.append((type(event).__name__, event.describe()))
+    )
+    handle = space.ingest(
+        build_chain(nodes), cluster_size=cluster_size, root_name="h"
+    )
+    for sid, cluster in sorted(space._clusters.items()):
+        if cluster.swappable() and cluster.oids:
+            manager.swap_out(sid)
+    if clamp:
+        space.heap.capacity = space.heap.used + clamp
+    if serial_sched:
+        manager.enable_async_scheduler(channels=1, prefetch=False)
+
+    values = chain_values(handle)
+    if mutate_seed:
+        # a second pass that dirties objects and re-walks: exercises
+        # re-ship, re-fetch and epoch bumps under the serial scheduler
+        rng = random.Random(mutate_seed)
+        cursor = handle
+        while cursor is not None:
+            if rng.random() < 0.3:
+                cursor.set_value(cursor.get_value() + 1000)
+            cursor = cursor.get_next()
+        values = chain_values(handle)
+
+    if manager.sched is not None:
+        manager.sched.drain()
+    return {
+        "values": values,
+        "clock": clock.now(),
+        "counters": counter_snapshot(manager.stats),
+        "epochs": {
+            str(sid): cluster.epoch
+            for sid, cluster in sorted(space._clusters.items())
+        },
+        "heap": space.heap.used,
+        "events": events,
+    }
+
+
+SHAPES = {
+    "plain-walk": {},
+    "evicting-walk": {"nodes": 40, "cluster_size": 4, "clamp": 400},
+    "replicated": {"resilience": True, "replication": 2},
+    "mutating-rewalk": {"mutate_seed": 7},
+    "evicting-replicated": {
+        "nodes": 40,
+        "cluster_size": 4,
+        "clamp": 400,
+        "resilience": True,
+        "replication": 2,
+    },
+}
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_serial_scheduler_is_bit_identical_to_legacy(shape):
+    legacy = _run_workload(serial_sched=False, **SHAPES[shape])
+    serial = _run_workload(serial_sched=True, **SHAPES[shape])
+    assert serial["values"] == legacy["values"]
+    assert serial["clock"] == legacy["clock"]
+    assert serial["counters"] == legacy["counters"]
+    assert serial["epochs"] == legacy["epochs"]
+    assert serial["heap"] == legacy["heap"]
+    assert serial["events"] == legacy["events"]
+
+
+def test_full_async_mode_preserves_results_but_not_the_clock():
+    """The async schedule may bend time, never data: same values, same
+    epoch structure, strictly no more stalled seconds."""
+    legacy = _run_workload(serial_sched=False)
+    clock = SimulatedClock()
+    space = Space("equiv", heap_capacity=1 << 20, clock=clock)
+    for index in range(3):
+        link = bluetooth_link(clock, name=f"bt-{index}")
+        space.manager.add_store(
+            XmlStoreDevice(f"p-{index}", capacity=1 << 20, link=link)
+        )
+    handle = space.ingest(build_chain(30), cluster_size=5, root_name="h")
+    for sid, cluster in sorted(space._clusters.items()):
+        if cluster.swappable() and cluster.oids:
+            space.manager.swap_out(sid)
+    sched = space.manager.enable_async_scheduler(channels=3, prefetch=True)
+    values = chain_values(handle)
+    sched.drain()
+    assert values == legacy["values"]
+    assert space.manager.stats.swap_ins == legacy["counters"]["swap.in.count"]

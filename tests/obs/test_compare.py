@@ -122,3 +122,47 @@ def test_compare_missing_nested_keys_stay_nonfatal(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "new_metric" in out
     assert "(new)" in out
+
+
+def _wall_report(wall, sim=3.0):
+    return {
+        "benchmark": "async_sched",
+        "scenarios": {
+            "async": {"sim_clock_s": sim, "wall_s": wall},
+        },
+        "reductions": {"p95_fault_stall": 2.5},
+    }
+
+
+def test_compare_marks_wall_jitter_with_a_tilde_not_a_star(tmp_path, capsys):
+    """Wall-clock readings jitter with the host: a change inside the
+    tolerance is flagged as noise (~), never as a regression (*)."""
+    current = _write(tmp_path, "cur.json", _wall_report(0.45))
+    baseline = _write(tmp_path, "base.json", _wall_report(0.40))
+    assert main(["report", current, "--compare", baseline]) == 0
+    out = capsys.readouterr().out
+    wall_row = next(line for line in out.splitlines() if "wall_s" in line)
+    assert wall_row.rstrip().endswith("~")
+    assert "*" not in wall_row
+
+
+def test_compare_still_stars_wall_changes_beyond_the_tolerance(
+    tmp_path, capsys
+):
+    current = _write(tmp_path, "cur.json", _wall_report(2.0))
+    baseline = _write(tmp_path, "base.json", _wall_report(0.4))
+    assert main(["report", current, "--compare", baseline]) == 0
+    out = capsys.readouterr().out
+    wall_row = next(line for line in out.splitlines() if "wall_s" in line)
+    assert wall_row.rstrip().endswith("*")
+
+
+def test_compare_simulated_time_changes_are_never_jitter(tmp_path, capsys):
+    """Only wall paths get the tolerance: a simulated-clock drift of the
+    same magnitude is a real, starred change."""
+    current = _write(tmp_path, "cur.json", _wall_report(0.4, sim=3.3))
+    baseline = _write(tmp_path, "base.json", _wall_report(0.4, sim=3.0))
+    assert main(["report", current, "--compare", baseline]) == 0
+    out = capsys.readouterr().out
+    sim_row = next(line for line in out.splitlines() if "sim_clock_s" in line)
+    assert sim_row.rstrip().endswith("*")

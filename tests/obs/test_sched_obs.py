@@ -1,0 +1,97 @@
+"""The ``sched.*`` meter family: async-scheduler state in the registry."""
+
+from __future__ import annotations
+
+from repro.comm.transport import bluetooth_link
+from repro.devices.store import XmlStoreDevice
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _sched_space(stores=3):
+    space = make_space("schedobs", with_store=False)
+    for index in range(stores):
+        link = bluetooth_link(clock=space.clock, name=f"bt{index}")
+        space.manager.add_store(
+            XmlStoreDevice(f"s{index}", capacity=1 << 20, link=link)
+        )
+    handle = space.ingest(build_chain(30), cluster_size=5, root_name="h")
+    for sid, cluster in sorted(space._clusters.items()):
+        if cluster.swappable() and cluster.oids:
+            space.manager.swap_out(sid)
+    return space, handle
+
+
+def test_refresh_publishes_the_sched_meter_family():
+    space, handle = _sched_space()
+    obs = space.manager.enable_observability()
+    sched = space.manager.enable_async_scheduler(channels=3, prefetch=True)
+    chain_values(handle)
+    sched.drain()
+    obs.refresh()
+
+    metrics = obs.metrics
+    assert metrics.counter("sched.ops.issued").value == sched.stats.ops_issued
+    assert (
+        metrics.counter("sched.fetch.demand").value
+        == sched.stats.demand_fetches
+    )
+    assert (
+        metrics.counter("sched.prefetch.issued").value
+        == sched.stats.prefetch_issued
+    )
+    assert (
+        metrics.counter("sched.prefetch.hits").value
+        == sched.stats.prefetch_hits
+    )
+    assert (
+        metrics.counter("sched.drops.stale").value == sched.stats.stale_drops
+    )
+    assert metrics.counter("sched.drops.stale").value > 0
+    assert (
+        metrics.counter("sched.prefetch.preempted").value
+        == sched.stats.prefetch_preempted
+    )
+    assert (
+        metrics.counter("sched.prefetch.demoted").value
+        == sched.stats.prefetch_demoted
+    )
+    assert metrics.gauge("sched.stall.demand_s").value == (
+        sched.stats.demand_stall_s
+    )
+    assert metrics.gauge("sched.stall.backpressure_s").value == (
+        sched.stats.backpressure_stall_s
+    )
+    assert 0.0 <= metrics.gauge("sched.overlap.ratio").value <= 1.0
+    assert metrics.gauge("sched.queue.depth").value == len(sched.queue)
+    assert (
+        metrics.counter("sched.queue.max_depth").value
+        == sched.stats.max_queue_depth
+    )
+
+
+def test_sched_meters_absent_without_the_scheduler():
+    space, handle = _sched_space()
+    obs = space.manager.enable_observability()
+    chain_values(handle)
+    obs.refresh()
+    assert "sched.ops.issued" not in obs.metrics.snapshot()
+
+
+def test_inflight_gauge_tracks_buffered_speculation():
+    space, handle = _sched_space()
+    obs = space.manager.enable_observability()
+    sched = space.manager.enable_async_scheduler(channels=3, prefetch=True)
+    _ = handle.get_value()  # one fault: speculation buffers behind it
+    obs.refresh()
+    assert (
+        obs.metrics.gauge("sched.inflight.fetches").value
+        == sched.in_flight_fetches()
+    )
+    assert obs.metrics.gauge("sched.inflight.fetches").value > 0
+    sched.on_pressure(rung=1)  # shed everything
+    obs.refresh()
+    assert obs.metrics.gauge("sched.inflight.fetches").value == 0
+    assert (
+        obs.metrics.counter("sched.prefetch.cancelled").value
+        == sched.stats.prefetch_cancelled
+    )

@@ -1,0 +1,54 @@
+"""Topology benchmark — sharded placement at fleet scale, under churn.
+
+Registers tens of thousands of cluster keys over a 60-store / 12-cell
+fleet through the real observer hooks, kills whole cells, and measures
+shard lookup cost, reparent latency, rebalance cost, and the headline
+claim: losing any one full cell loses zero clusters.  Writes
+``BENCH_topology.json``.
+
+Run:  pytest benchmarks/test_topology.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.topology import (
+    TopologyBenchConfig,
+    format_table,
+    run_topology_bench,
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
+
+
+def test_topology(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_topology_bench(TopologyBenchConfig.quick()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(report))
+    OUTPUT.write_text(report.to_json() + "\n", encoding="utf-8")
+
+    scale = report.scale
+    # routing stays O(1) as the key population grows 100x
+    assert scale.lookup_o1
+    # every shard's holders span cells: no single cell owns any cluster
+    assert scale.worst_cell_lost_clusters == 0
+    # the churn sweep actually reparented, and cheaply
+    assert scale.reparents > 0
+    assert scale.reparent_wall_ms_mean < 100.0
+    assert scale.rebalance_moves > 0
+
+    # real-data layer: every cell death recovered with nothing lost
+    assert len(report.integration) == report.config.it_cells
+    for result in report.integration:
+        assert result.clusters_lost == 0
+        assert result.swap_in_ok == result.clusters
+        assert result.reparents > 0
+        assert result.replicas_repaired > 0
+        assert result.fully_replicated == result.clusters  # back at full rf
+        assert result.recovery_s > 0.0  # repair traffic is not free
+    assert report.zero_loss

@@ -227,6 +227,11 @@ class DegradeLadder:
             else None
         )
         health = store_health_of(manager._stores, placement)
+        topology = getattr(manager, "topology", None)
+        if topology is not None:
+            # a dark cell is store-health pressure even when the per-store
+            # weights look fine (detached stores are no longer in _stores)
+            health = min(health, topology.live_cell_fraction())
         now = space.clock.now()
         busy = links_busy_seconds(manager._stores)
         if self._sample_time is None:

@@ -147,6 +147,11 @@ class ManagerStats:
     ladder_drop_clean: int = 0
     oom_kills: int = 0
     oom_kills_foreground: int = 0
+    # -- topology counters (all zero while topology is disabled) --
+    shard_reparents: int = 0
+    cell_outages: int = 0
+    cell_recoveries: int = 0
+    topology_rebuilds: int = 0
 
 
 class SwappingManager:
@@ -194,6 +199,9 @@ class SwappingManager:
         #: :mod:`repro.core.sched`).  ``None`` = the classic blocking
         #: fault path.
         self.sched: Optional[Any] = None
+        #: Optional sharded topology service (see :mod:`repro.topology`).
+        #: ``None`` = placement stays per-key via ``plan_placement``.
+        self.topology: Optional[Any] = None
         #: Temporary replication-target override (the COMPRESS_LOCAL
         #: rung hibernates exactly one copy into the pool).
         self._replicas_override: Optional[int] = None
@@ -343,6 +351,67 @@ class SwappingManager:
             self.sched.drain()
             self.sched = None
 
+    # -- topology ----------------------------------------------------------------
+
+    def enable_topology(
+        self,
+        config: Optional[Any] = None,
+        *,
+        shards: Optional[int] = None,
+        replicas: Optional[int] = None,
+    ) -> Any:
+        """Turn on the sharded topology service (see :mod:`repro.topology`):
+        the sid space is folded onto hash shards, each with a primary
+        store and replicas spread across cells (``placement_group``s),
+        per-cell replication records track every replica-set change, and
+        a dead/browned-out/detached primary is *reparented* to the
+        healthiest in-sync replica.
+
+        Requires the resilience pipeline (the topology elects by health
+        history and repairs through the scrubber); raises
+        :class:`~repro.errors.SwapError` otherwise.  The keyword
+        shortcuts overlay the config: ``enable_topology(shards=64)``.
+        Calling again replaces the service (fresh shard table and cell
+        records) with the new config.
+        """
+        from repro.topology import TopologyConfig, TopologyService
+
+        config = config if config is not None else TopologyConfig()
+        overrides: Dict[str, Any] = {}
+        if shards is not None:
+            overrides["shards"] = shards
+        if replicas is not None:
+            overrides["replicas_per_shard"] = replicas
+        if overrides:
+            config = replace(config, **overrides)
+        self.topology = TopologyService(self, config)
+        if self.resilience is not None:
+            self.resilience.placement.observer = self.topology
+        return self.topology
+
+    def disable_topology(self) -> None:
+        """Back to per-key health/anti-affinity planning."""
+        if self.topology is not None and self.resilience is not None:
+            if self.resilience.placement.observer is self.topology:
+                self.resilience.placement.observer = None
+        self.topology = None
+
+    def rebuild_topology(self) -> Dict[str, int]:
+        """Recover placement *and* topology after a crash or cell loss.
+
+        Extends :meth:`recover_placement`: first the per-key placement
+        ledger is rebuilt from the journal plus store inventory, then
+        the topology service reconstructs shard records and per-cell
+        replication records from the surviving cells and the same
+        inventory (see :meth:`repro.topology.TopologyService.rebuild`).
+        """
+        if self.topology is None:
+            raise SwapError("topology is not enabled; call enable_topology()")
+        recovered = self.recover_placement()
+        result = self.topology.rebuild()
+        result["placement_records"] = recovered
+        return result
+
     # -- observability -----------------------------------------------------------
 
     def enable_observability(
@@ -423,15 +492,28 @@ class SwappingManager:
         """First nearby store that admits ``nbytes`` of XML."""
         return self.select_stores(nbytes, 1)[0]
 
-    def select_stores(self, nbytes: int, count: int) -> List[SwapStore]:
+    def select_stores(
+        self, nbytes: int, count: int, *, sid: Optional[Sid] = None
+    ) -> List[SwapStore]:
         """Up to ``count`` distinct stores that admit ``nbytes`` each.
 
         At least one is required; extras are best-effort mirrors.  With
         resilience enabled, selection is placement-aware: healthier
         stores first, more free space first, and anti-affinity across
         ``placement_group``s (two replicas share a rack/owner only when
-        no other group has room).
+        no other group has room).  With topology enabled and a ``sid``
+        given, the cluster's shard routes instead — primary store first,
+        then the shard's cross-cell replicas — an O(1) lookup however
+        many clusters are swapped.
         """
+        if sid is not None and self.topology is not None:
+            chosen = self.topology.select_for(sid, nbytes, count)
+            if chosen:
+                return chosen
+            raise NoSwapDeviceError(
+                f"no shard holder or fallback store has room for "
+                f"{nbytes} bytes (sid {sid})"
+            )
         stores = self.available_stores()
         if self.resilience is not None:
             from repro.resilience.placement import plan_placement
@@ -1093,7 +1175,9 @@ class SwappingManager:
         )
         if store is None:
             try:
-                holders = self.select_stores(xml_bytes, self.target_replicas())
+                holders = self.select_stores(
+                    xml_bytes, self.target_replicas(), sid=sid
+                )
             except NoSwapDeviceError:
                 # with local degradation available an empty neighborhood
                 # is not fatal: fall through to the compressed pool
@@ -1922,6 +2006,12 @@ class SwappingManager:
                 affected_clusters=len(affected),
             )
         )
+        if self.topology is not None:
+            self.topology.on_store_removed(
+                device_id,
+                dead=dead,
+                reason="store died" if dead else "store detached",
+            )
         return affected
 
     def attach_store(self, store: SwapStore) -> None:
@@ -1935,6 +2025,8 @@ class SwappingManager:
         self.add_store(store)
         if self.resilience is not None:
             self.resilience.record_success(store.device_id)
+        if self.topology is not None:
+            self.topology.on_store_attached(store)
         self._space.bus.emit(
             StoreRejoinedEvent(space=self._space.name, device_id=store.device_id)
         )

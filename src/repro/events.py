@@ -460,6 +460,49 @@ class ClusterCollectedEvent(Event):
 
 
 # ---------------------------------------------------------------------------
+# Topology events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardReparentedEvent(Event):
+    """A shard's primary was re-pointed at the healthiest in-sync replica
+    (the old primary died, browned out, or was detached)."""
+
+    topic = "topology.shard.reparented"
+    space: str
+    shard_id: int
+    from_device: str
+    to_device: str
+    reason: str
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class CellDownEvent(Event):
+    """Every store in one cell (placement group) became unreachable at
+    once; its replication records are dark until it heals."""
+
+    topic = "topology.cell.down"
+    space: str
+    cell: str
+    stores: tuple
+    shards_affected: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class CellRecoveredEvent(Event):
+    """A previously-down cell came back; its replication records are
+    readable again and reconciled against the surviving cells."""
+
+    topic = "topology.cell.recovered"
+    space: str
+    cell: str
+    stores: tuple
+
+
+# ---------------------------------------------------------------------------
 # The bus
 # ---------------------------------------------------------------------------
 
@@ -674,4 +717,7 @@ __all__ = [
     "JournalTruncatedEvent",
     "GcCompletedEvent",
     "ClusterCollectedEvent",
+    "ShardReparentedEvent",
+    "CellDownEvent",
+    "CellRecoveredEvent",
 ]

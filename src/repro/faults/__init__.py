@@ -19,7 +19,13 @@ time.
 
 from repro.faults.plan import FaultPlan, FaultInjector, FaultStats, mangle_payload
 from repro.faults.flaky import FlakyLink, FlakyStore
-from repro.faults.churn import ChurnEvent, ChurnInjector, ChurnPlan
+from repro.faults.churn import (
+    CELL_ACTIONS,
+    CHURN_ACTIONS,
+    ChurnEvent,
+    ChurnInjector,
+    ChurnPlan,
+)
 from repro.faults.scenarios import SCENARIOS, ScenarioPhase, ScenarioSpec
 
 __all__ = [
@@ -28,6 +34,8 @@ __all__ = [
     "FaultStats",
     "FlakyLink",
     "FlakyStore",
+    "CELL_ACTIONS",
+    "CHURN_ACTIONS",
     "ChurnEvent",
     "ChurnInjector",
     "ChurnPlan",

@@ -21,7 +21,20 @@ from repro.clock import Clock
 from repro.faults.flaky import FlakyStore
 
 #: Actions a churn event may take against its target store.
-CHURN_ACTIONS = ("kill", "revive", "corrupt", "brownout", "recover")
+CHURN_ACTIONS = (
+    "kill",
+    "revive",
+    "corrupt",
+    "brownout",
+    "recover",
+    "partition",
+    "heal",
+)
+
+#: Cell-level actions; the event's ``cell`` names a ``placement_group``
+#: and the action fans out to every store in it (``device_id`` ignored;
+#: pass ``""``).
+CELL_ACTIONS = ("kill_cell", "partition_cell", "heal_cell")
 
 
 @dataclass(frozen=True)
@@ -42,12 +55,20 @@ class ChurnEvent:
     latency_factor: float = 1.0
     bandwidth_factor: float = 1.0
     capacity_factor: float = 1.0
+    #: Cell actions only — the ``placement_group`` the action fans out
+    #: to (``kill_cell`` / ``partition_cell`` / ``heal_cell``).
+    cell: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.action not in CHURN_ACTIONS:
+        if self.action in CELL_ACTIONS:
+            if not self.cell:
+                raise ValueError(
+                    f"cell action {self.action!r} needs a target cell"
+                )
+        elif self.action not in CHURN_ACTIONS:
             raise ValueError(
                 f"unknown churn action {self.action!r}; "
-                f"expected one of {CHURN_ACTIONS}"
+                f"expected one of {CHURN_ACTIONS + CELL_ACTIONS}"
             )
         if self.at_s < 0:
             raise ValueError(f"churn event at negative time {self.at_s!r}")
@@ -92,12 +113,29 @@ class ChurnInjector:
         fired_now: List[ChurnEvent] = []
         while self._pending and self._pending[0].at_s <= now:
             event = self._pending.pop(0)
-            store = stores.get(event.device_id)
-            if store is not None:
-                self._fire(event, store)
+            if event.action in CELL_ACTIONS:
+                for store in self._cell_stores(event.cell, stores):
+                    self._fire_cell(event, store)
+            else:
+                store = stores.get(event.device_id)
+                if store is not None:
+                    self._fire(event, store)
             fired_now.append(event)
             self.fired.append(event)
         return fired_now
+
+    @staticmethod
+    def _cell_stores(
+        cell: Optional[str], stores: Dict[str, FlakyStore]
+    ) -> List[FlakyStore]:
+        """Every store whose placement group is ``cell``, stable order."""
+        from repro.resilience.placement import placement_group_of
+
+        return [
+            store
+            for _, store in sorted(stores.items())
+            if placement_group_of(store) == cell
+        ]
 
     @property
     def exhausted(self) -> bool:
@@ -118,3 +156,19 @@ class ChurnInjector:
             )
         elif event.action == "recover":
             store.clear_brownout()
+        elif event.action == "partition":
+            store.partition()
+        elif event.action == "heal":
+            store.heal()
+
+    @staticmethod
+    def _fire_cell(event: ChurnEvent, store: FlakyStore) -> None:
+        if event.action == "kill_cell":
+            store.kill(lose_data=event.lose_data)
+        elif event.action == "partition_cell":
+            store.partition()
+        elif event.action == "heal_cell":
+            # heal both failure modes: a cell comes back as a unit
+            store.heal()
+            if store.is_dead:
+                store.revive()

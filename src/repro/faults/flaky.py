@@ -83,6 +83,7 @@ class FlakyStore:
         self._inner = inner
         self._injector = injector
         self._dead = False
+        self._partitioned = False
         #: ``(latency_factor, bandwidth_factor, capacity_factor)`` while
         #: browned out, ``None`` otherwise.
         self._brownout: Optional[tuple] = None
@@ -307,6 +308,26 @@ class FlakyStore:
     def revive(self) -> None:
         self._dead = False
 
+    # -- partition ---------------------------------------------------------
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self._partitioned
+
+    def partition(self) -> None:
+        """Cut the store off the network: every operation raises until
+        :meth:`heal`.
+
+        Distinct from :meth:`kill` — the device is fine and its data
+        intact; the *path* to it is gone (cell network split, gateway
+        down).  Healing restores reachability with the inventory exactly
+        as it was, so suspect replicas re-verify rather than re-ship.
+        """
+        self._partitioned = True
+
+    def heal(self) -> None:
+        self._partitioned = False
+
     # -- brownout ----------------------------------------------------------
 
     def set_brownout(
@@ -394,6 +415,11 @@ class FlakyStore:
         if self._dead:
             self._injector.stats.dead_denials += 1
             raise TransportError(f"injected: {self.device_id} is dead")
+        if self._partitioned:
+            self._injector.stats.dead_denials += 1
+            raise TransportError(
+                f"injected: {self.device_id} unreachable (partitioned)"
+            )
         if self._injector.in_down_window():
             self._injector.stats.window_denials += 1
             raise TransportError(

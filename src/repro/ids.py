@@ -61,3 +61,23 @@ def format_swap_key(space_name: str, sid: Sid, epoch: int) -> str:
     cluster swapped twice never collides with a stale copy.
     """
     return f"{space_name}/sc-{sid}/e{epoch}"
+
+
+def parse_swap_key(key: str) -> "tuple[str, Sid, int]":
+    """Inverse of :func:`format_swap_key`: ``(space_name, sid, epoch)``.
+
+    Topology rebuild walks surviving stores' raw inventories and needs
+    the owning sid back out of each key; raises ``ValueError`` on keys
+    that are not swap keys (delta documents reuse the same prefix, so
+    chain segments parse too — callers dedupe by sid).
+    """
+    space_name, _, rest = key.rpartition("/sc-")
+    if not space_name or not rest:
+        raise ValueError(f"not a swap key: {key!r}")
+    sid_text, sep, epoch_text = rest.partition("/e")
+    if not sep:
+        raise ValueError(f"not a swap key: {key!r}")
+    try:
+        return space_name, int(sid_text), int(epoch_text)
+    except ValueError:
+        raise ValueError(f"not a swap key: {key!r}") from None

@@ -317,6 +317,33 @@ class Observability:
             allocs = ladder.alloc_stalls
             self.metrics.counter("slo.alloc_stall.count").set_to(allocs.count)
             self.metrics.gauge("slo.alloc_stall.p95_s").set(allocs.p95())
+        topology = getattr(self._manager, "topology", None)
+        if topology is not None:
+            tstats = topology.stats
+            self.metrics.gauge("topology.shards").set(
+                topology.shard_table.num_shards
+            )
+            self.metrics.gauge("topology.cells.live_fraction").set(
+                topology.live_cell_fraction()
+            )
+            self.metrics.counter("topology.reparent.noops").set_to(
+                tstats.reparent_noops
+            )
+            self.metrics.counter("topology.reads.partial").set_to(
+                tstats.partial_reads
+            )
+            self.metrics.counter("topology.ops.invalidated").set_to(
+                tstats.ops_invalidated
+            )
+            self.metrics.counter("topology.repair.replicas").set_to(
+                tstats.repair_replicas
+            )
+            self.metrics.counter("topology.repair.bytes").set_to(
+                tstats.repair_bytes
+            )
+            self.metrics.gauge("topology.reparent.last_latency_s").set(
+                tstats.last_reparent_latency_s
+            )
         self.metrics.counter("trace.spans.dropped").set_to(
             self.tracer.dropped_spans
         )

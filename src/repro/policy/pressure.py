@@ -141,7 +141,9 @@ def store_health_of(stores: Iterable[Any], placement: Any = None) -> float:
         stores = stores.values()
     weights = []
     for store in stores:
-        if getattr(store, "is_dead", False):
+        if getattr(store, "is_dead", False) or getattr(
+            store, "is_partitioned", False
+        ):
             weights.append(0.0)
         elif getattr(store, "in_brownout", False):
             weights.append(0.5)

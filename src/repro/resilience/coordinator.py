@@ -26,7 +26,7 @@ from repro.events import (
 )
 from repro.resilience.health import HealthRegistry
 from repro.resilience.journal import SwapJournal
-from repro.resilience.placement import PlacementMap
+from repro.resilience.placement import PlacementMap, health_rank
 from repro.resilience.retry import RetryPolicy, run_with_retry
 from repro.resilience.scrub import Scrubber
 
@@ -153,14 +153,13 @@ class Resilience:
             record = self.health.of(device_id)
             link = getattr(holder, "link", None)
             latency = getattr(link, "latency_s", 0.0) if link is not None else 0.0
-            observed = record.total_failures + record.total_successes
-            # failure *rate*, matching plan_placement: a net-success
-            # score would rank busy stores above quiet healthy ones and
-            # scramble the stable holder order the bindings establish
+            # health_rank is the shared failure-rate key, matching
+            # plan_placement: a net-success score would rank busy stores
+            # above quiet healthy ones and scramble the stable holder
+            # order the bindings establish
             return (
                 0 if record.admits(now) else 1,
-                record.consecutive_failures,
-                record.total_failures / observed if observed else 0.0,
+                *health_rank(record),
                 latency,
             )
 

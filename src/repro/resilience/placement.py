@@ -107,11 +107,30 @@ class PlacementStats:
 
 
 class PlacementMap:
-    """The per-space ledger of swapped-cluster replica sets."""
+    """The per-space ledger of swapped-cluster replica sets.
+
+    An optional *observer* (the sharded topology service, when enabled)
+    is notified of every replica-set change so it can keep its per-cell
+    replication records in step without the manager having to call two
+    ledgers at every site.  Observers must never raise.
+    """
 
     def __init__(self) -> None:
         self._records: Dict[int, PlacementRecord] = {}
         self.stats = PlacementStats()
+        #: Optional listener with ``on_record_swap_out(record)``,
+        #: ``on_forget(record)``, ``on_replica_added(sid, device_id)``
+        #: and ``on_replica_removed(sid, device_id)`` hooks (all
+        #: optional; missing hooks are skipped).
+        self.observer: Optional[Any] = None
+
+    def _notify(self, hook: str, *args: Any) -> None:
+        observer = self.observer
+        if observer is None:
+            return
+        method = getattr(observer, hook, None)
+        if method is not None:
+            method(*args)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -138,11 +157,15 @@ class PlacementMap:
         if sid not in self._records:
             self.stats.records += 1
         self._records[sid] = record
+        self._notify("on_record_swap_out", record)
         return record
 
     def forget(self, sid: int) -> Optional[PlacementRecord]:
         """The cluster is resident again (or dropped); its map entry dies."""
-        return self._records.pop(sid, None)
+        record = self._records.pop(sid, None)
+        if record is not None:
+            self._notify("on_forget", record)
+        return record
 
     def get(self, sid: int) -> Optional[PlacementRecord]:
         return self._records.get(sid)
@@ -156,11 +179,13 @@ class PlacementMap:
         record = self._records.get(sid)
         if record is not None:
             record.replicas[device_id] = ReplicaState.ACTIVE
+            self._notify("on_replica_added", sid, device_id)
 
     def remove_replica(self, sid: int, device_id: str) -> None:
         record = self._records.get(sid)
         if record is not None:
             record.replicas.pop(device_id, None)
+            self._notify("on_replica_removed", sid, device_id)
 
     def quarantine(self, sid: int, device_id: str) -> bool:
         """A copy failed its digest check; it no longer counts."""
@@ -191,6 +216,7 @@ class PlacementMap:
             if device_id in record.replicas:
                 del record.replicas[device_id]
                 affected.append(sid)
+                self._notify("on_replica_removed", sid, device_id)
         return affected
 
     def reactivate(self, sid: int, device_id: str) -> None:
@@ -230,15 +256,49 @@ class PlacementMap:
         return len(self._records)
 
 
+#: Prefix of the implicit per-store placement group (see
+#: :func:`placement_group_of`; documented in PROTOCOL.md §1e).
+IMPLICIT_GROUP_PREFIX = "cell:"
+
+
 def placement_group_of(store: Any) -> str:
-    """Anti-affinity domain of a store (rack/owner), device id by default.
+    """Anti-affinity domain (cell) of a store.
 
     Stores may expose a ``placement_group`` attribute (e.g. every device
     on one desk, or owned by one person, shares a group); without one,
-    each device is its own failure domain.
+    each device is its own failure domain under the implicit group
+    ``cell:<device_id>``.  The prefix keeps the implicit namespace
+    disjoint from explicit group names: a bare device-id default would
+    silently merge an ungrouped store named ``s3`` into an explicit
+    group that happens to be called ``s3``, collapsing two failure
+    domains into one.
     """
     group = getattr(store, "placement_group", None)
-    return group if group else getattr(store, "device_id", repr(store))
+    if group:
+        return group
+    device_id = getattr(store, "device_id", None)
+    return IMPLICIT_GROUP_PREFIX + (
+        device_id if device_id else repr(store)
+    )
+
+
+def health_rank(record: Any) -> Tuple[int, float]:
+    """The one health sort key: consecutive failures, then failure *rate*.
+
+    Shared by :func:`plan_placement`, swap-in replica ranking
+    (:meth:`~repro.resilience.coordinator.Resilience.rank_replicas`) and
+    shard-primary election (:meth:`~repro.topology.service.
+    TopologyService.reparent`) — the three orderings must agree or
+    holder order scrambles between write and read.  Rate, not net
+    count: a net-success score makes the first stores ever used outrank
+    idle ones forever (rich-get-richer), funnelling every replica onto
+    the same few radios while the rest of the fleet sits dark.
+    """
+    observed = record.total_failures + record.total_successes
+    return (
+        record.consecutive_failures,
+        record.total_failures / observed if observed else 0.0,
+    )
 
 
 def plan_placement(
@@ -273,16 +333,7 @@ def plan_placement(
                 on_probe_failure(store)
             continue
         if health is not None:
-            record = health.of(device_id)
-            observed = record.total_failures + record.total_successes
-            # rank by failure *rate*, not net count: a net-success score
-            # makes the first stores ever used outrank idle ones forever
-            # (rich-get-richer), funnelling every replica onto the same
-            # few radios while the rest of the fleet sits dark
-            rank = (
-                record.consecutive_failures,
-                record.total_failures / observed if observed else 0.0,
-            )
+            rank = health_rank(health.of(device_id))
         else:
             rank = (0, 0.0)
         free = getattr(store, "free", None)

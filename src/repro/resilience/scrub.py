@@ -344,21 +344,35 @@ class Scrubber:
         manager = self._manager
         resilience = self._resilience
         fallback = resilience._fallback
-        candidates = [
-            store
-            for store in manager.available_stores()
-            if fallback is None or store is not fallback
-        ]
-        targets = plan_placement(
-            candidates,
-            len(text.encode("utf-8")),
-            deficit,
-            health=resilience.health,
-            exclude=set(record.replicas),
-            on_probe_failure=lambda store: resilience.record_failure(
-                store.device_id
-            ),
-        )
+        nbytes = len(text.encode("utf-8"))
+        topology = getattr(manager, "topology", None)
+        if topology is not None:
+            # shard-aware repair: deficits re-replicate onto the record's
+            # own shard holders first, so routing and durability converge
+            # on the same stores after a reparent
+            existing = set(record.replicas)
+            targets = [
+                store
+                for store in topology.select_for(record.sid, nbytes, deficit + len(existing))
+                if store.device_id not in existing
+                and (fallback is None or store is not fallback)
+            ][:deficit]
+        else:
+            candidates = [
+                store
+                for store in manager.available_stores()
+                if fallback is None or store is not fallback
+            ]
+            targets = plan_placement(
+                candidates,
+                nbytes,
+                deficit,
+                health=resilience.health,
+                exclude=set(record.replicas),
+                on_probe_failure=lambda store: resilience.record_failure(
+                    store.device_id
+                ),
+            )
         shipped = 0
         for store in targets:
             try:
@@ -380,6 +394,10 @@ class Scrubber:
             report.repaired_bytes += record.xml_bytes
             manager.stats.replicas_repaired += 1
             manager.stats.scrub_bytes_repaired += record.xml_bytes
+            if topology is not None:
+                # rebalance-cost accounting for the topology bench
+                topology.stats.repair_replicas += 1
+                topology.stats.repair_bytes += record.xml_bytes
             self._space.bus.emit(
                 ReplicaRepairedEvent(
                     space=self._space.name,

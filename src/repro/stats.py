@@ -57,6 +57,10 @@ COUNTER_NAMES: Dict[str, str] = {
     "policy.ladder.drop_clean": "ladder_drop_clean",
     "policy.oom.kills": "oom_kills",
     "policy.oom.kills_foreground": "oom_kills_foreground",
+    "topology.reparent.count": "shard_reparents",
+    "topology.cell.outages": "cell_outages",
+    "topology.cell.recoveries": "cell_recoveries",
+    "topology.rebuilds": "topology_rebuilds",
 }
 
 _MISSING = object()
@@ -167,6 +171,11 @@ class SpaceTelemetry:
     ladder_drop_clean: int = 0
     oom_kills: int = 0
     oom_kills_foreground: int = 0
+    # -- topology counters (zero while topology is disabled) --
+    shard_reparents: int = 0
+    cell_outages: int = 0
+    cell_recoveries: int = 0
+    topology_rebuilds: int = 0
 
     def resident_clusters(self) -> List[ClusterTelemetry]:
         return [record for record in self.clusters if record.state == "resident"]
@@ -253,6 +262,10 @@ def snapshot(space: Any) -> SpaceTelemetry:
         ladder_drop_clean=stats.ladder_drop_clean,
         oom_kills=stats.oom_kills,
         oom_kills_foreground=stats.oom_kills_foreground,
+        shard_reparents=stats.shard_reparents,
+        cell_outages=stats.cell_outages,
+        cell_recoveries=stats.cell_recoveries,
+        topology_rebuilds=stats.topology_rebuilds,
         payload_cache_bytes=(
             manager.fastpath.cache.used_bytes
             if getattr(manager, "fastpath", None) is not None

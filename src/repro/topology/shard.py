@@ -1,0 +1,142 @@
+"""Hash sharding of the sid space and the per-shard records.
+
+Placement at fleet scale cannot afford per-key state: a million swapped
+clusters would mean a million ledger entries just to answer "which
+stores take sid 724911?".  Sharding makes the answer *derived*: a
+stable integer hash folds every sid onto one of N shards, and all
+per-key routing state lives in N :class:`ShardRecord`s — primary store,
+replica stores, and a monotonically increasing *parent epoch* bumped on
+every reparent so stale routing decisions are detectable.  Lookups are
+two array reads whatever the key count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Knuth's multiplicative constant (2^32 / phi).  ``hash()`` is out:
+#: Python salts string hashes per process and even int hashing is an
+#: implementation detail — shard routing must agree across restarts,
+#: managers, and the rebuild path, forever.
+_KNUTH_32 = 2654435761
+_MASK_32 = 0xFFFFFFFF
+
+
+def shard_of(sid: int, num_shards: int) -> int:
+    """The shard that owns ``sid`` — stable across processes and time.
+
+    Multiplicative hashing scrambles the low bits of sequentially
+    allocated sids (1, 2, 3, ...) so consecutive clusters land on
+    different shards instead of marching through them in order.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    scrambled = (sid * _KNUTH_32) & _MASK_32
+    # fold the high bits in: sequential sids differ most after scrambling
+    # in the upper half of the word
+    return ((scrambled >> 16) ^ scrambled) % num_shards
+
+
+@dataclass
+class ShardRecord:
+    """Routing state for one shard: who leads, who mirrors.
+
+    The *global* record in Vitess terms — small, authoritative, and the
+    thing :meth:`~repro.topology.service.TopologyService.reparent`
+    atomically re-points.  ``parent_epoch`` increments on every primary
+    change; in-flight work stamped with an older epoch is stale.
+    """
+
+    shard_id: int
+    primary: Optional[str] = None
+    #: Replica device_ids (the primary is not repeated here).
+    replicas: List[str] = field(default_factory=list)
+    parent_epoch: int = 0
+
+    def holders(self) -> List[str]:
+        """Primary first, then replicas — the preferred routing order."""
+        out: List[str] = []
+        if self.primary is not None:
+            out.append(self.primary)
+        out.extend(
+            device_id for device_id in self.replicas
+            if device_id != self.primary
+        )
+        return out
+
+    def remove(self, device_id: str) -> bool:
+        """Strike a device from the record (primary or replica).
+
+        Returns True when the shard lost its *primary* and needs a
+        reparent; striking a mere replica returns False.
+        """
+        was_primary = self.primary == device_id
+        if was_primary:
+            self.primary = None
+        if device_id in self.replicas:
+            self.replicas.remove(device_id)
+        return was_primary
+
+    def add_replica(self, device_id: str) -> None:
+        if device_id != self.primary and device_id not in self.replicas:
+            self.replicas.append(device_id)
+
+    def set_primary(self, device_id: str) -> None:
+        """Re-point the primary (the atomic step of a reparent)."""
+        if device_id in self.replicas:
+            self.replicas.remove(device_id)
+        old = self.primary
+        if old is not None and old != device_id and old not in self.replicas:
+            # the deposed primary becomes a regular replica until its
+            # health says otherwise; reparenting must not shrink rf
+            self.replicas.append(old)
+        self.primary = device_id
+        self.parent_epoch += 1
+
+
+class ShardTable:
+    """The N shard records, indexed O(1) by shard id or by sid."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self._records: List[ShardRecord] = [
+            ShardRecord(shard_id=index) for index in range(num_shards)
+        ]
+
+    def shard_of(self, sid: int) -> int:
+        return shard_of(sid, self.num_shards)
+
+    def record(self, shard_id: int) -> ShardRecord:
+        return self._records[shard_id]
+
+    def record_for(self, sid: int) -> ShardRecord:
+        return self._records[shard_of(sid, self.num_shards)]
+
+    def records(self) -> List[ShardRecord]:
+        return list(self._records)
+
+    def shards_led_by(self, device_id: str) -> List[int]:
+        return [
+            record.shard_id
+            for record in self._records
+            if record.primary == device_id
+        ]
+
+    def shards_holding(self, device_id: str) -> List[int]:
+        return [
+            record.shard_id
+            for record in self._records
+            if record.primary == device_id or device_id in record.replicas
+        ]
+
+    def describe(self) -> List[Tuple[int, Optional[str], Tuple[str, ...]]]:
+        return [
+            (record.shard_id, record.primary, tuple(record.replicas))
+            for record in self._records
+        ]
+
+    def __len__(self) -> int:
+        return self.num_shards

@@ -1,0 +1,142 @@
+"""Cell-level churn actions: kill/partition/heal a whole placement group."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.devices import XmlStoreDevice
+from repro.faults import (
+    CELL_ACTIONS,
+    ChurnEvent,
+    ChurnInjector,
+    ChurnPlan,
+    FaultInjector,
+    FaultPlan,
+    FlakyStore,
+)
+
+
+def _fleet(clock, cells=2, per_cell=2):
+    stores = {}
+    for cell in range(cells):
+        for i in range(per_cell):
+            inner = XmlStoreDevice(
+                f"c{cell}s{i}", placement_group=f"cell-{cell}"
+            )
+            stores[inner.device_id] = FlakyStore(
+                inner, FaultInjector(FaultPlan.empty(), clock)
+            )
+    return stores
+
+
+class TestCellEvents:
+    def test_cell_action_requires_a_cell(self):
+        for action in CELL_ACTIONS:
+            with pytest.raises(ValueError):
+                ChurnEvent(0.0, "", action)
+
+    def test_unknown_action_still_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(0.0, "s0", "explode")
+
+    def test_store_level_partition_heal_actions(self):
+        clock = SimulatedClock()
+        stores = _fleet(clock)
+        plan = ChurnPlan(
+            events=(
+                ChurnEvent(1.0, "c0s0", "partition"),
+                ChurnEvent(2.0, "c0s0", "heal"),
+            )
+        )
+        injector = ChurnInjector(plan, clock)
+        clock.advance(1.0)
+        injector.apply(stores)
+        assert stores["c0s0"].is_partitioned
+        assert not stores["c0s1"].is_partitioned
+        clock.advance(1.0)
+        injector.apply(stores)
+        assert not stores["c0s0"].is_partitioned
+
+
+class TestCellFanOut:
+    def test_kill_cell_fans_out_to_every_store_in_the_group(self):
+        clock = SimulatedClock()
+        stores = _fleet(clock)
+        plan = ChurnPlan(
+            events=(ChurnEvent(5.0, "", "kill_cell", cell="cell-0"),)
+        )
+        injector = ChurnInjector(plan, clock)
+        assert injector.apply(stores) == []  # not due yet
+        clock.advance(5.0)
+        fired = injector.apply(stores)
+        assert len(fired) == 1 and fired[0].cell == "cell-0"
+        assert stores["c0s0"].is_dead and stores["c0s1"].is_dead
+        assert not stores["c1s0"].is_dead and not stores["c1s1"].is_dead
+
+    def test_kill_cell_lose_data_wipes_each_store(self):
+        clock = SimulatedClock()
+        stores = _fleet(clock)
+        stores["c0s0"].store("k", "<x/>")
+        plan = ChurnPlan(
+            events=(
+                ChurnEvent(0.0, "", "kill_cell", cell="cell-0", lose_data=True),
+                ChurnEvent(1.0, "", "heal_cell", cell="cell-0"),
+            )
+        )
+        injector = ChurnInjector(plan, clock)
+        injector.apply(stores)
+        clock.advance(1.0)
+        injector.apply(stores)
+        assert not stores["c0s0"].is_dead
+        assert stores["c0s0"].keys() == []  # revived empty
+
+    def test_partition_cell_preserves_data_and_heal_restores_it(self):
+        clock = SimulatedClock()
+        stores = _fleet(clock)
+        stores["c1s0"].store("k", "<x/>")
+        plan = ChurnPlan(
+            events=(
+                ChurnEvent(0.0, "", "partition_cell", cell="cell-1"),
+                ChurnEvent(3.0, "", "heal_cell", cell="cell-1"),
+            )
+        )
+        injector = ChurnInjector(plan, clock)
+        injector.apply(stores)
+        assert stores["c1s0"].is_partitioned and stores["c1s1"].is_partitioned
+        from repro.errors import TransportError
+
+        with pytest.raises(TransportError):
+            stores["c1s0"].fetch("k")
+        clock.advance(3.0)
+        injector.apply(stores)
+        assert not stores["c1s0"].is_partitioned
+        assert stores["c1s0"].fetch("k") == "<x/>"  # nothing lost
+
+    def test_heal_cell_revives_dead_and_partitioned_alike(self):
+        clock = SimulatedClock()
+        stores = _fleet(clock)
+        stores["c0s0"].kill()
+        stores["c0s1"].partition()
+        plan = ChurnPlan(
+            events=(ChurnEvent(0.0, "", "heal_cell", cell="cell-0"),)
+        )
+        ChurnInjector(plan, clock).apply(stores)
+        assert not stores["c0s0"].is_dead
+        assert not stores["c0s1"].is_partitioned
+
+    def test_implicit_cell_default_targets_single_store(self):
+        # stores without an explicit group live in "cell:<device_id>"
+        clock = SimulatedClock()
+        solo = FlakyStore(
+            XmlStoreDevice("solo"),
+            FaultInjector(FaultPlan.empty(), clock),
+        )
+        other = FlakyStore(
+            XmlStoreDevice("other"),
+            FaultInjector(FaultPlan.empty(), clock),
+        )
+        stores = {"solo": solo, "other": other}
+        plan = ChurnPlan(
+            events=(ChurnEvent(0.0, "", "kill_cell", cell="cell:solo"),)
+        )
+        ChurnInjector(plan, clock).apply(stores)
+        assert solo.is_dead and not other.is_dead

@@ -119,8 +119,15 @@ class Grouped(InMemoryStore):
 class TestPlanPlacement:
     def test_defaults_each_device_to_its_own_group(self):
         store = InMemoryStore("solo")
-        assert placement_group_of(store) == "solo"
+        # the implicit default is namespaced so an explicit group named
+        # "solo" can never silently merge with an ungrouped store whose
+        # device_id happens to be "solo" (PROTOCOL.md convention)
+        assert placement_group_of(store) == "cell:solo"
         assert placement_group_of(Grouped("g1", group="desk-a")) == "desk-a"
+        assert placement_group_of(Grouped("solo", group="solo")) == "solo"
+        assert placement_group_of(store) != placement_group_of(
+            Grouped("solo", group="solo")
+        )
 
     def test_spreads_across_placement_groups_first(self):
         stores = [

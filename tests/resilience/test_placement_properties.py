@@ -1,0 +1,155 @@
+"""Property: the three health orderings never disagree.
+
+``plan_placement`` (swap-out store choice), ``rank_replicas`` (swap-in
+holder order) and shard-primary election all sort by the shared
+:func:`~repro.resilience.placement.health_rank` key.  If any of them
+drifted to a different metric — e.g. net success count instead of
+failure *rate* — the store written first would be read last, and the
+busiest stores would win every election forever (the rich-get-richer
+regression fixed in the retry/ranking PR, generalized here).
+
+These tests drive seeded random mixed success/failure histories through
+the real coordinator and pin that all orderings stay identical.
+"""
+
+import random
+
+from repro.core.space import Space
+from repro.devices import InMemoryStore
+from repro.resilience import ResilienceConfig, plan_placement
+from repro.resilience.placement import health_rank
+
+
+def _space(n_stores=6):
+    space = Space("prop", heap_capacity=1 << 20)
+    stores = [InMemoryStore(f"s{i}") for i in range(n_stores)]
+    for store in stores:
+        space.manager.add_store(store)
+    # a huge threshold keeps every circuit closed: the property under
+    # test is the *health ordering*, not the admission tier
+    space.manager.enable_resilience(
+        ResilienceConfig(replication_factor=3, failure_threshold=10_000)
+    )
+    return space, stores
+
+
+def _mixed_history(resilience, stores, seed, events=200):
+    rng = random.Random(seed)
+    for _ in range(events):
+        store = rng.choice(stores)
+        if rng.random() < 0.35:
+            resilience.record_failure(store.device_id)
+        else:
+            resilience.record_success(store.device_id)
+
+
+def _by_health(resilience, stores):
+    """The reference ordering: stable sort by the shared key."""
+    return [
+        s.device_id
+        for s in sorted(
+            stores,
+            key=lambda s: health_rank(resilience.health.of(s.device_id)),
+        )
+    ]
+
+
+class TestOrderingConsistency:
+    def test_plan_and_rank_agree_under_mixed_histories(self):
+        for seed in range(12):
+            space, stores = _space()
+            resilience = space.manager.resilience
+            _mixed_history(resilience, stores, seed)
+
+            planned = [
+                s.device_id
+                for s in plan_placement(
+                    stores, 10, len(stores), health=resilience.health
+                )
+            ]
+            ranked = [
+                s.device_id for s in resilience.rank_replicas(list(stores))
+            ]
+            reference = _by_health(resilience, stores)
+            # all three walks over the same fleet must agree, or the
+            # holder order chosen at swap-out scrambles by swap-in
+            assert planned == ranked == reference, (
+                f"seed={seed}: plan={planned} rank={ranked} ref={reference}"
+            )
+
+    def test_orderings_are_stable_across_repeated_calls(self):
+        space, stores = _space()
+        resilience = space.manager.resilience
+        _mixed_history(resilience, stores, seed=3)
+        first = resilience.rank_replicas(list(stores))
+        for _ in range(5):
+            assert resilience.rank_replicas(list(stores)) == first
+            assert (
+                plan_placement(stores, 10, 9, health=resilience.health)
+                == plan_placement(stores, 10, 9, health=resilience.health)
+            )
+
+
+class TestRichGetRicherRegression:
+    def test_idle_store_outranks_busy_store_with_failures(self):
+        # net-success scoring would give the veteran (+140) an
+        # insurmountable lead over the idle newcomer (0); failure-rate
+        # scoring correctly prefers the store with no bad history
+        space, stores = _space(n_stores=2)
+        resilience = space.manager.resilience
+        veteran, newcomer = stores
+        for _ in range(150):
+            resilience.record_success(veteran.device_id)
+        for _ in range(10):
+            resilience.record_failure(veteran.device_id)
+            resilience.record_success(veteran.device_id)
+
+        planned = plan_placement(stores, 10, 2, health=resilience.health)
+        ranked = resilience.rank_replicas(list(stores))
+        assert planned[0].device_id == newcomer.device_id
+        assert ranked[0].device_id == newcomer.device_id
+
+    def test_lower_failure_rate_beats_higher_volume(self):
+        # 2 failures / 100 ops (2%) must outrank 1 failure / 10 ops
+        # (10%) even though the busy store has far more net successes
+        space, stores = _space(n_stores=2)
+        resilience = space.manager.resilience
+        busy, quiet = stores
+        for _ in range(98):
+            resilience.record_success(busy.device_id)
+        for _ in range(2):
+            resilience.record_failure(busy.device_id)
+            resilience.record_success(busy.device_id)
+        for _ in range(9):
+            resilience.record_success(quiet.device_id)
+        resilience.record_failure(quiet.device_id)
+        resilience.record_success(quiet.device_id)
+
+        assert health_rank(resilience.health.of(busy.device_id)) < health_rank(
+            resilience.health.of(quiet.device_id)
+        )
+        planned = plan_placement(stores, 10, 2, health=resilience.health)
+        ranked = resilience.rank_replicas(list(stores))
+        assert planned[0].device_id == busy.device_id
+        assert ranked[0].device_id == busy.device_id
+
+    def test_consecutive_failures_dominate_rate(self):
+        # a store failing *right now* ranks below any store that is not,
+        # whatever their lifetime rates say
+        space, stores = _space(n_stores=2)
+        resilience = space.manager.resilience
+        failing, mediocre = stores
+        for _ in range(500):
+            resilience.record_success(failing.device_id)
+        for _ in range(3):
+            resilience.record_failure(failing.device_id)
+        for _ in range(2):
+            resilience.record_failure(mediocre.device_id)
+            resilience.record_success(mediocre.device_id)
+
+        planned = plan_placement(stores, 10, 2, health=resilience.health)
+        assert planned[0].device_id == mediocre.device_id
+        assert (
+            resilience.rank_replicas(list(stores))[0].device_id
+            == mediocre.device_id
+        )

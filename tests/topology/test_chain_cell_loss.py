@@ -1,0 +1,167 @@
+"""Delta chains whose base spans a dead cell.
+
+A chain's base document lives on the shard holders; when the *entire
+cell* holding the retained base dies, the next mutation must ship a
+full payload to surviving cells — a delta against a base no reachable
+store holds would strand the chain.  Recovery paths (``recover_placement``
+and ``rebuild_topology``) must likewise rebuild a usable replica set
+from the survivors, never resurrect the dead cell's stale copies.
+"""
+
+from repro.core.fastpath import FastPathConfig
+from repro.core.space import Space
+from repro.devices import XmlStoreDevice
+from repro.faults import FaultInjector, FaultPlan, FlakyStore
+from repro.resilience import ResilienceConfig, placement_group_of
+from tests.helpers import build_chain, chain_values
+
+
+def _fleet(cells=3, per_cell=2, factor=3, shards=4):
+    space = Space("chain-cell", heap_capacity=1 << 22)
+    stores = {}
+    for cell in range(cells):
+        for i in range(per_cell):
+            flaky = FlakyStore(
+                XmlStoreDevice(
+                    f"c{cell}s{i}",
+                    capacity=1 << 22,
+                    placement_group=f"cell-{cell}",
+                ),
+                FaultInjector(FaultPlan.empty(), space.clock),
+            )
+            stores[flaky.device_id] = flaky
+            space.manager.add_store(flaky)
+    space.manager.enable_resilience(
+        ResilienceConfig(replication_factor=factor)
+    )
+    topology = space.manager.enable_topology(shards=shards)
+    space.manager.enable_fastpath(
+        FastPathConfig(delta=True, delta_max_ratio=8.0)
+    )
+    return space, stores, topology
+
+
+def _mutate(space, sid, bump=100):
+    cluster = space.clusters()[sid]
+    oid = sorted(cluster.oids)[0]
+    space._objects[oid].value += bump
+
+
+def _start_chain(space, sid):
+    """Base ship + one delta: the chain is now genuinely in flight."""
+    space.swap_out(sid)
+    space.swap_in(sid)
+    _mutate(space, sid)
+    space.swap_out(sid)
+    assert space.manager.stats.fastpath_delta_ships == 1
+    space.swap_in(sid)
+
+
+def _base_cell(space, sid):
+    _key, retained = space.manager.fastpath.retained[sid]
+    return placement_group_of(retained[0])
+
+
+def _kill_cell(space, stores, cell):
+    """Detach every store in ``cell`` as dead — the whole rack burned."""
+    for store in stores.values():
+        if placement_group_of(store) == cell:
+            store.kill(lose_data=True)
+            space.manager.detach_store(store, dead=True)
+
+
+def test_losing_the_base_cell_mid_chain_forces_a_full_reship():
+    # rf=1: the retained base has no mirror, so its cell dying really
+    # does lose the chain tip (with rf=3 a sibling cell still holds the
+    # base and a delta against it stays legitimate)
+    space, stores, topology = _fleet(factor=1)
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    doomed = _base_cell(space, 2)
+
+    _kill_cell(space, stores, doomed)
+
+    _mutate(space, 2)
+    space.swap_out(2)
+    # the retained base went down with its cell: the delta path must not
+    # apply — the payload ships whole to the surviving cells
+    assert space.manager.stats.fastpath_delta_ships == 1
+    record = space.manager.resilience.placement.get(2)
+    for device_id in record.active():
+        assert topology.cell_of(device_id) != doomed
+    assert record.live_count >= 1
+
+    space.swap_in(2)
+    assert sorted(v % 100 for v in chain_values(handle)) == list(range(10))
+    assert max(chain_values(handle)) >= 200
+    space.verify_integrity()
+
+
+def test_ledger_epochs_stay_coherent_after_cell_loss_full_fallback():
+    space, stores, _ = _fleet(factor=1)
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    _kill_cell(space, stores, _base_cell(space, 2))
+
+    _mutate(space, 2)
+    space.swap_out(2)
+    record = space.manager.resilience.placement.get(2)
+    cluster = space.clusters()[2]
+    for device_id in record.active():
+        # every surviving copy must sit at the new epoch; a stale
+        # applied_epoch would invite a delta against a base the dead
+        # cell took with it
+        assert record.applied_epochs[device_id] == cluster.epoch
+    space.swap_in(2)
+    space.verify_integrity()
+
+
+def test_rebuild_topology_over_a_dead_cell_serves_swapped_chains():
+    space, stores, topology = _fleet()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    _mutate(space, 2)
+    space.swap_out(2)  # chain swapped out, tip = delta or full on holders
+    doomed = _base_cell(space, 2)
+
+    for store in stores.values():
+        if placement_group_of(store) == doomed:
+            store.kill(lose_data=True)
+    topology.tick()
+
+    result = space.manager.rebuild_topology()
+    assert result["cells_partial"] >= 1
+    record = space.manager.resilience.placement.get(2)
+    assert record is not None and record.live_count >= 1
+    for device_id in record.active():
+        assert topology.cell_of(device_id) != doomed
+    for shard in topology.shard_table.records():
+        if shard.primary is not None:
+            assert topology.cell_of(shard.primary) != doomed
+
+    space.swap_in(2)  # partial reads tolerated: survivors carry the chain
+    assert sorted(v % 100 for v in chain_values(handle)) == list(range(10))
+    space.verify_integrity()
+
+
+def test_chain_continues_after_rebuild_without_stale_bases():
+    space, stores, topology = _fleet()
+    handle = space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    _start_chain(space, 2)
+    doomed = _base_cell(space, 2)
+    _kill_cell(space, stores, doomed)
+    space.manager.rebuild_topology()
+
+    ships_before = space.manager.stats.fastpath_delta_ships
+    _mutate(space, 2)
+    space.swap_out(2)
+    space.swap_in(2)
+    _mutate(space, 2)
+    space.swap_out(2)
+    space.swap_in(2)
+    # whatever mix of full/delta ships the rebuilt fleet settles on,
+    # the chain's content must round-trip exactly
+    assert space.manager.stats.fastpath_delta_ships >= ships_before
+    assert sorted(v % 100 for v in chain_values(handle)) == list(range(10))
+    assert max(chain_values(handle)) >= 300
+    space.verify_integrity()

@@ -1,0 +1,80 @@
+"""Hash sharding layer: stability, spread, and shard-record semantics."""
+
+import pytest
+
+from repro.topology import ShardRecord, ShardTable, shard_of
+
+
+class TestShardOf:
+    def test_pinned_values_never_change(self):
+        # the routing contract: these values must agree across processes,
+        # restarts and releases — a change here orphans every stored key
+        assert [shard_of(s, 16) for s in (0, 1, 2, 3, 1000, 724911)] == [
+            0, 6, 12, 5, 11, 7,
+        ]
+
+    def test_deterministic_and_in_range(self):
+        for sid in range(0, 5000, 37):
+            shard = shard_of(sid, 64)
+            assert 0 <= shard < 64
+            assert shard == shard_of(sid, 64)
+
+    def test_sequential_sids_spread_evenly(self):
+        counts = [0] * 16
+        for sid in range(1, 100001):
+            counts[shard_of(sid, 16)] += 1
+        # multiplicative hashing keeps sequential allocation near-uniform
+        assert max(counts) - min(counts) < 0.02 * (100000 / 16)
+
+    def test_single_shard_collapses_everything(self):
+        assert all(shard_of(sid, 1) == 0 for sid in range(100))
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(ValueError):
+            shard_of(1, 0)
+        with pytest.raises(ValueError):
+            ShardTable(0)
+
+
+class TestShardRecord:
+    def test_set_primary_demotes_incumbent_and_bumps_epoch(self):
+        record = ShardRecord(shard_id=3, primary="a", replicas=["b", "c"])
+        record.set_primary("b")
+        assert record.primary == "b"
+        assert sorted(record.replicas) == ["a", "c"]  # deposed, not dropped
+        assert record.parent_epoch == 1
+        record.set_primary("c")
+        assert record.parent_epoch == 2
+
+    def test_remove_reports_primary_loss(self):
+        record = ShardRecord(shard_id=0, primary="a", replicas=["b"])
+        assert record.remove("b") is False
+        assert record.remove("a") is True
+        assert record.primary is None and record.replicas == []
+
+    def test_holders_orders_primary_first(self):
+        record = ShardRecord(shard_id=0, primary="z", replicas=["a", "b"])
+        assert record.holders() == ["z", "a", "b"]
+
+    def test_add_replica_dedupes_and_skips_primary(self):
+        record = ShardRecord(shard_id=0, primary="a", replicas=["b"])
+        record.add_replica("a")
+        record.add_replica("b")
+        record.add_replica("c")
+        assert record.replicas == ["b", "c"]
+
+
+class TestShardTable:
+    def test_record_for_routes_by_hash(self):
+        table = ShardTable(16)
+        for sid in range(200):
+            assert table.record_for(sid).shard_id == shard_of(sid, 16)
+
+    def test_lookup_queries(self):
+        table = ShardTable(4)
+        table.record(0).set_primary("a")
+        table.record(1).add_replica("a")
+        table.record(2).set_primary("b")
+        assert table.shards_led_by("a") == [0]
+        assert table.shards_holding("a") == [0, 1]
+        assert len(table) == 4

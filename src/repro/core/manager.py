@@ -29,7 +29,16 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.comm.transport import compress_payload
 from repro.core.fastpath import DeltaChain, FastPathConfig, FastPathState
@@ -64,6 +73,7 @@ from repro.events import (
     SwapFastPathEvent,
     SwapInEvent,
     SwapOutEvent,
+    TenantAdmissionDeniedEvent,
 )
 from repro.ids import Sid, format_swap_key
 from repro.obs.trace import NULL_SPAN
@@ -152,6 +162,12 @@ class ManagerStats:
     cell_outages: int = 0
     cell_recoveries: int = 0
     topology_rebuilds: int = 0
+    # -- fleet/tenancy counters (all zero while no tenant is bound) --
+    fleet_admission_denials: int = 0
+    fleet_reclaim_evictions: int = 0
+    fleet_reclaim_bytes: int = 0
+    fleet_config_updates: int = 0
+    tenant_pressure_bumps: int = 0
 
 
 class SwappingManager:
@@ -202,6 +218,10 @@ class SwappingManager:
         #: Optional sharded topology service (see :mod:`repro.topology`).
         #: ``None`` = placement stays per-key via ``plan_placement``.
         self.topology: Optional[Any] = None
+        #: Optional tenant binding (see :mod:`repro.fleet`): store-byte
+        #: quota admission, fair-share reclaim, per-tenant pressure.
+        #: ``None`` = the single-tenant path, bit-identical to before.
+        self.tenant: Optional[Any] = None
         #: Temporary replication-target override (the COMPRESS_LOCAL
         #: rung hibernates exactly one copy into the pool).
         self._replicas_override: Optional[int] = None
@@ -288,6 +308,10 @@ class SwappingManager:
 
         config = config if config is not None else DegradeLadderConfig()
         self.ladder = DegradeLadder(self, config)
+        if self.tenant is not None:
+            # rungs escalate per tenant: the fleet folds this tenant's
+            # share usage into every assessed signal
+            self.tenant.bind_ladder(self.ladder)
         if config.install_selector:
             from repro.policy.victims import make_selector
 
@@ -440,6 +464,26 @@ class SwappingManager:
         if self.obs is not None:
             self.obs.detach()
             self.obs = None
+
+    # -- introspection -----------------------------------------------------------
+
+    def feature_flags(self) -> Dict[str, bool]:
+        """Which opt-in subsystems are currently enabled.
+
+        The queryable surface for the ``enable_*`` toggles: the fleet
+        control plane validates feature-gated config changes against it
+        (e.g. a ``degrade.*`` change is rejected for a manager whose
+        ladder is off), and operators can log it alongside counters.
+        """
+        return {
+            "resilience": self.resilience is not None,
+            "fastpath": self.fastpath is not None,
+            "obs": self.obs is not None,
+            "degrade": self.ladder is not None,
+            "async_sched": self.sched is not None,
+            "topology": self.topology is not None,
+            "tenancy": self.tenant is not None,
+        }
 
     def _obs_span(self, name: str, **tags: Any):
         """A live span when observability is on, :data:`NULL_SPAN` when off."""
@@ -1173,7 +1217,34 @@ class SwappingManager:
         degrade = (
             resilience is not None and resilience.config.degrade_to_local
         )
-        if store is None:
+        admitted = True
+        if store is None and self.tenant is not None:
+            # fleet admission: a tenant over its store-byte quota — or
+            # over its fair share while the fleet is under global store
+            # pressure — may not take more shared store room.  Denial
+            # routes the victim into the local compressed pool (this
+            # tenant's own heap pays, nobody else's share does).
+            admitted, denial_reason = self.tenant.admit_ship(
+                xml_bytes, self.target_replicas()
+            )
+            if not admitted:
+                self.stats.fleet_admission_denials += 1
+                space.bus.emit(
+                    TenantAdmissionDeniedEvent(
+                        space=space.name,
+                        tenant_id=self.tenant.tenant_id,
+                        nbytes=xml_bytes,
+                        reason=denial_reason,
+                    )
+                )
+                if not degrade:
+                    raise NoSwapDeviceError(
+                        f"tenant {self.tenant.tenant_id!r} denied store "
+                        f"admission for {xml_bytes} bytes: {denial_reason}"
+                    )
+        if store is None and not admitted:
+            holders = []
+        elif store is None:
             try:
                 holders = self.select_stores(
                     xml_bytes, self.target_replicas(), sid=sid
@@ -1230,7 +1301,7 @@ class SwappingManager:
                 if entry is not None:
                     resilience.journal.record_write(entry, holder.device_id)
 
-            if not stored_on and resilience is not None and store is None:
+            if not stored_on and resilience is not None and store is None and admitted:
                 # failover: every selected holder is gone — try the
                 # remaining candidates the selection pass skipped
                 for candidate in self.available_stores():
@@ -2083,6 +2154,13 @@ class SwappingManager:
             if self.sched is not None:
                 # rising pressure reclaims speculative buffers first
                 self.sched.on_pressure(int(rung))
+        if self.tenant is not None:
+            # fair-share victim selection under global store pressure:
+            # before this tenant's victims ship, the fleet frees store
+            # room by evicting redundant copies of over-share tenants
+            # first — an under-share tenant's reclaim never touches
+            # anyone still inside their guaranteed share
+            self.tenant.prepare_room(need_bytes)
         freed = 0
         while not space.heap.would_fit(need_bytes):
             victim = self.victim_selector(space)
@@ -2300,3 +2378,101 @@ class SwappingManager:
     def bindings_for(self, sid: Sid) -> List[SwapStore]:
         """All stores holding copies of a swapped cluster."""
         return list(self._bindings.get(sid, []))
+
+    # -- fleet reclaim -----------------------------------------------------------
+
+    def reclaim_store_copies(
+        self,
+        need_bytes: int,
+        *,
+        store_ids: Optional[set] = None,
+    ) -> Tuple[int, int]:
+        """Drop *redundant* store copies to free shared store room.
+
+        Called by the fleet's fair-share reclaimer against a tenant over
+        its share.  Two safe tiers, cheapest consequence first:
+
+        1. retained clean copies of **resident** clusters — pure cache;
+           the only cost is that the next clean swap-out re-ships;
+        2. mirror replicas of **swapped** clusters beyond the primary —
+           durability narrows, data survives on the primary and the
+           scrubber re-replicates once pressure subsides.
+
+        The last copy of a swapped cluster is never touched.  With
+        ``store_ids`` given, only copies on those devices are dropped
+        (the fleet's stores, not e.g. a local compressed pool).  Returns
+        ``(copies_dropped, bytes_freed)``; stops once ``need_bytes``
+        have been freed.
+        """
+        space = self._space
+        fastpath = self.fastpath
+        copies = 0
+        freed = 0
+
+        def in_fleet(holder: SwapStore) -> bool:
+            return store_ids is None or holder.device_id in store_ids
+
+        # tier 1: retained clean copies of resident clusters
+        if fastpath is not None:
+            for sid in sorted(fastpath.retained):
+                if freed >= need_bytes:
+                    break
+                cluster = space._clusters.get(sid)
+                if cluster is None or cluster.is_swapped:
+                    continue
+                key, holders = fastpath.retained[sid]
+                chain = fastpath.chains.get(sid)
+                stale = list(reversed(chain.keys)) if chain is not None else []
+                if key not in stale:
+                    stale.insert(0, key)
+                kept: List[SwapStore] = []
+                for holder in holders:
+                    if not in_fleet(holder):
+                        kept.append(holder)
+                        continue
+                    for stale_key in stale:
+                        try:
+                            holder.drop(stale_key)
+                        except (TransportError, UnknownKeyError):
+                            pass
+                    copies += 1
+                    freed += cluster.clean_xml_bytes or 0
+                if kept:
+                    fastpath.retained[sid] = (key, kept)
+                else:
+                    fastpath.retained.pop(sid, None)
+                    fastpath.chains.pop(sid, None)
+                self._bindings.pop(sid, None)
+
+        # tier 2: mirror replicas of swapped clusters (primary survives)
+        for sid in sorted(self._bindings):
+            if freed >= need_bytes:
+                break
+            cluster = space._clusters.get(sid)
+            if cluster is None or not cluster.is_swapped:
+                continue
+            location = cluster.location
+            holders = self._bindings.get(sid, [])
+            if location is None or len(holders) <= 1:
+                continue
+            survivors = [holders[0]]
+            for holder in holders[1:]:
+                if not in_fleet(holder) or freed >= need_bytes:
+                    survivors.append(holder)
+                    continue
+                try:
+                    holder.drop(location.key)
+                except (TransportError, UnknownKeyError):
+                    pass
+                if self.resilience is not None:
+                    self.resilience.placement.remove_replica(
+                        sid, holder.device_id
+                    )
+                copies += 1
+                freed += location.xml_bytes
+            self._bindings[sid] = survivors
+
+        if copies:
+            self.stats.fleet_reclaim_evictions += copies
+            self.stats.fleet_reclaim_bytes += freed
+        return copies, freed

@@ -147,6 +147,23 @@ class InMemoryStore:
     def keys(self) -> List[str]:
         return list(self._data) + list(self._deltas)
 
+    def used_by_prefix(self, prefix: str) -> int:
+        """Bytes held under keys starting with ``prefix``.
+
+        Swap keys are namespaced per space (``"{space}/sc-{sid}/..."``),
+        so this is the per-space footprint the fleet's tenant
+        accountant charges.  A pure metadata scan: no link traffic.
+        """
+        return sum(
+            len(text.encode("utf-8"))
+            for key, text in self._data.items()
+            if key.startswith(prefix)
+        ) + sum(
+            len(text.encode("utf-8"))
+            for key, (text, _base) in self._deltas.items()
+            if key.startswith(prefix)
+        )
+
     def __len__(self) -> int:
         return len(self._data) + len(self._deltas)
 
@@ -382,6 +399,25 @@ class XmlStoreDevice:
     def keys(self) -> List[str]:
         return list(self._data) + list(self._deltas)
 
+    def used_by_prefix(self, prefix: str) -> int:
+        """Bytes at rest under keys starting with ``prefix``.
+
+        The fleet's tenant accountant reads per-space footprints this
+        way (swap keys are namespaced ``"{space}/sc-{sid}/..."``) —
+        what is *actually held*, deltas and negotiated compression
+        included, so quota and fair-share arithmetic line up with
+        ``used`` / ``capacity``.  A local metadata scan: no link charge.
+        """
+        return sum(
+            len(data)
+            for key, (data, _compression) in self._data.items()
+            if key.startswith(prefix)
+        ) + sum(
+            len(data)
+            for key, (data, _compression, _base) in self._deltas.items()
+            if key.startswith(prefix)
+        )
+
     def as_endpoint(self) -> WebServiceEndpoint:
         """Expose the store contract as web-service operations."""
         endpoint = WebServiceEndpoint(self._device_id)
@@ -498,3 +534,11 @@ class FileStore:
 
     def keys(self) -> List[str]:
         return sorted(self._paths)
+
+    def used_by_prefix(self, prefix: str) -> int:
+        """Bytes on the card under keys starting with ``prefix``."""
+        return sum(
+            path.stat().st_size
+            for key, path in self._paths.items()
+            if key.startswith(prefix) and path.exists()
+        )

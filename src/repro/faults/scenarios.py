@@ -256,6 +256,58 @@ def store_fleet_brownout() -> ScenarioSpec:
     )
 
 
+def noisy_neighbor() -> ScenarioSpec:
+    """A neighbor tenant's burst squeezes the shared store fleet.
+
+    The single-space rendition of the multi-tenant aggressor
+    (:mod:`repro.bench.tenancy` runs the real two-tenant version over
+    one shared fleet): mid-run, an unseen neighbor's traffic takes
+    half of every store's capacity and most of the shared link
+    bandwidth, while the local workload keeps serving its foreground
+    task and absorbing a trickle of arrivals.  The squeeze lifts near
+    the end — the neighbor's burst drains — and the space must come
+    back without manual help.
+    """
+    # scripted window: 8s warmup + 18s squeeze + 16s drain = 42s; the
+    # burst lands early in the squeeze and lifts mid-drain, so recovery
+    # happens on-script rather than being left to the epilogue
+    events = []
+    for index in range(4):
+        events.append(
+            ChurnEvent(
+                at_s=10.0,
+                device_id=device_name(index),
+                action="brownout",
+                latency_factor=8.0,
+                bandwidth_factor=0.25,
+                capacity_factor=0.5,
+            )
+        )
+        events.append(
+            ChurnEvent(at_s=34.0, device_id=device_name(index),
+                       action="recover")
+        )
+    return ScenarioSpec(
+        name="noisy_neighbor",
+        description=(
+            "a neighbor's burst takes half of every shared store and "
+            "most of the link while the local foreground stays active"
+        ),
+        phases=(
+            ScenarioPhase("warmup", steps=8, touches_per_step=8,
+                          pattern="uniform"),
+            ScenarioPhase("squeeze", steps=36, step_s=0.5,
+                          touches_per_step=6, pattern="foreground",
+                          arrivals_per_step=1, arrival_objects=8),
+            ScenarioPhase("drain", steps=8, step_s=2.0, touches_per_step=4,
+                          pattern="uniform"),
+        ),
+        churn=ChurnPlan(events=tuple(events)),
+        heap_capacity=64 << 10,
+        slo_p95_stall_s=2.5,
+    )
+
+
 #: Registry the harness and the CLI iterate over, in run order.
 SCENARIOS: Dict[str, object] = {
     "app_switch_storm": app_switch_storm,
@@ -263,4 +315,5 @@ SCENARIOS: Dict[str, object] = {
     "flash_crowd": flash_crowd,
     "long_idle_then_burst": long_idle_then_burst,
     "store_fleet_brownout": store_fleet_brownout,
+    "noisy_neighbor": noisy_neighbor,
 }

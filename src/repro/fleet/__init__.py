@@ -1,0 +1,41 @@
+"""Multi-tenant spaces and the replicated fleet control plane.
+
+``repro.fleet`` turns a pile of independently-swapping spaces into a
+*fleet*: several tenants share one set of swap stores under explicit
+budgets, a fair-share arbiter decides whose redundant copies give way
+when the shared stores fill, and a small replicated control plane
+(:class:`~repro.fleet.controller.FleetController`) validates, versions
+and distributes policy changes to every registered manager exactly
+once.
+
+The package is opt-in end to end: a space that is never registered
+with a :class:`~repro.fleet.tenancy.TenantRegistry` has
+``manager.tenant is None`` and behaves bit-identically to a
+fleet-less build.
+"""
+
+from repro.fleet.tenancy import (
+    FleetConfig,
+    FleetError,
+    Tenant,
+    TenantRegistry,
+    TenantSpec,
+    manager_store_bytes,
+)
+from repro.fleet.controller import (
+    ChangeDecision,
+    FleetController,
+    LogEntry,
+)
+
+__all__ = [
+    "ChangeDecision",
+    "FleetConfig",
+    "FleetController",
+    "FleetError",
+    "LogEntry",
+    "Tenant",
+    "TenantRegistry",
+    "TenantSpec",
+    "manager_store_bytes",
+]

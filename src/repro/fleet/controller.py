@@ -1,0 +1,495 @@
+"""The replicated fleet control plane.
+
+One :class:`FleetController` fronts a
+:class:`~repro.fleet.tenancy.TenantRegistry` with a small, replicated
+(**not** distributed — in the AMI ``GraphManager`` sense) decision
+log: every policy change request is validated against an explicit
+schema, accepted changes are appended to a versioned log mirrored
+synchronously onto all live replicas, and :meth:`distribute` delivers
+each accepted entry to the registry and to every manager in scope
+**exactly once** — a per-``(target, version)`` ledger, mirrored like
+the log, survives leader failure, so a new leader resumes delivery
+where the dead one stopped without re-applying anything.
+
+Leadership is deterministic: the live replica with the lowest id
+leads; every election increments the epoch; requests carrying a stale
+epoch are rejected outright.  There is no network and no quorum
+protocol here — replication over the simulated clock is synchronous
+by construction — but the *observable* contract (epoch fencing,
+failover, exactly-once redelivery) is the one a real control plane
+would show, and the tests exercise it by killing the leader
+mid-distribution.
+
+The controller also owns event subscriptions: a tenant subscribes to
+an event *family* (``"swap.*"``, ``"fleet.tenant.*"``) and the
+controller fans matching events out with tenant filtering — a tenant
+only sees events from its own spaces, plus fleet-wide ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.events import (
+    Event,
+    EventBus,
+    FleetConfigAppliedEvent,
+    FleetConfigRejectedEvent,
+    FleetLeaderElectedEvent,
+)
+from repro.fleet.tenancy import FleetError, TenantRegistry
+
+#: Pseudo space name stamped on control-plane events (they concern the
+#: fleet, not any one space) and recognized by the tenant filter as
+#: visible to every subscriber.
+FLEET_SCOPE = "fleet"
+
+
+def _positive_int(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or not isinstance(value, int):
+        return "must be an integer"
+    if value <= 0:
+        return "must be positive"
+    return None
+
+
+def _non_negative_int(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or not isinstance(value, int):
+        return "must be an integer"
+    if value < 0:
+        return "must be >= 0"
+    return None
+
+
+def _unit_fraction(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return "must be a number"
+    if not 0.0 <= value <= 1.0:
+        return "must be in [0, 1]"
+    return None
+
+
+def _pressure_fraction(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return "must be a number"
+    if not 0.0 <= value < 1.0:
+        return "must be in [0, 1)"
+    return None
+
+
+def _positive_number(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return "must be a number"
+    if value <= 0:
+        return "must be positive"
+    return None
+
+
+def _replica_count(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or not isinstance(value, int):
+        return "must be an integer"
+    if not 1 <= value <= 8:
+        return "must be in [1, 8]"
+    return None
+
+
+#: ``tenant.*`` keys map onto :class:`TenantSpec` fields.
+TENANT_KEYS: Dict[str, Tuple[str, Callable[[Any], Optional[str]]]] = {
+    "tenant.heap_budget_bytes": ("heap_budget_bytes", _positive_int),
+    "tenant.store_quota_bytes": ("store_quota_bytes", _positive_int),
+    "tenant.guaranteed_share": ("guaranteed_share", _unit_fraction),
+    "tenant.priority_class": ("priority_class", _non_negative_int),
+}
+
+#: ``fleet.*`` keys map onto :class:`FleetConfig` fields.
+FLEET_KEYS: Dict[str, Tuple[str, Callable[[Any], Optional[str]]]] = {
+    "fleet.pressure_free_fraction": (
+        "pressure_free_fraction",
+        _pressure_fraction,
+    ),
+}
+
+#: Manager-scoped keys: ``(required feature flag or None, validator)``.
+#: Feature-gated keys are rejected when any manager in scope has the
+#: feature off (checked via ``SwappingManager.feature_flags()``).
+MANAGER_KEYS: Dict[
+    str, Tuple[Optional[str], Callable[[Any], Optional[str]]]
+] = {
+    "degrade.hold_s": ("degrade", _positive_number),
+    "degrade.slo_p95_stall_s": ("degrade", _positive_number),
+    "manager.replication_factor": (None, _replica_count),
+}
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One accepted, versioned config change."""
+
+    version: int
+    #: Epoch of the leader that accepted it.
+    epoch: int
+    #: Empty string = fleet-wide scope.
+    tenant_id: str
+    #: Sorted ``(key, value)`` pairs — hashable, order-stable.
+    changes: Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class ChangeDecision:
+    """What :meth:`FleetController.submit` decided."""
+
+    accepted: bool
+    version: Optional[int] = None
+    reason: str = ""
+
+
+@dataclass
+class Replica:
+    """One control-plane replica: full log plus delivery ledger."""
+
+    replica_id: int
+    alive: bool = True
+    log: List[LogEntry] = field(default_factory=list)
+    #: ``(target name, entry version) -> epoch it was delivered in``.
+    delivered: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+
+class FleetController:
+    """Replicated policy gatekeeper for one tenant registry."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        *,
+        replica_count: int = 3,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if replica_count < 1:
+            raise FleetError("the control plane needs at least one replica")
+        self.registry = registry
+        self.replicas = [Replica(i) for i in range(replica_count)]
+        self.epoch = 0
+        self.leader_id: Optional[int] = None
+        #: Control-plane events (elections, accept/reject) land here.
+        self.bus = bus if bus is not None else EventBus()
+        self._subs: List[Tuple[str, str, Callable[[Event], None]]] = []
+        self.accepted = 0
+        self.rejected = 0
+        self.watch(self.bus)
+        self._elect("startup")
+
+    # -- leadership --------------------------------------------------------
+
+    def _alive(self) -> List[Replica]:
+        return [replica for replica in self.replicas if replica.alive]
+
+    def leader(self) -> Replica:
+        if self.leader_id is None:
+            raise FleetError("fleet has no live leader")
+        return self.replicas[self.leader_id]
+
+    def _elect(self, reason: str) -> None:
+        alive = self._alive()
+        if not alive:
+            self.leader_id = None
+            return
+        self.epoch += 1
+        self.leader_id = min(replica.replica_id for replica in alive)
+        self.bus.emit(
+            FleetLeaderElectedEvent(
+                space=FLEET_SCOPE,
+                replica_id=self.leader_id,
+                epoch=self.epoch,
+                reason=reason,
+            )
+        )
+
+    def kill_replica(self, replica_id: int) -> None:
+        """Take a replica down; a dead leader triggers a new election."""
+        replica = self.replicas[replica_id]
+        if not replica.alive:
+            return
+        replica.alive = False
+        if replica_id == self.leader_id:
+            self.leader_id = None
+            self._elect(f"leader replica {replica_id} died")
+
+    def revive_replica(self, replica_id: int) -> None:
+        """Bring a replica back, caught up from the current leader.
+
+        A revived replica never usurps: leadership only changes at
+        elections, and elections only happen when the leader dies.
+        """
+        replica = self.replicas[replica_id]
+        if replica.alive:
+            return
+        replica.alive = True
+        if self.leader_id is None:
+            self._elect(f"replica {replica_id} revived a dead fleet")
+            return
+        leader = self.leader()
+        replica.log = list(leader.log)
+        replica.delivered = dict(leader.delivered)
+
+    # -- validation --------------------------------------------------------
+
+    def _validate(
+        self, tenant_id: Optional[str], changes: Mapping[str, Any]
+    ) -> Optional[str]:
+        if not changes:
+            return "empty change set"
+        registry = self.registry
+        tenant_fields: Dict[str, Any] = {}
+        manager_changes = False
+        for key in sorted(changes):
+            value = changes[key]
+            if key in TENANT_KEYS:
+                if tenant_id is None:
+                    return f"{key!r} is tenant-scoped but no tenant_id given"
+                spec_field, check = TENANT_KEYS[key]
+                error = check(value)
+                if error:
+                    return f"{key!r} {error}, got {value!r}"
+                tenant_fields[spec_field] = value
+            elif key in FLEET_KEYS:
+                if tenant_id is not None:
+                    return f"{key!r} is fleet-scoped, drop the tenant_id"
+                _config_field, check = FLEET_KEYS[key]
+                error = check(value)
+                if error:
+                    return f"{key!r} {error}, got {value!r}"
+            elif key in MANAGER_KEYS:
+                required_flag, check = MANAGER_KEYS[key]
+                error = check(value)
+                if error:
+                    return f"{key!r} {error}, got {value!r}"
+                if required_flag is not None:
+                    for manager in self._scope_managers(tenant_id):
+                        if not manager.feature_flags().get(required_flag):
+                            return (
+                                f"{key!r} requires the {required_flag!r} "
+                                f"feature, which space "
+                                f"{manager._space.name!r} has off"
+                            )
+                manager_changes = True
+            else:
+                return f"unknown config key {key!r}"
+        if tenant_id is not None and tenant_id not in registry.tenants:
+            return f"unknown tenant {tenant_id!r}"
+        if manager_changes and not self._scope_managers(tenant_id):
+            return "no managers registered in scope"
+        if tenant_fields:
+            tenant = registry.tenants[tenant_id]
+            try:
+                new_spec = replace(tenant.spec, **tenant_fields)
+                registry._check_guarantees(replacing=new_spec)
+            except FleetError as exc:
+                return str(exc)
+            if new_spec.heap_budget_bytes < tenant.heap_capacity_bytes():
+                return (
+                    "heap budget below the tenant's bound heap capacity "
+                    f"({new_spec.heap_budget_bytes} < "
+                    f"{tenant.heap_capacity_bytes()} bytes)"
+                )
+        return None
+
+    def _scope_managers(self, tenant_id: Optional[str]) -> List[Any]:
+        registry = self.registry
+        if tenant_id is not None:
+            tenant = registry.tenants.get(tenant_id)
+            return list(tenant.managers) if tenant is not None else []
+        return [
+            manager
+            for tid in sorted(registry.tenants)
+            for manager in registry.tenants[tid].managers
+        ]
+
+    # -- the request path --------------------------------------------------
+
+    def submit(
+        self,
+        changes: Mapping[str, Any],
+        *,
+        tenant_id: Optional[str] = None,
+        epoch: Optional[int] = None,
+    ) -> ChangeDecision:
+        """Validate one change request; append it to the log if sound.
+
+        ``epoch`` is the epoch the requester believes is current
+        (fencing): a request stamped with a stale epoch is rejected
+        before validation, exactly like a write from a deposed leader's
+        client.  ``None`` means "whatever is current" — convenient for
+        co-located callers that cannot race an election.
+        """
+        if epoch is not None and epoch != self.epoch:
+            return self._reject(
+                f"stale epoch {epoch} (current epoch is {self.epoch})"
+            )
+        if self.leader_id is None:
+            return self._reject("fleet has no live leader")
+        error = self._validate(tenant_id, changes)
+        if error is not None:
+            return self._reject(error)
+        leader = self.leader()
+        version = leader.log[-1].version + 1 if leader.log else 1
+        entry = LogEntry(
+            version=version,
+            epoch=self.epoch,
+            tenant_id=tenant_id or "",
+            changes=tuple(sorted(changes.items())),
+        )
+        for replica in self._alive():
+            replica.log.append(entry)
+        self.accepted += 1
+        self.bus.emit(
+            FleetConfigAppliedEvent(
+                space=FLEET_SCOPE,
+                version=version,
+                epoch=self.epoch,
+                tenant_id=entry.tenant_id,
+                keys=tuple(key for key, _value in entry.changes),
+            )
+        )
+        return ChangeDecision(accepted=True, version=version)
+
+    def _reject(self, reason: str) -> ChangeDecision:
+        self.rejected += 1
+        self.bus.emit(
+            FleetConfigRejectedEvent(
+                space=FLEET_SCOPE, epoch=self.epoch, reason=reason
+            )
+        )
+        return ChangeDecision(accepted=False, reason=reason)
+
+    # -- distribution ------------------------------------------------------
+
+    def distribute(self, limit: Optional[int] = None) -> int:
+        """Deliver accepted entries to every target exactly once.
+
+        Targets are the registry itself plus every manager in the
+        entry's scope.  ``limit`` caps deliveries *this call* — tests
+        kill the leader between partial calls to prove the ledger
+        carries exactly-once across failover.  Returns the number of
+        deliveries made.
+        """
+        leader = self.leader()
+        delivered = 0
+        for entry in leader.log:
+            for name, apply_change in self._targets(entry):
+                key = (name, entry.version)
+                if key in leader.delivered:
+                    continue
+                if limit is not None and delivered >= limit:
+                    return delivered
+                apply_change()
+                for replica in self._alive():
+                    replica.delivered[key] = self.epoch
+                delivered += 1
+        return delivered
+
+    def undelivered(self) -> int:
+        """Deliveries the current leader still owes (test/ops surface)."""
+        leader = self.leader()
+        return sum(
+            1
+            for entry in leader.log
+            for name, _apply in self._targets(entry)
+            if (name, entry.version) not in leader.delivered
+        )
+
+    def _targets(
+        self, entry: LogEntry
+    ) -> List[Tuple[str, Callable[[], None]]]:
+        targets: List[Tuple[str, Callable[[], None]]] = [
+            ("::registry", lambda e=entry: self._apply_registry(e))
+        ]
+        tenant_id = entry.tenant_id or None
+        for manager in self._scope_managers(tenant_id):
+            targets.append(
+                (
+                    manager._space.name,
+                    lambda e=entry, m=manager: self._apply_manager(e, m),
+                )
+            )
+        return targets
+
+    def _apply_registry(self, entry: LogEntry) -> None:
+        registry = self.registry
+        tenant_fields = {
+            TENANT_KEYS[key][0]: value
+            for key, value in entry.changes
+            if key in TENANT_KEYS
+        }
+        if tenant_fields and entry.tenant_id in registry.tenants:
+            registry.update_spec(entry.tenant_id, **tenant_fields)
+        fleet_fields = {
+            FLEET_KEYS[key][0]: value
+            for key, value in entry.changes
+            if key in FLEET_KEYS
+        }
+        if fleet_fields:
+            registry.config = replace(registry.config, **fleet_fields)
+
+    def _apply_manager(self, entry: LogEntry, manager: Any) -> None:
+        for key, value in entry.changes:
+            if key == "manager.replication_factor":
+                manager.replication_factor = value
+            elif key.startswith("degrade.") and manager.ladder is not None:
+                config_field = key.split(".", 1)[1]
+                manager.ladder.config = replace(
+                    manager.ladder.config, **{config_field: value}
+                )
+        manager.stats.fleet_config_updates += 1
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(
+        self,
+        tenant_id: str,
+        topic: str,
+        handler: Callable[[Event], None],
+    ) -> Callable[[], None]:
+        """Subscribe a tenant to an event family.
+
+        ``topic`` is an exact topic or a prefix family ending in ``*``
+        (``"swap.*"``, ``"fleet.tenant.*"``).  Delivery is
+        tenant-filtered: the handler only sees events stamped with one
+        of the tenant's own spaces, or fleet-scoped events.  Returns an
+        unsubscribe callable.
+        """
+        if tenant_id not in self.registry.tenants:
+            raise FleetError(f"unknown tenant {tenant_id!r}")
+        sub = (tenant_id, topic, handler)
+        self._subs.append(sub)
+        return lambda: self._subs.remove(sub)
+
+    def watch(self, bus: EventBus) -> Callable[[], None]:
+        """Fan this bus's events out to matching tenant subscriptions.
+
+        Call once per space bus in the fleet; the controller's own bus
+        is watched automatically.
+        """
+        return bus.subscribe_all(self._fan_out)
+
+    def _fan_out(self, event: Event) -> None:
+        topic = type(event).topic
+        for tenant_id, pattern, handler in list(self._subs):
+            if not _topic_matches(pattern, topic):
+                continue
+            tenant = self.registry.tenants.get(tenant_id)
+            if tenant is None:
+                continue
+            space = getattr(event, "space", None)
+            if space not in (None, "", FLEET_SCOPE):
+                if space not in {
+                    manager._space.name for manager in tenant.managers
+                }:
+                    continue
+            handler(event)
+
+
+def _topic_matches(pattern: str, topic: str) -> bool:
+    if pattern.endswith("*"):
+        return topic.startswith(pattern[:-1])
+    return pattern == topic

@@ -1,0 +1,99 @@
+"""Tenancy bench harness: workload determinism, scoring, both modes."""
+
+from __future__ import annotations
+
+from repro.bench.tenancy import (
+    TENANT_LIMITS,
+    TENANT_ORDER,
+    VICTIM_SLO_S,
+    format_table,
+    run_bench,
+    run_once,
+    tenant_specs,
+)
+
+
+def test_tenant_specs_share_one_phase_skeleton():
+    specs = tenant_specs(quick=True)
+    assert set(specs) == set(TENANT_ORDER)
+    skeletons = {
+        name: [(p.name, p.steps, p.step_s) for p in spec.phases]
+        for name, spec in specs.items()
+    }
+    # identical timings let the driver interleave rounds on one clock
+    assert len({tuple(s) for s in skeletons.values()}) == 1
+    # the aggressor actually bursts: arrivals plus an allocation spike
+    burst = specs["aggressor"].phase_named("burst")
+    assert burst.arrivals_per_step > 0 and burst.spike_objects > 0
+    # the victim holds a foreground working set, not a sweep
+    assert specs["victim"].phase_named("burst").pattern == "foreground"
+
+
+def test_quick_specs_are_smaller_than_full():
+    quick = tenant_specs(quick=True)
+    full = tenant_specs(quick=False)
+    for name in TENANT_ORDER:
+        quick_steps = sum(p.steps for p in quick[name].phases)
+        full_steps = sum(p.steps for p in full[name].phases)
+        assert quick_steps < full_steps
+
+
+def test_limits_give_victim_the_defended_guarantee():
+    assert TENANT_LIMITS["victim"]["guaranteed_share"] > (
+        TENANT_LIMITS["aggressor"]["guaranteed_share"]
+    )
+    shares = sum(t["guaranteed_share"] for t in TENANT_LIMITS.values())
+    assert shares <= 1.0
+    # the aggressor's own quota is NOT what restrains it
+    assert TENANT_LIMITS["aggressor"]["quota_fraction"] >= 0.9
+
+
+def test_run_once_scores_every_tenant_and_mode():
+    for fleet in (True, False):
+        result = run_once(5, fleet=fleet, quick=True)
+        assert result["mode"] == ("fleet" if fleet else "off")
+        assert set(result["tenants"]) == set(TENANT_ORDER)
+        for entry in result["tenants"].values():
+            assert entry["stall_samples"] > 0
+            assert entry["p95_stall_s"] >= 0.0
+            assert entry["degraded_swaps"] >= 0
+        iso = result["isolation"]
+        assert iso["victim_slo_s"] == VICTIM_SLO_S
+        if fleet:
+            assert "held" in iso
+            assert "fleet" in result and "control_plane" in result
+            assert result["control_plane"]["undelivered"] == 0
+        else:
+            assert "violated" in iso
+            assert "fleet" not in result
+
+
+def test_run_once_is_deterministic_per_seed():
+    first = run_once(4, fleet=True, quick=True)
+    second = run_once(4, fleet=True, quick=True)
+    for name in TENANT_ORDER:
+        assert first["tenants"][name] == second["tenants"][name]
+    assert first["isolation"] == second["isolation"]
+
+
+def test_off_mode_never_arbitrates():
+    result = run_once(6, fleet=False, quick=True)
+    for entry in result["tenants"].values():
+        assert entry["counters"]["fleet.admission.denials"] == 0
+        assert entry["counters"]["fleet.reclaim.evictions"] == 0
+        assert entry["evicted_copies"] == 0
+
+
+def test_report_shape_and_table():
+    report = run_bench((3,), quick=True)
+    assert report["benchmark"] == "tenancy"
+    assert set(report["seeds"]) == {"3"}
+    entry = report["seeds"]["3"]
+    assert {"fleet", "off"} == set(entry)
+    assert set(report["summary"]) == {
+        "isolation_held",
+        "tenancy_off_violates",
+    }
+    table = format_table(report)
+    assert "victim p95" in table
+    assert "fleet" in table and "off" in table

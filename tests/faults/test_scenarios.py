@@ -35,6 +35,7 @@ def test_registry_builds_well_formed_specs():
         "flash_crowd",
         "long_idle_then_burst",
         "store_fleet_brownout",
+        "noisy_neighbor",
     }
     for name, factory in SCENARIOS.items():
         spec = factory()
@@ -83,6 +84,26 @@ def test_store_fleet_brownout_never_recovers_in_run():
 def test_memory_spike_has_a_spiking_phase():
     spec = SCENARIOS["memory_spike"]()
     assert any(phase.spike_objects > 0 for phase in spec.phases)
+
+
+def test_noisy_neighbor_squeezes_then_recovers():
+    # the neighbor's burst must both squeeze capacity (so the squeeze
+    # is about fleet room, not just link speed) and lift before the
+    # drain phase ends — the space has to come back without help
+    spec = SCENARIOS["noisy_neighbor"]()
+    brownouts = [e for e in spec.churn.ordered() if e.action == "brownout"]
+    recoveries = [e for e in spec.churn.ordered() if e.action == "recover"]
+    assert brownouts and recoveries
+    assert all(e.capacity_factor < 1.0 for e in brownouts)
+    assert {e.device_id for e in brownouts} == {
+        device_name(i) for i in range(spec.store_count)
+    }
+    scripted_s = sum(p.steps * p.step_s for p in spec.phases)
+    assert max(e.at_s for e in recoveries) < scripted_s
+    # the squeeze phase keeps the foreground active under arrivals
+    squeeze = spec.phase_named("squeeze")
+    assert squeeze.pattern == "foreground"
+    assert squeeze.arrivals_per_step > 0
 
 
 def test_flash_crowd_has_arrivals():

@@ -1,0 +1,296 @@
+"""The control plane: schema, versioning, failover, exactly-once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+from repro.events import (
+    FleetConfigAppliedEvent,
+    FleetConfigRejectedEvent,
+    FleetLeaderElectedEvent,
+    SwapOutEvent,
+)
+from repro.fleet import (
+    FleetController,
+    FleetError,
+    TenantRegistry,
+    TenantSpec,
+)
+from tests.helpers import build_chain
+
+
+def make_world(*, tenants=("a", "b"), guarantees=(0.3, 0.3)):
+    """A registry with one space per tenant, plus a 3-replica controller."""
+    stores = [
+        XmlStoreDevice(f"store-{i}", capacity=64 << 10) for i in range(2)
+    ]
+    registry = TenantRegistry(stores)
+    spaces = {}
+    for tenant_id, share in zip(tenants, guarantees):
+        space = Space(f"cp-{tenant_id}", heap_capacity=64 << 10)
+        for store in stores:
+            space.manager.add_store(store)
+        registry.register(
+            TenantSpec(
+                tenant_id=tenant_id,
+                heap_budget_bytes=64 << 10,
+                store_quota_bytes=64 << 10,
+                guaranteed_share=share,
+            ),
+            space.manager,
+        )
+        spaces[tenant_id] = space
+    return registry, spaces, FleetController(registry)
+
+
+# -- leadership --------------------------------------------------------------
+
+
+def test_startup_elects_lowest_replica_at_epoch_one():
+    _registry, _spaces, controller = make_world()
+    assert controller.leader_id == 0
+    assert controller.epoch == 1
+    event = controller.bus.last(FleetLeaderElectedEvent)
+    assert event.replica_id == 0 and event.epoch == 1
+
+
+def test_killing_a_follower_changes_nothing():
+    _registry, _spaces, controller = make_world()
+    controller.kill_replica(2)
+    assert controller.leader_id == 0
+    assert controller.epoch == 1
+
+
+def test_killing_the_leader_fails_over_deterministically():
+    _registry, _spaces, controller = make_world()
+    controller.kill_replica(0)
+    assert controller.leader_id == 1
+    assert controller.epoch == 2
+    controller.kill_replica(1)
+    assert controller.leader_id == 2
+    assert controller.epoch == 3
+
+
+def test_revived_replica_catches_up_but_never_usurps():
+    _registry, _spaces, controller = make_world()
+    controller.submit({"tenant.priority_class": 3}, tenant_id="a")
+    controller.kill_replica(0)
+    controller.submit({"tenant.priority_class": 4}, tenant_id="a")
+    controller.revive_replica(0)
+    assert controller.leader_id == 1  # no usurpation
+    assert controller.replicas[0].log == controller.leader().log
+
+
+def test_dead_fleet_rejects_until_revival():
+    _registry, _spaces, controller = make_world()
+    for replica_id in range(3):
+        controller.kill_replica(replica_id)
+    assert controller.leader_id is None
+    decision = controller.submit({"tenant.priority_class": 2}, tenant_id="a")
+    assert not decision.accepted and "no live leader" in decision.reason
+    controller.revive_replica(2)
+    assert controller.leader_id == 2
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_unknown_key_rejected():
+    _registry, _spaces, controller = make_world()
+    decision = controller.submit({"tenant.color": "red"}, tenant_id="a")
+    assert not decision.accepted
+    assert "unknown config key" in decision.reason
+    assert controller.rejected == 1
+    event = controller.bus.last(FleetConfigRejectedEvent)
+    assert "unknown config key" in event.reason
+
+
+def test_type_and_range_guards():
+    _registry, _spaces, controller = make_world()
+    cases = [
+        ({"manager.replication_factor": True}, None),  # bool is not an int
+        ({"manager.replication_factor": 9}, None),
+        ({"tenant.heap_budget_bytes": 0}, "a"),
+        ({"tenant.guaranteed_share": 1.5}, "a"),
+        ({"tenant.priority_class": -1}, "a"),
+        ({"fleet.pressure_free_fraction": 1.0}, None),
+        ({}, None),  # empty change set
+    ]
+    for changes, tenant_id in cases:
+        decision = controller.submit(changes, tenant_id=tenant_id)
+        assert not decision.accepted, changes
+
+
+def test_scope_mismatches_rejected():
+    _registry, _spaces, controller = make_world()
+    tenant_scoped = controller.submit({"tenant.priority_class": 2})
+    assert "tenant-scoped" in tenant_scoped.reason
+    fleet_scoped = controller.submit(
+        {"fleet.pressure_free_fraction": 0.5}, tenant_id="a"
+    )
+    assert "fleet-scoped" in fleet_scoped.reason
+    nobody = controller.submit(
+        {"tenant.priority_class": 2}, tenant_id="ghost"
+    )
+    assert "unknown tenant" in nobody.reason
+
+
+def test_guarantee_oversubscription_rejected():
+    _registry, _spaces, controller = make_world(guarantees=(0.5, 0.4))
+    decision = controller.submit(
+        {"tenant.guaranteed_share": 0.7}, tenant_id="a"
+    )
+    assert not decision.accepted
+    assert "1.0" in decision.reason
+
+
+def test_heap_budget_below_bound_capacity_rejected():
+    _registry, _spaces, controller = make_world()
+    decision = controller.submit(
+        {"tenant.heap_budget_bytes": 1024}, tenant_id="a"
+    )
+    assert not decision.accepted
+    assert "heap budget below" in decision.reason
+
+
+def test_feature_gated_key_needs_the_feature_on():
+    _registry, spaces, controller = make_world()
+    denied = controller.submit({"degrade.hold_s": 5.0}, tenant_id="a")
+    assert not denied.accepted
+    assert "'degrade' feature" in denied.reason
+    spaces["a"].manager.enable_degrade_ladder()
+    allowed = controller.submit({"degrade.hold_s": 5.0}, tenant_id="a")
+    assert allowed.accepted
+
+
+# -- versioning and distribution ---------------------------------------------
+
+
+def test_accepted_changes_version_monotonically():
+    _registry, _spaces, controller = make_world()
+    first = controller.submit({"tenant.priority_class": 2}, tenant_id="a")
+    second = controller.submit({"tenant.priority_class": 3}, tenant_id="b")
+    assert (first.version, second.version) == (1, 2)
+    event = controller.bus.last(FleetConfigAppliedEvent)
+    assert event.version == 2
+    assert all(
+        len(replica.log) == 2 for replica in controller.replicas
+    )
+
+
+def test_distribute_applies_each_entry_exactly_once():
+    registry, spaces, controller = make_world()
+    controller.submit({"manager.replication_factor": 2}, tenant_id="a")
+    manager = spaces["a"].manager
+    # targets: the registry plus tenant a's single manager
+    assert controller.distribute() == 2
+    assert manager.replication_factor == 2
+    assert manager.stats.fleet_config_updates == 1
+    assert controller.distribute() == 0
+    assert controller.undelivered() == 0
+    assert manager.stats.fleet_config_updates == 1
+
+
+def test_distribute_updates_registry_specs_and_fleet_config():
+    registry, _spaces, controller = make_world()
+    controller.submit({"tenant.store_quota_bytes": 4096}, tenant_id="a")
+    controller.submit({"fleet.pressure_free_fraction": 0.5})
+    controller.distribute()
+    assert registry.tenants["a"].spec.store_quota_bytes == 4096
+    assert registry.config.pressure_free_fraction == 0.5
+
+
+def test_fleet_wide_manager_change_reaches_every_tenant():
+    _registry, spaces, controller = make_world()
+    controller.submit({"manager.replication_factor": 2})
+    controller.distribute()
+    assert all(
+        space.manager.replication_factor == 2 for space in spaces.values()
+    )
+
+
+def test_killing_leader_mid_distribution_preserves_exactly_once():
+    registry, spaces, controller = make_world()
+    controller.submit({"manager.replication_factor": 2}, tenant_id="a")
+    controller.submit({"tenant.priority_class": 3}, tenant_id="b")
+    # deliver one of the four (2 entries x (registry + one manager))
+    assert controller.distribute(limit=1) == 1
+    remaining = controller.undelivered()
+    assert remaining == 3
+    controller.kill_replica(0)
+    assert controller.leader_id == 1 and controller.epoch == 2
+    # the new leader owes exactly what the dead one still owed
+    assert controller.undelivered() == remaining
+    assert controller.distribute() == remaining
+    assert controller.undelivered() == 0
+    assert spaces["a"].manager.replication_factor == 2
+    assert spaces["a"].manager.stats.fleet_config_updates == 1
+    assert spaces["b"].manager.stats.fleet_config_updates == 1
+    assert registry.tenants["b"].spec.priority_class == 3
+
+
+def test_stale_epoch_rejected_after_failover():
+    _registry, _spaces, controller = make_world()
+    old_epoch = controller.epoch
+    controller.kill_replica(0)
+    decision = controller.submit(
+        {"tenant.priority_class": 2}, tenant_id="a", epoch=old_epoch
+    )
+    assert not decision.accepted
+    assert "stale epoch" in decision.reason
+    current = controller.submit(
+        {"tenant.priority_class": 2}, tenant_id="a", epoch=controller.epoch
+    )
+    assert current.accepted
+
+
+# -- subscriptions -----------------------------------------------------------
+
+
+def test_subscriptions_filter_by_tenant_space():
+    _registry, spaces, controller = make_world()
+    seen = []
+    controller.subscribe("a", "swap.*", seen.append)
+    for space in spaces.values():
+        controller.watch(space.bus)
+        space.ingest(build_chain(10), cluster_size=5, root_name="h")
+        space.swap_out(1)
+    assert seen  # tenant a saw its own swap traffic
+    assert all(event.space == "cp-a" for event in seen)
+    assert any(isinstance(event, SwapOutEvent) for event in seen)
+
+
+def test_fleet_scoped_events_visible_to_every_subscriber():
+    _registry, _spaces, controller = make_world()
+    seen = []
+    controller.subscribe("b", "fleet.*", seen.append)
+    controller.submit({"tenant.priority_class": 2}, tenant_id="a")
+    assert any(
+        isinstance(event, FleetConfigAppliedEvent) for event in seen
+    )
+
+
+def test_topic_prefix_matching_and_unsubscribe():
+    _registry, spaces, controller = make_world()
+    exact = []
+    wild = []
+    controller.subscribe("a", "swap.out", exact.append)
+    cancel = controller.subscribe("a", "swap.*", wild.append)
+    controller.watch(spaces["a"].bus)
+    spaces["a"].ingest(build_chain(10), cluster_size=5, root_name="h")
+    spaces["a"].swap_out(1)
+    assert len(exact) == 1
+    assert len(wild) >= len(exact)  # the family saw at least the exact hit
+    cancel()
+    before = len(wild)
+    spaces["a"].swap_out(2)
+    assert len(wild) == before
+    assert len(exact) == 2
+
+
+def test_subscribe_unknown_tenant_raises():
+    _registry, _spaces, controller = make_world()
+    with pytest.raises(FleetError):
+        controller.subscribe("ghost", "swap.*", lambda event: None)

@@ -1,0 +1,54 @@
+"""With no tenant bound, the runtime is bit-identical to the committed
+single-tenant results.
+
+The fleet subsystem is strictly opt-in: ``manager.tenant`` is ``None``
+unless a registry binds one, and every fleet hook sits behind that
+check.  The strongest regression guard is replaying a scenario-bench
+run and comparing the *entire* scored result — stall distributions,
+counters, rung transitions — against the entry committed in
+``BENCH_scenarios.json`` before/alongside the fleet work.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.scenarios import build_script, run_once
+from repro.faults.scenarios import SCENARIOS
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_scenarios.json"
+
+
+@pytest.fixture(scope="module")
+def committed():
+    if not BENCH_PATH.exists():
+        pytest.skip(
+            "BENCH_scenarios.json not present (bench artifacts are "
+            "generated, not tracked) — run "
+            "`python -m repro.bench.scenarios` first"
+        )
+    return json.loads(BENCH_PATH.read_text())
+
+
+@pytest.mark.parametrize("scenario", ["memory_spike", "app_switch_storm"])
+@pytest.mark.parametrize("ladder", [True, False])
+def test_single_tenant_run_matches_committed_bench(
+    committed, scenario, ladder
+):
+    spec = SCENARIOS[scenario]()
+    seed = 1
+    result = run_once(spec, seed, build_script(spec, seed), ladder=ladder)
+    mode = "ladder" if ladder else "baseline"
+    expected = committed["scenarios"][scenario]["seeds"][str(seed)][mode]
+    assert result == expected
+
+
+def test_fleet_counters_stay_zero_without_a_tenant():
+    spec = SCENARIOS["memory_spike"]()
+    result = run_once(spec, 2, build_script(spec, 2), ladder=True)
+    # the scored counters never grow fleet series in single-tenant runs
+    assert not any(key.startswith("fleet.") for key in result["counters"])
+    assert not any(key.startswith("tenant.") for key in result["counters"])

@@ -1,0 +1,420 @@
+"""Tenancy: specs, fair shares, admission, fair-share reclaim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.space import Space
+from repro.devices.store import XmlStoreDevice
+from repro.errors import NoSwapDeviceError
+from repro.events import (
+    TenantAdmissionDeniedEvent,
+    TenantEvictedEvent,
+    TenantRegisteredEvent,
+)
+from repro.fleet import (
+    FleetConfig,
+    FleetError,
+    TenantRegistry,
+    TenantSpec,
+    manager_store_bytes,
+)
+from repro.policy.pressure import PressureLevel, classify
+from repro.resilience import ResilienceConfig
+from tests.helpers import build_chain, chain_values
+
+
+def spec(tenant_id="t", heap=1 << 20, quota=1 << 20, **kwargs):
+    return TenantSpec(
+        tenant_id=tenant_id,
+        heap_budget_bytes=heap,
+        store_quota_bytes=quota,
+        **kwargs,
+    )
+
+
+def make_fleet(count=2, capacity=8 << 10):
+    return [
+        XmlStoreDevice(f"store-{index}", capacity=capacity)
+        for index in range(count)
+    ]
+
+
+def make_tenant_space(name, stores, *, heap=1 << 20, mirrors=False):
+    space = Space(name, heap_capacity=heap)
+    for store in stores:
+        space.manager.add_store(store)
+    if mirrors:
+        space.manager.enable_resilience(
+            ResilienceConfig(
+                seed=1,
+                replication_factor=2,
+                scrub_interval_s=10.0**9,
+                degrade_to_local=False,
+            )
+        )
+    return space
+
+
+def swap_all(space, handle_objects=40, cluster_size=5):
+    """Ingest a chain and swap every cluster out; returns the handle."""
+    handle = space.ingest(
+        build_chain(handle_objects), cluster_size=cluster_size, root_name="h"
+    )
+    for cluster in list(space.clusters().values()):
+        if cluster.is_resident and not cluster.is_root_cluster:
+            space.swap_out(cluster.sid)
+    return handle
+
+
+# -- spec and config validation ----------------------------------------------
+
+
+def test_spec_rejects_bad_fields():
+    with pytest.raises(FleetError):
+        spec(tenant_id="")
+    with pytest.raises(FleetError):
+        spec(heap=0)
+    with pytest.raises(FleetError):
+        spec(quota=-1)
+    with pytest.raises(FleetError):
+        spec(guaranteed_share=1.5)
+    with pytest.raises(FleetError):
+        spec(priority_class=-1)
+
+
+def test_fleet_config_rejects_bad_pressure_fraction():
+    with pytest.raises(FleetError):
+        FleetConfig(pressure_free_fraction=1.0)
+    with pytest.raises(FleetError):
+        FleetConfig(pressure_free_fraction=-0.1)
+
+
+def test_registry_needs_stores():
+    with pytest.raises(FleetError):
+        TenantRegistry([])
+
+
+# -- membership --------------------------------------------------------------
+
+
+def test_register_binds_and_emits():
+    stores = make_fleet()
+    space = make_tenant_space("reg-a", stores)
+    registry = TenantRegistry(stores)
+    tenant = registry.register(spec("a"), space.manager)
+    assert space.manager.tenant is tenant
+    assert space.manager.feature_flags()["tenancy"]
+    event = space.bus.last(TenantRegisteredEvent)
+    assert event.tenant_id == "a"
+
+
+def test_reregister_identical_spec_binds_second_space():
+    stores = make_fleet()
+    first = make_tenant_space("multi-1", stores)
+    second = make_tenant_space("multi-2", stores)
+    registry = TenantRegistry(stores)
+    tenant = registry.register(spec("a", heap=4 << 20), first.manager)
+    again = registry.register(spec("a", heap=4 << 20), second.manager)
+    assert again is tenant
+    assert len(tenant.managers) == 2
+
+
+def test_reregister_differing_spec_raises():
+    stores = make_fleet()
+    space = make_tenant_space("re-diff", stores)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a"), space.manager)
+    other = make_tenant_space("re-diff-2", stores)
+    with pytest.raises(FleetError, match="different spec"):
+        registry.register(spec("a", quota=123), other.manager)
+
+
+def test_register_rejects_guarantee_oversubscription():
+    stores = make_fleet()
+    registry = TenantRegistry(stores)
+    registry.register(
+        spec("a", guaranteed_share=0.7),
+        make_tenant_space("over-a", stores).manager,
+    )
+    with pytest.raises(FleetError, match="sum"):
+        registry.register(
+            spec("b", guaranteed_share=0.4),
+            make_tenant_space("over-b", stores).manager,
+        )
+
+
+def test_bind_enforces_heap_budget_across_spaces():
+    stores = make_fleet()
+    big = make_tenant_space("budget-big", stores, heap=64 << 10)
+    more = make_tenant_space("budget-more", stores, heap=64 << 10)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a", heap=96 << 10), big.manager)
+    with pytest.raises(FleetError, match="heap budget"):
+        registry.register(spec("a", heap=96 << 10), more.manager)
+
+
+def test_space_cannot_serve_two_tenants():
+    stores = make_fleet()
+    space = make_tenant_space("twice", stores)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a"), space.manager)
+    with pytest.raises(FleetError, match="already bound"):
+        registry.register(spec("b"), space.manager)
+
+
+def test_unregister_unbinds_managers():
+    stores = make_fleet()
+    space = make_tenant_space("unreg", stores)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a"), space.manager)
+    registry.unregister("a")
+    assert space.manager.tenant is None
+    assert not space.manager.feature_flags()["tenancy"]
+    with pytest.raises(FleetError):
+        registry.unregister("a")
+
+
+def test_update_spec_validates_and_refuses_rename():
+    stores = make_fleet()
+    space = make_tenant_space("upd", stores)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a"), space.manager)
+    updated = registry.update_spec("a", store_quota_bytes=4096)
+    assert updated.store_quota_bytes == 4096
+    assert registry.tenants["a"].spec is updated
+    with pytest.raises(FleetError):
+        registry.update_spec("a", tenant_id="b")
+    with pytest.raises(FleetError):
+        registry.update_spec("a", guaranteed_share=2.0)
+    with pytest.raises(FleetError):
+        registry.update_spec("nobody", store_quota_bytes=1)
+
+
+# -- accounting and fair shares ----------------------------------------------
+
+
+def test_manager_store_bytes_is_a_per_space_prefix_scan():
+    stores = make_fleet(count=1, capacity=64 << 10)
+    left = make_tenant_space("acct-left", stores)
+    right = make_tenant_space("acct-right", stores)
+    swap_all(left)
+    swap_all(right)
+    left_bytes = manager_store_bytes(left.manager, stores)
+    right_bytes = manager_store_bytes(right.manager, stores)
+    assert left_bytes > 0 and right_bytes > 0
+    # the two prefix scans partition exactly what the device holds
+    assert left_bytes + right_bytes == stores[0].used
+
+
+def test_fair_share_is_guarantee_plus_split_remainder_capped_by_quota():
+    stores = make_fleet(count=2, capacity=1024)  # capacity 2048
+    registry = TenantRegistry(stores)
+    a = registry.register(
+        spec("a", guaranteed_share=0.5),
+        make_tenant_space("share-a", stores).manager,
+    )
+    b = registry.register(
+        spec("b"), make_tenant_space("share-b", stores).manager
+    )
+    # leftover = (1 - 0.5) / 2 per tenant
+    assert registry.fair_share_bytes(a) == int(0.75 * 2048)
+    assert registry.fair_share_bytes(b) == int(0.25 * 2048)
+    registry.update_spec("b", store_quota_bytes=100)
+    assert registry.fair_share_bytes(b) == 100
+
+
+def test_pressure_tracks_free_fraction():
+    stores = make_fleet(count=2, capacity=1024)
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.9)
+    )
+    assert not registry.under_pressure()  # empty fleet: free fraction 1.0
+    space = make_tenant_space("press", stores)
+    registry.register(spec("a"), space.manager)
+    swap_all(space, handle_objects=10, cluster_size=5)
+    assert registry.under_pressure()
+
+
+# -- admission ---------------------------------------------------------------
+
+
+def test_quota_denial_raises_without_degrade_fallback():
+    stores = make_fleet()
+    space = make_tenant_space("quota", stores)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a", quota=16), space.manager)
+    space.ingest(build_chain(10), cluster_size=5, root_name="h")
+    with pytest.raises(NoSwapDeviceError, match="quota"):
+        space.swap_out(1)
+    assert space.manager.stats.fleet_admission_denials == 1
+    event = space.bus.last(TenantAdmissionDeniedEvent)
+    assert event.tenant_id == "a" and "quota" in event.reason
+
+
+def test_admitted_freely_when_fleet_has_headroom():
+    stores = make_fleet()
+    space = make_tenant_space("free", stores)
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.0)
+    )
+    registry.register(spec("a"), space.manager)
+    handle = swap_all(space)
+    assert space.manager.stats.fleet_admission_denials == 0
+    assert chain_values(handle) == list(range(40))
+
+
+def test_over_share_ship_denied_under_global_pressure():
+    stores = make_fleet(count=2, capacity=2048)
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.9)
+    )
+    greedy = make_tenant_space("deny-greedy", stores)
+    other = make_tenant_space("deny-other", stores)
+    # fill past both the pressure threshold and greedy's fair share
+    # before the admission gate exists
+    swap_all(greedy, handle_objects=15, cluster_size=5)
+    registry.register(spec("greedy"), greedy.manager)
+    registry.register(
+        spec("other", guaranteed_share=0.5), other.manager
+    )
+    tenant = greedy.manager.tenant
+    assert tenant.store_bytes() > tenant.fair_share_bytes()
+    greedy.ingest(build_chain(10), cluster_size=5, root_name="more")
+    fresh = [
+        c.sid
+        for c in greedy.clusters().values()
+        if c.is_resident and not c.is_root_cluster
+    ]
+    with pytest.raises(NoSwapDeviceError, match="fair share"):
+        greedy.swap_out(fresh[0])
+    assert greedy.manager.stats.fleet_admission_denials == 1
+
+
+def test_under_share_ship_reclaims_from_over_share_tenant():
+    stores = make_fleet(count=2, capacity=4096)
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.9)
+    )
+    greedy = make_tenant_space("recl-greedy", stores, mirrors=True)
+    meek = make_tenant_space("recl-meek", stores)
+    greedy_handle = swap_all(greedy, handle_objects=20, cluster_size=5)
+    registry.register(spec("greedy", quota=1), greedy.manager)
+    registry.register(
+        spec("meek", guaranteed_share=0.5, priority_class=2), meek.manager
+    )
+    hog = greedy.manager.tenant
+    before = hog.store_bytes()
+    swap_all(meek, handle_objects=10, cluster_size=5)
+    assert meek.manager.stats.fleet_admission_denials == 0
+    assert hog.evicted_copies > 0
+    assert hog.store_bytes() < before
+    event = greedy.bus.last(TenantEvictedEvent)
+    assert event.tenant_id == "greedy"
+    assert event.requested_by == "meek"
+    # erosion only: every greedy cluster kept a copy and swaps back in
+    assert chain_values(greedy_handle) == list(range(20))
+
+
+def test_reclaim_orders_victims_by_overage_and_spares_guarantees():
+    stores = make_fleet(count=2, capacity=4096)
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.9)
+    )
+    big = make_tenant_space("ord-big", stores, mirrors=True)
+    small = make_tenant_space("ord-small", stores, mirrors=True)
+    safe = make_tenant_space("ord-safe", stores, mirrors=True)
+    swap_all(big, handle_objects=20, cluster_size=5)
+    swap_all(small, handle_objects=5, cluster_size=5)
+    swap_all(safe, handle_objects=5, cluster_size=5)
+    big_t = registry.register(spec("big", quota=1), big.manager)
+    small_t = registry.register(spec("small", quota=1), small.manager)
+    # safe's guarantee covers its usage: never a victim
+    safe_t = registry.register(
+        spec("safe", guaranteed_share=0.9), safe.manager
+    )
+    assert safe_t.store_bytes() <= registry.fair_share_bytes(safe_t)
+    copies, freed = registry.reclaim(64)
+    assert copies > 0 and freed > 0
+    # the furthest-over tenant pays first; 64 bytes never needs a second
+    assert big_t.evicted_copies > 0
+    assert small_t.evicted_copies == 0
+    assert safe_t.evicted_copies == 0
+    # exhaustive reclaim still never touches the guaranteed tenant
+    registry.reclaim(1 << 30)
+    assert safe_t.evicted_copies == 0
+
+
+def test_reclaim_stops_at_last_copy():
+    stores = make_fleet(count=2, capacity=4096)
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.9)
+    )
+    space = make_tenant_space("last-copy", stores, mirrors=True)
+    handle = swap_all(space, handle_objects=20, cluster_size=5)
+    registry.register(spec("hog", quota=1), space.manager)
+    registry.reclaim(1 << 30)
+    # mirrors are gone, primaries are not: the chain is fully readable
+    assert chain_values(handle) == list(range(20))
+
+
+# -- per-tenant pressure -----------------------------------------------------
+
+
+def test_overlay_bumps_over_share_tenant_one_level():
+    stores = make_fleet(count=2, capacity=1024)
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.9)
+    )
+    space = make_tenant_space("bump", stores)
+    swap_all(space, handle_objects=10, cluster_size=5)
+    tenant = registry.register(spec("hog", quota=1), space.manager)
+    ladder = space.manager.enable_degrade_ladder()
+    assert ladder.pressure_overlay is not None
+    calm = classify(0.9, 1.0, 0.0)
+    bumped = ladder.pressure_overlay(calm)
+    assert bumped.level == PressureLevel.ELEVATED
+    assert tenant.pressure_bumps == 1
+    assert space.manager.stats.tenant_pressure_bumps == 1
+    # CRITICAL stays CRITICAL (no wraparound, no double count)
+    critical = classify(0.01, 1.0, 0.0)
+    assert ladder.pressure_overlay(critical).level == PressureLevel.CRITICAL
+    assert tenant.pressure_bumps == 1
+
+
+def test_overlay_passes_through_without_global_pressure():
+    stores = make_fleet()
+    registry = TenantRegistry(
+        stores, config=FleetConfig(pressure_free_fraction=0.0)
+    )
+    space = make_tenant_space("calm", stores)
+    swap_all(space, handle_objects=10, cluster_size=5)
+    tenant = registry.register(spec("hog", quota=1), space.manager)
+    space.manager.enable_degrade_ladder()
+    signal = classify(0.9, 1.0, 0.0)
+    assert space.manager.ladder.pressure_overlay(signal) is signal
+    assert tenant.pressure_bumps == 0
+
+
+def test_bind_before_ladder_still_installs_overlay():
+    stores = make_fleet()
+    space = make_tenant_space("order", stores)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a"), space.manager)
+    ladder = space.manager.enable_degrade_ladder()
+    assert ladder.pressure_overlay is not None
+
+
+def test_snapshot_reports_every_tenant():
+    stores = make_fleet()
+    space = make_tenant_space("snap", stores)
+    registry = TenantRegistry(stores)
+    registry.register(spec("a", guaranteed_share=0.25), space.manager)
+    snap = registry.snapshot()
+    assert snap["capacity_bytes"] == sum(s.capacity for s in stores)
+    entry = snap["tenants"]["a"]
+    assert entry["spaces"] == ["snap"]
+    assert entry["guaranteed_bytes"] == int(0.25 * snap["capacity_bytes"])
+    assert {"store_bytes", "denials", "evicted_copies", "pressure_level"} <= (
+        set(entry)
+    )

@@ -157,6 +157,7 @@ def run_scenario(
     *,
     fastpath: bool,
     mutate: bool,
+    fastpath_config: FastPathConfig | None = None,
     observe: bool = False,
     obs_path: str | None = None,
     obs_append: bool = True,
@@ -164,7 +165,9 @@ def run_scenario(
     space, clock, link, sids = _build_space(config)
     manager = space.manager
     if fastpath:
-        manager.enable_fastpath(FastPathConfig())
+        manager.enable_fastpath(
+            fastpath_config if fastpath_config is not None else FastPathConfig()
+        )
     obs = manager.enable_observability() if observe else None
 
     swap_out_costs: List[float] = []
@@ -241,19 +244,34 @@ def run_hotpath(
 
 
 def format_table(report: HotPathReport) -> str:
+    from repro.bench.report import format_sim_wall
+
     header = (
         f"{'scenario':<20} {'out p50 s':>10} {'out p95 s':>10} "
         f"{'cycle p50 s':>12} {'link bytes':>11} {'encodes':>8} "
         f"{'noops':>6} {'cache hits':>10}"
     )
+    if report.observed:
+        header += f" {'enc+dec (sim/wall)':>28}"
     lines = [header, "-" * len(header)]
     for result in report.scenarios.values():
-        lines.append(
+        line = (
             f"{result.name:<20} {result.swap_out_p50_s:>10.4f} "
             f"{result.swap_out_p95_s:>10.4f} {result.cycle_p50_s:>12.4f} "
             f"{result.bytes_on_link:>11} {result.encode_calls:>8} "
             f"{result.fastpath_noops:>6} {result.swapin_cache_hits:>10}"
         )
+        if report.observed:
+            sim = sum(
+                result.phases.get(phase, {}).get("sim_s", 0.0)
+                for phase in ("encode", "decode")
+            )
+            wall = sum(
+                result.phases.get(phase, {}).get("wall_s", 0.0)
+                for phase in ("encode", "decode")
+            )
+            line += f" {format_sim_wall(sim, wall):>28}"
+        lines.append(line)
     lines.append(
         f"reductions vs baseline: swap-out cost "
         f"{report.swap_out_cost_reduction:.1f}x, encodes "

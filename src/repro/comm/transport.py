@@ -29,6 +29,11 @@ FRAME_OVERHEAD_BYTES = 8
 #: Compression codecs this implementation can negotiate, best first.
 SUPPORTED_COMPRESSIONS: Tuple[str, ...] = ("zlib",)
 
+#: Wire codecs this implementation can negotiate, best first.  ``"xml"``
+#: is the canonical text protocol every peer speaks; ``"binary"`` is the
+#: length-prefixed framing in :mod:`repro.wire.binary`.
+SUPPORTED_CODECS: Tuple[str, ...] = ("binary", "xml")
+
 
 def chunk_text(text: str, frame_bytes: int) -> List[bytes]:
     """Split UTF-8 encoded ``text`` into frames of at most ``frame_bytes``."""
@@ -56,26 +61,60 @@ def negotiate_compression(
     return None
 
 
-def compress_payload(text: str, compression: Optional[str]) -> bytes:
-    """Encode ``text`` for the wire under the negotiated codec."""
-    data = text.encode("utf-8")
+def negotiate_codec(
+    ours: Sequence[str], theirs: Sequence[str] | None
+) -> Optional[str]:
+    """Pick the first wire codec both ends support.
+
+    ``theirs`` is the store's ``supported_codecs`` advertisement; stores
+    predating the codec negotiation advertise nothing and get the
+    canonical XML protocol (``None``), so the wire stays backward
+    compatible exactly like :func:`negotiate_compression`.
+    """
+    if not theirs:
+        return None
+    theirs_set = set(theirs)
+    for name in ours:
+        if name in theirs_set:
+            return name
+    return None
+
+
+def compress_body(data: bytes, compression: Optional[str]) -> bytes:
+    """Encode raw payload bytes for the wire under ``compression``."""
     if compression is None:
         return data
     if compression == "zlib":
         return zlib.compress(data, level=6)
-    raise TransportError(f"unknown compression codec {compression!r}")
+    raise TransportError(
+        f"unknown compression codec {compression!r} "
+        f"(this transport supports {sorted(SUPPORTED_COMPRESSIONS)})"
+    )
+
+
+def decode_body(data: bytes, compression: Optional[str]) -> bytes:
+    """Invert :func:`compress_body`, returning raw payload bytes."""
+    if compression is None:
+        return data
+    if compression == "zlib":
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise TransportError(f"corrupt zlib payload: {exc}") from exc
+    raise TransportError(
+        f"unknown compression codec {compression!r} "
+        f"(this transport supports {sorted(SUPPORTED_COMPRESSIONS)})"
+    )
+
+
+def compress_payload(text: str, compression: Optional[str]) -> bytes:
+    """Encode ``text`` for the wire under the negotiated codec."""
+    return compress_body(text.encode("utf-8"), compression)
 
 
 def decompress_payload(data: bytes, compression: Optional[str]) -> str:
     """Invert :func:`compress_payload`."""
-    if compression is None:
-        return data.decode("utf-8")
-    if compression == "zlib":
-        try:
-            return zlib.decompress(data).decode("utf-8")
-        except zlib.error as exc:
-            raise TransportError(f"corrupt zlib payload: {exc}") from exc
-    raise TransportError(f"unknown compression codec {compression!r}")
+    return decode_body(data, compression).decode("utf-8")
 
 
 class Link(Protocol):

@@ -156,5 +156,5 @@ def instance_fields(obj: Any) -> Dict[str, Any]:
     return {
         name: value
         for name, value in vars(obj).items()
-        if not name.startswith("_obi_")
+        if name[:1] != "_" or not name.startswith("_obi_")
     }

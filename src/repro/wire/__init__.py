@@ -10,7 +10,10 @@ implements the object-graph ⇄ XML codec:
   intra-cluster references by oid and outbound references as indexes into
   the cluster's replacement-object array;
 * :mod:`repro.wire.canonical` — canonical text + digests for
-  store-and-return integrity checks.
+  store-and-return integrity checks;
+* :mod:`repro.wire.binary` — the negotiated length-prefixed binary
+  framing (digests stay over canonical XML; see
+  ``docs/PROTOCOL.md`` §1f).
 """
 
 from repro.wire.xmlcodec import (
@@ -40,6 +43,13 @@ from repro.wire.schema import (
     validate_cluster_text,
     VALUE_TAGS,
 )
+from repro.wire.binary import (
+    binary_to_canonical,
+    decode_cluster_binary,
+    decode_delta_binary,
+    encode_cluster_binary,
+    encode_delta_binary,
+)
 
 __all__ = [
     "ClusterDocument",
@@ -62,4 +72,9 @@ __all__ = [
     "ensure_valid_cluster",
     "validate_cluster_text",
     "VALUE_TAGS",
+    "encode_cluster_binary",
+    "decode_cluster_binary",
+    "binary_to_canonical",
+    "encode_delta_binary",
+    "decode_delta_binary",
 ]

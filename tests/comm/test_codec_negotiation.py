@@ -1,0 +1,132 @@
+"""Wire-codec negotiation: advertisement, gating, demotion, error texts."""
+
+import pytest
+
+from repro.comm.transport import (
+    SUPPORTED_CODECS,
+    SUPPORTED_COMPRESSIONS,
+    compress_body,
+    decode_body,
+    negotiate_codec,
+)
+from repro.core.fastpath import FastPathConfig, FastPathState
+from repro.devices import InMemoryStore
+from repro.devices.store import XmlStoreDevice
+from repro.errors import CodecNegotiationError, TransportError
+
+
+# -- negotiate_codec -----------------------------------------------------------
+
+
+def test_negotiates_binary_when_both_ends_speak_it():
+    assert negotiate_codec(("binary",), SUPPORTED_CODECS) == "binary"
+
+
+def test_prefers_our_order_not_theirs():
+    assert negotiate_codec(("binary", "xml"), ("xml", "binary")) == "binary"
+
+
+def test_absent_advertisement_means_canonical_xml():
+    assert negotiate_codec(("binary",), None) is None
+    assert negotiate_codec(("binary",), ()) is None
+
+
+def test_no_overlap_means_canonical_xml():
+    assert negotiate_codec(("binary",), ("xml",)) is None
+
+
+def test_xml_only_store_negotiates_xml():
+    assert negotiate_codec(SUPPORTED_CODECS, ("xml",)) == "xml"
+
+
+# -- FastPathState gating ------------------------------------------------------
+
+
+def test_codec_off_never_negotiates_binary():
+    state = FastPathState(config=FastPathConfig())
+    assert state.negotiate_codec_for(InMemoryStore("s")) is None
+
+
+def test_codec_on_negotiates_binary_with_advertising_store():
+    state = FastPathState(config=FastPathConfig(codec="binary"))
+    assert state.negotiate_codec_for(InMemoryStore("s")) == "binary"
+
+
+def test_non_advertising_store_keeps_xml():
+    state = FastPathState(config=FastPathConfig(codec="binary"))
+    store = InMemoryStore("legacy")
+    store.supported_codecs = ()  # a store predating the codec handshake
+    assert state.negotiate_codec_for(store) is None
+
+
+def test_negotiation_result_is_cached_per_device():
+    state = FastPathState(config=FastPathConfig(codec="binary"))
+    store = InMemoryStore("s")
+    assert state.negotiate_codec_for(store) == "binary"
+    # a later change to the advertisement does not re-negotiate
+    store.supported_codecs = ()
+    assert state.negotiate_codec_for(store) == "binary"
+
+
+def test_demote_pins_store_to_xml():
+    state = FastPathState(config=FastPathConfig(codec="binary"))
+    store = InMemoryStore("s")
+    assert state.negotiate_codec_for(store) == "binary"
+    state.demote_codec(store)
+    assert state.negotiate_codec_for(store) is None
+
+
+def test_store_without_stream_support_keeps_xml():
+    class TextOnly:
+        device_id = "text-only"
+        supported_codecs = SUPPORTED_CODECS
+        store_stream = None
+
+    state = FastPathState(config=FastPathConfig(codec="binary"))
+    assert state.negotiate_codec_for(TextOnly()) is None
+
+
+# -- error texts (debuggable negotiation failures) -----------------------------
+
+
+def test_unknown_compression_names_the_supported_set():
+    for convert in (compress_body, decode_body):
+        with pytest.raises(TransportError) as exc_info:
+            convert(b"data", "lz4")
+        message = str(exc_info.value)
+        assert "'lz4'" in message
+        assert str(sorted(SUPPORTED_COMPRESSIONS)) in message
+
+
+def test_store_rejects_unadvertised_codec_naming_itself():
+    store = InMemoryStore("kiosk-7")
+    store.supported_codecs = ("xml",)
+    with pytest.raises(CodecNegotiationError) as exc_info:
+        store.store_stream("k", [b"x"], codec="binary")
+    message = str(exc_info.value)
+    assert "kiosk-7" in message
+    assert "'binary'" in message
+    assert "['xml']" in message
+
+
+def test_store_rejects_unknown_compression_naming_itself():
+    device = XmlStoreDevice("desk-pc", capacity=1 << 20)
+    with pytest.raises(TransportError) as exc_info:
+        device.store_stream("k", [b"x"], compression="lz4")
+    message = str(exc_info.value)
+    assert "desk-pc" in message
+    assert "'lz4'" in message
+    assert str(sorted(SUPPORTED_COMPRESSIONS)) in message
+
+
+def test_xml_and_none_codecs_always_pass():
+    store = InMemoryStore("s")
+    store.supported_codecs = ()
+    store.store_stream("a", ["<swap-cluster/>".encode("utf-8")], codec=None)
+    store.store_stream("b", ["<swap-cluster/>".encode("utf-8")], codec="xml")
+    assert store.fetch("a") == "<swap-cluster/>"
+    assert store.fetch("b") == "<swap-cluster/>"
+
+
+def test_codec_negotiation_error_is_a_transport_error():
+    assert issubclass(CodecNegotiationError, TransportError)

@@ -1,0 +1,96 @@
+"""The codec negotiation matrix: every store kind, advertisement, compression.
+
+Satellite of the binary-framing work: {InMemoryStore, XmlStoreDevice,
+FlakyStore} x {binary advertised, xml-only, absent advertisement} x
+{zlib, no compression}, all driven through the manager hot path with
+``FastPathConfig(codec="binary")``.  Binary frames must flow exactly
+when the store advertises them, everything else must transparently stay
+on canonical XML, and every combination must round-trip values.
+"""
+
+import pytest
+
+from repro.core.fastpath import FastPathConfig
+from repro.devices import InMemoryStore
+from repro.devices.store import XmlStoreDevice
+from repro.faults import FaultInjector, FaultPlan, FlakyStore
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _make_store(kind, advert):
+    inner = (
+        InMemoryStore("s")
+        if kind == "memory"
+        else XmlStoreDevice("s", capacity=1 << 20)
+    )
+    if advert == "xml-only":
+        inner.supported_codecs = ("xml",)
+    elif advert == "absent":
+        inner.supported_codecs = ()
+    if kind == "flaky":
+        return FlakyStore(inner, FaultInjector(FaultPlan.empty())), inner
+    return inner, inner
+
+
+def _binary_at_rest(inner):
+    if isinstance(inner, InMemoryStore):
+        return len(inner._wire)
+    return len(inner._codecs)
+
+
+@pytest.mark.parametrize("compression", ["zlib", "none"])
+@pytest.mark.parametrize("advert", ["binary", "xml-only", "absent"])
+@pytest.mark.parametrize("kind", ["memory", "xml", "flaky"])
+def test_negotiation_matrix_roundtrips(kind, advert, compression):
+    store, inner = _make_store(kind, advert)
+    space = make_space(with_store=False)
+    space.manager.add_store(store)
+    space.manager.enable_fastpath(
+        FastPathConfig(
+            codec="binary",
+            compression=("zlib",) if compression == "zlib" else (),
+            serve_swap_in_from_cache=False,
+        )
+    )
+    handle = space.ingest(build_chain(12), cluster_size=4, root_name="h")
+    expected = list(range(12))
+    assert chain_values(handle) == expected
+
+    binary_expected = advert == "binary"
+    space.swap_out(2)
+    stats = space.manager.stats
+    assert (stats.codec_binary_ships > 0) == binary_expected
+    assert (_binary_at_rest(inner) > 0) == binary_expected
+    assert space.manager.fastpath.negotiated_codec["s"] == (
+        "binary" if binary_expected else None
+    )
+
+    space.swap_in(2)
+    assert (stats.codec_binary_fetches > 0) == binary_expected
+    assert chain_values(handle) == expected
+
+    # mutate inside the swapped cluster, cycle again: values must travel
+    node = handle
+    for _ in range(5):
+        node = node.get_next()
+    node.set_value(999)
+    expected[5] = 999
+    space.swap_out(2)
+    space.swap_in(2)
+    assert chain_values(handle) == expected
+    assert stats.codec_fallbacks == 0  # nothing ever rejected a ship
+
+
+def test_matrix_never_leaks_binary_to_non_advertising_stores():
+    for kind in ("memory", "xml", "flaky"):
+        for advert in ("xml-only", "absent"):
+            store, inner = _make_store(kind, advert)
+            space = make_space(with_store=False)
+            space.manager.add_store(store)
+            space.manager.enable_fastpath(
+                FastPathConfig(codec="binary", serve_swap_in_from_cache=False)
+            )
+            space.ingest(build_chain(8), cluster_size=4, root_name="h")
+            space.swap_out(2)
+            assert _binary_at_rest(inner) == 0
+            assert space.manager.stats.codec_binary_ships == 0

@@ -1,0 +1,133 @@
+"""Injected codec faults: downgrade-after-advertise and rotted frames."""
+
+import pytest
+
+from repro.core.fastpath import FastPathConfig
+from repro.devices.store import XmlStoreDevice
+from repro.errors import CodecError, CodecNegotiationError
+from repro.faults import FaultInjector, FaultPlan, FlakyStore
+from repro.faults.flaky import mangle_frames
+from tests.helpers import build_chain, chain_values, make_space
+
+
+def _flaky_space(plan=None, **config):
+    injector = FaultInjector(plan if plan is not None else FaultPlan.empty())
+    inner = XmlStoreDevice("x", capacity=1 << 20)
+    flaky = FlakyStore(inner, injector)
+    space = make_space(with_store=False)
+    space.manager.add_store(flaky)
+    space.manager.enable_fastpath(
+        FastPathConfig(
+            codec="binary", serve_swap_in_from_cache=False, **config
+        )
+    )
+    return space, flaky, inner, injector
+
+
+def _mutate(space, sid, bump=100):
+    cluster = space.clusters()[sid]
+    oid = sorted(cluster.oids)[0]
+    node = space._objects[oid]
+    node.value = node.value + bump
+
+
+# -- mangle_frames -------------------------------------------------------------
+
+
+def test_mangle_frames_changes_bytes_preserving_length():
+    data = bytes(range(64))
+    mangled = mangle_frames(data)
+    assert mangled != data and len(mangled) == len(data)
+
+
+def test_mangle_frames_on_empty_payload_still_rots():
+    assert mangle_frames(b"") != b""
+
+
+# -- codec downgrade (advertise, then refuse) ----------------------------------
+
+
+def test_downgrade_fault_falls_back_to_xml_transparently():
+    space, flaky, inner, injector = _flaky_space()
+    flaky.codec_downgrade = True
+    handle = space.ingest(build_chain(12), cluster_size=4, root_name="h")
+
+    space.swap_out(2)  # the binary ship is refused; XML must still land
+
+    stats = space.manager.stats
+    assert stats.codec_fallbacks == 1
+    assert injector.stats.codec_downgrades >= 1
+    assert inner._codecs == {}  # the payload landed as canonical XML
+    assert space.manager.fastpath.negotiated_codec["x"] is None  # demoted
+
+    space.swap_in(2)
+    assert chain_values(handle) == list(range(12))
+
+    # the demotion is sticky: the next cycle ships XML without another
+    # negotiation round trip
+    _mutate(space, 2)
+    space.swap_out(2)
+    assert stats.codec_fallbacks == 1
+    assert injector.stats.codec_downgrades == 1
+
+
+def test_downgrade_fault_raises_codec_negotiation_error_directly():
+    injector = FaultInjector(FaultPlan.empty())
+    flaky = FlakyStore(XmlStoreDevice("x", capacity=1 << 20), injector)
+    flaky.codec_downgrade = True
+    with pytest.raises(CodecNegotiationError) as exc_info:
+        flaky.store_stream("k", [b"frames"], codec="binary")
+    assert "x" in str(exc_info.value)
+    assert injector.stats.codec_downgrades == 1
+    # XML ships pass straight through the downgrade gate
+    flaky.store_stream("k", ["<swap-cluster/>".encode("utf-8")])
+    assert flaky.fetch("k") == "<swap-cluster/>"
+
+
+def test_downgrade_fault_on_delta_ships_full_xml_instead():
+    space, flaky, inner, injector = _flaky_space(delta=True)
+    handle = space.ingest(build_chain(12), cluster_size=4, root_name="h")
+    space.swap_out(2)
+    space.swap_in(2)
+    assert space.manager.stats.codec_binary_ships >= 1  # binary base landed
+
+    flaky.codec_downgrade = True  # the store turns hostile mid-session
+    _mutate(space, 2)
+    location = space.swap_out(2)
+
+    stats = space.manager.stats
+    assert stats.codec_fallbacks >= 1
+    assert injector.stats.codec_downgrades >= 1
+    assert location.key not in inner._codecs  # what landed is XML at rest
+    space.swap_in(2)
+    assert any(v >= 100 for v in chain_values(handle))
+
+
+# -- rotted binary frames ------------------------------------------------------
+
+
+def test_corrupt_binary_frames_are_caught_by_digest_verify():
+    space, flaky, _inner, injector = _flaky_space(
+        plan=FaultPlan(seed=1, corruption_rate=1.0)
+    )
+    space.ingest(build_chain(12), cluster_size=4, root_name="h")
+    space.swap_out(2)
+    assert space.manager.stats.codec_binary_ships >= 1
+
+    with pytest.raises(CodecError):
+        space.swap_in(2)
+
+    assert injector.stats.corruptions >= 1
+    assert space.manager.stats.replicas_quarantined >= 1
+    assert space.manager.stats.codec_binary_fetches == 0  # never verified
+
+
+def test_fetch_wire_corruption_mangles_the_frames():
+    injector = FaultInjector(FaultPlan(seed=2, corruption_rate=1.0))
+    inner = XmlStoreDevice("x", capacity=1 << 20)
+    flaky = FlakyStore(inner, injector)
+    inner.store("k", "<swap-cluster/>")
+    data, codec = flaky.fetch_wire("k")
+    assert data != "<swap-cluster/>".encode("utf-8")
+    assert codec is None
+    assert injector.stats.corruptions == 1
